@@ -1,0 +1,185 @@
+(* Bechamel benchmarks: one Test.make per evaluation figure of the paper
+   (timing the regeneration of one representative sweep point of it) plus
+   micro-benchmarks for every subsystem the figures are built from.
+
+     dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures shared across iterations                                    *)
+(* ------------------------------------------------------------------ *)
+
+let instance ~seed ~granularity =
+  let rng = Rng.create ~seed in
+  Paper_workload.instance ~rng ~granularity ()
+
+let inst_g1 = instance ~seed:1 ~granularity:1.0
+
+let problem ~eps inst =
+  Types.problem ~dag:inst.Paper_workload.dag ~platform:inst.Paper_workload.plat
+    ~eps
+    ~throughput:(Paper_workload.throughput ~eps)
+
+let prob_e1 = problem ~eps:1 inst_g1
+let prob_e3 = problem ~eps:3 inst_g1
+
+let mapping_e1 =
+  match Rltf.run ~mode:Scheduler.Best_effort prob_e1 with
+  | Ok m -> m
+  | Error _ -> failwith "bench fixture: R-LTF failed"
+
+let mapping_e3 =
+  match Rltf.run ~mode:Scheduler.Best_effort prob_e3 with
+  | Ok m -> m
+  | Error _ -> failwith "bench fixture: R-LTF failed"
+
+(* A figure "point": schedule + measure both algorithms on one fresh graph
+   at one granularity, exactly what the sweep repeats 60 times per point. *)
+let figure_point ~eps ~crashes ~granularity seed =
+  let config =
+    {
+      (Fig_common.quick ~eps ~crashes) with
+      Fig_common.graphs_per_point = 1;
+      granularities = [ granularity ];
+      seed;
+    }
+  in
+  Fig_common.collect config
+
+(* ------------------------------------------------------------------ *)
+(* The benchmarks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let figure_tests =
+  [
+    Test.make ~name:"fig3a-point (eps=1 bounds)"
+      (Staged.stage (fun () -> figure_point ~eps:1 ~crashes:0 ~granularity:1.0 11));
+    Test.make ~name:"fig3b-point (eps=1, 1 crash)"
+      (Staged.stage (fun () -> figure_point ~eps:1 ~crashes:1 ~granularity:1.0 12));
+    Test.make ~name:"fig3c-point (eps=1 overhead)"
+      (Staged.stage (fun () -> figure_point ~eps:1 ~crashes:1 ~granularity:0.6 13));
+    Test.make ~name:"fig4a-point (eps=3 bounds)"
+      (Staged.stage (fun () -> figure_point ~eps:3 ~crashes:0 ~granularity:1.0 14));
+    Test.make ~name:"fig4b-point (eps=3, 2 crashes)"
+      (Staged.stage (fun () -> figure_point ~eps:3 ~crashes:2 ~granularity:1.0 15));
+    Test.make ~name:"fig4c-point (eps=3 overhead)"
+      (Staged.stage (fun () -> figure_point ~eps:3 ~crashes:2 ~granularity:0.6 16));
+    Test.make ~name:"fig1+fig2 worked examples"
+      (Staged.stage (fun () ->
+           ignore (Paper_examples.fig1 ());
+           ignore (Paper_examples.fig2 ())));
+    Test.make ~name:"baselines-row (8 heuristics, 1 graph)"
+      (Staged.stage (fun () ->
+           let inst = instance ~seed:17 ~granularity:1.0 in
+           let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
+           let throughput = Paper_workload.throughput ~eps:0 in
+           ignore (Heft.mapping ~throughput dag plat);
+           ignore (Etf.mapping ~throughput dag plat);
+           ignore (Hary.mapping dag plat ~throughput);
+           ignore (Expert.mapping dag plat ~throughput);
+           ignore (Tda.mapping dag plat ~throughput);
+           ignore (Stdp.mapping dag plat ~throughput);
+           ignore (Wmsh.mapping dag plat ~throughput);
+           ignore (Hoang.mapping ~iterations:10 dag plat)));
+    Test.make ~name:"symmetric-point (Section 6 searches)"
+      (Staged.stage (fun () ->
+           let inst = instance ~seed:18 ~granularity:1.0 in
+           let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
+           ignore
+             (Symmetric.max_throughput ~iterations:6 ~dag ~platform:plat ~eps:1
+                ~latency_bound:500.0 ())));
+  ]
+
+let algorithm_tests =
+  [
+    Test.make ~name:"LTF schedule (v=100, m=20, eps=1)"
+      (Staged.stage (fun () -> Ltf.run ~mode:Scheduler.Best_effort prob_e1));
+    Test.make ~name:"R-LTF schedule (v=100, m=20, eps=1)"
+      (Staged.stage (fun () -> Rltf.run ~mode:Scheduler.Best_effort prob_e1));
+    Test.make ~name:"LTF schedule (eps=3)"
+      (Staged.stage (fun () -> Ltf.run ~mode:Scheduler.Best_effort prob_e3));
+    Test.make ~name:"R-LTF schedule (eps=3)"
+      (Staged.stage (fun () -> Rltf.run ~mode:Scheduler.Best_effort prob_e3));
+  ]
+
+let substrate_tests =
+  [
+    Test.make ~name:"workload instance generation"
+      (Staged.stage (fun () -> instance ~seed:19 ~granularity:1.0));
+    Test.make ~name:"one-port event simulation (1 item)"
+      (Staged.stage (fun () -> Engine.run mapping_e1));
+    Test.make ~name:"one-port event simulation (20 items)"
+      (Staged.stage (fun () -> Engine.run ~n_items:20 mapping_e1));
+    Test.make ~name:"stage-synchronous latency"
+      (Staged.stage (fun () ->
+           Stage_latency.latency mapping_e1 ~throughput:0.05));
+    Test.make ~name:"crash replay (1 failure)"
+      (Staged.stage (fun () -> Engine.latency ~failed:[ 0 ] mapping_e1));
+    Test.make ~name:"exhaustive tolerance validation (eps=3)"
+      (Staged.stage (fun () -> Validate.fault_tolerance mapping_e3));
+    Test.make ~name:"exact width (Dilworth, v=100)"
+      (Staged.stage (fun () -> Width.exact inst_g1.Paper_workload.dag));
+    Test.make ~name:"post-failure recovery (1 crash)"
+      (Staged.stage (fun () -> Recovery.restore mapping_e1 ~failed:[ 0 ]));
+    Test.make ~name:"platform cost minimization"
+      (Staged.stage (fun () ->
+           Platform_cost.minimize ~dag:inst_g1.Paper_workload.dag
+             ~platform:inst_g1.Paper_workload.plat ~eps:1
+             ~throughput:(Paper_workload.throughput ~eps:1)
+             ()));
+    Test.make ~name:"exact optimum (9 tasks, m=4)"
+      (Staged.stage
+         (let plat =
+            Platform.homogeneous ~name:"bench" ~m:4 ~speed:1.0 ~bandwidth:1.0 ()
+          in
+          let rng = Rng.create ~seed:23 in
+          let dag =
+            Calibrate.calibrated (Random_dag.layered ~rng ~tasks:9 ()) plat
+              ~granularity:1.0
+          in
+          fun () ->
+            Optimal.minimum_stages ~dag ~platform:plat ~throughput:0.25 ()));
+    Test.make ~name:"mapping round trip (print + parse)"
+      (Staged.stage (fun () ->
+           Mapping_io.parse ~dag:inst_g1.Paper_workload.dag
+             ~platform:inst_g1.Paper_workload.plat
+             (Mapping_io.print mapping_e1)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_group name tests =
+  Printf.printf "## %s\n%!" name;
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let measures = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg measures test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun label result ->
+          match Analyze.OLS.estimates result with
+          | Some [ ns_per_run ] ->
+              Printf.printf "%-44s %14.0f ns/run (%10.3f ms)\n%!" label
+                ns_per_run (ns_per_run /. 1e6)
+          | _ -> Printf.printf "%-44s (no estimate)\n%!" label)
+        analyzed)
+    tests;
+  print_newline ()
+
+let () =
+  print_endline "Benchmarks (Bechamel, monotonic clock, OLS ns/run)";
+  print_endline "===================================================";
+  run_group "Figure regeneration (one sweep point each)" figure_tests;
+  run_group "Scheduling algorithms" algorithm_tests;
+  run_group "Substrates" substrate_tests

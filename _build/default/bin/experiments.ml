@@ -1,0 +1,62 @@
+(* CLI driver regenerating every figure of the paper's evaluation (and the
+   extensions).  `experiments.exe all` reproduces the full set. *)
+
+open Cmdliner
+
+let run_experiments names quick seed out_dir =
+  let targets =
+    match names with
+    | [] | [ "all" ] -> Ok Runner.all
+    | names ->
+        let missing = List.filter (fun n -> Runner.find n = None) names in
+        if missing <> [] then
+          Error
+            (Printf.sprintf "unknown experiment(s): %s (available: %s)"
+               (String.concat ", " missing)
+               (String.concat ", " ("all" :: Runner.names)))
+        else Ok (List.filter_map Runner.find names)
+  in
+  match targets with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok targets ->
+      List.iter
+        (fun (e : Runner.experiment) ->
+          Printf.printf "=== %s: %s ===\n%!" e.Runner.name e.Runner.description;
+          e.Runner.run ~quick ~seed ~out_dir;
+          print_newline ())
+        targets;
+      0
+
+let names_arg =
+  let doc =
+    "Experiments to run: $(b,all) or any of "
+    ^ String.concat ", " Runner.names ^ "."
+  in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick_arg =
+  let doc =
+    "Shrink the per-point replication (8 graphs/point instead of the \
+     paper's 60) for a fast smoke run."
+  in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let seed_arg =
+  let doc = "Base random seed (runs are deterministic in the seed)." in
+  Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let out_arg =
+  let doc = "Directory for the CSV outputs." in
+  Arg.(value & opt string "results" & info [ "out" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc =
+    "regenerate the evaluation of 'Optimizing the Latency of Streaming \
+     Applications under Throughput and Reliability Constraints'"
+  in
+  let info = Cmd.info "experiments" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const run_experiments $ names_arg $ quick_arg $ seed_arg $ out_arg)
+
+let () = exit (Cmd.eval' cmd)

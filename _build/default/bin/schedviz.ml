@@ -1,0 +1,195 @@
+(* Schedule visualizer: build a graph (classic family or random), schedule
+   it with LTF or R-LTF, and print the mapping, the ASCII Gantt chart of a
+   simulated execution, and the metrics. *)
+
+open Cmdliner
+
+let build_graph name tasks seed =
+  match name with
+  | "fig1" -> Classic.fig1_graph
+  | "fig2" -> Classic.fig2_graph
+  | "chain" -> Classic.chain ~n:tasks ~exec:1.0 ~volume:0.5
+  | "fork-join" -> Classic.fork_join ~width:(max 1 (tasks - 2)) ~exec:1.0 ~volume:0.5
+  | "diamond" -> Classic.diamond ~levels:(max 1 (int_of_float (sqrt (float_of_int tasks)))) ~exec:1.0 ~volume:0.5
+  | "fft" ->
+      let p = max 1 (int_of_float (Float.log2 (float_of_int (max 2 tasks)) /. 2.0)) in
+      Classic.fft ~p ~exec:1.0 ~volume:0.5
+  | "gauss" -> Classic.gaussian_elimination ~n:(max 2 (int_of_float (sqrt (2.0 *. float_of_int tasks)))) ~exec:1.0 ~volume:0.5
+  | "stencil" ->
+      let side = max 1 (int_of_float (sqrt (float_of_int tasks))) in
+      Classic.stencil ~rows:side ~cols:side ~exec:1.0 ~volume:0.5
+  | "random" ->
+      let rng = Rng.create ~seed in
+      Random_dag.layered ~rng ~tasks ()
+  | other -> failwith (Printf.sprintf "unknown graph family %S" other)
+
+let main graph_name algo tasks m eps period seed crash workflow_file
+    platform_file svg_out trace_out save_mapping load_mapping =
+  try
+    let dag =
+      match workflow_file with
+      | Some path -> (
+          match Workflow_io.load_workflow path with
+          | Ok dag -> dag
+          | Error e -> failwith (path ^ ": " ^ Workflow_io.error_to_string e))
+      | None -> build_graph graph_name tasks seed
+    in
+    let plat =
+      match platform_file with
+      | Some path -> (
+          match Workflow_io.load_platform path with
+          | Ok p -> p
+          | Error e -> failwith (path ^ ": " ^ Workflow_io.error_to_string e))
+      | None ->
+          if graph_name = "fig1" && workflow_file = None then
+            Classic.fig1_platform
+          else Classic.fig2_platform ~m
+    in
+    let dag =
+      if (graph_name = "fig1" || graph_name = "fig2") && workflow_file = None
+      then dag
+      else Calibrate.normalize_time dag plat
+    in
+    let throughput = 1.0 /. period in
+    let prob = Types.problem ~dag ~platform:plat ~eps ~throughput in
+    let outcome =
+      match load_mapping with
+      | Some path -> (
+          match Mapping_io.load ~dag ~platform:plat path with
+          | Ok mapping -> Ok mapping
+          | Error e -> failwith (path ^ ": " ^ Mapping_io.error_to_string e))
+      | None -> (
+          match algo with
+          | "ltf" -> Ltf.run ~mode:Scheduler.Best_effort prob
+          | "rltf" -> Rltf.run ~mode:Scheduler.Best_effort prob
+          | other -> failwith (Printf.sprintf "unknown algorithm %S" other))
+    in
+    match outcome with
+    | Error f ->
+        Printf.eprintf "scheduling failed: %s\n" (Types.failure_to_string f);
+        1
+    | Ok mapping ->
+        Format.printf "%a@." Mapping.pp mapping;
+        print_string (Gantt.summary mapping);
+        let failed = List.init (min crash m) Fun.id in
+        let result = Engine.run ~failed mapping in
+        let times item id =
+          match (result.Engine.start_time item id, result.Engine.finish_time item id) with
+          | Some s, Some f -> Some (s, f)
+          | _ -> None
+        in
+        print_string (Gantt.render mapping ~times:(times 0));
+        Printf.printf "stages S = %d\n" (Metrics.stage_depth mapping);
+        Printf.printf "latency bound (2S-1)/T = %.2f\n"
+          (Metrics.latency_bound mapping ~throughput);
+        (match result.Engine.item_latency.(0) with
+        | Some l ->
+            Printf.printf "simulated latency%s = %.2f\n"
+              (if crash > 0 then Printf.sprintf " (with %d crash)" crash else "")
+              l
+        | None -> print_endline "simulated latency: an exit task was lost");
+        Printf.printf "achieved period = %.2f (desired %.2f)\n"
+          (Metrics.period mapping) period;
+        Printf.printf "replica messages = %d\n" (Mapping.n_messages mapping);
+        Option.iter
+          (fun path ->
+            Mapping_io.save path mapping;
+            Printf.printf "mapping written to %s\n" path)
+          save_mapping;
+        Option.iter
+          (fun path ->
+            Svg_gantt.save path mapping result;
+            Printf.printf "SVG Gantt written to %s\n" path)
+          svg_out;
+        Option.iter
+          (fun path ->
+            Trace.save_chrome_json path mapping result;
+            Printf.printf "Chrome trace written to %s\n" path)
+          trace_out;
+        0
+  with Failure msg ->
+    prerr_endline msg;
+    1
+
+let graph_arg =
+  let doc =
+    "Graph family: fig1, fig2, chain, fork-join, diamond, fft, gauss, \
+     stencil, random."
+  in
+  Arg.(value & pos 0 string "fig2" & info [] ~docv:"GRAPH" ~doc)
+
+let algo_arg =
+  let doc = "Scheduling algorithm: ltf or rltf." in
+  Arg.(value & opt string "rltf" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+
+let tasks_arg =
+  Arg.(value & opt int 24 & info [ "tasks"; "n" ] ~docv:"N" ~doc:"Task count for generated graphs.")
+
+let m_arg =
+  Arg.(value & opt int 8 & info [ "procs"; "m" ] ~docv:"M" ~doc:"Processor count.")
+
+let eps_arg =
+  Arg.(value & opt int 1 & info [ "eps"; "e" ] ~docv:"EPS" ~doc:"Tolerated failures.")
+
+let period_arg =
+  Arg.(value & opt float 20.0 & info [ "period" ] ~docv:"DELTA" ~doc:"Desired period 1/T.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for random graphs.")
+
+let crash_arg =
+  Arg.(value & opt int 0 & info [ "crash" ] ~docv:"C" ~doc:"Fail the first C processors in the replay.")
+
+let workflow_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file"; "f" ] ~docv:"FILE"
+        ~doc:"Load the workflow from a Workflow_io text file instead of GRAPH.")
+
+let platform_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "platform-file" ] ~docv:"FILE"
+        ~doc:"Load the platform from a Workflow_io text file.")
+
+let svg_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG Gantt chart of the replay.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of the replay.")
+
+let save_mapping_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-mapping" ] ~docv:"FILE"
+        ~doc:"Write the computed mapping to a Mapping_io text file.")
+
+let load_mapping_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load-mapping" ] ~docv:"FILE"
+        ~doc:
+          "Replay a previously saved mapping instead of scheduling (must \
+           match the workflow and platform).")
+
+let cmd =
+  let doc = "schedule a workflow and draw the resulting pipelined execution" in
+  Cmd.v (Cmd.info "schedviz" ~doc)
+    Term.(
+      const main $ graph_arg $ algo_arg $ tasks_arg $ m_arg $ eps_arg
+      $ period_arg $ seed_arg $ crash_arg $ workflow_file_arg
+      $ platform_file_arg $ svg_arg $ trace_arg $ save_mapping_arg
+      $ load_mapping_arg)
+
+let () = exit (Cmd.eval' cmd)

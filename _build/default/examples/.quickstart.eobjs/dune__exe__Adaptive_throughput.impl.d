@@ -1,0 +1,1 @@
+examples/adaptive_throughput.ml: Calibrate Classic Dag Engine Fun List Metrics Platform Printf String Symmetric

@@ -1,0 +1,1 @@
+examples/custom_workflow.ml: Dag Engine Filename List Metrics Platform Platform_cost Printf Rltf String Svg_gantt Trace Types Workflow_io

@@ -1,0 +1,1 @@
+examples/failure_drill.ml: Calibrate Classic Dag Engine List Platform Printf Recovery Rltf Scheduler Types Validate

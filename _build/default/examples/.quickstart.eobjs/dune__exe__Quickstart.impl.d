@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dag Engine Format List Mapping Metrics Platform Printf Rltf Types Validate

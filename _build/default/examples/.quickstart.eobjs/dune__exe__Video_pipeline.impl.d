@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Array Dag Engine Gantt List Ltf Metrics Platform Printf Rltf Types Validate

@@ -1,0 +1,1 @@
+examples/worked_example.ml: Classic Engine Format Gantt List Ltf Mapping Metrics Printf Rltf Types

@@ -1,0 +1,1 @@
+examples/worked_example.mli:

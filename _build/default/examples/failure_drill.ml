@@ -1,0 +1,77 @@
+(* Failure drill: exhaustively fail every subset of processors up to the
+   tolerated size on a scheduled FFT workflow and verify the outputs
+   survive with bounded degradation — then push beyond the tolerance and
+   watch the schedule break.  Demonstrates the difference between the
+   designed guarantee (eps failures) and actual behaviour beyond it.
+
+     dune exec examples/failure_drill.exe
+*)
+
+let rec subsets_of_size k lo m =
+  if k = 0 then [ [] ]
+  else if lo >= m then []
+  else
+    List.map (fun rest -> lo :: rest) (subsets_of_size (k - 1) (lo + 1) m)
+    @ subsets_of_size k (lo + 1) m
+
+let () =
+  let platform =
+    Platform.homogeneous ~name:"drill" ~m:10 ~speed:1.0 ~bandwidth:2.0 ()
+  in
+  let dag =
+    Calibrate.normalize_time (Classic.fft ~p:3 ~exec:5.0 ~volume:2.0) platform
+  in
+  let eps = 2 in
+  let throughput = 1.0 /. 16.0 in
+  let problem = Types.problem ~dag ~platform ~eps ~throughput in
+  match Rltf.run ~mode:Scheduler.Best_effort problem with
+  | Error f -> Printf.printf "scheduling failed: %s\n" (Types.failure_to_string f)
+  | Ok mapping ->
+      Printf.printf "FFT-8 workflow (%d tasks), eps = %d, m = 10\n\n"
+        (Dag.size dag) eps;
+      let m = Platform.size platform in
+      let drill k =
+        let sets = subsets_of_size k 0 m in
+        let survived = ref 0 and lost = ref 0 in
+        let worst = ref 0.0 in
+        List.iter
+          (fun failed ->
+            match Engine.latency ~failed mapping with
+            | Some l ->
+                incr survived;
+                if l > !worst then worst := l
+            | None -> incr lost)
+          sets;
+        Printf.printf
+          "%d failure(s): %4d/%-4d subsets survive; worst latency %.2f%s\n" k
+          !survived (List.length sets) !worst
+          (if !lost > 0 then Printf.sprintf "  (%d subsets LOSE output)" !lost
+           else "")
+      in
+      (* Within the guarantee: every subset must survive. *)
+      for k = 0 to eps do
+        drill k
+      done;
+      (* Beyond it: some subsets are expected to lose the outputs. *)
+      for k = eps + 1 to eps + 2 do
+        drill k
+      done;
+      (* Recovery: after two real crashes the schedule has spent its whole
+         tolerance; restoring the replication degree makes it survive two
+         fresh failures again. *)
+      print_newline ();
+      let crashed = [ 0; 1 ] in
+      (match Recovery.restore ~throughput mapping ~failed:crashed with
+      | Error e ->
+          Printf.printf "recovery failed: %s\n" (Recovery.error_to_string e)
+      | Ok restored ->
+          let fresh = subsets_of_size eps 2 m in
+          let ok =
+            List.for_all
+              (fun extra -> Validate.survives restored ~failed:(crashed @ extra))
+              fresh
+          in
+          Printf.printf
+            "after crashing {P0, P1} and recovering: %d fresh %d-failure \
+             subsets all survive: %b\n"
+            (List.length fresh) eps ok)

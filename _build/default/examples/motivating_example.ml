@@ -1,0 +1,8 @@
+(* The motivating example of the paper's introduction (Fig. 1): the same
+   4-task workflow executed with task parallelism, data parallelism, and
+   pipelining, showing the latency/throughput trade-off of each.
+
+     dune exec examples/motivating_example.exe
+*)
+
+let () = Paper_examples.print ()

@@ -1,0 +1,1 @@
+lib/baselines/assignment.ml: Array Dag Float Platform Printf Source_derivation

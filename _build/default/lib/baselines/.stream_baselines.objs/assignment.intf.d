@@ -1,0 +1,1 @@
+lib/baselines/assignment.mli: Dag Mapping Platform

@@ -1,0 +1,1 @@
+lib/baselines/clustering.ml: Array Dag Fun Hashtbl List Platform

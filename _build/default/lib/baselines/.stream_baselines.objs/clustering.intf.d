@@ -1,0 +1,1 @@
+lib/baselines/clustering.mli: Assignment Dag Platform

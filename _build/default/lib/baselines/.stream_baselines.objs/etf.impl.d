@@ -1,0 +1,1 @@
+lib/baselines/etf.ml: Array Assignment Dag Float Fun Levels List Platform

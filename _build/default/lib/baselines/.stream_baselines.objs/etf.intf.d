@@ -1,0 +1,1 @@
+lib/baselines/etf.mli: Assignment Dag Mapping Platform

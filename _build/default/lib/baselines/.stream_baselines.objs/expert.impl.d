@@ -1,0 +1,1 @@
+lib/baselines/expert.ml: Array Assignment Clustering Dag Hary List Paths

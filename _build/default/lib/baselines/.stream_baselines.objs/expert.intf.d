@@ -1,0 +1,1 @@
+lib/baselines/expert.mli: Assignment Dag Mapping Platform

@@ -1,0 +1,1 @@
+lib/baselines/hary.ml: Array Assignment Clustering Dag Hashtbl List Platform

@@ -1,0 +1,1 @@
+lib/baselines/hary.mli: Assignment Dag Mapping Platform

@@ -1,0 +1,1 @@
+lib/baselines/heft.ml: Array Assignment Dag Float Fun Levels List Platform Timeline

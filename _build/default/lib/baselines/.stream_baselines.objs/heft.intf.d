@@ -1,0 +1,1 @@
+lib/baselines/heft.mli: Assignment Dag Mapping Platform

@@ -1,0 +1,1 @@
+lib/baselines/hoang.ml: Array Assignment Dag List Platform Topo

@@ -1,0 +1,1 @@
+lib/baselines/hoang.mli: Assignment Dag Mapping Platform

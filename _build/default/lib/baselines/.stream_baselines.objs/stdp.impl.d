@@ -1,0 +1,1 @@
+lib/baselines/stdp.ml: Array Assignment Clustering Dag Float Hary Levels List Paths Platform Topo

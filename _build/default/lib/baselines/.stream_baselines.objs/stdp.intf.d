@@ -1,0 +1,1 @@
+lib/baselines/stdp.mli: Assignment Dag Mapping Platform

@@ -1,0 +1,1 @@
+lib/baselines/tda.ml: Array Assignment Dag Etf Hashtbl List Platform Topo

@@ -1,0 +1,1 @@
+lib/baselines/tda.mli: Assignment Dag Mapping Platform

@@ -1,0 +1,1 @@
+lib/baselines/wmsh.ml: Array Assignment Clustering Dag Hary Levels List Paths Platform

@@ -1,0 +1,1 @@
+lib/baselines/wmsh.mli: Assignment Dag Mapping Platform

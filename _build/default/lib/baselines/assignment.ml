@@ -1,0 +1,31 @@
+type t = Platform.proc array
+
+let validate dag plat a =
+  if Array.length a <> Dag.size dag then
+    invalid_arg "Assignment.validate: wrong length";
+  Array.iteri
+    (fun task proc ->
+      if proc < 0 || proc >= Platform.size plat then
+        invalid_arg
+          (Printf.sprintf "Assignment.validate: t%d on invalid processor %d"
+             task proc))
+    a
+
+let to_mapping ?throughput dag plat a =
+  validate dag plat a;
+  Source_derivation.derive ?throughput ~dag ~platform:plat ~eps:0
+    ~proc_of:(fun task _copy -> a.(task))
+    ()
+
+let loads dag plat a =
+  let sigma = Array.make (Platform.size plat) 0.0 in
+  Dag.iter_tasks dag (fun task ->
+      sigma.(a.(task)) <-
+        sigma.(a.(task)) +. Platform.exec_time plat a.(task) (Dag.exec dag task));
+  sigma
+
+let max_load dag plat a = Array.fold_left Float.max 0.0 (loads dag plat a)
+
+let comm_volume dag a =
+  Dag.fold_edges dag ~init:0.0 ~f:(fun acc src dst vol ->
+      if a.(src) = a.(dst) then acc else acc +. vol)

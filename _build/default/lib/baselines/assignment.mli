@@ -1,0 +1,26 @@
+(** Shared plumbing for the related-work baselines (§3).
+
+    The §3 heuristics target homogeneous platforms without replication;
+    they all reduce to a task → processor assignment.  This module turns
+    such an assignment into a full (ε = 0) {!Mapping.t} through the
+    support-discipline source derivation, and provides the common
+    quality metrics used to compare them against LTF/R-LTF. *)
+
+type t = Platform.proc array
+(** [a.(task)] is the processor of the task. *)
+
+val to_mapping :
+  ?throughput:float -> Dag.t -> Platform.t -> t -> Mapping.t
+(** Build the single-copy mapping for the assignment (sources derived
+    local-first). *)
+
+val loads : Dag.t -> Platform.t -> t -> float array
+(** Per-processor computing load [Σ_u] of the assignment. *)
+
+val max_load : Dag.t -> Platform.t -> t -> float
+
+val comm_volume : Dag.t -> t -> float
+(** Total data volume crossing processors. *)
+
+val validate : Dag.t -> Platform.t -> t -> unit
+(** @raise Invalid_argument if a processor index is out of range. *)

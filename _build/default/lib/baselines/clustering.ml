@@ -1,0 +1,102 @@
+type t = {
+  dag : Dag.t;
+  parent : int array;
+  cluster_load : float array; (* valid at canonical representatives *)
+}
+
+let create dag =
+  {
+    dag;
+    parent = Array.init (Dag.size dag) Fun.id;
+    cluster_load = Array.init (Dag.size dag) (Dag.exec dag);
+  }
+
+let rec find t x =
+  if t.parent.(x) = x then x
+  else begin
+    let root = find t t.parent.(x) in
+    t.parent.(x) <- root;
+    root
+  end
+
+let same t a b = find t a = find t b
+let load t c = t.cluster_load.(find t c)
+
+let merge t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let keep, drop = if ra < rb then (ra, rb) else (rb, ra) in
+    t.parent.(drop) <- keep;
+    t.cluster_load.(keep) <- t.cluster_load.(keep) +. t.cluster_load.(drop)
+  end
+
+let merge_if t ~max_load a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then true
+  else if t.cluster_load.(ra) +. t.cluster_load.(rb) > max_load then false
+  else begin
+    merge t a b;
+    true
+  end
+
+let canonical_ids t =
+  let seen = Hashtbl.create 16 in
+  let ids = ref [] in
+  Dag.iter_tasks t.dag (fun task ->
+      let c = find t task in
+      if not (Hashtbl.mem seen c) then begin
+        Hashtbl.add seen c ();
+        ids := c :: !ids
+      end);
+  List.rev !ids
+
+let n_clusters t = List.length (canonical_ids t)
+
+let members t =
+  let ids = canonical_ids t in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i c -> Hashtbl.add index c i) ids;
+  let slots = Array.make (List.length ids) [] in
+  for task = Dag.size t.dag - 1 downto 0 do
+    let i = Hashtbl.find index (find t task) in
+    slots.(i) <- task :: slots.(i)
+  done;
+  slots
+
+let cut_volume t =
+  Dag.fold_edges t.dag ~init:0.0 ~f:(fun acc src dst vol ->
+      if same t src dst then acc else acc +. vol)
+
+let to_assignment t plat =
+  let groups = members t in
+  let group_load =
+    Array.map
+      (fun tasks ->
+        List.fold_left (fun acc task -> acc +. Dag.exec t.dag task) 0.0 tasks)
+      groups
+  in
+  let order =
+    List.init (Array.length groups) Fun.id
+    |> List.sort (fun a b ->
+           match compare group_load.(b) group_load.(a) with
+           | 0 -> compare a b
+           | c -> c)
+  in
+  let proc_time = Array.make (Platform.size plat) 0.0 in
+  let assignment = Array.make (Dag.size t.dag) 0 in
+  List.iter
+    (fun g ->
+      (* Place on the processor finishing this cluster soonest. *)
+      let best = ref 0 and best_time = ref infinity in
+      List.iter
+        (fun proc ->
+          let time = proc_time.(proc) +. (group_load.(g) /. Platform.speed plat proc) in
+          if time < !best_time then begin
+            best := proc;
+            best_time := time
+          end)
+        (Platform.procs plat);
+      proc_time.(!best) <- !best_time;
+      List.iter (fun task -> assignment.(task) <- !best) groups.(g))
+    order;
+  assignment

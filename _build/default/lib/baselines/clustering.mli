@@ -1,0 +1,42 @@
+(** Cluster bookkeeping shared by the pre-clustering baselines
+    (Hary–Özgüner, STDP, WMSH).
+
+    A clustering is a partition of the tasks; clusters are later mapped
+    one-to-one (or many-to-one, after merging) onto processors.  The
+    structure is a union-find with per-cluster execution loads. *)
+
+type t
+
+val create : Dag.t -> t
+(** One singleton cluster per task. *)
+
+val find : t -> Dag.task -> int
+(** Canonical cluster id of the task. *)
+
+val same : t -> Dag.task -> Dag.task -> bool
+
+val load : t -> int -> float
+(** Total execution weight of the cluster (raw work units). *)
+
+val merge : t -> Dag.task -> Dag.task -> unit
+(** Union the two tasks' clusters. *)
+
+val merge_if : t -> max_load:float -> Dag.task -> Dag.task -> bool
+(** Merge unless the combined execution weight would exceed [max_load];
+    returns whether the merge happened (also true when already together). *)
+
+val n_clusters : t -> int
+
+val members : t -> Dag.task list array
+(** Tasks of each canonical cluster, indexed by a dense renumbering;
+    clusters in increasing order of their smallest task. *)
+
+val cut_volume : t -> float
+(** Total volume of edges whose endpoints lie in different clusters. *)
+
+val to_assignment :
+  t -> Platform.t -> Assignment.t
+(** Map clusters to processors: clusters in decreasing load order, each
+    placed on the processor with the smallest accumulated time load
+    (largest-first bin packing on heterogeneous speeds), merging beyond
+    [m] clusters implicitly. *)

@@ -1,0 +1,18 @@
+(** ETF — Earliest Task First [Hwang, Chow, Anger, Lee 1989], reference
+    [6]; the assignment engine inside the TDA algorithm [11].
+
+    At every step, among all (ready task, processor) pairs, schedule the
+    pair with the earliest possible start time, breaking ties by the
+    higher static task priority.  Communication arrival times follow the
+    link model; processors execute one task at a time. *)
+
+type schedule = {
+  assignment : Assignment.t;
+  start : float array;
+  finish : float array;
+  makespan : float;
+}
+
+val run : Dag.t -> Platform.t -> schedule
+
+val mapping : ?throughput:float -> Dag.t -> Platform.t -> Mapping.t

@@ -1,0 +1,15 @@
+(** EXPERT [Guirado, Ripoll, Roig, Luque 2005] — reference [3].
+
+    Optimizes latency under a throughput requirement by processing the
+    application's paths in decreasing execution-time order: each path is
+    cut into maximal sub-paths whose combined execution fits within one
+    period; the tasks of a sub-path form a stage-local cluster.  Clusters
+    are then placed on processors balancing computational load.  Path
+    enumeration is capped; tasks not covered by any enumerated path join
+    the cluster of their heaviest-volume neighbour. *)
+
+val run :
+  ?max_paths:int -> Dag.t -> Platform.t -> throughput:float -> Assignment.t
+
+val mapping :
+  ?max_paths:int -> Dag.t -> Platform.t -> throughput:float -> Mapping.t

@@ -1,0 +1,87 @@
+(* The load cap is expressed in work units: a cluster of weight W runs on a
+   processor of speed s in W/s time, so a period Δ allows W ≤ Δ · s.  The
+   pre-clustering phase is processor-agnostic; the mean speed calibrates
+   the cap, and the final placement puts heavy clusters on fast
+   processors. *)
+let load_cap plat ~throughput =
+  let mean_speed =
+    List.fold_left (fun acc u -> acc +. Platform.speed plat u) 0.0
+      (Platform.procs plat)
+    /. float_of_int (Platform.size plat)
+  in
+  mean_speed /. throughput
+
+let refine dag clusters ~max_load =
+  (* Move every task to the cluster receiving most of its edge volume, if
+     the load allows.  Union-find cannot split, so simulate moves with an
+     explicit cluster-id array from here on. *)
+  let groups = Clustering.members clusters in
+  let cluster_of = Array.make (Dag.size dag) 0 in
+  Array.iteri
+    (fun c tasks -> List.iter (fun task -> cluster_of.(task) <- c) tasks)
+    groups;
+  let loads =
+    Array.map
+      (fun tasks ->
+        List.fold_left (fun acc task -> acc +. Dag.exec dag task) 0.0 tasks)
+      groups
+  in
+  let improved = ref true and rounds = ref 0 in
+  while !improved && !rounds < 2 do
+    improved := false;
+    incr rounds;
+    Dag.iter_tasks dag (fun task ->
+        let here = cluster_of.(task) in
+        (* Volume of task's edges toward each neighbouring cluster. *)
+        let volume_to = Hashtbl.create 4 in
+        let add c vol =
+          Hashtbl.replace volume_to c
+            (vol +. try Hashtbl.find volume_to c with Not_found -> 0.0)
+        in
+        List.iter (fun (p, vol) -> add cluster_of.(p) vol) (Dag.preds dag task);
+        List.iter (fun (s, vol) -> add cluster_of.(s) vol) (Dag.succs dag task);
+        let here_vol = try Hashtbl.find volume_to here with Not_found -> 0.0 in
+        let best = ref None in
+        Hashtbl.iter
+          (fun c vol ->
+            if c <> here && vol > here_vol
+               && loads.(c) +. Dag.exec dag task <= max_load
+            then
+              match !best with
+              | Some (bv, _) when bv >= vol -> ()
+              | _ -> best := Some (vol, c))
+          volume_to;
+        match !best with
+        | Some (_, c) ->
+            loads.(here) <- loads.(here) -. Dag.exec dag task;
+            loads.(c) <- loads.(c) +. Dag.exec dag task;
+            cluster_of.(task) <- c;
+            improved := true
+        | None -> ())
+  done;
+  cluster_of
+
+let run dag plat ~throughput =
+  let max_load = load_cap plat ~throughput in
+  let clusters = Clustering.create dag in
+  (* Greedy edge zeroing by decreasing volume. *)
+  let edges =
+    Dag.fold_edges dag ~init:[] ~f:(fun acc src dst vol -> (vol, src, dst) :: acc)
+    |> List.sort (fun (va, sa, da) (vb, sb, db) ->
+           match compare vb va with 0 -> compare (sa, da) (sb, db) | c -> c)
+  in
+  List.iter
+    (fun (_, src, dst) -> ignore (Clustering.merge_if clusters ~max_load src dst))
+    edges;
+  let cluster_of = refine dag clusters ~max_load in
+  (* Rebuild a clustering consistent with the refinement and place it. *)
+  let final = Clustering.create dag in
+  let representative = Hashtbl.create 16 in
+  Dag.iter_tasks dag (fun task ->
+      match Hashtbl.find_opt representative cluster_of.(task) with
+      | None -> Hashtbl.add representative cluster_of.(task) task
+      | Some first -> Clustering.merge final first task);
+  Clustering.to_assignment final plat
+
+let mapping dag plat ~throughput =
+  Assignment.to_mapping ~throughput dag plat (run dag plat ~throughput)

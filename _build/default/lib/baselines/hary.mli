@@ -1,0 +1,16 @@
+(** Hary–Özgüner pre-clustering [1999] — reference [4].
+
+    Aims at a prescribed throughput by minimizing inter-processor
+    communication: edges are sorted by decreasing data volume and dealt
+    with greedily, merging the source's and sink's clusters whenever the
+    combined load still fits within the period; remaining singleton tasks
+    are assigned to clusters first-fit; two refinement passes move tasks
+    toward the cluster holding most of their neighbourhood volume when the
+    load allows. *)
+
+val load_cap : Platform.t -> throughput:float -> float
+(** Work units a mean-speed processor can absorb per period; the cluster
+    load cap used by all the throughput-driven clustering baselines. *)
+
+val run : Dag.t -> Platform.t -> throughput:float -> Assignment.t
+val mapping : Dag.t -> Platform.t -> throughput:float -> Mapping.t

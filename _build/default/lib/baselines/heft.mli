@@ -1,0 +1,20 @@
+(** HEFT-style list scheduling [Topcuoglu et al. 2002] — reference [9].
+
+    The paper uses "classical list scheduling techniques [9]" for the
+    task-parallel execution of the motivating example (Fig. 1(b)).  Tasks
+    are ordered by decreasing upward rank (bottom level on averaged
+    weights) and greedily placed on the processor minimizing the earliest
+    finish time, with insertion-based slot search and link communication
+    costs. *)
+
+type schedule = {
+  assignment : Assignment.t;
+  start : float array;
+  finish : float array;
+  makespan : float;
+}
+
+val run : Dag.t -> Platform.t -> schedule
+
+val mapping : ?throughput:float -> Dag.t -> Platform.t -> Mapping.t
+(** The ε = 0 mapping of the HEFT assignment. *)

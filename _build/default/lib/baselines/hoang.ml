@@ -1,0 +1,77 @@
+type result = {
+  period : float;
+  assignment : Assignment.t;
+  probes : int;
+}
+
+(* The mapping routine of the binary search: greedily pack the tasks (in
+   topological order, so stages come out contiguous) onto processors,
+   opening a new processor when the current one would exceed the candidate
+   period.  Fast processors are opened first.  Returns the assignment if it
+   fits within m processors. *)
+let probe dag plat ~period =
+  let by_speed =
+    Platform.procs plat
+    |> List.sort (fun a b ->
+           match compare (Platform.speed plat b) (Platform.speed plat a) with
+           | 0 -> compare a b
+           | c -> c)
+  in
+  let n = Dag.size dag in
+  let assignment = Array.make n 0 in
+  let rec pack remaining current load = function
+    | [] -> Some ()
+    | task :: rest -> (
+        let time proc = Platform.exec_time plat proc (Dag.exec dag task) in
+        if load +. time current <= period then begin
+          assignment.(task) <- current;
+          pack remaining current (load +. time current) rest
+        end
+        else
+          match remaining with
+          | [] -> None
+          | next :: remaining' ->
+              if time next > period then None
+              else begin
+                assignment.(task) <- next;
+                pack remaining' next (time next) rest
+              end)
+  in
+  match by_speed with
+  | [] -> None
+  | first :: rest -> (
+      let tasks = Array.to_list (Topo.order dag) in
+      match pack rest first 0.0 tasks with
+      | Some () -> Some (Array.copy assignment)
+      | None -> None)
+
+let run ?(iterations = 40) dag plat =
+  let total_speed =
+    List.fold_left (fun acc u -> acc +. Platform.speed plat u) 0.0
+      (Platform.procs plat)
+  in
+  let hi = Platform.exec_time plat (Platform.fastest_proc plat) (Dag.total_exec dag) in
+  let lo = Dag.total_exec dag /. total_speed in
+  let probes = ref 0 in
+  let try_period p =
+    incr probes;
+    probe dag plat ~period:p
+  in
+  let best = ref (hi, match try_period hi with Some a -> a | None -> Array.make (Dag.size dag) (Platform.fastest_proc plat)) in
+  let rec search lo hi k =
+    if k > 0 && hi -. lo > 1e-9 *. hi then begin
+      let mid = (lo +. hi) /. 2.0 in
+      match try_period mid with
+      | Some a ->
+          best := (mid, a);
+          search lo mid (k - 1)
+      | None -> search mid hi (k - 1)
+    end
+  in
+  search lo hi iterations;
+  let period, assignment = !best in
+  { period; assignment; probes = !probes }
+
+let mapping ?iterations dag plat =
+  let r = run ?iterations dag plat in
+  Assignment.to_mapping ~throughput:(1.0 /. r.period) dag plat r.assignment

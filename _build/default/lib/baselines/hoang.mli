@@ -1,0 +1,21 @@
+(** Hoang–Rabaey [1993] — reference [5].
+
+    Maximum-throughput scheduling of DSP programs on a fixed number of
+    processors: binary search on the period, each probe calling a mapping
+    routine that performs a top-down traversal partitioning the graph into
+    stages and greedily packing tasks onto processors within the candidate
+    period; the probe succeeds when at most [m] processors are needed. *)
+
+type result = {
+  period : float;            (** smallest feasible period found *)
+  assignment : Assignment.t; (** assignment realizing it *)
+  probes : int;              (** number of binary-search evaluations *)
+}
+
+val run : ?iterations:int -> Dag.t -> Platform.t -> result
+(** Binary search (default 40 iterations) between the trivially feasible
+    period (whole graph on the fastest processor) and the trivial lower
+    bound (total work spread over every processor at full speed). *)
+
+val mapping : ?iterations:int -> Dag.t -> Platform.t -> Mapping.t
+(** Mapping of the best assignment, checked against the found period. *)

@@ -1,0 +1,22 @@
+(** STDP [Ranaweera, Agrawal 2001] — reference [8].
+
+    Scheduling of periodic time-critical applications for pipelined
+    execution: a top-down and a bottom-up traversal compute earliest and
+    latest execution times; clusters are then built to minimize
+    communication overhead (edges zeroed in decreasing-volume order while
+    the merged cluster's span of earliest times stays within one period
+    and its load fits); if processors remain, critical tasks are
+    duplicated to cut latency (represented here by pulling the critical
+    path into its own cluster — task duplication proper does not exist in
+    a replica-per-failure mapping); finally stages are derived by a third
+    traversal. *)
+
+type result = {
+  assignment : Assignment.t;
+  earliest : float array;
+  latest : float array;
+  n_stages : int;
+}
+
+val run : Dag.t -> Platform.t -> throughput:float -> result
+val mapping : Dag.t -> Platform.t -> throughput:float -> Mapping.t

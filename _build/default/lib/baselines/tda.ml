@@ -1,0 +1,72 @@
+type result = {
+  assignment : Assignment.t;
+  stage_of : int array;
+  n_stages : int;
+  procs_used : int;
+}
+
+let run dag plat ~throughput =
+  let delta = 1.0 /. throughput in
+  let etf = Etf.run dag plat in
+  let assignment = Array.copy etf.Etf.assignment in
+  (* Top-down stage partition: traverse in topological order, opening a new
+     stage whenever adding the task would push its processor's per-stage
+     execution beyond the period. *)
+  let n = Dag.size dag in
+  let stage_of = Array.make n 0 in
+  let stage_load = Hashtbl.create 16 in (* (stage, proc) -> load *)
+  let load stage proc =
+    try Hashtbl.find stage_load (stage, proc) with Not_found -> 0.0
+  in
+  let n_stages = ref 1 in
+  Array.iter
+    (fun task ->
+      let lower =
+        List.fold_left
+          (fun acc (pred, _) -> max acc stage_of.(pred))
+          0 (Dag.preds dag task)
+      in
+      let proc = assignment.(task) in
+      let time = Platform.exec_time plat proc (Dag.exec dag task) in
+      let rec place stage =
+        if load stage proc +. time <= delta || time > delta then stage
+        else place (stage + 1)
+      in
+      let stage = place lower in
+      stage_of.(task) <- stage;
+      Hashtbl.replace stage_load (stage, proc) (load stage proc +. time);
+      if stage + 1 > !n_stages then n_stages := stage + 1)
+    (Topo.order dag);
+  (* Refinement: move the tasks of under-utilized processors onto the
+     least-loaded other processor while total loads stay within the
+     period. *)
+  let proc_load = Assignment.loads dag plat assignment in
+  let used p = proc_load.(p) > 0.0 in
+  let try_evacuate p =
+    if used p && proc_load.(p) <= 0.2 *. delta then begin
+      let target = ref None in
+      Array.iteri
+        (fun q lq ->
+          if q <> p && used q && lq +. proc_load.(p) <= delta then
+            match !target with
+            | Some (lt, _) when lt <= lq -> ()
+            | _ -> target := Some (lq, q))
+        proc_load;
+      match !target with
+      | Some (_, q) ->
+          Array.iteri
+            (fun task proc -> if proc = p then assignment.(task) <- q)
+            (Array.copy assignment);
+          proc_load.(q) <- proc_load.(q) +. proc_load.(p);
+          proc_load.(p) <- 0.0
+      | None -> ()
+    end
+  in
+  List.iter try_evacuate (Platform.procs plat);
+  let procs_used =
+    Array.fold_left (fun acc l -> if l > 0.0 then acc + 1 else acc) 0 proc_load
+  in
+  { assignment; stage_of; n_stages = !n_stages; procs_used }
+
+let mapping dag plat ~throughput =
+  Assignment.to_mapping ~throughput dag plat (run dag plat ~throughput).assignment

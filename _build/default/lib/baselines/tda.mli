@@ -1,0 +1,18 @@
+(** TDA — Task and Data Assignment [Yang, Kasturi, Sivasubramaniam 2003],
+    reference [11].
+
+    Targets a desired throughput with few processors: ETF assigns tasks to
+    processors, a top-down traversal partitions the tasks into stages (a
+    stage is a maximal set of consecutive tasks whose combined execution
+    per processor fits the period), and a refinement step merges
+    under-utilized processors while the period allows. *)
+
+type result = {
+  assignment : Assignment.t;
+  stage_of : int array;       (** top-down stage index per task, from 0 *)
+  n_stages : int;
+  procs_used : int;           (** distinct processors after refinement *)
+}
+
+val run : Dag.t -> Platform.t -> throughput:float -> result
+val mapping : Dag.t -> Platform.t -> throughput:float -> Mapping.t

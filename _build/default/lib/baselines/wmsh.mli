@@ -1,0 +1,15 @@
+(** WMSH [Vydyanathan, Catalyurek, Kurc, Saddayappan, Saltz 2007] —
+    reference [10].
+
+    Three phases toward optimizing latency under a throughput constraint:
+    (1) clustering assuming unlimited processors until every cluster's
+    load fits one period (satisfying the throughput requirement); (2) a
+    processor-reduction phase merging the lightest clusters while they
+    still fit; (3) latency refinement that walks the critical path and
+    merges consecutive critical tasks' clusters to remove the heaviest
+    critical communications.  (The original also duplicates tasks to raise
+    throughput; duplication is meaningless under our replication scheme
+    and is omitted.) *)
+
+val run : Dag.t -> Platform.t -> throughput:float -> Assignment.t
+val mapping : Dag.t -> Platform.t -> throughput:float -> Mapping.t

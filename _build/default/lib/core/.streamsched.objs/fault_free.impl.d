@@ -1,0 +1,1 @@
+lib/core/fault_free.ml: Engine Rltf Types

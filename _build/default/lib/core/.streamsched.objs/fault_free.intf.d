@@ -1,0 +1,1 @@
+lib/core/fault_free.mli: Dag Platform Scheduler Types

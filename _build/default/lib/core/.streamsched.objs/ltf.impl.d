@@ -1,0 +1,1 @@
+lib/core/ltf.ml: Result Scheduler State

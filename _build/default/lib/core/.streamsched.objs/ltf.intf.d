@@ -1,0 +1,1 @@
+lib/core/ltf.mli: Scheduler State Types

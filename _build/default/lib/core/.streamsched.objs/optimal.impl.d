@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Array Dag List Mapping Platform Source_derivation Topo

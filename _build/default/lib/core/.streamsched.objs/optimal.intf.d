@@ -1,0 +1,1 @@
+lib/core/optimal.mli: Dag Mapping Platform

@@ -1,0 +1,1 @@
+lib/core/platform_cost.ml: Array List Mapping Metrics Platform Rltf Types

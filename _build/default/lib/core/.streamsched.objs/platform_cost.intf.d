@@ -1,0 +1,1 @@
+lib/core/platform_cost.mli: Dag Mapping Platform

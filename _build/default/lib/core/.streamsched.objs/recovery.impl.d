@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Dag Format List Mapping Platform Replica Source_derivation

@@ -1,0 +1,1 @@
+lib/core/rltf.ml: Array Dag List Loads Mapping Metrics Replica Scheduler Source_derivation State Types

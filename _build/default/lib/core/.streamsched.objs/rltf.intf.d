@@ -1,0 +1,1 @@
+lib/core/rltf.mli: Scheduler State Types

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Dag Float Levels List Mapping Option Platform Printf Replica Set State String Sys Types

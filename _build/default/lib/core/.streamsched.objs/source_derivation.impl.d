@@ -1,0 +1,1 @@
+lib/core/source_derivation.ml: Array Dag Fun Int List Mapping Platform Replica Set Topo

@@ -1,0 +1,1 @@
+lib/core/source_derivation.mli: Dag Mapping Platform Replica

@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Dag Float Hashtbl Int List Mapping Platform Printf Replica Set Timeline Types

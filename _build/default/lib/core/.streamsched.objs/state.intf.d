@@ -1,0 +1,1 @@
+lib/core/state.mli: Dag Mapping Platform Replica Set Types

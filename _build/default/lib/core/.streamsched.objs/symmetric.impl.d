@@ -1,0 +1,1 @@
+lib/core/symmetric.ml: Dag List Mapping Metrics Platform Rltf Types

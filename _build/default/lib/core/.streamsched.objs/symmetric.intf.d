@@ -1,0 +1,1 @@
+lib/core/symmetric.mli: Dag Mapping Platform

@@ -1,0 +1,16 @@
+(** The fault-free reference schedule of §5.
+
+    The experimental overheads are measured against "the schedule generated
+    by R-LTF without replication, assuming that the system is completely
+    safe, setting ε = 0". *)
+
+val run :
+  ?mode:Scheduler.mode ->
+  dag:Dag.t -> platform:Platform.t -> throughput:float -> unit -> Types.outcome
+(** R-LTF with [ε = 0] on the same graph, platform and throughput. *)
+
+val latency :
+  ?mode:Scheduler.mode ->
+  dag:Dag.t -> platform:Platform.t -> throughput:float -> unit -> float option
+(** Simulated single-item latency [L_FF] of the fault-free schedule;
+    [None] when even the unreplicated graph cannot meet the throughput. *)

@@ -1,0 +1,4 @@
+let run_state ?mode ?opts prob =
+  Scheduler.run ?mode ?opts ~rank:Scheduler.by_finish_time prob
+
+let run ?mode ?opts prob = Result.map State.mapping (run_state ?mode ?opts prob)

@@ -1,0 +1,23 @@
+(** The LTF (Latency, Throughput, Failures) algorithm — §4.1, Algorithm 4.1.
+
+    LTF extends Iso-Level CAFT with the throughput constraint: tasks are
+    scheduled top-down in chunks of ready tasks of highest [tℓ + bℓ]
+    priority, each replica placed on the condition-(1)-feasible processor
+    of minimum estimated finish time, using the one-to-one mapping
+    procedure while singleton predecessor replicas remain.  LTF fails when
+    some replica cannot be placed without violating the desired
+    throughput. *)
+
+val run :
+  ?mode:Scheduler.mode ->
+  ?opts:Scheduler.options ->
+  Types.problem ->
+  Types.outcome
+
+val run_state :
+  ?mode:Scheduler.mode ->
+  ?opts:Scheduler.options ->
+  Types.problem ->
+  (State.t, Types.failure) result
+(** Like {!run} but exposing the full scheduling state (committed finish
+    times and stages), for inspection and tests. *)

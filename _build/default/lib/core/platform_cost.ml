@@ -1,0 +1,71 @@
+type result = {
+  kept : Platform.proc list;
+  cost : float;
+  full_cost : float;
+  mapping : Mapping.t;
+  evaluations : int;
+}
+
+(* Build the sub-platform induced by a subset of processors (order
+   preserved). *)
+let restrict platform kept =
+  let kept = Array.of_list kept in
+  let m = Array.length kept in
+  let speeds = Array.map (Platform.speed platform) kept in
+  let bw =
+    Array.init m (fun i ->
+        Array.init m (fun j ->
+            if i = j then 1.0 else Platform.bandwidth platform kept.(i) kept.(j)))
+  in
+  Platform.create ~name:(Platform.name platform ^ "-subset") ~speeds ~bandwidth:bw ()
+
+let minimize ?cost_of ?(latency_bound = infinity) ~dag ~platform ~eps
+    ~throughput () =
+  let cost_of =
+    match cost_of with Some f -> f | None -> Platform.speed platform
+  in
+  let evaluations = ref 0 in
+  let schedulable kept =
+    if List.length kept <= eps then None
+    else begin
+      incr evaluations;
+      let sub = restrict platform kept in
+      match Rltf.run (Types.problem ~dag ~platform:sub ~eps ~throughput) with
+      | Error _ -> None
+      | Ok mapping ->
+          if Metrics.latency_bound mapping ~throughput <= latency_bound then
+            Some mapping
+          else None
+    end
+  in
+  let total cost_list = List.fold_left (fun acc p -> acc +. cost_of p) 0.0 cost_list in
+  let full = Platform.procs platform in
+  match schedulable full with
+  | None -> None
+  | Some mapping ->
+      (* Greedy backward elimination, most expensive candidates first. *)
+      let rec shrink kept mapping =
+        let candidates =
+          List.sort
+            (fun a b -> compare (cost_of b) (cost_of a))
+            kept
+        in
+        let rec try_evict = function
+          | [] -> (kept, mapping)
+          | victim :: rest -> (
+              let reduced = List.filter (fun p -> p <> victim) kept in
+              match schedulable reduced with
+              | Some better -> shrink reduced better
+              | None -> try_evict rest)
+        in
+        try_evict candidates
+      in
+      let kept, mapping = shrink full mapping in
+      Some
+        {
+          kept;
+          cost = total kept;
+          full_cost = total full;
+          mapping;
+          evaluations = !evaluations;
+        }

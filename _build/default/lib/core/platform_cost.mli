@@ -1,0 +1,37 @@
+(** Platform cost minimization — the last extension sketched in §6:
+    "minimize the 'rental' cost of the platform while enforcing the other
+    criteria".
+
+    Each processor carries a rental cost (by default its speed, i.e. fast
+    machines are expensive).  The optimizer searches for a cheap subset of
+    the platform on which R-LTF still meets the throughput, the latency
+    bound and the replication degree, by greedy backward elimination: start
+    from the full platform, repeatedly try to evict the most expensive
+    processor whose removal keeps the instance schedulable, until no
+    eviction survives.  This is a heuristic (the exact problem generalizes
+    bin covering); its result is always feasible and never costlier than
+    the full platform. *)
+
+type result = {
+  kept : Platform.proc list;
+      (** processors of the original platform that remain rented *)
+  cost : float;           (** total cost of the kept processors *)
+  full_cost : float;      (** cost of the whole platform, for reference *)
+  mapping : Mapping.t;
+      (** schedule on the reduced platform; its processor indices refer to
+          [kept] positions, not to the original platform *)
+  evaluations : int;      (** R-LTF oracle calls *)
+}
+
+val minimize :
+  ?cost_of:(Platform.proc -> float) ->
+  ?latency_bound:float ->
+  dag:Dag.t ->
+  platform:Platform.t ->
+  eps:int ->
+  throughput:float ->
+  unit ->
+  result option
+(** [None] when even the full platform cannot host the instance.
+    [cost_of] defaults to the processor speed; [latency_bound] defaults to
+    unbounded. *)

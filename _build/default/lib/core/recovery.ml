@@ -1,0 +1,90 @@
+type error =
+  | Not_enough_processors
+  | No_room of Dag.task * int
+
+let pp_error ppf = function
+  | Not_enough_processors ->
+      Format.fprintf ppf
+        "fewer surviving processors than the replication degree requires"
+  | No_room (task, copy) ->
+      Format.fprintf ppf "no surviving processor can host replica t%d(%d)" task
+        copy
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let restore ?throughput m ~failed =
+  let dag = Mapping.dag m and plat = Mapping.platform m in
+  let eps = Mapping.eps m in
+  let n_procs = Platform.size plat in
+  let is_failed = Array.make n_procs false in
+  List.iter (fun p -> is_failed.(p) <- true) failed;
+  let survivors =
+    List.filter (fun p -> not is_failed.(p)) (Platform.procs plat)
+  in
+  if List.length survivors < eps + 1 then Error Not_enough_processors
+  else begin
+    (* New processor of every replica: survivors stay, casualties move to
+       the least-loaded eligible survivor.  Loads are tracked in execution
+       time so fast processors absorb more. *)
+    let load = Array.make n_procs 0.0 in
+    let proc_table = Array.make_matrix (Dag.size dag) (eps + 1) (-1) in
+    Mapping.iter m (fun (r : Replica.t) ->
+        if not is_failed.(r.Replica.proc) then begin
+          proc_table.(r.Replica.id.Replica.task).(r.Replica.id.Replica.copy) <-
+            r.Replica.proc;
+          load.(r.Replica.proc) <-
+            load.(r.Replica.proc)
+            +. Platform.exec_time plat r.Replica.proc
+                 (Dag.exec dag r.Replica.id.Replica.task)
+        end);
+    let place_failure = ref None in
+    Mapping.iter m (fun (r : Replica.t) ->
+        if is_failed.(r.Replica.proc) && !place_failure = None then begin
+          let task = r.Replica.id.Replica.task in
+          let siblings =
+            Array.to_list proc_table.(task) |> List.filter (fun p -> p >= 0)
+          in
+          let eligible =
+            List.filter (fun p -> not (List.mem p siblings)) survivors
+          in
+          let best =
+            List.fold_left
+              (fun acc p ->
+                match acc with
+                | Some b when load.(b) <= load.(p) -> acc
+                | _ -> Some p)
+              None eligible
+          in
+          match best with
+          | None -> place_failure := Some (task, r.Replica.id.Replica.copy)
+          | Some p ->
+              proc_table.(task).(r.Replica.id.Replica.copy) <- p;
+              load.(p) <-
+                load.(p) +. Platform.exec_time plat p (Dag.exec dag task)
+        end);
+    match !place_failure with
+    | Some (task, copy) -> Error (No_room (task, copy))
+    | None ->
+        (* Re-derive the whole communication structure; the original source
+           sets are offered as hints so surviving pairings are kept where
+           they remain safe. *)
+        let hint task copy pred =
+          match Mapping.replica m task copy with
+          | Some r -> (
+              match List.assoc_opt pred r.Replica.sources with
+              | Some ids ->
+                  List.filter
+                    (fun (s : Replica.id) ->
+                      proc_table.(s.task).(s.copy) >= 0
+                      && not
+                           (is_failed.((Mapping.replica_exn m s.task s.copy)
+                                         .Replica.proc)))
+                    ids
+              | None -> [])
+          | None -> []
+        in
+        Ok
+          (Source_derivation.derive ?throughput ~hint ~dag ~platform:plat ~eps
+             ~proc_of:(fun task copy -> proc_table.(task).(copy))
+             ())
+  end

@@ -1,0 +1,28 @@
+(** The Reverse LTF algorithm — §4.2.
+
+    R-LTF traverses the application graph bottom-up (from the sink tasks)
+    and guides every placement by Rule 1 — do not increase the pipeline
+    stage of the replica being placed — and only then by the finish time;
+    Rule 2's communication reduction is achieved by the same one-to-one
+    pairing as LTF, applied while singleton replicas remain.  Concretely
+    the implementation runs the shared chunk scheduler on the transpose
+    graph with the stage-first ranking; the reverse run fixes the
+    placements, and the forward communication structure is re-derived
+    under the forward kill-set discipline ({!Source_derivation}), with the
+    reverse pairings as hints.  In strict mode, a derived structure that
+    cannot fit the period is reported as {!Types.Derived_overload} rather
+    than returned. *)
+
+val run :
+  ?mode:Scheduler.mode ->
+  ?opts:Scheduler.options ->
+  Types.problem ->
+  Types.outcome
+
+val run_state :
+  ?mode:Scheduler.mode ->
+  ?opts:Scheduler.options ->
+  Types.problem ->
+  (State.t, Types.failure) result
+(** The scheduling state of the reverse run (over the transpose graph);
+    mainly for tests.  Use {!run} for the forward mapping. *)

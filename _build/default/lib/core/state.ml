@@ -1,0 +1,246 @@
+module Pset = Set.Make (Int)
+
+type t = {
+  prob : Types.problem;
+  mapping : Mapping.t;
+  delta : float;
+  sigma_arr : float array;
+  c_in_arr : float array;
+  c_out_arr : float array;
+  proc_tl : Timeline.t array;
+  send_tl : Timeline.t array;
+  recv_tl : Timeline.t array;
+  finish_arr : float array array; (* [task].(copy); nan = unplaced *)
+  stage_arr : int array array;    (* [task].(copy); 0 = unplaced *)
+  support_arr : Pset.t array array; (* [task].(copy); kill sets *)
+}
+
+let create (prob : Types.problem) =
+  let n_procs = Platform.size prob.platform in
+  let copies = prob.eps + 1 in
+  {
+    prob;
+    mapping = Mapping.create ~dag:prob.dag ~platform:prob.platform ~eps:prob.eps;
+    delta = Types.period prob;
+    sigma_arr = Array.make n_procs 0.0;
+    c_in_arr = Array.make n_procs 0.0;
+    c_out_arr = Array.make n_procs 0.0;
+    proc_tl = Array.make n_procs Timeline.empty;
+    send_tl = Array.make n_procs Timeline.empty;
+    recv_tl = Array.make n_procs Timeline.empty;
+    finish_arr = Array.init (Dag.size prob.dag) (fun _ -> Array.make copies nan);
+    stage_arr = Array.init (Dag.size prob.dag) (fun _ -> Array.make copies 0);
+    support_arr =
+      Array.init (Dag.size prob.dag) (fun _ -> Array.make copies Pset.empty);
+  }
+
+let problem s = s.prob
+let mapping s = s.mapping
+
+let finish s (id : Replica.id) =
+  let f = s.finish_arr.(id.task).(id.copy) in
+  if Float.is_nan f then
+    invalid_arg
+      (Printf.sprintf "State.finish: %s not placed" (Replica.id_to_string id));
+  f
+
+let stage s (id : Replica.id) =
+  let st = s.stage_arr.(id.task).(id.copy) in
+  if st = 0 then
+    invalid_arg
+      (Printf.sprintf "State.stage: %s not placed" (Replica.id_to_string id));
+  st
+
+let sigma s u = s.sigma_arr.(u)
+let c_in s u = s.c_in_arr.(u)
+let c_out s u = s.c_out_arr.(u)
+
+let support s (id : Replica.id) = s.support_arr.(id.task).(id.copy)
+
+(* The kill set of a replica given its placement and sources: the
+   processors whose individual failure makes it unable to run.  A
+   predecessor covered by a single source replica inherits that source's
+   kill set; a predecessor covered by all eps+1 replicas contributes
+   nothing when their kill sets are pairwise disjoint (no single failure
+   can starve it) — for any other source-set shape we fall back to the
+   intersection of the sources' kill sets, which is the exact single-proc
+   starvation channel. *)
+let support_of_sources s ~proc ~sources =
+  List.fold_left
+    (fun acc (pred, ids) ->
+      match ids with
+      | [] -> acc
+      | [ (src : Replica.id) ] -> Pset.union acc (support s src)
+      | first :: rest ->
+          let full = List.length ids = Mapping.n_copies s.mapping in
+          ignore pred;
+          if full then acc
+          else
+            Pset.union acc
+              (List.fold_left
+                 (fun inter (src : Replica.id) -> Pset.inter inter (support s src))
+                 (support s first) rest))
+    (Pset.singleton proc) sources
+
+let send_ready s u = Timeline.busy_until s.send_tl.(u)
+
+type trial = {
+  t_task : Dag.task;
+  t_copy : int;
+  t_proc : Platform.proc;
+  t_sources : (Dag.task * Replica.id list) list;
+  t_start : float;
+  t_finish : float;
+  t_stage : int;
+  t_comms : (Replica.id * float * float * float) list;
+}
+
+(* Earliest start >= ready fitting simultaneously in two timelines: iterate
+   the two earliest-fit maps until they agree (both are monotone, so this
+   terminates at their least common fixpoint). *)
+let joint_fit a b ~ready ~duration =
+  let rec settle candidate =
+    let ca = Timeline.earliest_fit a ~ready:candidate ~duration in
+    let cb = Timeline.earliest_fit b ~ready:ca ~duration in
+    if cb = candidate then candidate else settle cb
+  in
+  settle (Timeline.earliest_fit a ~ready ~duration)
+
+let proc_of_replica s (id : Replica.id) =
+  (Mapping.replica_exn s.mapping id.task id.copy).Replica.proc
+
+let evaluate s ~task ~copy ~proc ~sources =
+  let plat = s.prob.platform and dag = s.prob.dag in
+  (* Off-processor transfers, scheduled in order of data readiness so the
+     estimate is deterministic. *)
+  let remote =
+    List.concat_map
+      (fun (pred, ids) ->
+        let vol = Dag.volume dag pred task in
+        List.filter_map
+          (fun (src : Replica.id) ->
+            let sp = proc_of_replica s src in
+            if sp = proc then None
+            else Some (src, sp, Platform.comm_time plat sp proc vol))
+          ids)
+      sources
+    |> List.sort (fun (a, _, _) (b, _, _) ->
+           match compare (finish s a) (finish s b) with
+           | 0 -> Replica.compare_id a b
+           | c -> c)
+  in
+  (* Place transfers sequentially on a private copy of the receive port and
+     the (shared, persistent) send ports of their sources. *)
+  let recv = ref s.recv_tl.(proc) in
+  let sends = Hashtbl.create 8 in
+  let send_of p =
+    match Hashtbl.find_opt sends p with Some tl -> tl | None -> s.send_tl.(p)
+  in
+  let comms =
+    List.map
+      (fun (src, sp, dur) ->
+        let ready = finish s src in
+        let start = joint_fit (send_of sp) !recv ~ready ~duration:dur in
+        recv := Timeline.insert !recv ~start ~duration:dur;
+        Hashtbl.replace sends sp (Timeline.insert (send_of sp) ~start ~duration:dur);
+        (src, start, dur, start +. dur))
+      remote
+  in
+  (* Data from co-located sources is available at their finish time. *)
+  let local_ready =
+    List.fold_left
+      (fun acc (_, ids) ->
+        List.fold_left
+          (fun acc (src : Replica.id) ->
+            if proc_of_replica s src = proc then Float.max acc (finish s src)
+            else acc)
+          acc ids)
+      0.0 sources
+  in
+  let data_ready =
+    List.fold_left (fun acc (_, _, _, arrival) -> Float.max acc arrival)
+      local_ready comms
+  in
+  let exec = Platform.exec_time plat proc (Dag.exec dag task) in
+  let start = Timeline.earliest_fit s.proc_tl.(proc) ~ready:data_ready ~duration:exec in
+  (* Pipeline stage: max over sources of their stage, +1 for remote ones. *)
+  let t_stage =
+    List.fold_left
+      (fun acc (_, ids) ->
+        List.fold_left
+          (fun acc (src : Replica.id) ->
+            let eta = if proc_of_replica s src = proc then 0 else 1 in
+            max acc (s.stage_arr.(src.task).(src.copy) + eta))
+          acc ids)
+      1 sources
+  in
+  {
+    t_task = task;
+    t_copy = copy;
+    t_proc = proc;
+    t_sources = sources;
+    t_start = start;
+    t_finish = start +. exec;
+    t_stage;
+    t_comms = comms;
+  }
+
+let trial_loads s trial =
+  let plat = s.prob.platform and dag = s.prob.dag in
+  let exec = Platform.exec_time plat trial.t_proc (Dag.exec dag trial.t_task) in
+  let incoming =
+    List.fold_left (fun acc (_, _, dur, _) -> acc +. dur) 0.0 trial.t_comms
+  in
+  let outgoing = Hashtbl.create 8 in
+  List.iter
+    (fun ((src : Replica.id), _, dur, _) ->
+      let sp = proc_of_replica s src in
+      let prev = try Hashtbl.find outgoing sp with Not_found -> 0.0 in
+      Hashtbl.replace outgoing sp (prev +. dur))
+    trial.t_comms;
+  (exec, incoming, outgoing)
+
+let feasible s trial =
+  let slack = s.delta *. (1.0 +. 1e-9) in
+  let exec, incoming, outgoing = trial_loads s trial in
+  s.sigma_arr.(trial.t_proc) +. exec <= slack
+  && s.c_in_arr.(trial.t_proc) +. incoming <= slack
+  && Hashtbl.fold
+       (fun sp extra ok -> ok && s.c_out_arr.(sp) +. extra <= slack)
+       outgoing true
+
+let overload s trial =
+  let exec, incoming, outgoing = trial_loads s trial in
+  let over current extra = Float.max 0.0 (current +. extra -. s.delta) in
+  over s.sigma_arr.(trial.t_proc) exec
+  +. over s.c_in_arr.(trial.t_proc) incoming
+  +. Hashtbl.fold
+       (fun sp extra acc -> acc +. over s.c_out_arr.(sp) extra)
+       outgoing 0.0
+
+let commit s trial =
+  let plat = s.prob.platform and dag = s.prob.dag in
+  Mapping.assign s.mapping
+    {
+      Replica.id = { Replica.task = trial.t_task; copy = trial.t_copy };
+      proc = trial.t_proc;
+      sources = trial.t_sources;
+    };
+  let exec = Platform.exec_time plat trial.t_proc (Dag.exec dag trial.t_task) in
+  s.sigma_arr.(trial.t_proc) <- s.sigma_arr.(trial.t_proc) +. exec;
+  List.iter
+    (fun ((src : Replica.id), start, dur, _) ->
+      let sp = proc_of_replica s src in
+      s.c_in_arr.(trial.t_proc) <- s.c_in_arr.(trial.t_proc) +. dur;
+      s.c_out_arr.(sp) <- s.c_out_arr.(sp) +. dur;
+      s.recv_tl.(trial.t_proc) <-
+        Timeline.insert s.recv_tl.(trial.t_proc) ~start ~duration:dur;
+      s.send_tl.(sp) <- Timeline.insert s.send_tl.(sp) ~start ~duration:dur)
+    trial.t_comms;
+  s.proc_tl.(trial.t_proc) <-
+    Timeline.insert s.proc_tl.(trial.t_proc) ~start:trial.t_start
+      ~duration:(trial.t_finish -. trial.t_start);
+  s.finish_arr.(trial.t_task).(trial.t_copy) <- trial.t_finish;
+  s.stage_arr.(trial.t_task).(trial.t_copy) <- trial.t_stage;
+  s.support_arr.(trial.t_task).(trial.t_copy) <-
+    support_of_sources s ~proc:trial.t_proc ~sources:trial.t_sources

@@ -1,0 +1,57 @@
+type search_result = {
+  best : (float * Mapping.t) option;
+  evaluations : int;
+}
+
+let feasible ~dag ~platform ~eps ~latency_bound throughput =
+  if throughput <= 0.0 then None
+  else
+    match Rltf.run (Types.problem ~dag ~platform ~eps ~throughput) with
+    | Error _ -> None
+    | Ok mapping ->
+        if Metrics.latency_bound mapping ~throughput <= latency_bound then
+          Some mapping
+        else None
+
+let max_throughput ?(iterations = 32) ~dag ~platform ~eps ~latency_bound () =
+  let total_speed =
+    List.fold_left (fun acc u -> acc +. Platform.speed platform u) 0.0
+      (Platform.procs platform)
+  in
+  let work = Dag.total_exec dag *. float_of_int (eps + 1) in
+  let t_max = if work = 0.0 then 1.0 else total_speed /. work in
+  let evaluations = ref 0 in
+  let try_t t =
+    incr evaluations;
+    feasible ~dag ~platform ~eps ~latency_bound t
+  in
+  (* Invariant: lo is feasible (with its mapping) or nothing is yet. *)
+  let rec search lo best hi k =
+    if k = 0 then best
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      match try_t mid with
+      | Some mapping -> search mid (Some (mid, mapping)) hi (k - 1)
+      | None -> search lo best mid (k - 1)
+    end
+  in
+  let best =
+    match try_t t_max with
+    | Some mapping -> Some (t_max, mapping) (* the upper bound is attainable *)
+    | None -> search 0.0 None t_max iterations
+  in
+  { best; evaluations = !evaluations }
+
+let max_failures ~dag ~platform ~throughput ~latency_bound () =
+  let evaluations = ref 0 in
+  let rec scan eps =
+    if eps < 0 then None
+    else begin
+      incr evaluations;
+      match feasible ~dag ~platform ~eps ~latency_bound throughput with
+      | Some mapping -> Some (float_of_int eps, mapping)
+      | None -> scan (eps - 1)
+    end
+  in
+  let best = scan (Platform.size platform - 1) in
+  { best; evaluations = !evaluations }

@@ -1,0 +1,41 @@
+(** The "symmetric" problems sketched in §6.
+
+    The paper's conclusion proposes two variants of the tri-criteria
+    problem: maximize the throughput for a given latency and failure
+    number, and maximize the number of supported failures for a given
+    latency and throughput.  Both are solved here by search over the
+    monotone axis, calling R-LTF as the feasibility oracle and the
+    pipelined latency bound [L = (2S − 1)/T] as the latency measure. *)
+
+type search_result = {
+  best : (float * Mapping.t) option;
+      (** best feasible (objective value, mapping); [None] if nothing
+          feasible was found *)
+  evaluations : int;  (** number of oracle calls *)
+}
+
+val max_throughput :
+  ?iterations:int ->
+  dag:Dag.t ->
+  platform:Platform.t ->
+  eps:int ->
+  latency_bound:float ->
+  unit ->
+  search_result
+(** Binary search (default 32 iterations) for the largest throughput [T]
+    such that R-LTF finds a schedule whose latency bound does not exceed
+    [latency_bound].  The search interval is [(0, T_max]] where [T_max]
+    is the work-conservation bound [Σ_u s_u / ((ε+1) · Σ_t E(t))].  The
+    objective value returned is the throughput. *)
+
+val max_failures :
+  dag:Dag.t ->
+  platform:Platform.t ->
+  throughput:float ->
+  latency_bound:float ->
+  unit ->
+  search_result
+(** Largest [ε < m] such that R-LTF schedules the graph at the given
+    throughput within the latency bound (downward linear scan: feasibility
+    is not monotone in ε for a heuristic oracle, so every value is
+    tried).  The objective value returned is [ε] as a float. *)

@@ -1,0 +1,34 @@
+type problem = {
+  dag : Dag.t;
+  platform : Platform.t;
+  eps : int;
+  throughput : float;
+}
+
+let problem ~dag ~platform ~eps ~throughput =
+  if eps < 0 then invalid_arg "Types.problem: negative eps";
+  if eps >= Platform.size platform then
+    invalid_arg "Types.problem: eps must be smaller than the processor count";
+  if throughput <= 0.0 then invalid_arg "Types.problem: non-positive throughput";
+  { dag; platform; eps; throughput }
+
+let period p = 1.0 /. p.throughput
+
+type failure =
+  | No_feasible_processor of Dag.task * int
+  | Derived_overload of Platform.proc * float
+
+let pp_failure ppf = function
+  | No_feasible_processor (task, copy) ->
+      Format.fprintf ppf
+        "no processor can host replica t%d(%d) under the throughput constraint"
+        task copy
+  | Derived_overload (proc, delta) ->
+      Format.fprintf ppf
+        "the derived communication structure loads P%d to a cycle time of %g, \
+         beyond the period"
+        proc delta
+
+let failure_to_string f = Format.asprintf "%a" pp_failure f
+
+type outcome = (Mapping.t, failure) result

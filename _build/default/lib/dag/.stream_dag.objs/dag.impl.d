@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Format Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/dag/levels.ml: Array Dag Float List Topo

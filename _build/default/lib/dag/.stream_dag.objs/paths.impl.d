@@ -1,0 +1,1 @@
+lib/dag/paths.ml: Array Dag Levels List Topo

@@ -1,0 +1,1 @@
+lib/dag/paths.mli: Dag Levels

@@ -1,0 +1,1 @@
+lib/dag/sp.ml: Array Dag Hashtbl List

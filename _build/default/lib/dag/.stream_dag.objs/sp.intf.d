@@ -1,0 +1,1 @@
+lib/dag/sp.mli: Dag

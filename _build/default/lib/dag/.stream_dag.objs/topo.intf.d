@@ -1,0 +1,1 @@
+lib/dag/topo.mli: Dag

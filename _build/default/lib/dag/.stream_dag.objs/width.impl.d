@@ -1,0 +1,1 @@
+lib/dag/width.ml: Array Dag List Queue Topo

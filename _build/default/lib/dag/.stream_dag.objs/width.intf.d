@@ -1,0 +1,1 @@
+lib/dag/width.mli: Dag

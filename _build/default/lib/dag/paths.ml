@@ -1,0 +1,70 @@
+let critical_path g w =
+  if Dag.size g = 0 then []
+  else begin
+    let bl = Levels.bottom g w in
+    let best_of candidates =
+      List.fold_left
+        (fun acc t ->
+          match acc with
+          | Some b when bl.(b) >= bl.(t) -> acc
+          | _ -> Some t)
+        None candidates
+    in
+    match best_of (Dag.entries g) with
+    | None -> []
+    | Some entry ->
+        (* Follow, from the best entry, the successor realizing the
+           recurrence bl t = node t + max (edge + bl succ). *)
+        let rec walk t acc =
+          let next =
+            List.fold_left
+              (fun acc' (s, vol) ->
+                let len = w.Levels.edge t s vol +. bl.(s) in
+                match acc' with
+                | Some (_, best) when best >= len -> acc'
+                | _ -> Some (s, len))
+              None (Dag.succs g t)
+          in
+          match next with
+          | None -> List.rev (t :: acc)
+          | Some (s, _) -> walk s (t :: acc)
+        in
+        walk entry []
+  end
+
+let longest_path_through g w t =
+  let tl = Levels.top g w and bl = Levels.bottom g w in
+  tl.(t) +. bl.(t)
+
+let saturating_add a b =
+  if a > max_int - b then max_int else a + b
+
+let count_paths g =
+  let counts = Array.make (Dag.size g) 0 in
+  Array.iter
+    (fun t ->
+      counts.(t) <-
+        (match Dag.succs g t with
+        | [] -> 1
+        | succs ->
+            List.fold_left
+              (fun acc (s, _) -> saturating_add acc counts.(s))
+              0 succs))
+    (Topo.reverse_order g);
+  List.fold_left
+    (fun acc t -> saturating_add acc counts.(t))
+    0 (Dag.entries g)
+  |> fun total -> if Dag.size g = 0 then 0 else total
+
+let all_paths ?(limit = 10_000) g =
+  let found = ref [] and n_found = ref 0 in
+  let rec extend t prefix =
+    if !n_found < limit then
+      match Dag.succs g t with
+      | [] ->
+          found := List.rev (t :: prefix) :: !found;
+          incr n_found
+      | succs -> List.iter (fun (s, _) -> extend s (t :: prefix)) succs
+  in
+  List.iter (fun entry -> extend entry []) (Dag.entries g);
+  List.rev !found

@@ -1,0 +1,102 @@
+(* Mutable multigraph used during the series/parallel reduction.  Vertices
+   are ints; [n] and [n + 1] are the virtual source and sink. *)
+type multigraph = {
+  out_adj : (int, int) Hashtbl.t array;  (* vertex -> multiset of successors *)
+  in_adj : (int, int) Hashtbl.t array;
+}
+
+let add_arc mg u v =
+  let bump tbl key =
+    let c = try Hashtbl.find tbl key with Not_found -> 0 in
+    Hashtbl.replace tbl key (c + 1)
+  in
+  bump mg.out_adj.(u) v;
+  bump mg.in_adj.(v) u
+
+let remove_arc mg u v =
+  let drop tbl key =
+    match Hashtbl.find_opt tbl key with
+    | None -> ()
+    | Some 1 -> Hashtbl.remove tbl key
+    | Some c -> Hashtbl.replace tbl key (c - 1)
+  in
+  drop mg.out_adj.(u) v;
+  drop mg.in_adj.(v) u
+
+let degree tbl = Hashtbl.fold (fun _ c acc -> acc + c) tbl 0
+
+let sole_neighbor tbl =
+  match Hashtbl.fold (fun v _ acc -> v :: acc) tbl [] with
+  | [ v ] -> v
+  | _ -> invalid_arg "Sp.sole_neighbor"
+
+let is_series_parallel g =
+  let n = Dag.size g in
+  if n <= 1 then true
+  else begin
+    let source = n and sink = n + 1 in
+    let mg =
+      {
+        out_adj = Array.init (n + 2) (fun _ -> Hashtbl.create 4);
+        in_adj = Array.init (n + 2) (fun _ -> Hashtbl.create 4);
+      }
+    in
+    Dag.iter_edges g (fun u v _ -> add_arc mg u v);
+    List.iter (fun t -> add_arc mg source t) (Dag.entries g);
+    List.iter (fun t -> add_arc mg t sink) (Dag.exits g);
+    (* Parallel reduction: collapse every multi-edge out of [u] to a single
+       edge.  Returns true if something changed. *)
+    let parallel_reduce u =
+      let changed = ref false in
+      let extras =
+        Hashtbl.fold
+          (fun v c acc -> if c > 1 then (v, c - 1) :: acc else acc)
+          mg.out_adj.(u) []
+      in
+      List.iter
+        (fun (v, surplus) ->
+          changed := true;
+          for _ = 1 to surplus do
+            remove_arc mg u v
+          done)
+        extras;
+      !changed
+    in
+    (* Series reduction of an interior vertex with in-degree = out-degree = 1. *)
+    let series_reduce v =
+      if v <> source && v <> sink
+         && degree mg.in_adj.(v) = 1
+         && degree mg.out_adj.(v) = 1
+      then begin
+        let u = sole_neighbor mg.in_adj.(v) and w = sole_neighbor mg.out_adj.(v) in
+        remove_arc mg u v;
+        remove_arc mg v w;
+        add_arc mg u w;
+        true
+      end
+      else false
+    in
+    let rec fixpoint () =
+      let changed = ref false in
+      for v = 0 to n + 1 do
+        if parallel_reduce v then changed := true
+      done;
+      for v = 0 to n - 1 do
+        if series_reduce v then changed := true
+      done;
+      if !changed then fixpoint ()
+    in
+    fixpoint ();
+    let interior_empty =
+      let rec check v =
+        v >= n
+        || (Hashtbl.length mg.out_adj.(v) = 0
+            && Hashtbl.length mg.in_adj.(v) = 0
+            && check (v + 1))
+      in
+      check 0
+    in
+    interior_empty
+    && degree mg.out_adj.(source) = 1
+    && Hashtbl.mem mg.out_adj.(source) sink
+  end

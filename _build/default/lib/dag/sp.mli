@@ -1,0 +1,16 @@
+(** Series-parallel DAG recognition.
+
+    §4.2 notes that Rule 2 reduces the number of replica communications to
+    [e(ε+1)] on any series-parallel graph; the property test suite relies on
+    this recognizer to restrict generated inputs accordingly.
+
+    A (two-terminal) series-parallel DAG is either a single edge, or the
+    series or parallel composition of two series-parallel DAGs.  Recognition
+    uses the classic reduction algorithm: repeatedly contract series vertices
+    (in-degree = out-degree = 1) and merge parallel edges; the graph is SP
+    iff it reduces to a single edge.  Multi-source/multi-sink graphs are
+    first augmented with a virtual source and sink. *)
+
+val is_series_parallel : Dag.t -> bool
+(** Whether the (source/sink-augmented) graph is two-terminal
+    series-parallel.  The empty graph and the one-task graph are SP. *)

@@ -1,0 +1,100 @@
+(* Priority-by-task-id Kahn traversal: deterministic and stable, which the
+   test suite relies on. *)
+let order_with ~next g =
+  let n = Dag.size g in
+  let indeg = Array.make n 0 in
+  Dag.iter_tasks g (fun t -> indeg.(t) <- List.length (next `In g t));
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  Dag.iter_tasks g (fun t -> if indeg.(t) = 0 then ready := Iset.add t !ready);
+  let out = Array.make n 0 in
+  let rec loop i =
+    if i < n then begin
+      let t = Iset.min_elt !ready in
+      ready := Iset.remove t !ready;
+      out.(i) <- t;
+      List.iter
+        (fun (w, _) ->
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then ready := Iset.add w !ready)
+        (next `Out g t);
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  out
+
+let forward dir g t =
+  match dir with `In -> Dag.preds g t | `Out -> Dag.succs g t
+
+let backward dir g t =
+  match dir with `In -> Dag.succs g t | `Out -> Dag.preds g t
+
+let order g = order_with ~next:forward g
+let reverse_order g = order_with ~next:backward g
+
+let depth g =
+  let d = Array.make (Dag.size g) 0 in
+  Array.iter
+    (fun t ->
+      List.iter (fun (p, _) -> d.(t) <- max d.(t) (d.(p) + 1)) (Dag.preds g t))
+    (order g);
+  d
+
+let height g =
+  let h = Array.make (Dag.size g) 0 in
+  Array.iter
+    (fun t ->
+      List.iter (fun (s, _) -> h.(t) <- max h.(t) (h.(s) + 1)) (Dag.succs g t))
+    (reverse_order g);
+  h
+
+let layers g =
+  if Dag.size g = 0 then [||]
+  else begin
+    let d = depth g in
+    let dmax = Array.fold_left max 0 d in
+    let slots = Array.make (dmax + 1) [] in
+    for t = Dag.size g - 1 downto 0 do
+      slots.(d.(t)) <- t :: slots.(d.(t))
+    done;
+    slots
+  end
+
+let reachable g t =
+  let seen = Array.make (Dag.size g) false in
+  let rec visit u =
+    List.iter
+      (fun (w, _) ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          visit w
+        end)
+      (Dag.succs g u)
+  in
+  visit t;
+  seen
+
+let transitive_closure g =
+  let n = Dag.size g in
+  let closure = Array.make_matrix n n false in
+  (* Process in reverse topological order so each successor's row is final
+     before it is merged into its predecessors. *)
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun (w, _) ->
+          closure.(u).(w) <- true;
+          for x = 0 to n - 1 do
+            if closure.(w).(x) then closure.(u).(x) <- true
+          done)
+        (Dag.succs g u))
+    (reverse_order g);
+  closure
+
+let independent g a b =
+  if a = b then false
+  else begin
+    let from_a = reachable g a in
+    if from_a.(b) then false else not (reachable g b).(a)
+  end

@@ -1,0 +1,34 @@
+(** Topological orderings, depth layers and reachability. *)
+
+val order : Dag.t -> Dag.task array
+(** A topological order of the tasks (Kahn's algorithm, lowest task id
+    first among simultaneously ready tasks, so the order is deterministic). *)
+
+val reverse_order : Dag.t -> Dag.task array
+(** A reverse topological order (every task appears after all of its
+    successors). *)
+
+val depth : Dag.t -> int array
+(** [depth g] maps each task to the length (in edges) of the longest path
+    from an entry task to it; entry tasks have depth [0]. *)
+
+val height : Dag.t -> int array
+(** Longest edge-count path from each task down to an exit task; exit tasks
+    have height [0]. *)
+
+val layers : Dag.t -> Dag.task list array
+(** Tasks grouped by {!depth}; [layers g] has [1 + max depth] slots (or zero
+    slots for the empty graph), each sorted increasingly. *)
+
+val reachable : Dag.t -> Dag.task -> bool array
+(** [reachable g t] marks every task reachable from [t] by a non-empty
+    directed path ([t] itself is marked only if it lies on a cycle, which
+    cannot happen in a DAG). *)
+
+val transitive_closure : Dag.t -> bool array array
+(** [c = transitive_closure g] has [c.(u).(v) = true] iff there is a
+    non-empty path from [u] to [v].  Quadratic in memory: intended for the
+    width computation and tests on small/medium graphs. *)
+
+val independent : Dag.t -> Dag.task -> Dag.task -> bool
+(** No directed path connects the two (distinct) tasks in either direction. *)

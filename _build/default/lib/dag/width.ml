@@ -1,0 +1,72 @@
+let layer_lower_bound g =
+  Array.fold_left
+    (fun acc layer -> max acc (List.length layer))
+    0 (Topo.layers g)
+
+(* Kuhn's augmenting-path maximum matching on the bipartite split graph of
+   the transitive closure: left copy of u connects to right copy of v iff
+   u precedes v.  Dilworth: max antichain = v - |matching|. *)
+let matching g =
+  let n = Dag.size g in
+  let closure = Topo.transitive_closure g in
+  let match_l = Array.make n (-1) and match_r = Array.make n (-1) in
+  let visited = Array.make n false in
+  let rec try_augment u =
+    let rec scan v =
+      if v >= n then false
+      else if closure.(u).(v) && not visited.(v) then begin
+        visited.(v) <- true;
+        if match_r.(v) = -1 || try_augment match_r.(v) then begin
+          match_l.(u) <- v;
+          match_r.(v) <- u;
+          true
+        end
+        else scan (v + 1)
+      end
+      else scan (v + 1)
+    in
+    scan 0
+  in
+  let size = ref 0 in
+  for u = 0 to n - 1 do
+    Array.fill visited 0 n false;
+    if try_augment u then incr size
+  done;
+  (closure, match_l, match_r, !size)
+
+let exact g =
+  let _, _, _, m = matching g in
+  Dag.size g - m
+
+(* Koenig's construction: run an alternating BFS from the unmatched left
+   vertices; the antichain is { u | left u reached && right u not reached }. *)
+let antichain g =
+  let n = Dag.size g in
+  let closure, match_l, match_r, _ = matching g in
+  let z_left = Array.make n false and z_right = Array.make n false in
+  let queue = Queue.create () in
+  for u = 0 to n - 1 do
+    if match_l.(u) = -1 then begin
+      z_left.(u) <- true;
+      Queue.add u queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    for v = 0 to n - 1 do
+      if closure.(u).(v) && not z_right.(v) then begin
+        z_right.(v) <- true;
+        let u' = match_r.(v) in
+        if u' <> -1 && not z_left.(u') then begin
+          z_left.(u') <- true;
+          Queue.add u' queue
+        end
+      end
+    done
+  done;
+  let rec collect u acc =
+    if u < 0 then acc
+    else
+      collect (u - 1) (if z_left.(u) && not z_right.(u) then u :: acc else acc)
+  in
+  collect (n - 1) []

@@ -1,0 +1,19 @@
+(** Width of a task graph.
+
+    The width ω of a DAG is the size of its largest antichain (the maximum
+    number of pairwise-independent tasks); it bounds the number of tasks that
+    can be simultaneously ready during list scheduling (§2). *)
+
+val layer_lower_bound : Dag.t -> int
+(** Size of the largest depth layer — a cheap lower bound on ω (every layer
+    is an antichain). *)
+
+val exact : Dag.t -> int
+(** Exact ω via Dilworth's theorem: ω = v − size of a maximum matching in
+    the bipartite graph of the transitive closure.  Uses Hopcroft–Karp-style
+    augmenting paths; quadratic memory, intended for graphs of at most a few
+    hundred tasks. *)
+
+val antichain : Dag.t -> Dag.task list
+(** A maximum antichain witnessing {!exact}, obtained from the König
+    vertex-cover construction on the same matching. *)

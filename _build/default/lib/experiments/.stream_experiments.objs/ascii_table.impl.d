@@ -1,0 +1,1 @@
+lib/experiments/ascii_table.ml: Array Buffer List String

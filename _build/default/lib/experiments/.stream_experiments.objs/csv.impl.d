@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Buffer Filename Float Fun List Printf String Sys

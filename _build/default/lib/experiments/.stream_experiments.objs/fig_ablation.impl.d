@@ -1,0 +1,1 @@
+lib/experiments/fig_ablation.ml: Ascii_table Csv Filename List Mapping Metrics Paper_workload Printf Rltf Rng Scheduler Stats Types

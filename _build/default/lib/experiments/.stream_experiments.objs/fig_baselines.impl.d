@@ -1,0 +1,1 @@
+lib/experiments/fig_baselines.ml: Ascii_table Csv Engine Etf Expert Filename Hary Hashtbl Heft Hoang List Ltf Metrics Paper_workload Printf Rltf Rng Scheduler Stats Stdp Tda Types Wmsh

@@ -1,0 +1,1 @@
+lib/experiments/fig_common.ml: Ascii_plot Fault_free Float Hashtbl List Ltf Metrics Paper_workload Rltf Rng Scheduler Stage_latency Stats Types

@@ -1,0 +1,1 @@
+lib/experiments/fig_common.mli: Ascii_plot Paper_workload Scheduler

@@ -1,0 +1,1 @@
+lib/experiments/fig_complexity.ml: Ascii_table Csv Dag Filename List Ltf Paper_workload Printf Rng Scheduler Stats Sys Types

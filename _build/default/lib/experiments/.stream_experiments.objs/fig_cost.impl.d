@@ -1,0 +1,1 @@
+lib/experiments/fig_cost.ml: Ascii_table Csv Filename List Metrics Paper_workload Platform_cost Printf Rltf Rng Stats Types

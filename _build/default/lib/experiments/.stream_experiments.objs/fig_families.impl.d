@@ -1,0 +1,1 @@
+lib/experiments/fig_families.ml: Ascii_table Csv Filename Hashtbl List Ltf Metrics Paper_workload Printf Rltf Rng Scheduler Stats Types

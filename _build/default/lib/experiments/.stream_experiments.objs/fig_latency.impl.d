@@ -1,0 +1,1 @@
+lib/experiments/fig_latency.ml: Ascii_plot Ascii_table Csv Fig_common Filename Float List Printf

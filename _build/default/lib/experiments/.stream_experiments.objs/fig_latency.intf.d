@@ -1,0 +1,1 @@
+lib/experiments/fig_latency.mli: Ascii_plot Fig_common

@@ -1,0 +1,1 @@
+lib/experiments/fig_optgap.ml: Ascii_table Calibrate Csv Filename Hary Hashtbl Heft List Ltf Metrics Optimal Platform Printf Random_dag Result Rltf Rng Scheduler Stats Types Wmsh

@@ -1,0 +1,1 @@
+lib/experiments/fig_overhead.ml: Ascii_plot Fig_common Fig_latency Filename Float Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig_overhead.mli: Ascii_plot Fig_common

@@ -1,0 +1,1 @@
+lib/experiments/fig_pipeline.ml: Array Ascii_table Csv Engine Filename List Metrics Paper_workload Printf Rltf Rng Scheduler Stage_latency Stats Types

@@ -1,0 +1,1 @@
+lib/experiments/fig_symmetric.ml: Ascii_table Csv Filename List Metrics Paper_workload Printf Rltf Rng Stats Symmetric Types

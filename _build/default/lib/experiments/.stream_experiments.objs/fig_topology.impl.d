@@ -1,0 +1,1 @@
+lib/experiments/fig_topology.ml: Ascii_table Calibrate Csv Filename Hashtbl List Ltf Mapping Metrics Paper_workload Platform Printf Random_dag Rltf Rng Scheduler Stats Topologies Types

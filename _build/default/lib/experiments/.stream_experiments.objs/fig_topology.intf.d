@@ -1,0 +1,1 @@
+lib/experiments/fig_topology.mli: Stats

@@ -1,0 +1,1 @@
+lib/experiments/paper_examples.ml: Ascii_table Classic Dag Heft List Ltf Mapping Metrics Platform Printf Replica Rltf Types

@@ -1,0 +1,20 @@
+(** Terminal line plots, one glyph per series — a stand-in for the paper's
+    gnuplot figures so every experiment is inspectable without a plotting
+    toolchain. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y), NaN ys are skipped *)
+}
+
+val render :
+  ?width:int -> ?height:int ->
+  ?x_label:string -> ?y_label:string ->
+  title:string -> series list -> string
+(** A [width × height] character canvas (default 64 × 20) with axes
+    labelled by the data ranges and a legend mapping glyphs to series. *)
+
+val print :
+  ?width:int -> ?height:int ->
+  ?x_label:string -> ?y_label:string ->
+  title:string -> series list -> unit

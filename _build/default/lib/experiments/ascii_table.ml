@@ -1,0 +1,31 @@
+let render ~header rows =
+  let n_cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header)
+      rows
+  in
+  let pad row = row @ List.init (n_cols - List.length row) (fun _ -> "") in
+  let all = List.map pad (header :: rows) in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  let put_row row =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf cell;
+        if i < n_cols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell + 2) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match all with
+  | header_row :: data ->
+      put_row header_row;
+      let rule = List.init n_cols (fun i -> String.make widths.(i) '-') in
+      put_row rule;
+      List.iter put_row data
+  | [] -> ());
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)

@@ -1,0 +1,7 @@
+(** Aligned plain-text tables for terminal output. *)
+
+val render : header:string list -> string list list -> string
+(** Columns padded to their widest cell, header separated by a rule.
+    Ragged rows are padded with empty cells. *)
+
+val print : header:string list -> string list list -> unit

@@ -1,0 +1,88 @@
+type row = {
+  name : string;
+  strict_ok : int;
+  meets : int;
+  stages : Stats.summary;
+  latency : Stats.summary;
+  messages : Stats.summary;
+}
+
+let configurations =
+  let default = Scheduler.default_options in
+  [
+    ("default", default);
+    ("no one-to-one", { default with Scheduler.use_one_to_one = false });
+    ("greedy sources only", { default with Scheduler.source_policy = Scheduler.Greedy_only });
+    ( "conservative sources only",
+      { default with Scheduler.source_policy = Scheduler.Conservative_only } );
+    ("half lane budget", { default with Scheduler.lane_budget_factor = 0.5 });
+    ("double lane budget", { default with Scheduler.lane_budget_factor = 2.0 });
+  ]
+
+let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 20)
+    ?(granularity = 1.0) ?(eps = 1) () =
+  let throughput = Paper_workload.throughput ~eps in
+  let rows =
+    List.map
+      (fun (name, opts) ->
+        let strict_ok = ref 0 and meets = ref 0 in
+        let stages = ref [] and latency = ref [] and messages = ref [] in
+        for rep = 0 to graphs - 1 do
+          let rng = Rng.create ~seed:(seed + (7919 * rep)) in
+          let inst = Paper_workload.instance ~rng ~granularity () in
+          let prob =
+            Types.problem ~dag:inst.Paper_workload.dag
+              ~platform:inst.Paper_workload.plat ~eps ~throughput
+          in
+          (match Rltf.run ~opts prob with Ok _ -> incr strict_ok | Error _ -> ());
+          match Rltf.run ~mode:Scheduler.Best_effort ~opts prob with
+          | Error _ -> ()
+          | Ok m ->
+              if Metrics.meets_throughput m ~throughput then incr meets;
+              stages := float_of_int (Metrics.stage_depth m) :: !stages;
+              latency := Metrics.latency_bound m ~throughput :: !latency;
+              messages := float_of_int (Mapping.n_messages m) :: !messages
+        done;
+        {
+          name;
+          strict_ok = !strict_ok;
+          meets = !meets;
+          stages = Stats.summarize !stages;
+          latency = Stats.summarize !latency;
+          messages = Stats.summarize !messages;
+        })
+      configurations
+  in
+  Printf.printf
+    "Ablation of the R-LTF implementation (g=%.1f, eps=%d, %d graphs):\n"
+    granularity eps graphs;
+  Ascii_table.print
+    ~header:
+      [ "configuration"; "strict ok"; "meets T"; "stages"; "latency bound"; "messages" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           Printf.sprintf "%d/%d" r.strict_ok graphs;
+           Printf.sprintf "%d/%d" r.meets graphs;
+           Printf.sprintf "%.1f" r.stages.Stats.mean;
+           Printf.sprintf "%.0f" r.latency.Stats.mean;
+           Printf.sprintf "%.0f" r.messages.Stats.mean;
+         ])
+       rows);
+  Csv.write
+    ~path:(Filename.concat out_dir "fig-ablation.csv")
+    ~header:
+      [ "configuration"; "strict_ok"; "meets_T"; "stages"; "latency_bound"; "messages" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           string_of_int r.strict_ok;
+           string_of_int r.meets;
+           Printf.sprintf "%.3f" r.stages.Stats.mean;
+           Printf.sprintf "%.3f" r.latency.Stats.mean;
+           Printf.sprintf "%.3f" r.messages.Stats.mean;
+         ])
+       rows);
+  rows

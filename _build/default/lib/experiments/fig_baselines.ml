@@ -1,0 +1,117 @@
+type row = {
+  name : string;
+  stages : Stats.summary;
+  latency_bound : Stats.summary;
+  sim_latency : Stats.summary;
+  meets_throughput : int;
+}
+
+let algorithms ~throughput =
+  [
+    ( "LTF (eps=0)",
+      fun dag plat ->
+        match
+          Ltf.run ~mode:Scheduler.Best_effort
+            (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)
+        with
+        | Ok m -> Some m
+        | Error _ -> None );
+    ( "R-LTF (eps=0)",
+      fun dag plat ->
+        match
+          Rltf.run ~mode:Scheduler.Best_effort
+            (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)
+        with
+        | Ok m -> Some m
+        | Error _ -> None );
+    ("HEFT [9]", fun dag plat -> Some (Heft.mapping ~throughput dag plat));
+    ("ETF [6]", fun dag plat -> Some (Etf.mapping ~throughput dag plat));
+    ("Hary-Ozguner [4]", fun dag plat -> Some (Hary.mapping dag plat ~throughput));
+    ("EXPERT [3]", fun dag plat -> Some (Expert.mapping dag plat ~throughput));
+    ("TDA [11]", fun dag plat -> Some (Tda.mapping dag plat ~throughput));
+    ("STDP [8]", fun dag plat -> Some (Stdp.mapping dag plat ~throughput));
+    ("WMSH [10]", fun dag plat -> Some (Wmsh.mapping dag plat ~throughput));
+    ("Hoang-Rabaey [5]", fun dag plat -> Some (Hoang.mapping ~iterations:20 dag plat));
+  ]
+
+let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 30)
+    ?(granularity = 1.0) () =
+  let throughput = Paper_workload.throughput ~eps:0 in
+  let algos = algorithms ~throughput in
+  let acc = Hashtbl.create 16 in
+  let record name field value =
+    let key = (name, field) in
+    let prev = try Hashtbl.find acc key with Not_found -> [] in
+    Hashtbl.replace acc key (value :: prev)
+  in
+  let meets = Hashtbl.create 16 in
+  for rep = 0 to graphs - 1 do
+    let rng = Rng.create ~seed:(seed + (7919 * rep)) in
+    let inst = Paper_workload.instance ~rng ~granularity () in
+    let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
+    List.iter
+      (fun (name, algo) ->
+        match algo dag plat with
+        | None -> ()
+        | Some mapping ->
+            record name `Stages (float_of_int (Metrics.stage_depth mapping));
+            record name `Bound (Metrics.latency_bound mapping ~throughput);
+            (match Engine.latency mapping with
+            | Some l -> record name `Sim l
+            | None -> ());
+            if Metrics.meets_throughput mapping ~throughput then
+              Hashtbl.replace meets name
+                (1 + try Hashtbl.find meets name with Not_found -> 0))
+      algos
+  done;
+  let rows =
+    List.filter_map
+      (fun (name, _) ->
+        let get field = try Hashtbl.find acc (name, field) with Not_found -> [] in
+        match
+          ( Stats.summarize_opt (get `Stages),
+            Stats.summarize_opt (get `Bound),
+            Stats.summarize_opt (get `Sim) )
+        with
+        | Some stages, Some latency_bound, Some sim_latency ->
+            Some
+              {
+                name;
+                stages;
+                latency_bound;
+                sim_latency;
+                meets_throughput =
+                  (try Hashtbl.find meets name with Not_found -> 0);
+              }
+        | _ -> None)
+      algos
+  in
+  Printf.printf
+    "Baseline comparison (eps=0, g=%.1f, %d graphs, T=%.3f):\n" granularity
+    graphs throughput;
+  Ascii_table.print
+    ~header:[ "algorithm"; "stages"; "latency bound"; "sim latency"; "meets T" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           Printf.sprintf "%.1f" r.stages.Stats.mean;
+           Printf.sprintf "%.1f" r.latency_bound.Stats.mean;
+           Printf.sprintf "%.1f" r.sim_latency.Stats.mean;
+           Printf.sprintf "%d/%d" r.meets_throughput graphs;
+         ])
+       rows);
+  Csv.write
+    ~path:(Filename.concat out_dir "fig-baselines.csv")
+    ~header:[ "algorithm"; "stages"; "latency_bound"; "sim_latency"; "meets_T" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           Printf.sprintf "%.3f" r.stages.Stats.mean;
+           Printf.sprintf "%.3f" r.latency_bound.Stats.mean;
+           Printf.sprintf "%.3f" r.sim_latency.Stats.mean;
+           string_of_int r.meets_throughput;
+         ])
+       rows);
+  rows

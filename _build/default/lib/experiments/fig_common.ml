@@ -1,0 +1,133 @@
+type config = {
+  seed : int;
+  graphs_per_point : int;
+  eps : int;
+  crashes : int;
+  crash_draws : int;
+  spec : Paper_workload.spec;
+  mode : Scheduler.mode;
+  granularities : float list;
+}
+
+let default ~eps ~crashes =
+  {
+    seed = 2009;
+    graphs_per_point = 60;
+    eps;
+    crashes;
+    crash_draws = 3;
+    spec = Paper_workload.default_spec;
+    mode = Scheduler.Best_effort;
+    granularities = Paper_workload.granularities;
+  }
+
+let quick ~eps ~crashes =
+  { (default ~eps ~crashes) with graphs_per_point = 8 }
+
+type sample = {
+  granularity : float;
+  ltf_bound : float;
+  ltf_sim : float;
+  ltf_crash : float;
+  ltf_meets : bool;
+  rltf_bound : float;
+  rltf_sim : float;
+  rltf_crash : float;
+  rltf_meets : bool;
+  ff_sim : float;
+}
+
+let of_option = function Some v -> v | None -> nan
+
+let measure_algo config ~throughput ~rng outcome =
+  match outcome with
+  | Error _ -> (nan, nan, nan, false)
+  | Ok mapping ->
+      let bound = Metrics.latency_bound mapping ~throughput in
+      let sim = of_option (Stage_latency.latency mapping ~throughput) in
+      let crash =
+        if config.crashes = 0 then sim
+        else
+          of_option
+            (Stage_latency.mean_crash_latency
+               ~rand_int:(fun bound -> Rng.int rng bound)
+               ~crashes:config.crashes ~runs:config.crash_draws ~throughput
+               mapping)
+      in
+      (bound, sim, crash, Metrics.meets_throughput mapping ~throughput)
+
+let collect config =
+  let throughput = Paper_workload.throughput ~eps:config.eps in
+  List.concat_map
+    (fun granularity ->
+      List.init config.graphs_per_point (fun rep ->
+          (* Independent, reproducible stream per (granularity, graph). *)
+          let rng =
+            Rng.create
+              ~seed:
+                (config.seed
+                + (1_000_003 * rep)
+                + int_of_float (granularity *. 1_000.0))
+          in
+          let inst =
+            Paper_workload.instance ~spec:config.spec ~rng ~granularity ()
+          in
+          let prob =
+            Types.problem ~dag:inst.Paper_workload.dag
+              ~platform:inst.Paper_workload.plat ~eps:config.eps ~throughput
+          in
+          let ltf_bound, ltf_sim, ltf_crash, ltf_meets =
+            measure_algo config ~throughput ~rng (Ltf.run ~mode:config.mode prob)
+          in
+          let rltf_bound, rltf_sim, rltf_crash, rltf_meets =
+            measure_algo config ~throughput ~rng (Rltf.run ~mode:config.mode prob)
+          in
+          (* The fault-free reference is an ε = 0 schedule, so its desired
+             throughput follows the same rule with ε = 0: T = 1/10. *)
+          let ff_throughput = Paper_workload.throughput ~eps:0 in
+          let ff_sim =
+            match
+              Fault_free.run ~mode:config.mode ~dag:inst.Paper_workload.dag
+                ~platform:inst.Paper_workload.plat ~throughput:ff_throughput ()
+            with
+            | Error _ -> nan
+            | Ok ff -> of_option (Stage_latency.latency ff ~throughput:ff_throughput)
+          in
+          {
+            granularity;
+            ltf_bound;
+            ltf_sim;
+            ltf_crash;
+            ltf_meets;
+            rltf_bound;
+            rltf_sim;
+            rltf_crash;
+            rltf_meets;
+            ff_sim;
+          }))
+    config.granularities
+
+let by_granularity samples =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let existing = try Hashtbl.find table s.granularity with Not_found -> [] in
+      Hashtbl.replace table s.granularity (s :: existing))
+    samples;
+  Hashtbl.fold (fun g ss acc -> (g, List.rev ss) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let mean_series ~label proj samples =
+  let points =
+    by_granularity samples
+    |> List.map (fun (g, ss) ->
+           let values =
+             List.filter_map
+               (fun s ->
+                 let v = proj s in
+                 if Float.is_nan v then None else Some v)
+               ss
+           in
+           (g, match values with [] -> nan | _ -> Stats.mean values))
+  in
+  { Ascii_plot.label; points }

@@ -1,0 +1,52 @@
+(** Shared data collection for the §5 figures.
+
+    One pass over (granularity × random graph) collects everything Figures
+    3 and 4 need — latency upper bounds, simulated 0-crash latencies,
+    simulated latencies under [c] random crashes, and the fault-free
+    reference latency — so each figure is an aggregation of the same
+    sample set, exactly as in the paper. *)
+
+type config = {
+  seed : int;
+  graphs_per_point : int;  (** the paper uses 60 *)
+  eps : int;
+  crashes : int;           (** c, the number of failed processors *)
+  crash_draws : int;       (** crash samples averaged per graph *)
+  spec : Paper_workload.spec;
+  mode : Scheduler.mode;
+  granularities : float list;
+}
+
+val default : eps:int -> crashes:int -> config
+(** Paper parameters: 60 graphs/point, 3 crash draws, best-effort mode,
+    granularities 0.2 … 2.0. *)
+
+val quick : eps:int -> crashes:int -> config
+(** A fast variant (8 graphs/point) for tests and smoke runs. *)
+
+(** Everything measured on one random graph at one granularity; [nan]
+    marks a quantity that could not be measured (scheduling failure, lost
+    exit task). *)
+type sample = {
+  granularity : float;
+  ltf_bound : float;      (** (2S−1)/T for the LTF mapping *)
+  ltf_sim : float;        (** simulated 0-crash latency *)
+  ltf_crash : float;      (** mean simulated latency under [crashes] *)
+  ltf_meets : bool;       (** LTF mapping satisfies the throughput *)
+  rltf_bound : float;
+  rltf_sim : float;
+  rltf_crash : float;
+  rltf_meets : bool;
+  ff_sim : float;         (** fault-free (ε = 0 R-LTF) simulated latency *)
+}
+
+val collect : config -> sample list
+(** Samples in (granularity, graph index) order; deterministic in
+    [config.seed]. *)
+
+val by_granularity : sample list -> (float * sample list) list
+(** Group in increasing granularity. *)
+
+val mean_series :
+  label:string -> (sample -> float) -> sample list -> Ascii_plot.series
+(** Per-granularity mean of the (non-NaN) projection. *)

@@ -1,0 +1,95 @@
+type point = {
+  v : int;
+  e : int;
+  m : int;
+  eps : int;
+  seconds : float;
+}
+
+let time_once f =
+  let t0 = Sys.time () in
+  ignore (f ());
+  Sys.time () -. t0
+
+let measure ~repetitions f =
+  Stats.median (List.init (max 1 repetitions) (fun _ -> time_once f))
+
+let run ?(out_dir = "results") ?(seed = 2009) ?(repetitions = 3) () =
+  let make_point ~tasks ~m ~eps rep_seed =
+    let rng = Rng.create ~seed:rep_seed in
+    let spec =
+      { Paper_workload.default_spec with Paper_workload.m; tasks_range = (tasks, tasks) }
+    in
+    let inst = Paper_workload.instance ~spec ~rng ~granularity:1.0 () in
+    let throughput =
+      (* keep per-processor pressure constant across sizes *)
+      Paper_workload.throughput ~eps
+      *. (100.0 /. float_of_int tasks)
+      *. (float_of_int m /. 20.0)
+    in
+    let prob =
+      Types.problem ~dag:inst.Paper_workload.dag
+        ~platform:inst.Paper_workload.plat ~eps ~throughput
+    in
+    let seconds =
+      measure ~repetitions (fun () -> Ltf.run ~mode:Scheduler.Best_effort prob)
+    in
+    {
+      v = Dag.size inst.Paper_workload.dag;
+      e = Dag.n_edges inst.Paper_workload.dag;
+      m;
+      eps;
+      seconds;
+    }
+  in
+  let v_sweep =
+    List.map (fun tasks -> make_point ~tasks ~m:20 ~eps:1 (seed + tasks))
+      [ 50; 100; 200; 400; 800 ]
+  in
+  let m_sweep =
+    List.map (fun m -> make_point ~tasks:100 ~m ~eps:1 (seed + (31 * m)))
+      [ 5; 10; 20; 40; 80 ]
+  in
+  let eps_sweep =
+    List.map (fun eps -> make_point ~tasks:100 ~m:20 ~eps (seed + (97 * eps)))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let show title points =
+    Printf.printf "%s\n" title;
+    Ascii_table.print
+      ~header:[ "v"; "e"; "m"; "eps"; "seconds"; "sec/(e*m*(eps+1)^2)" ]
+      (List.map
+         (fun p ->
+           let norm =
+             p.seconds
+             /. (float_of_int p.e *. float_of_int p.m
+                *. (float_of_int (p.eps + 1) ** 2.0))
+           in
+           [
+             string_of_int p.v;
+             string_of_int p.e;
+             string_of_int p.m;
+             string_of_int p.eps;
+             Printf.sprintf "%.4f" p.seconds;
+             Printf.sprintf "%.2e" norm;
+           ])
+         points)
+  in
+  show "LTF runtime vs task count (m=20, eps=1):" v_sweep;
+  show "LTF runtime vs processor count (v=100, eps=1):" m_sweep;
+  show "LTF runtime vs eps (v=100, m=20):" eps_sweep;
+  let all = v_sweep @ m_sweep @ eps_sweep in
+  Csv.write
+    ~path:(Filename.concat out_dir "fig-complexity.csv")
+    ~header:[ "v"; "e"; "m"; "eps"; "seconds" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.v;
+           string_of_int p.e;
+           string_of_int p.m;
+           string_of_int p.eps;
+           Printf.sprintf "%.6f" p.seconds;
+         ])
+       all);
+  all

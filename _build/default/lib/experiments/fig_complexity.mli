@@ -1,0 +1,18 @@
+(** Empirical check of Theorem 1: LTF runs in
+    O(e·m·(ε+1)²·log(ε+1) + v·log ω).
+
+    Sweeps the task count (with m, ε fixed) and the processor count (with
+    v, ε fixed), timing LTF and reporting the measured growth rate against
+    the bound's prediction (linear in e and in m). *)
+
+type point = {
+  v : int;
+  e : int;
+  m : int;
+  eps : int;
+  seconds : float;  (** median CPU time of the repetitions *)
+}
+
+val run :
+  ?out_dir:string -> ?seed:int -> ?repetitions:int -> unit -> point list
+(** Prints the scaling tables and writes [fig-complexity.csv]. *)

@@ -1,0 +1,65 @@
+type row = {
+  granularity : float;
+  kept_procs : Stats.summary;
+  cost_fraction : Stats.summary;
+}
+
+let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 8) ?(eps = 1)
+    ?(latency_factor = 1.5) () =
+  let throughput = Paper_workload.throughput ~eps in
+  let rows =
+    List.filter_map
+      (fun granularity ->
+        let kept = ref [] and fraction = ref [] in
+        for rep = 0 to graphs - 1 do
+          let rng = Rng.create ~seed:(seed + (3571 * rep)) in
+          let inst = Paper_workload.instance ~rng ~granularity () in
+          let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
+          match Rltf.run (Types.problem ~dag ~platform:plat ~eps ~throughput) with
+          | Error _ -> ()
+          | Ok reference -> (
+              let latency_bound =
+                latency_factor *. Metrics.latency_bound reference ~throughput
+              in
+              match
+                Platform_cost.minimize ~latency_bound ~dag ~platform:plat ~eps
+                  ~throughput ()
+              with
+              | None -> ()
+              | Some r ->
+                  kept := float_of_int (List.length r.Platform_cost.kept) :: !kept;
+                  fraction :=
+                    (r.Platform_cost.cost /. r.Platform_cost.full_cost)
+                    :: !fraction)
+        done;
+        match (Stats.summarize_opt !kept, Stats.summarize_opt !fraction) with
+        | Some kept_procs, Some cost_fraction ->
+            Some { granularity; kept_procs; cost_fraction }
+        | _ -> None)
+      [ 0.6; 1.0; 1.6 ]
+  in
+  Printf.printf
+    "Platform cost minimization (eps=%d, latency budget %.1fx, %d graphs):\n"
+    eps latency_factor graphs;
+  Ascii_table.print
+    ~header:[ "g"; "processors kept (of 20)"; "cost fraction" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.1f" r.granularity;
+           Printf.sprintf "%.1f" r.kept_procs.Stats.mean;
+           Printf.sprintf "%.2f" r.cost_fraction.Stats.mean;
+         ])
+       rows);
+  Csv.write
+    ~path:(Filename.concat out_dir "fig-cost.csv")
+    ~header:[ "granularity"; "kept_procs"; "cost_fraction" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.2f" r.granularity;
+           Printf.sprintf "%.3f" r.kept_procs.Stats.mean;
+           Printf.sprintf "%.4f" r.cost_fraction.Stats.mean;
+         ])
+       rows);
+  rows

@@ -1,0 +1,91 @@
+type row = {
+  family : string;
+  algo : string;
+  stages : Stats.summary;
+  latency : Stats.summary;
+  meets : int;
+}
+
+let families =
+  [
+    ("layered", Paper_workload.Layered);
+    ("fan-in-out", Paper_workload.Fan_in_out);
+    ("series-parallel", Paper_workload.Series_parallel);
+    ("stream-chain", Paper_workload.Stream_chain);
+  ]
+
+let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 12) () =
+  let eps = 1 in
+  let throughput = Paper_workload.throughput ~eps in
+  let rows = ref [] in
+  List.iter
+    (fun (family_name, family) ->
+      let spec = { Paper_workload.default_spec with Paper_workload.family } in
+      let acc = Hashtbl.create 4 in
+      let record algo stages latency meets_t =
+        let s, l, meets =
+          try Hashtbl.find acc algo with Not_found -> ([], [], 0)
+        in
+        Hashtbl.replace acc algo
+          (stages :: s, latency :: l, if meets_t then meets + 1 else meets)
+      in
+      for rep = 0 to graphs - 1 do
+        let rng = Rng.create ~seed:(seed + (4409 * rep)) in
+        let inst = Paper_workload.instance ~spec ~rng ~granularity:1.0 () in
+        let prob =
+          Types.problem ~dag:inst.Paper_workload.dag
+            ~platform:inst.Paper_workload.plat ~eps ~throughput
+        in
+        List.iter
+          (fun (algo, outcome) ->
+            match outcome with
+            | Error _ -> ()
+            | Ok m ->
+                record algo
+                  (float_of_int (Metrics.stage_depth m))
+                  (Metrics.latency_bound m ~throughput)
+                  (Metrics.meets_throughput m ~throughput))
+          [
+            ("LTF", Ltf.run ~mode:Scheduler.Best_effort prob);
+            ("R-LTF", Rltf.run ~mode:Scheduler.Best_effort prob);
+          ]
+      done;
+      Hashtbl.iter
+        (fun algo (s, l, meets) ->
+          match (Stats.summarize_opt s, Stats.summarize_opt l) with
+          | Some stages, Some latency ->
+              rows := { family = family_name; algo; stages; latency; meets } :: !rows
+          | _ -> ())
+        acc)
+    families;
+  let rows =
+    List.sort (fun a b -> compare (a.family, a.algo) (b.family, b.algo)) !rows
+  in
+  Printf.printf "Graph-family robustness (eps=%d, g=1.0, %d graphs/family):\n"
+    eps graphs;
+  Ascii_table.print
+    ~header:[ "family"; "algorithm"; "stages"; "latency"; "meets T" ]
+    (List.map
+       (fun r ->
+         [
+           r.family;
+           r.algo;
+           Printf.sprintf "%.1f" r.stages.Stats.mean;
+           Printf.sprintf "%.0f" r.latency.Stats.mean;
+           Printf.sprintf "%d/%d" r.meets graphs;
+         ])
+       rows);
+  Csv.write
+    ~path:(Filename.concat out_dir "fig-families.csv")
+    ~header:[ "family"; "algorithm"; "stages"; "latency"; "meets_T" ]
+    (List.map
+       (fun r ->
+         [
+           r.family;
+           r.algo;
+           Printf.sprintf "%.3f" r.stages.Stats.mean;
+           Printf.sprintf "%.3f" r.latency.Stats.mean;
+           string_of_int r.meets;
+         ])
+       rows);
+  rows

@@ -1,0 +1,21 @@
+(** Extension H: robustness of the conclusions across graph families.
+
+    The paper's random graphs are layered; this experiment re-runs the
+    core comparison (LTF vs R-LTF, ε = 1, g = 1.0) on the other structural
+    families of the literature — bounded fan-in/out growth, series-parallel
+    graphs and split/join stream pipelines — to check that the headline
+    ordering (R-LTF needs fewer stages and less latency) is not an artifact
+    of the layered generator. *)
+
+type row = {
+  family : string;
+  algo : string;
+  stages : Stats.summary;
+  latency : Stats.summary;
+  meets : int;
+}
+
+val run :
+  ?out_dir:string -> ?seed:int -> ?graphs:int -> unit -> row list
+(** Defaults: 12 graphs per family.  Prints a table and writes
+    [fig-families.csv]. *)

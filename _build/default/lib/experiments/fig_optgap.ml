@@ -1,0 +1,103 @@
+type row = {
+  name : string;
+  mean_stages : float;
+  mean_ratio : float;
+  optimal_hits : int;
+}
+
+let heuristics ~throughput =
+  [
+    ( "LTF (eps=0)",
+      fun dag plat ->
+        Result.to_option
+          (Ltf.run ~mode:Scheduler.Best_effort
+             (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)) );
+    ( "R-LTF (eps=0)",
+      fun dag plat ->
+        Result.to_option
+          (Rltf.run ~mode:Scheduler.Best_effort
+             (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)) );
+    ("HEFT [9]", fun dag plat -> Some (Heft.mapping ~throughput dag plat));
+    ("WMSH [10]", fun dag plat -> Some (Wmsh.mapping dag plat ~throughput));
+    ("Hary-Ozguner [4]", fun dag plat -> Some (Hary.mapping dag plat ~throughput));
+  ]
+
+let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 15) ?(tasks = 9)
+    ?(m = 4) () =
+  let plat = Platform.homogeneous ~name:"optgap" ~m ~speed:1.0 ~bandwidth:1.0 () in
+  let acc = Hashtbl.create 8 in
+  let record name ratio stages optimal =
+    let ratios, stages', hits =
+      try Hashtbl.find acc name with Not_found -> ([], [], 0)
+    in
+    Hashtbl.replace acc name
+      (ratio :: ratios, stages :: stages', if optimal then hits + 1 else hits)
+  in
+  let usable = ref 0 in
+  let rep = ref 0 in
+  while !usable < graphs && !rep < graphs * 4 do
+    incr rep;
+    let rng = Rng.create ~seed:(seed + (1009 * !rep)) in
+    let dag = Random_dag.layered ~rng ~tasks () in
+    let dag = Calibrate.calibrated dag plat ~granularity:1.0 in
+    (* a period that makes placement non-trivial: roughly half the work
+       must leave the first processor *)
+    let throughput = float_of_int m /. (2.0 *. float_of_int tasks) in
+    match Optimal.minimum_stages ~dag ~platform:plat ~throughput () with
+    | None -> ()
+    | Some exact ->
+        incr usable;
+        List.iter
+          (fun (name, algo) ->
+            match algo dag plat with
+            | None -> ()
+            | Some mapping ->
+                let s = Metrics.stage_depth mapping in
+                record name
+                  (float_of_int s /. float_of_int (max 1 exact.Optimal.stages))
+                  (float_of_int s)
+                  (s = exact.Optimal.stages))
+          (heuristics ~throughput)
+  done;
+  let rows =
+    List.filter_map
+      (fun (name, _) ->
+        match Hashtbl.find_opt acc name with
+        | Some (ratios, stages, hits) when ratios <> [] ->
+            Some
+              {
+                name;
+                mean_stages = Stats.mean stages;
+                mean_ratio = Stats.mean ratios;
+                optimal_hits = hits;
+              }
+        | _ -> None)
+      (heuristics ~throughput:1.0)
+  in
+  Printf.printf
+    "Optimality gap vs exact branch-and-bound (%d instances, %d tasks, m=%d):\n"
+    !usable tasks m;
+  Ascii_table.print
+    ~header:[ "algorithm"; "mean stages"; "stages / optimal"; "optimal hits" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           Printf.sprintf "%.2f" r.mean_stages;
+           Printf.sprintf "%.2f" r.mean_ratio;
+           Printf.sprintf "%d/%d" r.optimal_hits !usable;
+         ])
+       rows);
+  Csv.write
+    ~path:(Filename.concat out_dir "fig-optgap.csv")
+    ~header:[ "algorithm"; "mean_stages"; "mean_ratio"; "optimal_hits" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           Printf.sprintf "%.3f" r.mean_stages;
+           Printf.sprintf "%.3f" r.mean_ratio;
+           string_of_int r.optimal_hits;
+         ])
+       rows);
+  rows

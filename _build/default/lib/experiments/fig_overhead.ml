@@ -1,0 +1,38 @@
+let overhead proj (s : Fig_common.sample) =
+  let l = proj s and ff = s.Fig_common.ff_sim in
+  if Float.is_nan l || Float.is_nan ff || ff <= 0.0 then nan
+  else (l -. ff) /. ff *. 100.0
+
+let series samples =
+  [
+    Fig_common.mean_series ~label:"R-LTF With 0 Crash"
+      (overhead (fun s -> s.Fig_common.rltf_sim))
+      samples;
+    Fig_common.mean_series ~label:"R-LTF With Crash"
+      (overhead (fun s -> s.Fig_common.rltf_crash))
+      samples;
+    Fig_common.mean_series ~label:"LTF With 0 Crash"
+      (overhead (fun s -> s.Fig_common.ltf_sim))
+      samples;
+    Fig_common.mean_series ~label:"LTF With Crash"
+      (overhead (fun s -> s.Fig_common.ltf_crash))
+      samples;
+  ]
+
+let run ?(out_dir = "results") ~(config : Fig_common.config) () =
+  let samples = Fig_common.collect config in
+  let curves = series samples in
+  let title =
+    Printf.sprintf
+      "Fault-tolerance overhead (%%) vs granularity (eps=%d, c=%d, %d \
+       graphs/point)"
+      config.Fig_common.eps config.Fig_common.crashes
+      config.Fig_common.graphs_per_point
+  in
+  Ascii_plot.print ~title ~x_label:"granularity" ~y_label:"overhead %" curves;
+  Fig_latency.table_of_series curves;
+  Fig_latency.csv_of_series
+    (Filename.concat out_dir
+       (Printf.sprintf "fig-overhead-eps%d.csv" config.Fig_common.eps))
+    curves;
+  curves

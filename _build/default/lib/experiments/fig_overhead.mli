@@ -1,0 +1,13 @@
+(** Figures 3(c)/4(c): average fault-tolerance overhead (%) versus
+    granularity.
+
+    [Overhead = (L_algo − L_FF) / L_FF × 100] against the fault-free
+    reference schedule (R-LTF without replication, ε = 0, on the same
+    graph and platform), for LTF and R-LTF, each with 0 crashes and with
+    [c] crashes. *)
+
+val series : Fig_common.sample list -> Ascii_plot.series list
+
+val run :
+  ?out_dir:string -> config:Fig_common.config -> unit -> Ascii_plot.series list
+(** Prints the plot and table and writes [fig-overhead-epsE.csv]. *)

@@ -1,0 +1,91 @@
+type row = {
+  granularity : float;
+  desired_throughput : float;
+  sustained : Stats.summary;
+  steady_latency : Stats.summary;
+  stage_model : Stats.summary;
+}
+
+let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 10) ?(items = 30)
+    ?(eps = 1) () =
+  let throughput = Paper_workload.throughput ~eps in
+  let rows =
+    List.filter_map
+      (fun granularity ->
+        let sustained = ref [] and steady = ref [] and model = ref [] in
+        for rep = 0 to graphs - 1 do
+          let rng = Rng.create ~seed:(seed + (6151 * rep)) in
+          let inst = Paper_workload.instance ~rng ~granularity () in
+          let prob =
+            Types.problem ~dag:inst.Paper_workload.dag
+              ~platform:inst.Paper_workload.plat ~eps ~throughput
+          in
+          match Rltf.run ~mode:Scheduler.Best_effort prob with
+          | Error _ -> ()
+          | Ok mapping ->
+              (* Only schedules that analytically meet the desired period
+                 are expected to sustain it. *)
+              if Metrics.meets_throughput mapping ~throughput then begin
+                let result =
+                  Engine.run ~n_items:items ~period:(1.0 /. throughput) mapping
+                in
+                (match Engine.sustained_throughput result with
+                | Some t -> sustained := t :: !sustained
+                | None -> ());
+                (match result.Engine.item_latency.(items - 1) with
+                | Some l -> steady := l :: !steady
+                | None -> ());
+                match Stage_latency.latency mapping ~throughput with
+                | Some l -> model := l :: !model
+                | None -> ()
+              end
+        done;
+        match
+          ( Stats.summarize_opt !sustained,
+            Stats.summarize_opt !steady,
+            Stats.summarize_opt !model )
+        with
+        | Some sustained, Some steady_latency, Some stage_model ->
+            Some
+              {
+                granularity;
+                desired_throughput = throughput;
+                sustained;
+                steady_latency;
+                stage_model;
+              }
+        | _ -> None)
+      [ 0.4; 1.0; 1.6 ]
+  in
+  Printf.printf
+    "Pipelined event-driven validation (eps=%d, %d items/stream):\n" eps items;
+  Ascii_table.print
+    ~header:
+      [
+        "g"; "desired T"; "sustained T"; "steady latency"; "stage model bound";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.1f" r.granularity;
+           Printf.sprintf "%.4f" r.desired_throughput;
+           Printf.sprintf "%.4f" r.sustained.Stats.mean;
+           Printf.sprintf "%.1f" r.steady_latency.Stats.mean;
+           Printf.sprintf "%.1f" r.stage_model.Stats.mean;
+         ])
+       rows);
+  Csv.write
+    ~path:(Filename.concat out_dir "fig-pipeline.csv")
+    ~header:
+      [ "granularity"; "desired_T"; "sustained_T"; "steady_latency"; "stage_model" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.2f" r.granularity;
+           Printf.sprintf "%.6f" r.desired_throughput;
+           Printf.sprintf "%.6f" r.sustained.Stats.mean;
+           Printf.sprintf "%.3f" r.steady_latency.Stats.mean;
+           Printf.sprintf "%.3f" r.stage_model.Stats.mean;
+         ])
+       rows);
+  rows

@@ -1,0 +1,115 @@
+type row = {
+  topology : string;
+  algo : string;
+  stages : Stats.summary;
+  latency : Stats.summary;
+  messages : Stats.summary;
+  meets : int;
+}
+
+(* Three 16-processor platforms with the same total off-diagonal
+   bandwidth, so differences come from structure, not capacity. *)
+let topologies () =
+  [
+    ("uniform", Platform.homogeneous ~name:"uniform16" ~m:16 ~speed:1.0 ~bandwidth:1.0 ());
+    ( "clustered",
+      Topologies.clustered ~name:"clustered16" ~clusters:4 ~per_cluster:4
+        ~speed:1.0 ~intra_bandwidth:3.4 ~inter_bandwidth:0.4 () );
+    ( "star",
+      Topologies.star ~name:"star16" ~m:16 ~speed:1.0 ~hub_bandwidth:3.0
+        ~leaf_bandwidth:0.571 () );
+  ]
+
+let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 12) () =
+  let eps = 1 in
+  let throughput = Paper_workload.throughput ~eps in
+  let rows = ref [] in
+  List.iter
+    (fun (topo_name, plat) ->
+      let acc = Hashtbl.create 4 in
+      let record algo stages latency messages meets_t =
+        let s, l, msg, meets =
+          try Hashtbl.find acc algo with Not_found -> ([], [], [], 0)
+        in
+        Hashtbl.replace acc algo
+          ( stages :: s,
+            latency :: l,
+            messages :: msg,
+            if meets_t then meets + 1 else meets )
+      in
+      for rep = 0 to graphs - 1 do
+        let rng = Rng.create ~seed:(seed + (8191 * rep)) in
+        (* same graphs across topologies: the rng stream only feeds the
+           graph, the platform is fixed *)
+        let spec =
+          { Paper_workload.default_spec with Paper_workload.tasks_range = (40, 80) }
+        in
+        let tasks =
+          let lo, hi = spec.Paper_workload.tasks_range in
+          Rng.uniform_int rng ~lo ~hi
+        in
+        let dag = Random_dag.layered ~rng ~tasks () in
+        let dag = Calibrate.calibrated dag plat ~granularity:1.0 in
+        let prob = Types.problem ~dag ~platform:plat ~eps ~throughput in
+        List.iter
+          (fun (algo, outcome) ->
+            match outcome with
+            | Error _ -> ()
+            | Ok m ->
+                record algo
+                  (float_of_int (Metrics.stage_depth m))
+                  (Metrics.latency_bound m ~throughput)
+                  (float_of_int (Mapping.n_messages m))
+                  (Metrics.meets_throughput m ~throughput))
+          [
+            ("LTF", Ltf.run ~mode:Scheduler.Best_effort prob);
+            ("R-LTF", Rltf.run ~mode:Scheduler.Best_effort prob);
+          ]
+      done;
+      Hashtbl.iter
+        (fun algo (s, l, msg, meets) ->
+          rows :=
+            {
+              topology = topo_name;
+              algo;
+              stages = Stats.summarize s;
+              latency = Stats.summarize l;
+              messages = Stats.summarize msg;
+              meets;
+            }
+            :: !rows)
+        acc)
+    (topologies ());
+  let rows =
+    List.sort (fun a b -> compare (a.topology, a.algo) (b.topology, b.algo)) !rows
+  in
+  Printf.printf "Topology sensitivity (eps=%d, g=1.0, %d graphs/topology):\n"
+    eps graphs;
+  Ascii_table.print
+    ~header:[ "topology"; "algorithm"; "stages"; "latency"; "messages"; "meets T" ]
+    (List.map
+       (fun r ->
+         [
+           r.topology;
+           r.algo;
+           Printf.sprintf "%.1f" r.stages.Stats.mean;
+           Printf.sprintf "%.0f" r.latency.Stats.mean;
+           Printf.sprintf "%.0f" r.messages.Stats.mean;
+           Printf.sprintf "%d/%d" r.meets graphs;
+         ])
+       rows);
+  Csv.write
+    ~path:(Filename.concat out_dir "fig-topology.csv")
+    ~header:[ "topology"; "algorithm"; "stages"; "latency"; "messages"; "meets_T" ]
+    (List.map
+       (fun r ->
+         [
+           r.topology;
+           r.algo;
+           Printf.sprintf "%.3f" r.stages.Stats.mean;
+           Printf.sprintf "%.3f" r.latency.Stats.mean;
+           Printf.sprintf "%.3f" r.messages.Stats.mean;
+           string_of_int r.meets;
+         ])
+       rows);
+  rows

@@ -1,0 +1,23 @@
+(** Extension G: sensitivity to the platform topology.
+
+    The paper draws link delays i.i.d.; this experiment re-runs LTF and
+    R-LTF on the same workflows over three 16-processor topologies with
+    equal aggregate bandwidth — uniform, clustered (fast islands, slow
+    backbone) and star — and reports how the placement adapts: stages,
+    latency bound, messages, and the fraction of transfers that stay on
+    fast links. *)
+
+type row = {
+  topology : string;
+  algo : string;
+  stages : Stats.summary;
+  latency : Stats.summary;
+  messages : Stats.summary;
+  meets : int;
+}
+
+val run :
+  ?out_dir:string -> ?seed:int -> ?graphs:int -> unit -> row list
+(** Defaults: 12 graphs, ε = 1, paper workload graphs re-targeted to the
+    16-processor topologies.  Prints a table and writes
+    [fig-topology.csv]. *)

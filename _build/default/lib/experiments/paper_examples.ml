@@ -1,0 +1,109 @@
+type outcome = {
+  what : string;
+  paper : string;
+  measured : string;
+}
+
+let fig1 () =
+  let dag = Classic.fig1_graph and plat = Classic.fig1_platform in
+  (* (i) Task parallelism: classical list scheduling; in streaming mode the
+     period equals the makespan, so L = makespan and T = 1/L. *)
+  let heft = Heft.run dag plat in
+  let task_parallel =
+    {
+      what = "task parallelism: latency (= 1/throughput)";
+      paper = "L = 39, T = 1/39";
+      measured =
+        Printf.sprintf "L = %.0f, T = 1/%.0f" heft.Heft.makespan heft.Heft.makespan;
+    }
+  in
+  (* (ii) Data parallelism: the whole graph on one processor, one replica
+     per processor, items dealt round-robin.  The aggregate throughput is
+     the sum of the processors' processing rates. *)
+  let total = Dag.total_exec dag in
+  let aggregate =
+    List.fold_left
+      (fun acc u -> acc +. (Platform.speed plat u /. total))
+      0.0 (Platform.procs plat)
+  in
+  let data_parallel =
+    {
+      what = "data parallelism: aggregate throughput";
+      paper = "T = 2/40 = 1/20 (fast processors)";
+      measured = Printf.sprintf "T = 1/%.1f (all four processors)" (1.0 /. aggregate);
+    }
+  in
+  (* (iii) Pipelined execution with two stages (t1,t3) and (t2,t4) on two
+     unit-speed processors. *)
+  let mapping = Mapping.create ~dag ~platform:plat ~eps:0 in
+  let place task proc sources =
+    Mapping.assign mapping { Replica.id = { Replica.task; copy = 0 }; proc; sources }
+  in
+  let id task = { Replica.task; copy = 0 } in
+  place 0 1 [];
+  place 2 1 [ (0, [ id 0 ]) ];
+  place 1 3 [ (0, [ id 0 ]) ];
+  place 3 3 [ (1, [ id 1 ]); (2, [ id 2 ]) ];
+  let throughput = Metrics.achieved_throughput mapping in
+  let stages = Metrics.stage_depth mapping in
+  let latency = Metrics.latency_bound mapping ~throughput in
+  let pipelined =
+    {
+      what = "pipelined execution: S, T, L = (2S-1)/T";
+      paper = "S = 2, T = 1/30, L = 90";
+      measured =
+        Printf.sprintf "S = %d, T = 1/%.0f, L = %.0f" stages (1.0 /. throughput)
+          latency;
+    }
+  in
+  [ task_parallel; data_parallel; pipelined ]
+
+let fig2 () =
+  let dag = Classic.fig2_graph in
+  let throughput = 0.05 in
+  let describe outcome =
+    match outcome with
+    | Error f -> Printf.sprintf "fails (%s)" (Types.failure_to_string f)
+    | Ok m ->
+        Printf.sprintf "succeeds: S = %d, L = %.0f" (Metrics.stage_depth m)
+          (Metrics.latency_bound m ~throughput)
+  in
+  let run_ltf m =
+    Ltf.run (Types.problem ~dag ~platform:(Classic.fig2_platform ~m) ~eps:1 ~throughput)
+  in
+  let run_rltf m =
+    Rltf.run (Types.problem ~dag ~platform:(Classic.fig2_platform ~m) ~eps:1 ~throughput)
+  in
+  [
+    {
+      what = "LTF, m = 8";
+      paper = "fails (throughput constraint)";
+      measured = describe (run_ltf 8);
+    };
+    {
+      what = "LTF, m = 10";
+      paper = "succeeds: S = 4, L = 140";
+      measured = describe (run_ltf 10);
+    };
+    {
+      what = "R-LTF, m = 8";
+      paper = "succeeds: S = 3, L = 100 (but with load 22 > 20)";
+      measured = describe (run_rltf 8);
+    };
+    {
+      what = "R-LTF, m = 10";
+      paper = "(not reported)";
+      measured = describe (run_rltf 10);
+    };
+  ]
+
+let print () =
+  let table title rows =
+    Printf.printf "%s\n" title;
+    Ascii_table.print
+      ~header:[ "scenario"; "paper"; "this implementation" ]
+      (List.map (fun o -> [ o.what; o.paper; o.measured ]) rows);
+    print_newline ()
+  in
+  table "Fig. 1 — motivating example:" (fig1 ());
+  table "Fig. 2 — LTF vs R-LTF worked example:" (fig2 ())

@@ -1,0 +1,22 @@
+(** The paper's two worked examples, replayed and compared against the
+    values printed in the text (§1 Fig. 1, §4.3 Fig. 2). *)
+
+type outcome = {
+  what : string;
+  paper : string;    (** the value the paper reports *)
+  measured : string; (** what this implementation produces *)
+}
+
+val fig1 : unit -> outcome list
+(** The motivating example: task parallelism (list scheduling), data
+    parallelism (all tasks on one processor, replicated round-robin) and
+    the two-stage pipelined execution. *)
+
+val fig2 : unit -> outcome list
+(** The LTF vs R-LTF worked example (ε = 1, T = 0.05): LTF on 8 and 10
+    processors, R-LTF on 8.  Note that the paper's own R-LTF schedule
+    carries a computing load of 22 > Δ = 20 on the t6 processor, so the
+    strict-mode outcome legitimately differs (see EXPERIMENTS.md). *)
+
+val print : unit -> unit
+(** Render both examples as tables. *)

@@ -1,0 +1,130 @@
+type experiment = {
+  name : string;
+  description : string;
+  run : quick:bool -> seed:int -> out_dir:string -> unit;
+}
+
+let latency_fig name ~eps ~mode ~crashes description =
+  {
+    name;
+    description;
+    run =
+      (fun ~quick ~seed ~out_dir ->
+        let config =
+          if quick then Fig_common.quick ~eps ~crashes
+          else Fig_common.default ~eps ~crashes
+        in
+        let config = { config with Fig_common.seed } in
+        ignore (Fig_latency.run ~out_dir ~config ~mode ()));
+  }
+
+let overhead_fig name ~eps ~crashes description =
+  {
+    name;
+    description;
+    run =
+      (fun ~quick ~seed ~out_dir ->
+        let config =
+          if quick then Fig_common.quick ~eps ~crashes
+          else Fig_common.default ~eps ~crashes
+        in
+        let config = { config with Fig_common.seed } in
+        ignore (Fig_overhead.run ~out_dir ~config ()));
+  }
+
+let all =
+  [
+    latency_fig "fig3a" ~eps:1 ~mode:Fig_latency.Bounds ~crashes:0
+      "Fig. 3(a): latency bounds vs granularity, eps=1";
+    latency_fig "fig3b" ~eps:1 ~mode:Fig_latency.Crash ~crashes:1
+      "Fig. 3(b): latency with 1 crash vs granularity, eps=1";
+    overhead_fig "fig3c" ~eps:1 ~crashes:1
+      "Fig. 3(c): fault-tolerance overhead vs granularity, eps=1";
+    latency_fig "fig4a" ~eps:3 ~mode:Fig_latency.Bounds ~crashes:0
+      "Fig. 4(a): latency bounds vs granularity, eps=3";
+    latency_fig "fig4b" ~eps:3 ~mode:Fig_latency.Crash ~crashes:2
+      "Fig. 4(b): latency with 2 crashes vs granularity, eps=3";
+    overhead_fig "fig4c" ~eps:3 ~crashes:2
+      "Fig. 4(c): fault-tolerance overhead vs granularity, eps=3";
+    {
+      name = "examples";
+      description = "Figs. 1-2: the paper's worked examples, replayed";
+      run = (fun ~quick:_ ~seed:_ ~out_dir:_ -> Paper_examples.print ());
+    };
+    {
+      name = "baselines";
+      description = "Extension A: Section 3 heuristics on the paper workload";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore
+            (Fig_baselines.run ~out_dir ~seed ~graphs:(if quick then 6 else 30) ()));
+    };
+    {
+      name = "complexity";
+      description = "Theorem 1: empirical LTF runtime scaling";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore
+            (Fig_complexity.run ~out_dir ~seed
+               ~repetitions:(if quick then 1 else 3)
+               ()));
+    };
+    {
+      name = "symmetric";
+      description = "Extension B: Section 6 symmetric problems";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore
+            (Fig_symmetric.run ~out_dir ~seed ~graphs:(if quick then 3 else 10) ()));
+    };
+    {
+      name = "ablation";
+      description = "Extension C: ablation of the implementation's mechanisms";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore
+            (Fig_ablation.run ~out_dir ~seed ~graphs:(if quick then 5 else 20) ()));
+    };
+    {
+      name = "pipeline";
+      description = "Extension D: event-driven validation of the throughput";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore
+            (Fig_pipeline.run ~out_dir ~seed ~graphs:(if quick then 3 else 10) ()));
+    };
+    {
+      name = "optgap";
+      description = "Extension F: optimality gap vs exact branch-and-bound";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore
+            (Fig_optgap.run ~out_dir ~seed ~graphs:(if quick then 5 else 15) ()));
+    };
+    {
+      name = "families";
+      description = "Extension H: robustness across graph families";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore
+            (Fig_families.run ~out_dir ~seed ~graphs:(if quick then 4 else 12) ()));
+    };
+    {
+      name = "topology";
+      description = "Extension G: sensitivity to the platform topology";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore
+            (Fig_topology.run ~out_dir ~seed ~graphs:(if quick then 4 else 12) ()));
+    };
+    {
+      name = "cost";
+      description = "Extension E: platform rental-cost minimization (Section 6)";
+      run =
+        (fun ~quick ~seed ~out_dir ->
+          ignore (Fig_cost.run ~out_dir ~seed ~graphs:(if quick then 2 else 8) ()));
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let names = List.map (fun e -> e.name) all

@@ -1,0 +1,18 @@
+(** Registry of the reproducible experiments, used by
+    [bin/experiments.exe] and the integration tests. *)
+
+type experiment = {
+  name : string;        (** CLI name, e.g. "fig3a" *)
+  description : string;
+  run : quick:bool -> seed:int -> out_dir:string -> unit;
+      (** [quick] shrinks the per-point replication for smoke runs *)
+}
+
+val all : experiment list
+(** fig3a fig3b fig3c fig4a fig4b fig4c examples baselines complexity
+    symmetric ablation pipeline optgap families topology cost — in that
+    order. *)
+
+val find : string -> experiment option
+
+val names : string list

@@ -1,0 +1,43 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  stderr : float;
+  min : float;
+  max : float;
+}
+
+let summarize = function
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | values ->
+      let n = List.length values in
+      let fn = float_of_int n in
+      let mean = List.fold_left ( +. ) 0.0 values /. fn in
+      let sq_dev =
+        List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values
+      in
+      let stddev = if n > 1 then sqrt (sq_dev /. (fn -. 1.0)) else 0.0 in
+      {
+        n;
+        mean;
+        stddev;
+        stderr = (if n > 1 then stddev /. sqrt fn else 0.0);
+        min = List.fold_left Float.min infinity values;
+        max = List.fold_left Float.max neg_infinity values;
+      }
+
+let summarize_opt = function [] -> None | values -> Some (summarize values)
+
+let mean values = (summarize values).mean
+
+let median values =
+  match List.sort compare values with
+  | [] -> invalid_arg "Stats.median: empty sample"
+  | sorted ->
+      let n = List.length sorted in
+      let nth k = List.nth sorted k in
+      if n mod 2 = 1 then nth (n / 2)
+      else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%.2f ± %.2f (n=%d)" s.mean s.stderr s.n

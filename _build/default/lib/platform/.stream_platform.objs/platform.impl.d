@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Array Float Format Fun List Printf

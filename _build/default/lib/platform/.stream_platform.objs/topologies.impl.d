@@ -1,0 +1,1 @@
+lib/platform/topologies.ml: Array Platform

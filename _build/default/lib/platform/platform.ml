@@ -1,0 +1,100 @@
+type proc = int
+
+type t = {
+  name : string;
+  speeds : float array;
+  bw : float array array;
+}
+
+let create ?(name = "platform") ~speeds ~bandwidth () =
+  let m = Array.length speeds in
+  if m = 0 then invalid_arg "Platform.create: no processors";
+  Array.iteri
+    (fun u s ->
+      if s <= 0.0 then
+        invalid_arg (Printf.sprintf "Platform.create: speed of P%d not positive" u))
+    speeds;
+  if Array.length bandwidth <> m then
+    invalid_arg "Platform.create: bandwidth matrix has wrong height";
+  Array.iteri
+    (fun k row ->
+      if Array.length row <> m then
+        invalid_arg "Platform.create: bandwidth matrix has wrong width";
+      Array.iteri
+        (fun h d ->
+          if k <> h then begin
+            if d <= 0.0 then
+              invalid_arg
+                (Printf.sprintf
+                   "Platform.create: bandwidth of link %d-%d not positive" k h);
+            if Float.abs (d -. bandwidth.(h).(k)) > 1e-9 *. Float.max 1.0 d then
+              invalid_arg
+                (Printf.sprintf "Platform.create: bandwidth matrix not symmetric \
+                                 at %d-%d" k h)
+          end)
+        row)
+    bandwidth;
+  { name; speeds = Array.copy speeds; bw = Array.map Array.copy bandwidth }
+
+let homogeneous ?(name = "homogeneous") ~m ~speed ~bandwidth () =
+  if m <= 0 then invalid_arg "Platform.homogeneous: no processors";
+  create ~name ~speeds:(Array.make m speed)
+    ~bandwidth:(Array.make_matrix m m bandwidth)
+    ()
+
+let name p = p.name
+let size p = Array.length p.speeds
+let speed p u = p.speeds.(u)
+
+let bandwidth p k h =
+  if k = h then invalid_arg "Platform.bandwidth: same processor";
+  p.bw.(k).(h)
+
+let unit_delay p k h = if k = h then 0.0 else 1.0 /. p.bw.(k).(h)
+let exec_time p u w = w /. p.speeds.(u)
+let comm_time p src dst vol = if src = dst then 0.0 else vol /. p.bw.(src).(dst)
+let procs p = List.init (size p) Fun.id
+
+let mean_inverse_speed p =
+  let total = Array.fold_left (fun acc s -> acc +. (1.0 /. s)) 0.0 p.speeds in
+  total /. float_of_int (size p)
+
+let mean_unit_delay p =
+  let m = size p in
+  if m = 1 then 0.0
+  else begin
+    let total = ref 0.0 in
+    for k = 0 to m - 1 do
+      for h = 0 to m - 1 do
+        if k <> h then total := !total +. (1.0 /. p.bw.(k).(h))
+      done
+    done;
+    !total /. float_of_int (m * (m - 1))
+  end
+
+let slowest_exec_time p w =
+  let min_speed = Array.fold_left Float.min infinity p.speeds in
+  w /. min_speed
+
+let slowest_comm_time p vol =
+  let m = size p in
+  if m = 1 then 0.0
+  else begin
+    let min_bw = ref infinity in
+    for k = 0 to m - 1 do
+      for h = 0 to m - 1 do
+        if k <> h && p.bw.(k).(h) < !min_bw then min_bw := p.bw.(k).(h)
+      done
+    done;
+    vol /. !min_bw
+  end
+
+let fastest_proc p =
+  let best = ref 0 in
+  Array.iteri (fun u s -> if s > p.speeds.(!best) then best := u) p.speeds;
+  !best
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>platform %S: %d processors@," p.name (size p);
+  Array.iteri (fun u s -> Format.fprintf ppf "P%d: speed %g@," u s) p.speeds;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/sched/gantt.ml: Buffer Bytes Float List Mapping Platform Printf Replica String

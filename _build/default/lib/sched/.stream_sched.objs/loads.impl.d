@@ -1,0 +1,1 @@
+lib/sched/loads.ml: Array Dag Float List Mapping Platform Replica

@@ -1,0 +1,1 @@
+lib/sched/loads.mli: Mapping Platform

@@ -1,0 +1,1 @@
+lib/sched/mapping.ml: Array Dag Format Fun List Option Platform Printf Replica

@@ -1,0 +1,1 @@
+lib/sched/mapping_io.ml: Array Buffer Fun List Mapping Printf Replica String Topo

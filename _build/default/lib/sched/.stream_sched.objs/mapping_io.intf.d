@@ -1,0 +1,1 @@
+lib/sched/mapping_io.mli: Dag Mapping Platform

@@ -1,0 +1,1 @@
+lib/sched/metrics.ml: Array Dag Loads Mapping Platform Stages

@@ -1,0 +1,1 @@
+lib/sched/replica.ml: Dag Format List Platform

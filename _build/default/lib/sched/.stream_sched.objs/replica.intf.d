@@ -1,0 +1,1 @@
+lib/sched/replica.mli: Dag Format Platform

@@ -1,0 +1,1 @@
+lib/sched/stages.ml: Array Dag List Mapping Printf Replica Topo

@@ -1,0 +1,1 @@
+lib/sched/stages.mli: Mapping Replica

@@ -1,0 +1,1 @@
+lib/sched/validate.ml: Array Dag Format Fun List Loads Mapping Platform Printf Replica String Topo

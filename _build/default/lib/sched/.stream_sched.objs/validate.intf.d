@@ -1,0 +1,1 @@
+lib/sched/validate.mli: Dag Format Mapping Platform Replica

@@ -1,0 +1,53 @@
+let render ?(width = 72) m ~times =
+  let plat = Mapping.platform m in
+  let horizon = ref 0.0 in
+  Mapping.iter m (fun r ->
+      match times r.Replica.id with
+      | Some (_, finish) -> horizon := Float.max !horizon finish
+      | None -> ());
+  let buf = Buffer.create 1024 in
+  if !horizon <= 0.0 then Buffer.add_string buf "(empty schedule)\n"
+  else begin
+    let scale = float_of_int width /. !horizon in
+    let col time =
+      min (width - 1) (int_of_float (Float.round (time *. scale)))
+    in
+    List.iter
+      (fun p ->
+        let row = Bytes.make width '.' in
+        let labels = ref [] in
+        List.iter
+          (fun (r : Replica.t) ->
+            match times r.id with
+            | None -> ()
+            | Some (start, finish) ->
+                let c0 = col start and c1 = max (col start) (col finish - 1) in
+                for c = c0 to c1 do
+                  Bytes.set row c '#'
+                done;
+                labels :=
+                  Printf.sprintf "%s@[%.2f,%.2f]" (Replica.id_to_string r.id)
+                    start finish
+                  :: !labels)
+          (Mapping.on_proc m p);
+        Buffer.add_string buf
+          (Printf.sprintf "P%-3d |%s| %s\n" p (Bytes.to_string row)
+             (String.concat " " (List.rev !labels))))
+      (Platform.procs plat);
+    Buffer.add_string buf
+      (Printf.sprintf "time axis: 0 .. %.2f (%d cols)\n" !horizon width)
+  end;
+  Buffer.contents buf
+
+let summary m =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      let names =
+        Mapping.on_proc m p
+        |> List.map (fun (r : Replica.t) -> Replica.id_to_string r.id)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "P%-3d: %s\n" p (String.concat " " names)))
+    (Platform.procs (Mapping.platform m));
+  Buffer.contents buf

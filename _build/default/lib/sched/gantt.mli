@@ -1,0 +1,16 @@
+(** ASCII Gantt charts of executed schedules. *)
+
+val render :
+  ?width:int ->
+  Mapping.t ->
+  times:(Replica.id -> (float * float) option) ->
+  string
+(** [render m ~times] draws one row per processor; each placed replica with
+    known [(start, finish)] times appears as a bar labelled with the replica
+    name.  [width] is the number of character columns for the time axis
+    (default 72).  Replicas with no recorded times (e.g. dead ones after a
+    crash) are omitted. *)
+
+val summary : Mapping.t -> string
+(** A textual per-processor summary of the mapping (no timing): the replicas
+    hosted by each processor in placement order. *)

@@ -1,0 +1,39 @@
+type t = {
+  sigma : float array;
+  c_in : float array;
+  c_out : float array;
+}
+
+let of_mapping m =
+  let plat = Mapping.platform m in
+  let dag = Mapping.dag m in
+  let n = Platform.size plat in
+  let loads =
+    { sigma = Array.make n 0.0; c_in = Array.make n 0.0; c_out = Array.make n 0.0 }
+  in
+  Mapping.iter m (fun (r : Replica.t) ->
+      loads.sigma.(r.proc) <-
+        loads.sigma.(r.proc) +. Platform.exec_time plat r.proc (Dag.exec dag r.id.task);
+      List.iter
+        (fun (pred, ids) ->
+          let vol = Dag.volume dag pred r.id.task in
+          List.iter
+            (fun (src : Replica.id) ->
+              let src_r = Mapping.replica_exn m src.task src.copy in
+              if src_r.proc <> r.proc then begin
+                let time = Platform.comm_time plat src_r.proc r.proc vol in
+                loads.c_in.(r.proc) <- loads.c_in.(r.proc) +. time;
+                loads.c_out.(src_r.proc) <- loads.c_out.(src_r.proc) +. time
+              end)
+            ids)
+        r.sources);
+  loads
+
+let cycle_time l u = Float.max l.sigma.(u) (Float.max l.c_in.(u) l.c_out.(u))
+
+let max_cycle_time l =
+  let best = ref 0.0 in
+  Array.iteri (fun u _ -> best := Float.max !best (cycle_time l u)) l.sigma;
+  !best
+
+let utilization l ~throughput u = throughput *. l.sigma.(u)

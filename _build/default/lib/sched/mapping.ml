@@ -1,0 +1,140 @@
+type t = {
+  dag : Dag.t;
+  platform : Platform.t;
+  eps : int;
+  slots : Replica.t option array array; (* [task].(copy) *)
+  by_proc : Replica.t list array;       (* reverse placement order *)
+}
+
+let create ~dag ~platform ~eps =
+  if eps < 0 then invalid_arg "Mapping.create: negative eps";
+  if eps >= Platform.size platform then
+    invalid_arg "Mapping.create: eps must be smaller than the processor count";
+  {
+    dag;
+    platform;
+    eps;
+    slots = Array.init (Dag.size dag) (fun _ -> Array.make (eps + 1) None);
+    by_proc = Array.make (Platform.size platform) [];
+  }
+
+let dag m = m.dag
+let platform m = m.platform
+let eps m = m.eps
+let n_copies m = m.eps + 1
+
+let replica m task copy = m.slots.(task).(copy)
+
+let replica_exn m task copy =
+  match m.slots.(task).(copy) with
+  | Some r -> r
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Mapping.replica_exn: t%d(%d) not placed" task copy)
+
+let replicas_of_task m task =
+  Array.to_list m.slots.(task) |> List.filter_map Fun.id
+
+let scheduled m task = Array.for_all Option.is_some m.slots.(task)
+
+let is_complete m =
+  let rec check t = t >= Dag.size m.dag || (scheduled m t && check (t + 1)) in
+  check 0
+
+let on_proc m proc = List.rev m.by_proc.(proc)
+
+let mapped m task proc =
+  Array.exists
+    (function Some (r : Replica.t) -> r.proc = proc | None -> false)
+    m.slots.(task)
+
+let procs_of_task m task =
+  replicas_of_task m task
+  |> List.map (fun (r : Replica.t) -> r.proc)
+  |> List.sort_uniq compare
+
+let check_sources m (r : Replica.t) =
+  let pred_tasks = List.map fst (Dag.preds m.dag r.id.task) in
+  let source_tasks = List.map fst r.sources in
+  if List.sort compare source_tasks <> List.sort compare pred_tasks then
+    invalid_arg
+      (Printf.sprintf
+         "Mapping.assign: sources of %s do not cover its predecessors"
+         (Replica.id_to_string r.id));
+  List.iter
+    (fun (pred, ids) ->
+      if ids = [] then
+        invalid_arg
+          (Printf.sprintf "Mapping.assign: empty source set for t%d of %s" pred
+             (Replica.id_to_string r.id));
+      List.iter
+        (fun (src : Replica.id) ->
+          if src.task <> pred then
+            invalid_arg
+              (Printf.sprintf "Mapping.assign: source %s is not a replica of t%d"
+                 (Replica.id_to_string src) pred);
+          if src.copy < 0 || src.copy > m.eps then
+            invalid_arg "Mapping.assign: source copy out of range";
+          if m.slots.(src.task).(src.copy) = None then
+            invalid_arg
+              (Printf.sprintf "Mapping.assign: source %s not placed yet"
+                 (Replica.id_to_string src)))
+        ids)
+    r.sources
+
+let assign m (r : Replica.t) =
+  let { Replica.task; copy } = r.id in
+  if task < 0 || task >= Dag.size m.dag then
+    invalid_arg "Mapping.assign: task out of range";
+  if copy < 0 || copy > m.eps then invalid_arg "Mapping.assign: copy out of range";
+  if r.proc < 0 || r.proc >= Platform.size m.platform then
+    invalid_arg "Mapping.assign: processor out of range";
+  if m.slots.(task).(copy) <> None then
+    invalid_arg
+      (Printf.sprintf "Mapping.assign: %s already placed"
+         (Replica.id_to_string r.id));
+  if mapped m task r.proc then
+    invalid_arg
+      (Printf.sprintf
+         "Mapping.assign: another replica of t%d already sits on P%d" task r.proc);
+  check_sources m r;
+  m.slots.(task).(copy) <- Some r;
+  m.by_proc.(r.proc) <- r :: m.by_proc.(r.proc)
+
+let iter m f =
+  Array.iter (fun copies -> Array.iter (Option.iter f) copies) m.slots
+
+let consumers m id =
+  let acc = ref [] in
+  iter m (fun (r : Replica.t) ->
+      List.iter
+        (fun (pred, ids) ->
+          if pred = id.Replica.task
+             && List.exists (fun i -> Replica.compare_id i id = 0) ids
+          then begin
+            let vol = Dag.volume m.dag pred r.id.task in
+            acc := (r.id, vol) :: !acc
+          end)
+        r.sources);
+  List.rev !acc
+
+let n_messages m =
+  let count = ref 0 in
+  iter m (fun (r : Replica.t) ->
+      List.iter
+        (fun (_, ids) ->
+          List.iter
+            (fun (src : Replica.id) ->
+              match m.slots.(src.task).(src.copy) with
+              | Some src_r when src_r.proc <> r.proc -> incr count
+              | _ -> ())
+            ids)
+        r.sources);
+  !count
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>mapping (eps=%d) of %S on %S@," m.eps
+    (Dag.name m.dag)
+    (Platform.name m.platform);
+  iter m (fun r -> Format.fprintf ppf "%a@," Replica.pp r);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** Replicated mappings of a task graph onto a platform.
+
+    A mapping places [ε + 1] replicas of every task onto processors and
+    records the source replicas of every placed replica; it is the matrix
+    [X] of §2 enriched with the replica-level communication structure.
+    Mappings are built incrementally (the scheduling algorithms place one
+    replica at a time) and may be inspected while partial. *)
+
+type t
+
+val create : dag:Dag.t -> platform:Platform.t -> eps:int -> t
+(** An empty mapping tolerating [eps] failures ([eps + 1] replicas per
+    task).  @raise Invalid_argument if [eps < 0] or
+    [eps >= Platform.size platform] (replicas of a task must live on
+    distinct processors). *)
+
+val dag : t -> Dag.t
+val platform : t -> Platform.t
+val eps : t -> int
+
+val n_copies : t -> int
+(** [eps + 1]. *)
+
+val assign : t -> Replica.t -> unit
+(** Place one replica.  Checks that: the slot is still free; the processor
+    is valid; no other replica of the same task already sits on that
+    processor; the sources cover exactly the predecessors of the task, each
+    with at least one already-placed replica of that predecessor.
+    @raise Invalid_argument otherwise. *)
+
+val replica : t -> Dag.task -> int -> Replica.t option
+val replica_exn : t -> Dag.task -> int -> Replica.t
+
+val replicas_of_task : t -> Dag.task -> Replica.t list
+(** Placed replicas of a task, in copy order ([B(t)] of §4 once complete). *)
+
+val scheduled : t -> Dag.task -> bool
+(** All [eps + 1] replicas of the task are placed. *)
+
+val is_complete : t -> bool
+(** Every task is {!scheduled}. *)
+
+val on_proc : t -> Platform.proc -> Replica.t list
+(** Replicas placed on a processor, in placement order. *)
+
+val mapped : t -> Dag.task -> Platform.proc -> bool
+(** Element [X_{iu}] of the mapping matrix. *)
+
+val procs_of_task : t -> Dag.task -> Platform.proc list
+(** Processors hosting a replica of the task (increasing order). *)
+
+val iter : t -> (Replica.t -> unit) -> unit
+(** Iterate over placed replicas in (task, copy) order. *)
+
+val consumers : t -> Replica.id -> (Replica.id * float) list
+(** Replicas that list the given replica as a source, with the volume of the
+    corresponding DAG edge.  Computed on demand (linear scan). *)
+
+val n_messages : t -> int
+(** Number of replica-to-replica communications that cross processors
+    (the quantity Rule 2 of R-LTF tries to keep near [e(ε+1)]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+let fail line fmt = Printf.ksprintf (fun message -> Error { line; message }) fmt
+
+let print m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "mapping eps %d\n" (Mapping.eps m));
+  (* Topological task order guarantees sources precede their consumers
+     when the file is replayed. *)
+  Array.iter
+    (fun task ->
+      for copy = 0 to Mapping.eps m do
+        match Mapping.replica m task copy with
+        | None -> ()
+        | Some r ->
+            Buffer.add_string buf
+              (Printf.sprintf "replica %d %d on %d" task copy r.Replica.proc);
+            List.iter
+              (fun (pred, ids) ->
+                Buffer.add_string buf
+                  (Printf.sprintf " from %d:%s" pred
+                     (String.concat ","
+                        (List.map
+                           (fun (s : Replica.id) -> string_of_int s.copy)
+                           ids))))
+              r.Replica.sources;
+            Buffer.add_char buf '\n'
+      done)
+    (Topo.order (Mapping.dag m));
+  Buffer.contents buf
+
+let tokenize contents =
+  String.split_on_char '\n' contents
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (n, line) ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         match
+           String.split_on_char ' ' line |> List.filter (fun f -> f <> "")
+         with
+         | [] -> None
+         | fields -> Some (n, fields))
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> fail line "cannot parse %s %S" what s
+
+let parse_sources line fields =
+  (* fields: alternating "from" "<pred>:<c1>,<c2>" groups *)
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | "from" :: group :: rest -> (
+        match String.split_on_char ':' group with
+        | [ pred_s; copies_s ] -> (
+            match parse_int line "predecessor" pred_s with
+            | Error e -> Error e
+            | Ok pred -> (
+                let copies = String.split_on_char ',' copies_s in
+                let rec parse_copies acc' = function
+                  | [] -> Ok (List.rev acc')
+                  | c :: cs -> (
+                      match parse_int line "source copy" c with
+                      | Ok copy ->
+                          parse_copies ({ Replica.task = pred; copy } :: acc') cs
+                      | Error e -> Error e)
+                in
+                match parse_copies [] copies with
+                | Ok ids -> loop ((pred, ids) :: acc) rest
+                | Error e -> Error e))
+        | _ -> fail line "malformed source group %S" group)
+    | junk :: _ -> fail line "unexpected %S in a replica line" junk
+  in
+  loop [] fields
+
+let parse ~dag ~platform contents =
+  let lines = tokenize contents in
+  let eps_decl, body =
+    match lines with
+    | (line, [ "mapping"; "eps"; e ]) :: rest -> (
+        match parse_int line "eps" e with
+        | Ok eps -> (Ok eps, rest)
+        | Error err -> (Error err, rest))
+    | (line, _) :: _ -> (fail line "expected \"mapping eps <n>\"", [])
+    | [] -> (fail 0 "empty mapping file", [])
+  in
+  match eps_decl with
+  | Error e -> Error e
+  | Ok eps -> (
+      match Mapping.create ~dag ~platform ~eps with
+      | exception Invalid_argument msg -> fail 0 "%s" msg
+      | mapping -> (
+          let rec replay = function
+            | [] -> Ok ()
+            | (line, "replica" :: task_s :: copy_s :: "on" :: proc_s :: sources_f)
+              :: rest -> (
+                match
+                  (parse_int line "task" task_s, parse_int line "copy" copy_s,
+                   parse_int line "processor" proc_s)
+                with
+                | Ok task, Ok copy, Ok proc -> (
+                    match parse_sources line sources_f with
+                    | Error e -> Error e
+                    | Ok sources -> (
+                        match
+                          Mapping.assign mapping
+                            { Replica.id = { Replica.task; copy }; proc; sources }
+                        with
+                        | () -> replay rest
+                        | exception Invalid_argument msg -> fail line "%s" msg))
+                | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+            | (line, _) :: _ -> fail line "expected a replica line"
+          in
+          match replay body with
+          | Error e -> Error e
+          | Ok () ->
+              if Mapping.is_complete mapping then Ok mapping
+              else fail 0 "the file does not place every replica"))
+
+let save path m =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print m))
+
+let load ~dag ~platform path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> parse ~dag ~platform contents
+  | exception Sys_error msg -> fail 0 "%s" msg

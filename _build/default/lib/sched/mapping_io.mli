@@ -1,0 +1,34 @@
+(** Plain-text serialization of replicated mappings, so schedules can be
+    computed once and replayed elsewhere (same spirit as the workflow
+    files of [Workflow_io]).
+
+    Format, one replica per line in any topological-compatible order:
+
+    {v
+    mapping eps 1
+    replica 0 0 on 2
+    replica 0 1 on 5
+    replica 3 0 on 2 from 0:0 from 1:0,1
+    v}
+
+    [replica <task> <copy> on <proc>] followed by one [from
+    <pred>:<copy>,<copy>…] group per predecessor.  The graph and platform
+    are not embedded; parsing happens against a caller-supplied DAG and
+    platform and re-runs every structural check of {!Mapping.assign}. *)
+
+type error = { line : int; message : string }
+
+val error_to_string : error -> string
+
+val print : Mapping.t -> string
+
+val parse :
+  dag:Dag.t -> platform:Platform.t -> string -> (Mapping.t, error) result
+(** Rebuild a mapping from its textual form.  Fails with the offending
+    line on unknown tasks/processors, duplicate or missing replicas,
+    malformed source groups, or any {!Mapping.assign} rejection. *)
+
+val save : string -> Mapping.t -> unit
+
+val load :
+  dag:Dag.t -> platform:Platform.t -> string -> (Mapping.t, error) result

@@ -1,0 +1,30 @@
+(** Performance metrics of a mapping (§2, §4). *)
+
+val granularity : Dag.t -> Platform.t -> float
+(** [g(G, P)]: ratio of the sum over tasks of their slowest computation time
+    to the sum over edges of their slowest communication time (§2).
+    [infinity] when the graph has no edge or the platform a single
+    processor. *)
+
+val achieved_throughput : Mapping.t -> float
+(** [1 / max_u Δ_u] for the loads of the mapping; [infinity] for an empty
+    mapping. *)
+
+val period : Mapping.t -> float
+(** Inverse of {!achieved_throughput}: the smallest iteration period the
+    mapping can sustain. *)
+
+val meets_throughput : Mapping.t -> throughput:float -> bool
+(** Whether every processor satisfies [T · Σ_u ≤ 1], [T · Cᴵ_u ≤ 1] and
+    [T · Cᴼ_u ≤ 1] (condition (1) aggregated over the final mapping).
+    A small relative tolerance absorbs floating-point accumulation. *)
+
+val stage_depth : Mapping.t -> int
+(** Pipeline stage number [S]. *)
+
+val latency_bound : Mapping.t -> throughput:float -> float
+(** The paper's pipelined latency [L = (2S − 1) / T] for the desired
+    throughput [T] (§4, after [Hary–Özgüner 1999]). *)
+
+val replication_messages : Mapping.t -> int
+(** Cross-processor replica communications; between [e] and [e(ε+1)²]. *)

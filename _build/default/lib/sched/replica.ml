@@ -1,0 +1,28 @@
+type id = { task : Dag.task; copy : int }
+
+let compare_id a b =
+  match compare a.task b.task with 0 -> compare a.copy b.copy | c -> c
+
+let pp_id ppf { task; copy } = Format.fprintf ppf "t%d(%d)" task copy
+let id_to_string id = Format.asprintf "%a" pp_id id
+
+type t = {
+  id : id;
+  proc : Platform.proc;
+  sources : (Dag.task * id list) list;
+}
+
+let sources_for r task = List.assoc task r.sources
+
+let pp ppf r =
+  Format.fprintf ppf "@[%a on P%d" pp_id r.id r.proc;
+  if r.sources <> [] then begin
+    Format.fprintf ppf " <-";
+    List.iter
+      (fun (pred, ids) ->
+        Format.fprintf ppf " [t%d:" pred;
+        List.iter (fun id -> Format.fprintf ppf " %a" pp_id id) ids;
+        Format.fprintf ppf "]")
+      r.sources
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** Task replicas.
+
+    The active replication scheme (§2) executes each task [ε + 1] times;
+    replica [copy N] of task [t] is the paper's [t^(N)] (0-based here).  A
+    placed replica records its processor and, for every predecessor task,
+    the set of source replicas it receives its input from: a singleton when
+    the replica was placed by the one-to-one mapping procedure, all [ε + 1]
+    predecessor replicas otherwise. *)
+
+type id = { task : Dag.task; copy : int }
+
+val compare_id : id -> id -> int
+val pp_id : Format.formatter -> id -> unit
+val id_to_string : id -> string
+
+type t = {
+  id : id;
+  proc : Platform.proc;
+  sources : (Dag.task * id list) list;
+      (** One entry per predecessor task of [id.task], in increasing
+          predecessor order; each entry lists the replicas of that
+          predecessor whose output this replica consumes (at least one). *)
+}
+
+val sources_for : t -> Dag.task -> id list
+(** Source replicas for one predecessor task.
+    @raise Not_found if the task is not a predecessor. *)
+
+val pp : Format.formatter -> t -> unit

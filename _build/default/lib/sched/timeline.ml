@@ -1,0 +1,40 @@
+(* Sorted list of disjoint busy intervals [(start, finish)].  Schedules
+   touch a few dozen intervals per resource, so linear scans are fine and
+   keep the structure persistent. *)
+
+type t = (float * float) list
+
+let empty = []
+
+let eps = 1e-12
+
+let earliest_fit t ~ready ~duration =
+  if duration < 0.0 then invalid_arg "Timeline.earliest_fit: negative duration";
+  let rec scan candidate = function
+    | [] -> candidate
+    | (s, f) :: rest ->
+        if candidate +. duration <= s +. eps then candidate
+        else scan (Float.max candidate f) rest
+  in
+  scan ready t
+
+let insert t ~start ~duration =
+  if duration < 0.0 then invalid_arg "Timeline.insert: negative duration";
+  if duration = 0.0 then t
+  else begin
+    let finish = start +. duration in
+    let rec place acc = function
+      | [] -> List.rev ((start, finish) :: acc)
+      | (s, f) :: rest ->
+          if finish <= s +. eps then List.rev_append acc ((start, finish) :: (s, f) :: rest)
+          else if f <= start +. eps then place ((s, f) :: acc) rest
+          else invalid_arg "Timeline.insert: overlapping interval"
+    in
+    place [] t
+  end
+
+let busy_until t = List.fold_left (fun _ (_, f) -> f) 0.0 t
+
+let total_busy t = List.fold_left (fun acc (s, f) -> acc +. (f -. s)) 0.0 t
+
+let intervals t = t

@@ -1,0 +1,29 @@
+(** Busy-interval timelines for one-port finish-time estimation.
+
+    A timeline records disjoint half-open busy intervals on a resource (a
+    compute core, a send port, a receive port).  Timelines are persistent:
+    trial placements during processor selection share structure with the
+    committed state and are discarded for free. *)
+
+type t
+
+val empty : t
+
+val earliest_fit : t -> ready:float -> duration:float -> float
+(** The earliest start [s ≥ ready] such that [[s, s + duration)] does not
+    intersect any busy interval.  A zero-duration request returns the
+    earliest instant not interior to a busy interval. *)
+
+val insert : t -> start:float -> duration:float -> t
+(** Mark [[start, start + duration)] busy.
+    @raise Invalid_argument if it overlaps an existing interval (callers
+    must reserve via {!earliest_fit}) or if [duration < 0]. *)
+
+val busy_until : t -> float
+(** End of the last busy interval; [0] for an empty timeline. *)
+
+val total_busy : t -> float
+(** Sum of busy durations. *)
+
+val intervals : t -> (float * float) list
+(** Busy intervals in increasing order (for tests and rendering). *)

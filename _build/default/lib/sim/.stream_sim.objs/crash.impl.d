@@ -1,0 +1,1 @@
+lib/sim/crash.ml: Engine List Mapping Platform

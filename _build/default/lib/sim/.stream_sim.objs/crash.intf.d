@@ -1,0 +1,1 @@
+lib/sim/crash.mli: Mapping Platform

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Dag Event_heap Float Fun Levels List Mapping Metrics Option Platform Replica Topo

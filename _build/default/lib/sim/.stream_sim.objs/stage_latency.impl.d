@@ -1,0 +1,1 @@
+lib/sim/stage_latency.ml: Array Dag List Mapping Option Platform Replica Topo

@@ -1,0 +1,1 @@
+lib/sim/stage_latency.mli: Mapping Platform

@@ -1,0 +1,1 @@
+lib/sim/svg_gantt.ml: Array Buffer Dag Engine Float Fun List Mapping Platform Printf Replica

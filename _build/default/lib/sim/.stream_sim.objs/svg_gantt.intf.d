@@ -1,0 +1,1 @@
+lib/sim/svg_gantt.mli: Engine Mapping

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Dag Engine Fun List Mapping Platform Printf Replica String

@@ -1,0 +1,35 @@
+type outcome = {
+  failed : Platform.proc list;
+  latency : float option;
+}
+
+let with_failures m ~failed = { failed; latency = Engine.latency ~failed m }
+
+let draw_distinct ~rand_int ~count ~bound =
+  let rec pick chosen remaining =
+    if remaining = 0 then List.rev chosen
+    else begin
+      let candidate = rand_int bound in
+      if List.mem candidate chosen then pick chosen remaining
+      else pick (candidate :: chosen) (remaining - 1)
+    end
+  in
+  pick [] count
+
+let sample ~rand_int ~crashes m =
+  let n_procs = Platform.size (Mapping.platform m) in
+  if crashes > n_procs then invalid_arg "Crash.sample: more crashes than processors";
+  let failed = draw_distinct ~rand_int ~count:crashes ~bound:n_procs in
+  with_failures m ~failed
+
+let mean_latency ~rand_int ~crashes ~runs m =
+  let rec loop i total count =
+    if i >= runs then
+      if count = 0 then None else Some (total /. float_of_int count)
+    else begin
+      match (sample ~rand_int ~crashes m).latency with
+      | Some l -> loop (i + 1) (total +. l) (count + 1)
+      | None -> loop (i + 1) total count
+    end
+  in
+  loop 0 0.0 0

@@ -1,0 +1,37 @@
+(** Crash experiments (§5): latency of a schedule when [c] processors fail.
+
+    The paper evaluates each schedule by "computing the real execution time
+    for a given schedule rather than just bounds", with the failing
+    processors "chosen uniformly from the range [1, 20]".  This module draws
+    failure sets with a caller-supplied random source and replays the
+    schedule through {!Engine}. *)
+
+type outcome = {
+  failed : Platform.proc list;  (** the processors that were failed *)
+  latency : float option;
+      (** single-item real latency; [None] when the failure set defeats the
+          schedule (more failures than it tolerates, or an invalid
+          schedule) *)
+}
+
+val with_failures : Mapping.t -> failed:Platform.proc list -> outcome
+(** Deterministic single run. *)
+
+val sample :
+  rand_int:(int -> int) ->
+  crashes:int ->
+  Mapping.t ->
+  outcome
+(** Fail [crashes] distinct processors drawn uniformly with [rand_int]
+    (where [rand_int n] returns a value in [0 .. n-1]) and replay.
+    @raise Invalid_argument if [crashes] exceeds the processor count. *)
+
+val mean_latency :
+  rand_int:(int -> int) ->
+  crashes:int ->
+  runs:int ->
+  Mapping.t ->
+  float option
+(** Average {!sample} latency over [runs] draws; [None] if every draw
+    defeated the schedule.  Draws that defeat the schedule are excluded
+    from the mean (with [crashes <= ε] none should). *)

@@ -1,0 +1,390 @@
+type instance = { item : int; rep : Replica.id }
+
+type message = {
+  msg_src : instance;
+  msg_dst : instance;
+  msg_start : float;
+  msg_finish : float;
+}
+
+type result = {
+  start_time : int -> Replica.id -> float option;
+  finish_time : int -> Replica.id -> float option;
+  item_latency : float option array;
+  period : float;
+  makespan : float;
+  messages : message list;
+}
+
+(* A transfer waiting for its data and for both ports. *)
+type pending_msg = {
+  p_src : instance;
+  p_dst : instance;
+  p_dur : float;
+  p_ready : float;
+  p_dst_alive : bool; (* does the destination replica actually run? *)
+}
+
+type event =
+  | Inject of instance           (* an entry instance becomes ready *)
+  | Finish of instance
+  | Arrival of pending_msg * float (* commit-time start *)
+  | Port_free
+      (* wake-up when a crash-lost transfer releases its ports: the
+         transfer never arrives, but other pending messages must get a
+         chance to claim the port *)
+
+let replica_dead m ~failed_procs =
+  let dag = Mapping.dag m in
+  let copies = Mapping.n_copies m in
+  let dead = Array.init (Dag.size dag) (fun _ -> Array.make copies true) in
+  Array.iter
+    (fun task ->
+      for copy = 0 to copies - 1 do
+        match Mapping.replica m task copy with
+        | None -> ()
+        | Some r ->
+            if not failed_procs.(r.Replica.proc) then begin
+              let starved =
+                List.exists
+                  (fun (_, ids) ->
+                    List.for_all
+                      (fun (src : Replica.id) -> dead.(src.task).(src.copy))
+                      ids)
+                  r.Replica.sources
+              in
+              dead.(task).(copy) <- starved
+            end
+      done)
+    (Topo.order dag);
+  dead
+
+(* Consumers of every replica: dst replica and edge volume, precomputed in
+   one pass over the source sets. *)
+let consumer_table m =
+  let dag = Mapping.dag m in
+  let copies = Mapping.n_copies m in
+  let table = Array.init (Dag.size dag) (fun _ -> Array.make copies []) in
+  Mapping.iter m (fun (r : Replica.t) ->
+      List.iter
+        (fun (pred, ids) ->
+          let vol = Dag.volume dag pred r.id.task in
+          List.iter
+            (fun (src : Replica.id) ->
+              table.(src.task).(src.copy) <-
+                (r.id, vol) :: table.(src.task).(src.copy))
+            ids)
+        r.sources);
+  Array.map (Array.map List.rev) table
+
+let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
+  if not (Mapping.is_complete m) then invalid_arg "Engine.run: incomplete mapping";
+  if n_items < 1 then invalid_arg "Engine.run: n_items < 1";
+  let dag = Mapping.dag m and plat = Mapping.platform m in
+  let copies = Mapping.n_copies m in
+  let n_tasks = Dag.size dag and n_procs = Platform.size plat in
+  let period =
+    match period with
+    | Some p -> if p < 0.0 then invalid_arg "Engine.run: negative period" else p
+    | None -> Metrics.period m
+  in
+  (* fail_time.(p) is when the processor crashes (fail-stop): work and
+     transfers completing strictly later are lost.  A crash at time 0 is
+     the paper's fail-silent-from-the-start case and also prunes replicas
+     statically (they can never produce anything). *)
+  let fail_time = Array.make n_procs infinity in
+  List.iter (fun p -> fail_time.(p) <- 0.0) failed;
+  List.iter
+    (fun (p, t) ->
+      if t < 0.0 then invalid_arg "Engine.run: negative failure time";
+      fail_time.(p) <- Float.min fail_time.(p) t)
+    timed_failures;
+  let failed_procs = Array.map (fun t -> t = 0.0) (Array.init n_procs (fun p -> fail_time.(p))) in
+  let dead = replica_dead m ~failed_procs in
+  let consumers = consumer_table m in
+  (* Task priority: bottom level on platform-averaged weights. *)
+  let priority =
+    let weights =
+      {
+        Levels.node = (fun t -> Dag.exec dag t *. Platform.mean_inverse_speed plat);
+        Levels.edge = (fun _ _ vol -> vol *. Platform.mean_unit_delay plat);
+      }
+    in
+    Levels.bottom dag weights
+  in
+  let proc_of = Array.init n_tasks (fun task ->
+      Array.init copies (fun copy ->
+          match Mapping.replica m task copy with
+          | Some r -> r.Replica.proc
+          | None -> -1))
+  in
+  (* Per-instance state, indexed [item][task][copy]. *)
+  let idx item task copy = (((item * n_tasks) + task) * copies) + copy in
+  let total = n_items * n_tasks * copies in
+  let starts = Array.make total nan and finishes = Array.make total nan in
+  let unsatisfied = Array.make total 0 in
+  (* Which predecessor positions are already satisfied. *)
+  let pred_index = Array.init n_tasks (fun task ->
+      List.mapi (fun i (p, _) -> (p, i)) (Dag.preds dag task))
+  in
+  let sat = Array.make total [||] in
+  (* Alive source counts per pred drive enabling. *)
+  let alive t c = not dead.(t).(c) in
+  for item = 0 to n_items - 1 do
+    for task = 0 to n_tasks - 1 do
+      for copy = 0 to copies - 1 do
+        if alive task copy then begin
+          let n_preds = List.length (Dag.preds dag task) in
+          unsatisfied.(idx item task copy) <- n_preds;
+          sat.(idx item task copy) <- Array.make n_preds false
+        end
+      done
+    done
+  done;
+  (* Processor and port state. *)
+  let busy_until = Array.make n_procs 0.0 in
+  let running = Array.make n_procs false in
+  let send_free = Array.make n_procs 0.0 and recv_free = Array.make n_procs 0.0 in
+  let ready : instance list array = Array.make n_procs [] in
+  let pending : pending_msg list ref = ref [] in
+  let events : event Event_heap.t = Event_heap.create () in
+  let log = ref [] in
+  let makespan = ref 0.0 in
+  let enqueue_ready inst =
+    let p = proc_of.(inst.rep.Replica.task).(inst.rep.Replica.copy) in
+    ready.(p) <- inst :: ready.(p)
+  in
+  let satisfy inst pred time =
+    let i = idx inst.item inst.rep.Replica.task inst.rep.Replica.copy in
+    let pos = List.assoc pred pred_index.(inst.rep.Replica.task) in
+    if not sat.(i).(pos) then begin
+      sat.(i).(pos) <- true;
+      unsatisfied.(i) <- unsatisfied.(i) - 1;
+      if unsatisfied.(i) = 0 then enqueue_ready inst
+    end;
+    ignore time
+  in
+  (* Start the best ready instance on every idle processor. *)
+  let better (a : instance) b =
+    let pa = priority.(a.rep.Replica.task) and pb = priority.(b.rep.Replica.task) in
+    if a.item <> b.item then a.item < b.item
+    else if pa <> pb then pa > pb
+    else Replica.compare_id a.rep b.rep < 0
+  in
+  let dispatch_procs now =
+    for p = 0 to n_procs - 1 do
+      if (not running.(p)) && busy_until.(p) <= now && ready.(p) <> []
+         && now < fail_time.(p)
+      then begin
+        let best =
+          List.fold_left
+            (fun acc inst ->
+              match acc with
+              | Some b when better b inst -> acc
+              | _ -> Some inst)
+            None ready.(p)
+        in
+        match best with
+        | None -> ()
+        | Some inst ->
+            ready.(p) <- List.filter (fun i -> i <> inst) ready.(p);
+            let work = Dag.exec dag inst.rep.Replica.task in
+            let dur = Platform.exec_time plat p work in
+            let i = idx inst.item inst.rep.Replica.task inst.rep.Replica.copy in
+            starts.(i) <- now;
+            running.(p) <- true;
+            busy_until.(p) <- now +. dur;
+            if now +. dur <= fail_time.(p) then
+              Event_heap.add events (now +. dur) (Finish inst)
+            (* else: the crash interrupts this execution; the processor
+               never frees and the result is lost *)
+      end
+    done
+  in
+  (* Greedily commit every transfer whose data and both ports are free. *)
+  let rec dispatch_msgs now =
+    let eligible msg =
+      let sp = proc_of.(msg.p_src.rep.Replica.task).(msg.p_src.rep.Replica.copy) in
+      msg.p_ready <= now
+      && now < fail_time.(sp)
+      && send_free.(sp) <= now
+      && (fail_time.(proc_of.(msg.p_dst.rep.Replica.task).(msg.p_dst.rep.Replica.copy))
+          <= now
+          || recv_free.(proc_of.(msg.p_dst.rep.Replica.task).(msg.p_dst.rep.Replica.copy))
+             <= now)
+    in
+    let best =
+      List.fold_left
+        (fun acc msg ->
+          if not (eligible msg) then acc
+          else
+            match acc with
+            | Some b
+              when priority.(b.p_dst.rep.Replica.task)
+                   > priority.(msg.p_dst.rep.Replica.task)
+                   || (priority.(b.p_dst.rep.Replica.task)
+                       = priority.(msg.p_dst.rep.Replica.task)
+                      && compare
+                           (b.p_dst.item, b.p_dst.rep)
+                           (msg.p_dst.item, msg.p_dst.rep)
+                         <= 0) ->
+                acc
+            | _ -> Some msg)
+        None !pending
+    in
+    match best with
+    | None -> ()
+    | Some msg ->
+        pending := List.filter (fun m' -> m' != msg) !pending;
+        let sp = proc_of.(msg.p_src.rep.Replica.task).(msg.p_src.rep.Replica.copy) in
+        let dp = proc_of.(msg.p_dst.rep.Replica.task).(msg.p_dst.rep.Replica.copy) in
+        send_free.(sp) <- now +. msg.p_dur;
+        if fail_time.(dp) > now then recv_free.(dp) <- now +. msg.p_dur;
+        if now +. msg.p_dur <= fail_time.(sp) && now +. msg.p_dur <= fail_time.(dp)
+        then Event_heap.add events (now +. msg.p_dur) (Arrival (msg, now))
+        else
+          (* the crash loses the transfer in flight, but the ports still
+             free up and waiting messages must be woken *)
+          Event_heap.add events (now +. msg.p_dur) Port_free;
+        dispatch_msgs now
+  in
+  (* Seed: entry instances of every item at their injection times. *)
+  for item = 0 to n_items - 1 do
+    List.iter
+      (fun task ->
+        for copy = 0 to copies - 1 do
+          if alive task copy then
+            Event_heap.add events
+              (float_of_int item *. period)
+              (Inject { item; rep = { Replica.task; copy } })
+        done)
+      (Dag.entries dag)
+  done;
+  let handle now = function
+    | Inject inst -> enqueue_ready inst
+    | Finish inst ->
+        let task = inst.rep.Replica.task and copy = inst.rep.Replica.copy in
+        let p = proc_of.(task).(copy) in
+        finishes.(idx inst.item task copy) <- now;
+        running.(p) <- false;
+        makespan := Float.max !makespan now;
+        List.iter
+          (fun ((dst : Replica.id), vol) ->
+            let dst_proc = proc_of.(dst.task).(dst.copy) in
+            let dst_alive = alive dst.task dst.copy in
+            let dst_inst = { item = inst.item; rep = dst } in
+            if dst_proc = p then begin
+              if dst_alive then satisfy dst_inst task now
+            end
+            else begin
+              let dur = Platform.comm_time plat p dst_proc vol in
+              pending :=
+                {
+                  p_src = inst;
+                  p_dst = dst_inst;
+                  p_dur = dur;
+                  p_ready = now;
+                  p_dst_alive = dst_alive;
+                }
+                :: !pending
+            end)
+          consumers.(task).(copy)
+    | Arrival (msg, started) ->
+        makespan := Float.max !makespan now;
+        log :=
+          {
+            msg_src = msg.p_src;
+            msg_dst = msg.p_dst;
+            msg_start = started;
+            msg_finish = now;
+          }
+          :: !log;
+        if msg.p_dst_alive then
+          satisfy msg.p_dst msg.p_src.rep.Replica.task now
+    | Port_free -> makespan := Float.max !makespan now
+  in
+  let rec loop () =
+    match Event_heap.pop_min events with
+    | None -> ()
+    | Some (now, ev) ->
+        handle now ev;
+        (* Drain simultaneous events before dispatching decisions. *)
+        let rec drain () =
+          match Event_heap.min_key events with
+          | Some k when k <= now ->
+              (match Event_heap.pop_min events with
+              | Some (_, ev') -> handle now ev'
+              | None -> ());
+              drain ()
+          | _ -> ()
+        in
+        drain ();
+        dispatch_msgs now;
+        dispatch_procs now;
+        loop ()
+  in
+  loop ();
+  let get arr item (id : Replica.id) =
+    if dead.(id.task).(id.copy) then None
+    else begin
+      let v = arr.(idx item id.task id.copy) in
+      if Float.is_nan v then None else Some v
+    end
+  in
+  let item_latency =
+    Array.init n_items (fun item ->
+        let injection = float_of_int item *. period in
+        List.fold_left
+          (fun acc exit_task ->
+            match acc with
+            | None -> None
+            | Some worst ->
+                let best_finish =
+                  let rec scan copy best =
+                    if copy >= copies then best
+                    else begin
+                      let best =
+                        match get finishes item { Replica.task = exit_task; copy } with
+                        | Some f -> (
+                            match best with
+                            | Some b -> Some (Float.min b f)
+                            | None -> Some f)
+                        | None -> best
+                      in
+                      scan (copy + 1) best
+                    end
+                  in
+                  scan 0 None
+                in
+                (match best_finish with
+                | None -> None
+                | Some f -> Some (Float.max worst (f -. injection))))
+          (Some 0.0) (Dag.exits dag))
+  in
+  {
+    start_time = get starts;
+    finish_time = get finishes;
+    item_latency;
+    period;
+    makespan = !makespan;
+    messages = List.rev !log;
+  }
+
+let latency ?failed m =
+  let r = run ?failed ~n_items:1 m in
+  r.item_latency.(0)
+
+let sustained_throughput r =
+  (* Absolute exit-availability instants of the items that completed. *)
+  let completions =
+    Array.to_list r.item_latency
+    |> List.mapi (fun item l ->
+           Option.map (fun lat -> (float_of_int item *. r.period) +. lat) l)
+    |> List.filter_map Fun.id
+  in
+  match completions with
+  | [] | [ _ ] -> None
+  | first :: _ ->
+      let last = List.fold_left Float.max first completions in
+      if last <= first then None
+      else Some (float_of_int (List.length completions - 1) /. (last -. first))

@@ -1,0 +1,76 @@
+(** Discrete-event execution of a replicated mapping under the
+    bi-directional one-port model.
+
+    The engine plays the streaming execution of [n_items] consecutive data
+    items through a complete mapping, with optional fail-silent processor
+    failures effective from time 0.  Semantics:
+
+    - item [k] enters the system at time [k · period];
+    - a replica instance (item, task, copy) is {e dead} when its processor
+      failed or when, for some predecessor task, every replica in its source
+      set is dead; dead instances never execute nor send;
+    - an alive instance becomes {e enabled} once, for every predecessor, the
+      data of at least one alive source replica has reached its processor
+      (local outputs are available the instant the source finishes);
+    - each processor runs one instance at a time, picking among enabled
+      instances the one with the lowest item index and then the highest task
+      priority (bottom level on averaged weights), so earlier items drain
+      first;
+    - a finished instance sends one message per consumer replica on a remote
+      processor; a message occupies the sender's send port and the
+      receiver's receive port for [volume / bandwidth] time units, both
+      ports being single-occupancy (messages are started greedily, earliest
+      feasible first, ties broken by destination priority then identifier);
+    - computation and communication overlap fully.
+
+    With [n_items = 1] and actual weights this yields the paper's "real
+    execution time for a given schedule" used in the crash experiments of
+    §5. *)
+
+type instance = { item : int; rep : Replica.id }
+
+type message = {
+  msg_src : instance;
+  msg_dst : instance;
+  msg_start : float;
+  msg_finish : float;
+}
+
+type result = {
+  start_time : (int -> Replica.id -> float option);
+      (** execution start of an instance; [None] when dead *)
+  finish_time : (int -> Replica.id -> float option);
+  item_latency : float option array;
+      (** per item: availability time of the last exit task minus the item's
+          injection time; [None] when some exit task lost all replicas *)
+  period : float;  (** injection period the run used *)
+  makespan : float;  (** time the last event completed *)
+  messages : message list;  (** completed transfers, by start time *)
+}
+
+val run :
+  ?n_items:int ->
+  ?period:float ->
+  ?failed:Platform.proc list ->
+  ?timed_failures:(Platform.proc * float) list ->
+  Mapping.t ->
+  result
+(** Execute the mapping.  [n_items] defaults to 1, [period] to the mapping's
+    achieved period (irrelevant when [n_items = 1]), [failed] to no
+    failures.
+
+    [timed_failures] crashes processors mid-stream (fail-stop): work or
+    transfers that would complete strictly after the processor's crash
+    instant are lost, in-flight messages from the crashed sender never
+    arrive, and nothing starts on it afterwards; results produced up to the
+    crash remain valid.  [failed] is shorthand for a crash at time 0.
+    @raise Invalid_argument if the mapping is incomplete, [n_items < 1],
+    [period < 0], or a failure time is negative. *)
+
+val latency : ?failed:Platform.proc list -> Mapping.t -> float option
+(** Single-item latency: [run ~n_items:1] and the first {!result.item_latency}. *)
+
+val sustained_throughput : result -> float option
+(** [(n - 1) / (t_last - t_first)] over the items that completed, using
+    exit-availability times; [None] when fewer than two items completed.
+    Measures the throughput the pipeline actually sustains. *)

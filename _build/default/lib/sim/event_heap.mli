@@ -1,0 +1,18 @@
+(** A minimal binary min-heap keyed by floats, used as the event queue of the
+    discrete-event simulator.  Ties are served in insertion order so runs are
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> float -> 'a -> unit
+(** Insert an element with the given key. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the element with the smallest key; among equal keys,
+    the earliest inserted. *)
+
+val min_key : 'a t -> float option

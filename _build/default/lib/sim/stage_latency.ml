@@ -1,0 +1,90 @@
+let effective_depth ?(failed = []) m =
+  let dag = Mapping.dag m in
+  let copies = Mapping.n_copies m in
+  let n_procs = Platform.size (Mapping.platform m) in
+  let dead_proc = Array.make n_procs false in
+  List.iter (fun p -> dead_proc.(p) <- true) failed;
+  (* stage 0 = dead; alive replicas have stage >= 1 *)
+  let stage = Array.init (Dag.size dag) (fun _ -> Array.make copies 0) in
+  Array.iter
+    (fun task ->
+      for copy = 0 to copies - 1 do
+        match Mapping.replica m task copy with
+        | None -> ()
+        | Some r ->
+            if not dead_proc.(r.Replica.proc) then begin
+              (* Per predecessor, the best alive source; the replica is
+                 dead if some predecessor has none. *)
+              let rec over_preds acc = function
+                | [] -> acc
+                | (_, ids) :: rest -> (
+                    let best =
+                      List.fold_left
+                        (fun best (src : Replica.id) ->
+                          let s = stage.(src.task).(src.copy) in
+                          if s = 0 then best
+                          else begin
+                            let src_proc =
+                              (Mapping.replica_exn m src.task src.copy)
+                                .Replica.proc
+                            in
+                            let eta = if src_proc = r.Replica.proc then 0 else 1 in
+                            match best with
+                            | Some b -> Some (min b (s + eta))
+                            | None -> Some (s + eta)
+                          end)
+                        None ids
+                    in
+                    match best with
+                    | None -> None (* starved *)
+                    | Some b -> over_preds (Option.map (max b) acc) rest)
+              in
+              match over_preds (Some 1) r.Replica.sources with
+              | Some s -> stage.(task).(copy) <- s
+              | None -> ()
+            end
+      done)
+    (Topo.order dag);
+  let exits = Dag.exits dag in
+  let rec max_over_exits acc = function
+    | [] -> Some acc
+    | exit_task :: rest -> (
+        let alive_stages =
+          Array.to_list stage.(exit_task) |> List.filter (fun s -> s > 0)
+        in
+        match alive_stages with
+        | [] -> None
+        | stages -> max_over_exits (max acc (List.fold_left min max_int stages)) rest)
+  in
+  max_over_exits 0 exits
+
+let latency ?failed m ~throughput =
+  Option.map
+    (fun depth -> float_of_int ((2 * depth) - 1) /. throughput)
+    (effective_depth ?failed m)
+
+let mean_crash_latency ~rand_int ~crashes ~runs ~throughput m =
+  let n_procs = Platform.size (Mapping.platform m) in
+  if crashes > n_procs then
+    invalid_arg "Stage_latency.mean_crash_latency: more crashes than processors";
+  let draw () =
+    let rec pick chosen remaining =
+      if remaining = 0 then chosen
+      else begin
+        let candidate = rand_int n_procs in
+        if List.mem candidate chosen then pick chosen remaining
+        else pick (candidate :: chosen) (remaining - 1)
+      end
+    in
+    pick [] crashes
+  in
+  let rec loop i total count =
+    if i >= runs then
+      if count = 0 then None else Some (total /. float_of_int count)
+    else begin
+      match latency ~failed:(draw ()) m ~throughput with
+      | Some l -> loop (i + 1) (total +. l) (count + 1)
+      | None -> loop (i + 1) total count
+    end
+  in
+  loop 0 0.0 0

@@ -1,0 +1,38 @@
+(** Stage-synchronous "real execution" latency (§5).
+
+    In the steady-state pipelined execution, every stage consumes one
+    period for computation and one period per processor change for
+    communication, so a data item's latency is [(2·S_eff − 1)/T] where
+    [S_eff] is the effective pipeline depth of the item's path to the
+    exits.  The paper's upper bound uses the worst replica stage [S]
+    (waiting for the slowest source of every replica); the "real execution
+    time for a given schedule" lets every replica proceed with the {e
+    first} available input per predecessor and takes, for each exit task,
+    the {e earliest} surviving replica — which is what this module
+    computes, with an optional fail-silent failure set.
+
+    Failures can only increase the result: surviving replicas may be
+    forced to wait for later-stage sources, and the earliest exit replica
+    may be lost. *)
+
+val effective_depth : ?failed:Platform.proc list -> Mapping.t -> int option
+(** [S_eff]: the maximum over exit tasks of the minimum, over alive
+    replicas of that task, of the replica's effective stage (per
+    predecessor, the best alive source).  [None] when some exit task has
+    no alive replica (the failure set defeats the schedule); [Some 0] for
+    the empty graph. *)
+
+val latency :
+  ?failed:Platform.proc list -> Mapping.t -> throughput:float -> float option
+(** [(2·S_eff − 1) / T]. *)
+
+val mean_crash_latency :
+  rand_int:(int -> int) ->
+  crashes:int ->
+  runs:int ->
+  throughput:float ->
+  Mapping.t ->
+  float option
+(** Average {!latency} over [runs] uniform draws of [crashes] distinct
+    failed processors; draws that defeat the schedule are excluded.
+    [None] if every draw did. *)

@@ -1,0 +1,77 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* 1 simulated time unit = 1 ms = 1000 trace microseconds. *)
+let us t = t *. 1000.0
+
+let duration_event ~name ~pid ~tid ~start ~finish =
+  Printf.sprintf
+    {|{"name":"%s","ph":"X","pid":%d,"tid":%d,"ts":%.1f,"dur":%.1f}|}
+    (escape name) pid tid (us start)
+    (us (finish -. start))
+
+let metadata_event ~pid ~name =
+  Printf.sprintf
+    {|{"name":"process_name","ph":"M","pid":%d,"args":{"name":"%s"}}|} pid
+    (escape name)
+
+let to_chrome_json mapping (result : Engine.result) =
+  let dag = Mapping.dag mapping in
+  let n_items = Array.length result.Engine.item_latency in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  (* Track naming: pid = processor, tid 0 = compute, tid 1 = send port. *)
+  List.iter
+    (fun p -> push (metadata_event ~pid:p ~name:(Printf.sprintf "P%d" p)))
+    (Platform.procs (Mapping.platform mapping));
+  for item = 0 to n_items - 1 do
+    Mapping.iter mapping (fun (r : Replica.t) ->
+        match
+          ( result.Engine.start_time item r.Replica.id,
+            result.Engine.finish_time item r.Replica.id )
+        with
+        | Some start, Some finish ->
+            let name =
+              Printf.sprintf "%s %s #%d"
+                (Dag.label dag r.Replica.id.Replica.task)
+                (Replica.id_to_string r.Replica.id)
+                item
+            in
+            push (duration_event ~name ~pid:r.Replica.proc ~tid:0 ~start ~finish)
+        | _ -> ())
+  done;
+  List.iter
+    (fun (msg : Engine.message) ->
+      let src = msg.Engine.msg_src and dst = msg.Engine.msg_dst in
+      let src_proc =
+        (Mapping.replica_exn mapping src.Engine.rep.Replica.task
+           src.Engine.rep.Replica.copy)
+          .Replica.proc
+      in
+      let name =
+        Printf.sprintf "%s -> %s #%d"
+          (Replica.id_to_string src.Engine.rep)
+          (Replica.id_to_string dst.Engine.rep)
+          src.Engine.item
+      in
+      push
+        (duration_event ~name ~pid:src_proc ~tid:1 ~start:msg.Engine.msg_start
+           ~finish:msg.Engine.msg_finish))
+    result.Engine.messages;
+  Printf.sprintf {|{"traceEvents":[%s],"displayTimeUnit":"ms"}|}
+    (String.concat ",\n" (List.rev !events))
+
+let save_chrome_json path mapping result =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json mapping result))

@@ -1,0 +1,16 @@
+(** Execution trace export.
+
+    Renders an {!Engine.result} as Chrome trace-event JSON
+    (chrome://tracing, Perfetto): one lane per processor for computation,
+    one per link direction for transfers.  Handy for inspecting one-port
+    serialization and failure behaviour visually. *)
+
+val to_chrome_json : Mapping.t -> Engine.result -> string
+(** The complete JSON document (an object with a [traceEvents] array).
+    Replica executions become duration events named ["tK(c) #item"] in a
+    per-processor track; messages become duration events in the sender's
+    [send] track.  Times are exported in microseconds (1 time unit = 1
+    ms), as the trace viewer expects integers-ish scales. *)
+
+val save_chrome_json : string -> Mapping.t -> Engine.result -> unit
+(** Write {!to_chrome_json} to a file. *)

@@ -1,0 +1,1 @@
+lib/workload/calibrate.ml: Dag Metrics Platform

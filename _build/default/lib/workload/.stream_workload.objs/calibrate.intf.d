@@ -1,0 +1,1 @@
+lib/workload/calibrate.mli: Dag Platform

@@ -1,0 +1,1 @@
+lib/workload/classic.ml: Array Dag Hashtbl List Platform Printf

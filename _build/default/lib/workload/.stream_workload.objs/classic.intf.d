@@ -1,0 +1,1 @@
+lib/workload/classic.mli: Dag Platform

@@ -1,0 +1,1 @@
+lib/workload/paper_workload.ml: Array Calibrate Classic Dag Hashtbl List Platform Random_dag Rng

@@ -1,0 +1,1 @@
+lib/workload/paper_workload.mli: Dag Platform Rng

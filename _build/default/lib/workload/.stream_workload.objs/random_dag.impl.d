@@ -1,0 +1,1 @@
+lib/workload/random_dag.ml: Array Dag Float Hashtbl List Rng

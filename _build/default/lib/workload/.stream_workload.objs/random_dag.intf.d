@@ -1,0 +1,1 @@
+lib/workload/random_dag.mli: Dag Rng

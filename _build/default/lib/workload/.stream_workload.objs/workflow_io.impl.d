@@ -1,0 +1,1 @@
+lib/workload/workflow_io.ml: Array Buffer Dag Fun Hashtbl List Option Platform Printf String

@@ -1,0 +1,1 @@
+lib/workload/workflow_io.mli: Dag Platform

@@ -1,0 +1,26 @@
+let with_granularity dag plat ~target =
+  if target <= 0.0 then invalid_arg "Calibrate.with_granularity: target <= 0";
+  let current = Metrics.granularity dag plat in
+  if current = infinity then
+    invalid_arg "Calibrate.with_granularity: graph has no communication";
+  let factor = target /. current in
+  Dag.map_weights ~exec:(fun _ w -> w *. factor) dag
+
+let normalize_time dag plat =
+  let n = Dag.size dag in
+  if n = 0 then dag
+  else begin
+    let mean_exec = Dag.total_exec dag /. float_of_int n in
+    let mean_time = mean_exec *. Platform.mean_inverse_speed plat in
+    if mean_time <= 0.0 then dag
+    else begin
+      let factor = 1.0 /. mean_time in
+      Dag.map_weights
+        ~exec:(fun _ w -> w *. factor)
+        ~volume:(fun _ _ v -> v *. factor)
+        dag
+    end
+  end
+
+let calibrated dag plat ~granularity =
+  normalize_time (with_granularity dag plat ~target:granularity) plat

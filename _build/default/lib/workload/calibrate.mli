@@ -1,0 +1,23 @@
+(** Granularity calibration and time normalization (§5, and DESIGN.md §2).
+
+    The evaluation sweeps the granularity
+    [g(G, P) = Σ_t slowest-comp(t) / Σ_e slowest-comm(e)] from 0.2 to 2.0;
+    weights are first drawn from the literature ranges and then the task
+    execution weights are rescaled so the instance hits the requested
+    granularity exactly.  A final uniform rescaling of both node and edge
+    weights (which leaves the granularity invariant) normalizes the time
+    unit so that the mean task execution time on an average-speed
+    processor is 1 — making the paper's period [Δ = 10(ε+1)] feasible and
+    its "normalized latency" scale meaningful. *)
+
+val with_granularity : Dag.t -> Platform.t -> target:float -> Dag.t
+(** Rescale every execution weight by a common factor so that
+    [Metrics.granularity] equals [target].
+    @raise Invalid_argument if the graph has no edge or [target <= 0]. *)
+
+val normalize_time : Dag.t -> Platform.t -> Dag.t
+(** Rescale execution weights and volumes by the common factor that makes
+    [mean_t E(t) · mean_u (1/s_u) = 1]. *)
+
+val calibrated : Dag.t -> Platform.t -> granularity:float -> Dag.t
+(** {!with_granularity} followed by {!normalize_time}. *)

@@ -1,0 +1,121 @@
+type weight_spec = {
+  exec_range : float * float;
+  volume_range : float * float;
+}
+
+let default_weights = { exec_range = (50.0, 150.0); volume_range = (50.0, 150.0) }
+
+let draw rng (lo, hi) = Rng.uniform rng ~lo ~hi
+
+let apply_weights ~weights ~rng b n edges =
+  for t = 0 to n - 1 do
+    Dag.Builder.set_exec b t (draw rng weights.exec_range)
+  done;
+  List.iter
+    (fun (s, d) -> Dag.Builder.add_edge b ~volume:(draw rng weights.volume_range) s d)
+    edges
+
+let layered ?(weights = default_weights) ~rng ~tasks ?layers ?(edge_density = 0.15)
+    () =
+  if tasks < 1 then invalid_arg "Random_dag.layered: tasks < 1";
+  let n_layers =
+    match layers with
+    | Some l -> max 1 (min l tasks)
+    | None -> max 1 (int_of_float (Float.ceil (sqrt (float_of_int tasks))))
+  in
+  (* Partition tasks into layers: at least one per layer, the rest spread
+     uniformly. *)
+  let layer_of = Array.make tasks 0 in
+  for t = 0 to tasks - 1 do
+    layer_of.(t) <- (if t < n_layers then t else Rng.int rng n_layers)
+  done;
+  Array.sort compare layer_of;
+  let members = Array.make n_layers [] in
+  Array.iteri (fun t layer -> members.(layer) <- t :: members.(layer)) layer_of;
+  let edges = ref [] in
+  for layer = 1 to n_layers - 1 do
+    let prev = members.(layer - 1) in
+    List.iter
+      (fun t ->
+        (* one guaranteed predecessor, then density-driven extras *)
+        let anchor = Rng.choose rng prev in
+        edges := (anchor, t) :: !edges;
+        List.iter
+          (fun p ->
+            if p <> anchor && Rng.bool rng edge_density then
+              edges := (p, t) :: !edges)
+          prev)
+      members.(layer)
+  done;
+  let b = Dag.Builder.create ~name:"layered" tasks in
+  apply_weights ~weights ~rng b tasks (List.rev !edges);
+  Dag.Builder.build b
+
+let fan_in_out ?(weights = default_weights) ~rng ~tasks ?(max_degree = 3) () =
+  if tasks < 1 then invalid_arg "Random_dag.fan_in_out: tasks < 1";
+  let edges = ref [] in
+  for t = 1 to tasks - 1 do
+    let n_preds = min t (1 + Rng.int rng max_degree) in
+    (* Bias predecessor picks toward recent tasks: sample offsets
+       geometrically, falling back to uniform. *)
+    let chosen = Hashtbl.create 4 in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < n_preds && !attempts < 8 * n_preds do
+      incr attempts;
+      let back = 1 + Rng.int rng (min t (2 * max_degree)) in
+      let candidate = if Rng.bool rng 0.7 then t - back else Rng.int rng t in
+      if candidate >= 0 && candidate < t then
+        Hashtbl.replace chosen candidate ()
+    done;
+    if Hashtbl.length chosen = 0 then Hashtbl.replace chosen (t - 1) ();
+    Hashtbl.iter (fun p () -> edges := (p, t) :: !edges) chosen
+  done;
+  let b = Dag.Builder.create ~name:"fan-in-out" tasks in
+  apply_weights ~weights ~rng b tasks (List.rev !edges);
+  Dag.Builder.build b
+
+(* Series-parallel generation by the defining construction: start from the
+   single edge source → sink and repeatedly pick a random edge, either
+   subdividing it (series: insert a fresh task) or duplicating it
+   (parallel).  Duplicate edges are collapsed at the end (the DAG carries
+   at most one edge per task pair), which is itself a parallel reduction,
+   so the result is two-terminal series-parallel by construction. *)
+let series_parallel ?(weights = default_weights) ~rng ~tasks () =
+  if tasks < 1 then invalid_arg "Random_dag.series_parallel: tasks < 1";
+  let target = max 2 tasks in
+  let n_vertices = ref 2 in
+  let edges = ref [| (0, 1) |] in
+  let n_edges = ref 1 in
+  let push e =
+    if !n_edges = Array.length !edges then begin
+      let bigger = Array.make (2 * !n_edges) (0, 0) in
+      Array.blit !edges 0 bigger 0 !n_edges;
+      edges := bigger
+    end;
+    !edges.(!n_edges) <- e;
+    incr n_edges
+  in
+  while !n_vertices < target do
+    let i = Rng.int rng !n_edges in
+    let u, v = !edges.(i) in
+    if Rng.bool rng 0.6 then begin
+      (* series: subdivide with a fresh task *)
+      let w = !n_vertices in
+      incr n_vertices;
+      !edges.(i) <- (u, w);
+      push (w, v)
+    end
+    else push (u, v) (* parallel: duplicate; collapsed when materializing *)
+  done;
+  let seen = Hashtbl.create (2 * !n_edges) in
+  let unique = ref [] in
+  for i = 0 to !n_edges - 1 do
+    let e = !edges.(i) in
+    if not (Hashtbl.mem seen e) then begin
+      Hashtbl.add seen e ();
+      unique := e :: !unique
+    end
+  done;
+  let b = Dag.Builder.create ~name:"series-parallel" !n_vertices in
+  apply_weights ~weights ~rng b !n_vertices (List.rev !unique);
+  Dag.Builder.build b

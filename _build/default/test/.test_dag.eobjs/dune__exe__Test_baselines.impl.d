@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Assignment Classic Clustering Dag Etf Expert Fixtures Hary Heft Hoang List Mapping Platform Stdp Tda Test_support Validate Wmsh

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag Dot Fixtures Levels List Paths Printf Random_dag Rng Sp String Test_support Topo Width

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Classic Dag Engine Filename Fixtures List Mapping Mapping_io Metrics Platform Replica String Svg_gantt Sys Test_support Trace Types Workflow_io

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Classic Fixtures Metrics Platform Test_support Topologies

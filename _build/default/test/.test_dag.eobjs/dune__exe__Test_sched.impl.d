@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Fixtures Gantt List Loads Mapping Metrics Platform Replica Stages String Test_support Timeline Validate

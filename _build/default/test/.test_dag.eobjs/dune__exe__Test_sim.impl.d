@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Classic Crash Dag Engine Event_heap Fixtures List Mapping Metrics Option Replica Rng Stage_latency Test_support

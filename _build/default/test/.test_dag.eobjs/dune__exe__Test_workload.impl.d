@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Calibrate Classic Dag Fixtures Fun List Metrics Paper_workload Platform Random_dag Rng Sp Test_support Topo Types Width

@@ -1,0 +1,1 @@
+test/support/fixtures.ml: Alcotest Classic Dag List Ltf Paper_workload Platform Rltf Rng String Types Validate

@@ -1,0 +1,220 @@
+open Test_support
+
+let case = Fixtures.case
+let check_int = Fixtures.check_int
+let check_float = Fixtures.check_float
+let check_true = Fixtures.check_true
+
+let plat4 = Fixtures.uniform 4
+
+(* ------------------------------------------------------------------ *)
+(* Assignment plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let assignment_tests =
+  [
+    case "loads of a round-robin assignment" (fun () ->
+        let a = [| 0; 1; 0 |] in
+        let loads = Assignment.loads Fixtures.chain3 plat4 a in
+        check_float "P0" 2.0 loads.(0);
+        check_float "P1" 1.0 loads.(1);
+        check_float "max" 2.0 (Assignment.max_load Fixtures.chain3 plat4 a));
+    case "comm volume counts only crossings" (fun () ->
+        check_float "all local" 0.0
+          (Assignment.comm_volume Fixtures.chain3 [| 0; 0; 0 |]);
+        check_float "all crossing" 2.0
+          (Assignment.comm_volume Fixtures.chain3 [| 0; 1; 0 |]));
+    case "to_mapping builds a valid single-copy mapping" (fun () ->
+        let m = Assignment.to_mapping Fixtures.diamond4 plat4 [| 0; 1; 0; 1 |] in
+        check_true "complete" (Mapping.is_complete m);
+        check_int "eps" 0 (Mapping.eps m);
+        Fixtures.check_tolerant m);
+    case "validate rejects bad processors" (fun () ->
+        Alcotest.check_raises "oob" (Invalid_argument "") (fun () ->
+            try Assignment.validate Fixtures.chain3 plat4 [| 0; 9; 0 |]
+            with Invalid_argument _ -> raise (Invalid_argument "")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Clustering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let clustering_tests =
+  [
+    case "singletons at creation" (fun () ->
+        let c = Clustering.create Fixtures.fork3 in
+        check_int "clusters" (Dag.size Fixtures.fork3) (Clustering.n_clusters c);
+        check_float "load is the task weight" 1.0 (Clustering.load c 0));
+    case "merge accumulates load" (fun () ->
+        let c = Clustering.create Fixtures.chain3 in
+        Clustering.merge c 0 1;
+        check_true "same" (Clustering.same c 0 1);
+        check_float "combined" 2.0 (Clustering.load c 0);
+        check_int "clusters" 2 (Clustering.n_clusters c));
+    case "merge_if respects the cap" (fun () ->
+        let c = Clustering.create Fixtures.chain3 in
+        check_true "fits" (Clustering.merge_if c ~max_load:2.0 0 1);
+        check_true "exceeds" (not (Clustering.merge_if c ~max_load:2.5 0 2));
+        check_true "already together counts as success"
+          (Clustering.merge_if c ~max_load:0.0 0 1));
+    case "members partition the tasks" (fun () ->
+        let c = Clustering.create Fixtures.fork3 in
+        Clustering.merge c 0 4;
+        Clustering.merge c 1 2;
+        let groups = Clustering.members c in
+        let total = Array.fold_left (fun acc g -> acc + List.length g) 0 groups in
+        check_int "every task once" (Dag.size Fixtures.fork3) total);
+    case "cut volume" (fun () ->
+        let c = Clustering.create Fixtures.chain3 in
+        check_float "everything cut" 2.0 (Clustering.cut_volume c);
+        Clustering.merge c 0 1;
+        Clustering.merge c 1 2;
+        check_float "nothing cut" 0.0 (Clustering.cut_volume c));
+    case "to_assignment respects clusters" (fun () ->
+        let c = Clustering.create Fixtures.chain3 in
+        Clustering.merge c 0 2;
+        let a = Clustering.to_assignment c plat4 in
+        check_int "clustered together" a.(0) a.(2));
+    case "heavy clusters go to fast processors" (fun () ->
+        let c = Clustering.create Fixtures.chain3 in
+        Clustering.merge c 0 1;
+        Clustering.merge c 1 2;
+        let a = Clustering.to_assignment c Fixtures.hetero4 in
+        check_int "fastest processor" (Platform.fastest_proc Fixtures.hetero4) a.(0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The individual heuristics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all_baseline_mappings dag plat ~throughput =
+  [
+    ("HEFT", Heft.mapping ~throughput dag plat);
+    ("ETF", Etf.mapping ~throughput dag plat);
+    ("Hary", Hary.mapping dag plat ~throughput);
+    ("EXPERT", Expert.mapping dag plat ~throughput);
+    ("TDA", Tda.mapping dag plat ~throughput);
+    ("STDP", Stdp.mapping dag plat ~throughput);
+    ("WMSH", Wmsh.mapping dag plat ~throughput);
+    ("Hoang", Hoang.mapping ~iterations:15 dag plat);
+  ]
+
+let heuristics_tests =
+  [
+    case "HEFT dominates the serial schedule" (fun () ->
+        let s = Heft.run Fixtures.gauss5 Fixtures.hetero4 in
+        let serial =
+          Platform.exec_time Fixtures.hetero4
+            (Platform.fastest_proc Fixtures.hetero4)
+            (Dag.total_exec Fixtures.gauss5)
+        in
+        check_true "parallel <= serial" (s.Heft.makespan <= serial +. 1e-9));
+    case "HEFT respects dependencies" (fun () ->
+        let s = Heft.run Fixtures.gauss5 Fixtures.hetero4 in
+        Dag.iter_edges Fixtures.gauss5 (fun src dst _ ->
+            check_true "pred finishes first"
+              (s.Heft.finish.(src) <= s.Heft.start.(dst) +. 1e-9)));
+    case "HEFT makespan bounds every finish" (fun () ->
+        let s = Heft.run Fixtures.fft8 plat4 in
+        Array.iter (fun f -> check_true "bounded" (f <= s.Heft.makespan +. 1e-9))
+          s.Heft.finish);
+    case "ETF respects dependencies and processors" (fun () ->
+        let s = Etf.run Fixtures.fft8 Fixtures.hetero4 in
+        Dag.iter_edges Fixtures.fft8 (fun src dst _ ->
+            check_true "pred first" (s.Etf.finish.(src) <= s.Etf.start.(dst) +. 1e-9));
+        (* one task at a time per processor *)
+        Dag.iter_tasks Fixtures.fft8 (fun a ->
+            Dag.iter_tasks Fixtures.fft8 (fun b ->
+                if a < b && s.Etf.assignment.(a) = s.Etf.assignment.(b) then
+                  check_true "no overlap"
+                    (s.Etf.finish.(a) <= s.Etf.start.(b) +. 1e-9
+                    || s.Etf.finish.(b) <= s.Etf.start.(a) +. 1e-9))));
+    case "ETF on the fig1 example matches the paper's ballpark" (fun () ->
+        let s = Etf.run Classic.fig1_graph Classic.fig1_platform in
+        (* the paper's list schedule reaches 39; ETF greedily minimizes
+           start times (not finish times), which costs a little here, but
+           it must beat the serial time of a slow processor (60) *)
+        check_true "above the critical path" (s.Etf.makespan >= 30.0 -. 1e-9);
+        check_true "reasonable makespan" (s.Etf.makespan <= 60.0 +. 1e-9));
+    case "Hary keeps clusters within the period" (fun () ->
+        let throughput = 0.25 in
+        let a = Hary.run Fixtures.gauss5 plat4 ~throughput in
+        let loads = Assignment.loads Fixtures.gauss5 plat4 a in
+        Array.iter
+          (fun l -> check_true "within cap" (l <= (1.0 /. throughput) +. 1e-9))
+          loads);
+    case "Hary merges the heaviest edge when it fits" (fun () ->
+        let dag =
+          Dag.of_edges ~name:"weighted" ~exec:[| 1.0; 1.0; 1.0 |]
+            [ (0, 1, 10.0); (1, 2, 0.1) ]
+        in
+        let a = Hary.run dag plat4 ~throughput:0.5 in
+        check_int "heavy edge zeroed" a.(0) a.(1));
+    case "EXPERT covers every task" (fun () ->
+        let a = Expert.run Fixtures.fft8 plat4 ~throughput:0.2 in
+        check_int "length" (Dag.size Fixtures.fft8) (Array.length a);
+        Assignment.validate Fixtures.fft8 plat4 a);
+    case "EXPERT groups chain prefixes" (fun () ->
+        let a = Expert.run Fixtures.chain5 plat4 ~throughput:0.2 in
+        (* chain tasks of weight 2 and cap 5: at least the first two share *)
+        check_int "prefix grouped" a.(0) a.(1));
+    case "TDA produces stages that respect precedence" (fun () ->
+        let r = Tda.run Fixtures.gauss5 plat4 ~throughput:0.3 in
+        Dag.iter_edges Fixtures.gauss5 (fun src dst _ ->
+            check_true "monotone stages" (r.Tda.stage_of.(src) <= r.Tda.stage_of.(dst)));
+        check_true "stage count" (r.Tda.n_stages >= 1);
+        check_true "procs used" (r.Tda.procs_used >= 1 && r.Tda.procs_used <= 4));
+    case "STDP earliest/latest bracket every task" (fun () ->
+        let r = Stdp.run Fixtures.gauss5 plat4 ~throughput:0.3 in
+        Array.iteri
+          (fun t e -> check_true "e <= l" (e <= r.Stdp.latest.(t) +. 1e-9))
+          r.Stdp.earliest);
+    case "WMSH returns a valid assignment" (fun () ->
+        let a = Wmsh.run Fixtures.fft8 plat4 ~throughput:0.2 in
+        Assignment.validate Fixtures.fft8 plat4 a);
+    case "Hoang period is bracketed by the trivial bounds" (fun () ->
+        let r = Hoang.run ~iterations:25 Fixtures.gauss5 Fixtures.hetero4 in
+        let lo =
+          Dag.total_exec Fixtures.gauss5
+          /. List.fold_left
+               (fun acc u -> acc +. Platform.speed Fixtures.hetero4 u)
+               0.0
+               (Platform.procs Fixtures.hetero4)
+        in
+        let hi =
+          Platform.exec_time Fixtures.hetero4
+            (Platform.fastest_proc Fixtures.hetero4)
+            (Dag.total_exec Fixtures.gauss5)
+        in
+        check_true "above the work bound" (r.Hoang.period >= lo -. 1e-9);
+        check_true "below the serial bound" (r.Hoang.period <= hi +. 1e-9);
+        check_true "probes counted" (r.Hoang.probes > 0));
+    case "Hoang assignment meets its own period" (fun () ->
+        let r = Hoang.run ~iterations:25 Fixtures.gauss5 plat4 in
+        let loads = Assignment.loads Fixtures.gauss5 plat4 r.Hoang.assignment in
+        Array.iter
+          (fun l -> check_true "load within period" (l <= r.Hoang.period +. 1e-6))
+          loads);
+    case "every baseline yields a structurally valid mapping" (fun () ->
+        List.iter
+          (fun (name, m) ->
+            check_true (name ^ " complete") (Mapping.is_complete m);
+            match Validate.structure m with
+            | [] -> ()
+            | e :: _ ->
+                Alcotest.failf "%s: %s" name (Validate.error_to_string e))
+          (all_baseline_mappings Fixtures.gauss5 Fixtures.hetero4 ~throughput:0.2));
+    case "baselines also handle single-task graphs" (fun () ->
+        List.iter
+          (fun (name, m) ->
+            check_true (name ^ " complete") (Mapping.is_complete m))
+          (all_baseline_mappings Fixtures.singleton plat4 ~throughput:0.5));
+  ]
+
+let () =
+  Alcotest.run "stream_baselines"
+    [
+      ("assignment", assignment_tests);
+      ("clustering", clustering_tests);
+      ("heuristics", heuristics_tests);
+    ]

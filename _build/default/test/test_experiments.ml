@@ -1,0 +1,242 @@
+open Test_support
+
+let case = Fixtures.case
+let slow_case = Fixtures.slow_case
+let check_int = Fixtures.check_int
+let check_float = Fixtures.check_float
+let check_true = Fixtures.check_true
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stats_tests =
+  [
+    case "summary of a known sample" (fun () ->
+        let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+        check_int "n" 8 s.Stats.n;
+        check_float "mean" 5.0 s.Stats.mean;
+        Fixtures.check_float_eps 1e-9 "stddev"
+          (sqrt (32.0 /. 7.0)) s.Stats.stddev;
+        check_float "min" 2.0 s.Stats.min;
+        check_float "max" 9.0 s.Stats.max);
+    case "single sample has zero spread" (fun () ->
+        let s = Stats.summarize [ 3.5 ] in
+        check_float "mean" 3.5 s.Stats.mean;
+        check_float "stddev" 0.0 s.Stats.stddev;
+        check_float "stderr" 0.0 s.Stats.stderr);
+    case "empty sample raises / returns None" (fun () ->
+        check_true "opt none" (Stats.summarize_opt [] = None);
+        Alcotest.check_raises "raise" (Invalid_argument "") (fun () ->
+            try ignore (Stats.summarize [])
+            with Invalid_argument _ -> raise (Invalid_argument "")));
+    case "median of odd and even samples" (fun () ->
+        check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+        check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* CSV and tables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let output_tests =
+  [
+    case "csv escaping" (fun () ->
+        Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+        Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+        Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b"));
+    case "csv round trip on disk" (fun () ->
+        let path = Filename.temp_file "streamsched" ".csv" in
+        Csv.write ~path ~header:[ "a"; "b" ] [ [ "1"; "x,y" ]; [ "2"; "z" ] ];
+        let ic = open_in path in
+        let lines = List.init 3 (fun _ -> input_line ic) in
+        close_in ic;
+        Sys.remove path;
+        Alcotest.(check (list string))
+          "content"
+          [ "a,b"; "1,\"x,y\""; "2,z" ]
+          lines);
+    case "csv of floats renders NaN as empty" (fun () ->
+        let path = Filename.temp_file "streamsched" ".csv" in
+        Csv.write_floats ~path ~header:[ "x" ] [ [ nan ]; [ 1.5 ] ];
+        let ic = open_in path in
+        let lines = List.init 3 (fun _ -> input_line ic) in
+        close_in ic;
+        Sys.remove path;
+        Alcotest.(check (list string)) "content" [ "x"; ""; "1.5" ] lines);
+    case "table alignment pads columns" (fun () ->
+        let s = Ascii_table.render ~header:[ "col"; "x" ] [ [ "a"; "1" ]; [ "long"; "2" ] ] in
+        check_true "has rule" (contains s "---");
+        check_true "rows present" (contains s "long"));
+    case "table pads ragged rows" (fun () ->
+        let s = Ascii_table.render ~header:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+        check_true "renders" (String.length s > 0));
+    case "plot renders data and legend" (fun () ->
+        let s =
+          Ascii_plot.render ~width:20 ~height:8 ~title:"t"
+            [
+              { Ascii_plot.label = "up"; points = [ (0.0, 0.0); (1.0, 1.0) ] };
+              { Ascii_plot.label = "down"; points = [ (0.0, 1.0); (1.0, 0.0) ] };
+            ]
+        in
+        check_true "title" (contains s "t\n");
+        check_true "legend up" (contains s "up");
+        check_true "glyph" (contains s "*"));
+    case "plot with no data" (fun () ->
+        let s = Ascii_plot.render ~title:"empty" [ { Ascii_plot.label = "s"; points = [] } ] in
+        check_true "message" (contains s "no data"));
+    case "plot skips NaN points" (fun () ->
+        let s =
+          Ascii_plot.render ~width:10 ~height:4 ~title:"nan"
+            [ { Ascii_plot.label = "s"; points = [ (0.0, nan); (1.0, 2.0) ] } ]
+        in
+        check_true "renders" (String.length s > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure machinery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_config ~eps ~crashes =
+  {
+    (Fig_common.quick ~eps ~crashes) with
+    Fig_common.graphs_per_point = 3;
+    granularities = [ 0.6; 1.4 ];
+  }
+
+let fig_tests =
+  [
+    slow_case "collect produces one sample per (g, graph)" (fun () ->
+        let config = tiny_config ~eps:1 ~crashes:1 in
+        let samples = Fig_common.collect config in
+        check_int "count" 6 (List.length samples);
+        let grouped = Fig_common.by_granularity samples in
+        check_int "two granularities" 2 (List.length grouped);
+        List.iter
+          (fun (_, ss) -> check_int "three graphs" 3 (List.length ss))
+          grouped);
+    slow_case "bounds dominate simulated latencies" (fun () ->
+        let config = tiny_config ~eps:1 ~crashes:0 in
+        List.iter
+          (fun s ->
+            let open Fig_common in
+            if not (Float.is_nan s.ltf_sim || Float.is_nan s.ltf_bound) then
+              check_true "ltf bound" (s.ltf_sim <= s.ltf_bound +. 1e-6);
+            if not (Float.is_nan s.rltf_sim || Float.is_nan s.rltf_bound) then
+              check_true "rltf bound" (s.rltf_sim <= s.rltf_bound +. 1e-6))
+          (Fig_common.collect config));
+    slow_case "crashes never speed things up" (fun () ->
+        let config = tiny_config ~eps:1 ~crashes:1 in
+        List.iter
+          (fun s ->
+            let open Fig_common in
+            if not (Float.is_nan s.ltf_sim || Float.is_nan s.ltf_crash) then
+              check_true "ltf crash" (s.ltf_crash >= s.ltf_sim -. 1e-6);
+            if not (Float.is_nan s.rltf_sim || Float.is_nan s.rltf_crash) then
+              check_true "rltf crash" (s.rltf_crash >= s.rltf_sim -. 1e-6))
+          (Fig_common.collect config));
+    slow_case "collect is deterministic in the seed" (fun () ->
+        let config = tiny_config ~eps:1 ~crashes:0 in
+        let a = Fig_common.collect config and b = Fig_common.collect config in
+        List.iter2
+          (fun (x : Fig_common.sample) (y : Fig_common.sample) ->
+            let same u v = (Float.is_nan u && Float.is_nan v) || u = v in
+            check_true "identical" (same x.ltf_sim y.ltf_sim);
+            check_true "identical bound" (same x.rltf_bound y.rltf_bound))
+          a b);
+    case "mean series handles all-NaN groups" (fun () ->
+        let samples =
+          [
+            {
+              Fig_common.granularity = 1.0;
+              ltf_bound = nan; ltf_sim = nan; ltf_crash = nan; ltf_meets = false;
+              rltf_bound = nan; rltf_sim = nan; rltf_crash = nan; rltf_meets = false;
+              ff_sim = nan;
+            };
+          ]
+        in
+        let s =
+          Fig_common.mean_series ~label:"x" (fun s -> s.Fig_common.ltf_sim) samples
+        in
+        match s.Ascii_plot.points with
+        | [ (g, y) ] ->
+            check_float "granularity" 1.0 g;
+            check_true "nan mean" (Float.is_nan y)
+        | _ -> Alcotest.fail "one point expected");
+    case "runner registry is complete" (fun () ->
+        List.iter
+          (fun name -> check_true name (Runner.find name <> None))
+          [ "fig3a"; "fig3b"; "fig3c"; "fig4a"; "fig4b"; "fig4c";
+            "examples"; "baselines"; "complexity"; "symmetric";
+            "ablation"; "pipeline"; "optgap"; "families"; "topology"; "cost" ];
+        check_true "unknown name" (Runner.find "fig9z" = None));
+    slow_case "pipeline validation sustains the desired throughput" (fun () ->
+        let rows =
+          Fig_pipeline.run ~out_dir:(Filename.get_temp_dir_name ()) ~graphs:2
+            ~items:15 ()
+        in
+        List.iter
+          (fun r ->
+            let open Fig_pipeline in
+            check_true "within 10% of desired"
+              (r.sustained.Stats.mean >= 0.9 *. r.desired_throughput);
+            check_true "steady latency below the stage model"
+              (r.steady_latency.Stats.mean <= r.stage_model.Stats.mean +. 1e-6))
+          rows);
+    slow_case "ablation rows cover every configuration" (fun () ->
+        let rows =
+          Fig_ablation.run ~out_dir:(Filename.get_temp_dir_name ()) ~graphs:2 ()
+        in
+        check_int "rows" (List.length Fig_ablation.configurations)
+          (List.length rows));
+    slow_case "optimality-gap ratios are at least one" (fun () ->
+        let rows =
+          Fig_optgap.run ~out_dir:(Filename.get_temp_dir_name ()) ~graphs:3
+            ~tasks:7 ()
+        in
+        check_true "has rows" (rows <> []);
+        List.iter
+          (fun r ->
+            check_true
+              (r.Fig_optgap.name ^ " ratio >= 1")
+              (r.Fig_optgap.mean_ratio >= 1.0 -. 1e-9))
+          rows);
+    slow_case "topology experiment covers every (topology, algorithm) pair"
+      (fun () ->
+        let rows =
+          Fig_topology.run ~out_dir:(Filename.get_temp_dir_name ()) ~graphs:2 ()
+        in
+        check_int "six rows" 6 (List.length rows));
+    slow_case "cost experiment keeps fractions within [0, 1]" (fun () ->
+        let rows =
+          Fig_cost.run ~out_dir:(Filename.get_temp_dir_name ()) ~graphs:1 ()
+        in
+        List.iter
+          (fun r ->
+            let f = r.Fig_cost.cost_fraction.Stats.mean in
+            check_true "fraction" (f > 0.0 && f <= 1.0 +. 1e-9))
+          rows);
+    case "paper examples produce comparable rows" (fun () ->
+        check_int "fig1 rows" 3 (List.length (Paper_examples.fig1 ()));
+        check_int "fig2 rows" 4 (List.length (Paper_examples.fig2 ())));
+    case "fig1 pipelined scenario matches the paper exactly" (fun () ->
+        let rows = Paper_examples.fig1 () in
+        let pipelined = List.nth rows 2 in
+        check_true "S=2 T=1/30 L=90"
+          (contains pipelined.Paper_examples.measured "S = 2"
+          && contains pipelined.Paper_examples.measured "1/30"
+          && contains pipelined.Paper_examples.measured "L = 90"));
+  ]
+
+let () =
+  Alcotest.run "stream_experiments"
+    [
+      ("stats", stats_tests);
+      ("output", output_tests);
+      ("figures", fig_tests);
+    ]

@@ -1,0 +1,452 @@
+open Test_support
+
+(* Property-based tests.  Structured inputs (graphs, platforms, mappings)
+   are derived from integer seeds so every case is reproducible and
+   shrinking stays meaningful on the seed. *)
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let layered_of_seed ?(max_tasks = 40) seed =
+  let rng = Rng.create ~seed in
+  let tasks = 2 + Rng.int rng (max_tasks - 1) in
+  Random_dag.layered ~rng ~tasks ()
+
+let seed_arb = QCheck.int_range 0 100_000
+
+(* ------------------------------------------------------------------ *)
+(* Graph properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_topo_order_valid =
+  QCheck.Test.make ~name:"topological order respects every edge" ~count:100
+    seed_arb (fun seed ->
+      let g = layered_of_seed seed in
+      let position = Array.make (Dag.size g) (-1) in
+      Array.iteri (fun i t -> position.(t) <- i) (Topo.order g);
+      Dag.fold_edges g ~init:true ~f:(fun acc s d _ ->
+          acc && position.(s) < position.(d)))
+
+let prop_depth_bounded =
+  QCheck.Test.make ~name:"depth < size and height mirrors reverse depth"
+    ~count:100 seed_arb (fun seed ->
+      let g = layered_of_seed seed in
+      let depth = Topo.depth g and height = Topo.height g in
+      let rev_depth = Topo.depth (Dag.reverse g) in
+      Array.for_all (fun d -> d < Dag.size g) depth
+      && Array.for_all2 ( = ) height rev_depth)
+
+let prop_width_bounds =
+  QCheck.Test.make ~name:"layer bound <= exact width <= size" ~count:50
+    seed_arb (fun seed ->
+      let g = layered_of_seed ~max_tasks:25 seed in
+      let exact = Width.exact g in
+      Width.layer_lower_bound g <= exact && exact <= Dag.size g && exact >= 1)
+
+let prop_priority_peak_is_critical_path =
+  QCheck.Test.make ~name:"max(tl+bl) equals the critical path length"
+    ~count:100 seed_arb (fun seed ->
+      let g = layered_of_seed seed in
+      let w = Levels.exec_weights g in
+      let p = Levels.priority g w in
+      let cp = Levels.critical_path_length g w in
+      let peak = Array.fold_left Float.max neg_infinity p in
+      Float.abs (peak -. cp) <= 1e-9 *. Float.max 1.0 cp)
+
+let prop_reverse_involution =
+  QCheck.Test.make ~name:"reverse is an involution on the edge set" ~count:100
+    seed_arb (fun seed ->
+      let g = layered_of_seed seed in
+      let rr = Dag.reverse (Dag.reverse g) in
+      Dag.fold_edges g ~init:true ~f:(fun acc s d v ->
+          acc && Dag.has_edge rr s d && Dag.volume rr s d = v))
+
+let prop_sp_generator_recognized =
+  QCheck.Test.make ~name:"generated series-parallel graphs are recognized"
+    ~count:50 seed_arb (fun seed ->
+      let rng = Rng.create ~seed in
+      let tasks = 2 + Rng.int rng 40 in
+      Sp.is_series_parallel (Random_dag.series_parallel ~rng ~tasks ()))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline properties                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_timeline_no_overlap =
+  QCheck.Test.make ~name:"earliest-fit insertions never overlap" ~count:100
+    QCheck.(pair seed_arb (int_range 1 30))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let tl = ref Timeline.empty in
+      for _ = 1 to n do
+        let ready = Rng.float rng 20.0 and duration = 0.1 +. Rng.float rng 5.0 in
+        let start = Timeline.earliest_fit !tl ~ready ~duration in
+        tl := Timeline.insert !tl ~start ~duration
+      done;
+      let rec disjoint = function
+        | (_, f) :: ((s, _) :: _ as rest) -> f <= s +. 1e-9 && disjoint rest
+        | _ -> true
+      in
+      disjoint (Timeline.intervals !tl))
+
+let prop_timeline_busy_sum =
+  QCheck.Test.make ~name:"total busy time is the sum of inserted durations"
+    ~count:100
+    QCheck.(pair seed_arb (int_range 1 20))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let tl = ref Timeline.empty and total = ref 0.0 in
+      for _ = 1 to n do
+        let duration = 0.5 +. Rng.float rng 3.0 in
+        let start = Timeline.earliest_fit !tl ~ready:(Rng.float rng 10.0) ~duration in
+        tl := Timeline.insert !tl ~start ~duration;
+        total := !total +. duration
+      done;
+      Float.abs (Timeline.total_busy !tl -. !total) <= 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Event heap vs a sorted-list model                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_heap_matches_model =
+  QCheck.Test.make ~name:"event heap pops like a stable sorted list"
+    ~count:200
+    QCheck.(list (int_range 0 20))
+    (fun keys ->
+      let h = Event_heap.create () in
+      List.iteri (fun i k -> Event_heap.add h (float_of_int k) i) keys;
+      let model =
+        List.mapi (fun i k -> (float_of_int k, i)) keys
+        |> List.stable_sort (fun (ka, ia) (kb, ib) ->
+               match compare ka kb with 0 -> compare ia ib | c -> c)
+      in
+      let rec drain acc =
+        match Event_heap.pop_min h with
+        | Some (k, v) -> drain ((k, v) :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = model)
+
+(* ------------------------------------------------------------------ *)
+(* Calibration properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_calibration_exact =
+  QCheck.Test.make ~name:"calibrated instances hit the requested granularity"
+    ~count:40
+    QCheck.(pair seed_arb (int_range 1 20))
+    (fun (seed, tenths) ->
+      let g = layered_of_seed seed in
+      let target = 0.1 *. float_of_int tenths in
+      let plat = Fixtures.hetero4 in
+      let g' = Calibrate.calibrated g plat ~granularity:target in
+      Float.abs (Metrics.granularity g' plat -. target) <= 1e-6 *. target)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling properties: the heart of the suite                       *)
+(* ------------------------------------------------------------------ *)
+
+let small_problem_of_seed seed =
+  let rng = Rng.create ~seed in
+  let tasks = 4 + Rng.int rng 25 in
+  let dag = Random_dag.layered ~rng ~tasks () in
+  let m = 4 + Rng.int rng 6 in
+  let speeds = Array.init m (fun _ -> Rng.uniform rng ~lo:0.5 ~hi:1.0) in
+  let bw = Array.make_matrix m m 1.0 in
+  for k = 0 to m - 1 do
+    for h = k + 1 to m - 1 do
+      let b = Rng.uniform rng ~lo:1.0 ~hi:2.0 in
+      bw.(k).(h) <- b;
+      bw.(h).(k) <- b
+    done
+  done;
+  let plat = Platform.create ~speeds ~bandwidth:bw () in
+  let dag = Calibrate.calibrated dag plat ~granularity:(0.4 +. Rng.float rng 1.6) in
+  let eps = Rng.int rng (min 3 (m - 1) + 1) in
+  (* a generous period so strict mode succeeds often *)
+  let throughput =
+    1.0 /. (4.0 *. float_of_int (eps + 1) *. float_of_int tasks /. float_of_int m)
+  in
+  Types.problem ~dag ~platform:plat ~eps ~throughput
+
+let prop_ltf_valid =
+  QCheck.Test.make
+    ~name:"strict LTF schedules are complete, feasible and eps-tolerant"
+    ~count:60 seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      match Ltf.run prob with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m -> Validate.all m ~throughput:prob.Types.throughput = [])
+
+let prop_rltf_valid =
+  QCheck.Test.make
+    ~name:"strict R-LTF schedules are complete, feasible and eps-tolerant"
+    ~count:60 seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      match Rltf.run prob with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m -> Validate.all m ~throughput:prob.Types.throughput = [])
+
+let prop_best_effort_tolerant =
+  QCheck.Test.make
+    ~name:"best-effort schedules always keep the tolerance guarantee"
+    ~count:60 seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      let check outcome =
+        match outcome with
+        | Error _ -> true (* structural dead ends are allowed, rare *)
+        | Ok m ->
+            Validate.structure m = [] && Validate.fault_tolerance m = []
+      in
+      check (Ltf.run ~mode:Scheduler.Best_effort prob)
+      && check (Rltf.run ~mode:Scheduler.Best_effort prob))
+
+let prop_effective_depth_bounded =
+  QCheck.Test.make
+    ~name:"effective pipeline depth never exceeds the official stage count"
+    ~count:40 seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      match Ltf.run ~mode:Scheduler.Best_effort prob with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m -> (
+          match Stage_latency.effective_depth m with
+          | None -> false
+          | Some depth -> depth >= 1 && depth <= Metrics.stage_depth m))
+
+let prop_crash_monotone =
+  QCheck.Test.make ~name:"a crash never shrinks the effective depth" ~count:40
+    seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      match Rltf.run ~mode:Scheduler.Best_effort prob with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m -> (
+          match Stage_latency.effective_depth m with
+          | None -> false
+          | Some healthy ->
+              List.for_all
+                (fun p ->
+                  match Stage_latency.effective_depth ~failed:[ p ] m with
+                  | None -> prob.Types.eps = 0
+                  | Some depth -> depth >= healthy)
+                (Platform.procs prob.Types.platform)))
+
+let prop_single_failure_survival =
+  QCheck.Test.make
+    ~name:"eps >= 1 schedules survive every single processor failure"
+    ~count:40 seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      if prob.Types.eps = 0 then true
+      else
+        match Ltf.run ~mode:Scheduler.Best_effort prob with
+        | Error _ -> QCheck.assume_fail ()
+        | Ok m ->
+            List.for_all
+              (fun p -> Engine.latency ~failed:[ p ] m <> None)
+              (Platform.procs prob.Types.platform))
+
+let prop_derive_tolerant =
+  QCheck.Test.make
+    ~name:"source derivation is tolerant for any distinct placement"
+    ~count:60 seed_arb (fun seed ->
+      let rng = Rng.create ~seed in
+      let tasks = 3 + Rng.int rng 20 in
+      let dag = Random_dag.layered ~rng ~tasks () in
+      let m_procs = 6 + Rng.int rng 6 in
+      let plat = Fixtures.uniform m_procs in
+      let eps = Rng.int rng 3 in
+      (* random placement with distinct processors per task *)
+      let proc_table =
+        Array.init tasks (fun _ ->
+            let all = Array.init m_procs Fun.id in
+            Rng.shuffle rng all;
+            Array.sub all 0 (eps + 1))
+      in
+      let mapping =
+        Source_derivation.derive ~dag ~platform:plat ~eps
+          ~proc_of:(fun task copy -> proc_table.(task).(copy))
+          ()
+      in
+      Validate.structure mapping = [] && Validate.fault_tolerance mapping = [])
+
+(* Three independent implementations decide whether a failure set defeats a
+   schedule: the static validator, the discrete-event engine, and the
+   stage-synchronous model.  They must always agree. *)
+let prop_survival_consistency =
+  QCheck.Test.make
+    ~name:"validator, engine and stage model agree on survival" ~count:30
+    (QCheck.pair seed_arb (QCheck.int_range 0 3))
+    (fun (seed, n_failures) ->
+      let prob = small_problem_of_seed seed in
+      match Ltf.run ~mode:Scheduler.Best_effort prob with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m ->
+          let rng = Rng.create ~seed:(seed + 1) in
+          let m_procs = Platform.size prob.Types.platform in
+          let failed =
+            List.sort_uniq compare
+              (List.init (min n_failures m_procs) (fun _ -> Rng.int rng m_procs))
+          in
+          let validator = Validate.survives m ~failed in
+          let engine = Engine.latency ~failed m <> None in
+          let stage = Stage_latency.effective_depth ~failed m <> None in
+          validator = engine && engine = stage)
+
+(* The one-port invariants, checked on the engine's own message log: on any
+   processor, transfers it sends must not overlap pairwise, and neither may
+   transfers it receives; executions on one processor must not overlap. *)
+let prop_engine_one_port =
+  QCheck.Test.make ~name:"engine respects the bi-directional one-port model"
+    ~count:30 seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      match Rltf.run ~mode:Scheduler.Best_effort prob with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m ->
+          let result = Engine.run ~n_items:3 m in
+          let proc_of (inst : Engine.instance) =
+            (Mapping.replica_exn m inst.Engine.rep.Replica.task
+               inst.Engine.rep.Replica.copy)
+              .Replica.proc
+          in
+          let no_overlap intervals =
+            let sorted = List.sort compare intervals in
+            let rec check = function
+              | (_, f) :: ((s, _) :: _ as rest) -> f <= s +. 1e-9 && check rest
+              | _ -> true
+            in
+            check sorted
+          in
+          let sends = Hashtbl.create 16 and recvs = Hashtbl.create 16 in
+          let push tbl key interval =
+            Hashtbl.replace tbl key
+              (interval :: (try Hashtbl.find tbl key with Not_found -> []))
+          in
+          List.iter
+            (fun (msg : Engine.message) ->
+              let interval = (msg.Engine.msg_start, msg.Engine.msg_finish) in
+              push sends (proc_of msg.Engine.msg_src) interval;
+              push recvs (proc_of msg.Engine.msg_dst) interval)
+            result.Engine.messages;
+          let ports_ok =
+            Hashtbl.fold (fun _ l acc -> acc && no_overlap l) sends true
+            && Hashtbl.fold (fun _ l acc -> acc && no_overlap l) recvs true
+          in
+          (* executions per processor *)
+          let execs = Hashtbl.create 16 in
+          for item = 0 to 2 do
+            Mapping.iter m (fun (r : Replica.t) ->
+                match
+                  ( result.Engine.start_time item r.Replica.id,
+                    result.Engine.finish_time item r.Replica.id )
+                with
+                | Some s, Some f -> push execs r.Replica.proc (s, f)
+                | _ -> ())
+          done;
+          let execs_ok = Hashtbl.fold (fun _ l acc -> acc && no_overlap l) execs true in
+          ports_ok && execs_ok)
+
+let prop_recovery_restores_tolerance =
+  QCheck.Test.make
+    ~name:"recovery restores full tolerance among the survivors" ~count:30
+    seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      match Rltf.run ~mode:Scheduler.Best_effort prob with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m ->
+          let rng = Rng.create ~seed:(seed + 7) in
+          let m_procs = Platform.size prob.Types.platform in
+          let victim = Rng.int rng m_procs in
+          (match Recovery.restore m ~failed:[ victim ] with
+          | Error Recovery.Not_enough_processors ->
+              m_procs - 1 < prob.Types.eps + 1
+          | Error (Recovery.No_room _) -> false
+          | Ok restored ->
+              Mapping.on_proc restored victim = []
+              && Validate.structure restored = []
+              && Validate.fault_tolerance restored = []))
+
+let prop_engine_latency_lower_bound =
+  QCheck.Test.make
+    ~name:"simulated latency is at least the heaviest task's execution"
+    ~count:40 seed_arb (fun seed ->
+      let prob = small_problem_of_seed seed in
+      match Ltf.run ~mode:Scheduler.Best_effort prob with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m -> (
+          match Engine.latency m with
+          | None -> false
+          | Some latency ->
+              let slowest_needed =
+                Dag.fold_tasks prob.Types.dag ~init:0.0 ~f:(fun acc t ->
+                    (* every task runs somewhere: at least the fastest
+                       processor's time for it *)
+                    let best =
+                      List.fold_left
+                        (fun best u ->
+                          Float.min best
+                            (Platform.exec_time prob.Types.platform u
+                               (Dag.exec prob.Types.dag t)))
+                        infinity
+                        (Platform.procs prob.Types.platform)
+                    in
+                    Float.max acc best)
+              in
+              latency >= slowest_needed -. 1e-9))
+
+let prop_workflow_io_roundtrip =
+  QCheck.Test.make ~name:"workflow files round-trip through print and parse"
+    ~count:60 seed_arb (fun seed ->
+      let g = layered_of_seed seed in
+      match Workflow_io.parse_workflow (Workflow_io.print_workflow g) with
+      | Error _ -> false
+      | Ok g' ->
+          Dag.size g = Dag.size g'
+          && Dag.n_edges g = Dag.n_edges g'
+          && Dag.fold_edges g ~init:true ~f:(fun acc s d v ->
+                 acc
+                 && Dag.has_edge g' s d
+                 && Float.abs (Dag.volume g' s d -. v)
+                    <= 1e-6 *. Float.max 1.0 v))
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within arbitrary bounds" ~count:200
+    QCheck.(pair seed_arb (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "graphs",
+        List.map to_alcotest
+          [
+            prop_topo_order_valid;
+            prop_depth_bounded;
+            prop_width_bounds;
+            prop_priority_peak_is_critical_path;
+            prop_reverse_involution;
+            prop_sp_generator_recognized;
+          ] );
+      ( "structures",
+        List.map to_alcotest
+          [ prop_timeline_no_overlap; prop_timeline_busy_sum; prop_heap_matches_model ]
+      );
+      ( "workload",
+        List.map to_alcotest
+          [ prop_calibration_exact; prop_rng_int_bounds; prop_workflow_io_roundtrip ] );
+      ( "scheduling",
+        List.map to_alcotest
+          [
+            prop_ltf_valid;
+            prop_rltf_valid;
+            prop_best_effort_tolerant;
+            prop_effective_depth_bounded;
+            prop_crash_monotone;
+            prop_single_failure_survival;
+            prop_derive_tolerant;
+            prop_survival_consistency;
+            prop_recovery_restores_tolerance;
+            prop_engine_one_port;
+            prop_engine_latency_lower_bound;
+          ] );
+    ]

@@ -1,0 +1,399 @@
+open Test_support
+
+let case = Fixtures.case
+let check_float = Fixtures.check_float
+let check_int = Fixtures.check_int
+let check_true = Fixtures.check_true
+
+let id task copy = { Replica.task; copy }
+
+let place m task copy proc sources =
+  Mapping.assign m { Replica.id = id task copy; proc; sources }
+
+(* ------------------------------------------------------------------ *)
+(* Event heap                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let heap_tests =
+  [
+    case "pops in key order" (fun () ->
+        let h = Event_heap.create () in
+        List.iter (fun k -> Event_heap.add h k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+        let order = ref [] in
+        let rec drain () =
+          match Event_heap.pop_min h with
+          | Some (_, v) ->
+              order := v :: !order;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order));
+    case "ties pop in insertion order" (fun () ->
+        let h = Event_heap.create () in
+        List.iter (fun v -> Event_heap.add h 1.0 v) [ 10; 20; 30 ];
+        let pops = List.init 3 (fun _ ->
+            match Event_heap.pop_min h with Some (_, v) -> v | None -> -1)
+        in
+        Alcotest.(check (list int)) "fifo" [ 10; 20; 30 ] pops);
+    case "size and emptiness" (fun () ->
+        let h = Event_heap.create () in
+        check_true "empty" (Event_heap.is_empty h);
+        Event_heap.add h 1.0 ();
+        Event_heap.add h 2.0 ();
+        check_int "size" 2 (Event_heap.size h);
+        check_float "min key" 1.0 (Option.get (Event_heap.min_key h));
+        ignore (Event_heap.pop_min h);
+        check_int "size after pop" 1 (Event_heap.size h));
+    case "pop of empty heap" (fun () ->
+        let h : unit Event_heap.t = Event_heap.create () in
+        check_true "none" (Event_heap.pop_min h = None);
+        check_true "no key" (Event_heap.min_key h = None));
+    case "interleaved adds and pops stay sorted" (fun () ->
+        let h = Event_heap.create () in
+        Event_heap.add h 5.0 5;
+        Event_heap.add h 1.0 1;
+        (match Event_heap.pop_min h with
+        | Some (k, _) -> check_float "first" 1.0 k
+        | None -> Alcotest.fail "empty");
+        Event_heap.add h 0.5 0;
+        match Event_heap.pop_min h with
+        | Some (k, _) -> check_float "second" 0.5 k
+        | None -> Alcotest.fail "empty");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine: exact single-item timings                                   *)
+(* ------------------------------------------------------------------ *)
+
+let engine_tests =
+  [
+    case "sequential chain on one processor" (fun () ->
+        let m = Mapping.create ~dag:Fixtures.chain3 ~platform:(Fixtures.uniform 2) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 0 [ (0, [ id 0 0 ]) ];
+        place m 2 0 0 [ (1, [ id 1 0 ]) ];
+        let r = Engine.run m in
+        check_float "t0 start" 0.0 (Option.get (r.Engine.start_time 0 (id 0 0)));
+        check_float "t1 start" 1.0 (Option.get (r.Engine.start_time 0 (id 1 0)));
+        check_float "t2 finish" 3.0 (Option.get (r.Engine.finish_time 0 (id 2 0)));
+        check_float "latency" 3.0 (Option.get r.Engine.item_latency.(0)));
+    case "chain across processors pays communications" (fun () ->
+        let m = Mapping.create ~dag:Fixtures.chain3 ~platform:(Fixtures.uniform 2) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 1 [ (0, [ id 0 0 ]) ];
+        place m 2 0 0 [ (1, [ id 1 0 ]) ];
+        let r = Engine.run m in
+        (* exec 1 + comm 1 + exec 1 + comm 1 + exec 1 *)
+        check_float "latency" 5.0 (Option.get r.Engine.item_latency.(0));
+        check_int "two transfers" 2 (List.length r.Engine.messages));
+    case "one-port serializes a fan-out" (fun () ->
+        let dag =
+          Dag.of_edges ~name:"fan2" ~exec:[| 1.0; 1.0; 1.0 |]
+            [ (0, 1, 1.0); (0, 2, 1.0) ]
+        in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 3) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 1 [ (0, [ id 0 0 ]) ];
+        place m 2 0 2 [ (0, [ id 0 0 ]) ];
+        let r = Engine.run m in
+        let finishes =
+          List.sort compare
+            [
+              Option.get (r.Engine.finish_time 0 (id 1 0));
+              Option.get (r.Engine.finish_time 0 (id 2 0));
+            ]
+        in
+        (* the two messages share P0's send port: arrivals at 2 and 3 *)
+        Alcotest.(check (list (float 1e-9))) "serialized" [ 3.0; 4.0 ] finishes;
+        check_float "latency" 4.0 (Option.get r.Engine.item_latency.(0)));
+    case "co-located data is available immediately" (fun () ->
+        let dag =
+          Dag.of_edges ~name:"fan2" ~exec:[| 1.0; 1.0; 1.0 |]
+            [ (0, 1, 1.0); (0, 2, 1.0) ]
+        in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 3) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 0 [ (0, [ id 0 0 ]) ];
+        place m 2 0 0 [ (0, [ id 0 0 ]) ];
+        let r = Engine.run m in
+        check_float "no messages, pure compute" 3.0
+          (Option.get r.Engine.item_latency.(0));
+        check_int "no transfers" 0 (List.length r.Engine.messages));
+    case "heterogeneous speeds change execution times" (fun () ->
+        let m =
+          Mapping.create ~dag:Fixtures.chain3 ~platform:Fixtures.hetero4 ~eps:0
+        in
+        place m 0 0 2 [];
+        place m 1 0 2 [ (0, [ id 0 0 ]) ];
+        place m 2 0 2 [ (1, [ id 1 0 ]) ];
+        let r = Engine.run m in
+        (* speed 0.5: each task takes 2 *)
+        check_float "latency" 6.0 (Option.get r.Engine.item_latency.(0)));
+    case "latency of the empty mapping run" (fun () ->
+        let m = Mapping.create ~dag:Fixtures.singleton ~platform:(Fixtures.uniform 1) ~eps:0 in
+        place m 0 0 0 [];
+        check_float "one task" 1.0 (Option.get (Engine.latency m)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine: replication and failures                                    *)
+(* ------------------------------------------------------------------ *)
+
+let lanes () =
+  let m = Mapping.create ~dag:Fixtures.chain3 ~platform:(Fixtures.uniform 4) ~eps:1 in
+  place m 0 0 0 [];
+  place m 0 1 1 [];
+  place m 1 0 0 [ (0, [ id 0 0 ]) ];
+  place m 1 1 1 [ (0, [ id 0 1 ]) ];
+  place m 2 0 0 [ (1, [ id 1 0 ]) ];
+  place m 2 1 1 [ (1, [ id 1 1 ]) ];
+  m
+
+let failure_tests =
+  [
+    case "healthy lanes" (fun () ->
+        check_float "latency" 3.0 (Option.get (Engine.latency (lanes ()))));
+    case "one lane down still delivers" (fun () ->
+        check_float "latency" 3.0 (Option.get (Engine.latency ~failed:[ 0 ] (lanes ()))));
+    case "both lanes down lose the item" (fun () ->
+        check_true "lost" (Engine.latency ~failed:[ 0; 1 ] (lanes ()) = None));
+    case "failing an idle processor changes nothing" (fun () ->
+        check_float "latency" 3.0 (Option.get (Engine.latency ~failed:[ 3 ] (lanes ()))));
+    case "dead source forces the slower replica" (fun () ->
+        (* t1(0) takes from t0(0) only; t0(0) on a failed proc starves the
+           fast lane but the other lane delivers *)
+        let m = lanes () in
+        let r = Engine.run ~failed:[ 0 ] m in
+        check_true "lane-0 replicas dead" (r.Engine.finish_time 0 (id 2 0) = None);
+        check_float "lane-1 exit" 3.0 (Option.get (r.Engine.finish_time 0 (id 2 1))));
+    case "full-group sources fall back on the survivor" (fun () ->
+        let dag = Fixtures.chain3 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 4) ~eps:1 in
+        place m 0 0 0 [];
+        place m 0 1 1 [];
+        place m 1 0 2 [ (0, [ id 0 0; id 0 1 ]) ];
+        place m 1 1 3 [ (0, [ id 0 0; id 0 1 ]) ];
+        place m 2 0 2 [ (1, [ id 1 0 ]) ];
+        place m 2 1 3 [ (1, [ id 1 1 ]) ];
+        (* healthy: first arrival enables; with P0 down, t1 replicas wait
+           for t0(1)'s messages but still run *)
+        check_true "healthy" (Engine.latency m <> None);
+        check_true "P0 down survives" (Engine.latency ~failed:[ 0 ] m <> None);
+        check_true "P1 down survives" (Engine.latency ~failed:[ 1 ] m <> None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine: pipelined multi-item execution                              *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_tests =
+  [
+    case "items flow at the injection period" (fun () ->
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 1) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 0 [ (0, [ id 0 0 ]) ];
+        let r = Engine.run ~n_items:3 ~period:2.0 m in
+        Array.iter
+          (fun l -> check_float "steady latency" 2.0 (Option.get l))
+          r.Engine.item_latency);
+    case "oversubscription builds a backlog" (fun () ->
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 1) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 0 [ (0, [ id 0 0 ]) ];
+        let r = Engine.run ~n_items:3 ~period:1.0 m in
+        let lat i = Option.get r.Engine.item_latency.(i) in
+        check_float "item 0" 2.0 (lat 0);
+        check_float "item 1" 3.0 (lat 1);
+        check_float "item 2" 4.0 (lat 2);
+        check_float "sustained = capacity" 0.5
+          (Option.get (Engine.sustained_throughput r)));
+    case "sustained throughput needs two completions" (fun () ->
+        let m = Mapping.create ~dag:Fixtures.singleton ~platform:(Fixtures.uniform 1) ~eps:0 in
+        place m 0 0 0 [];
+        let r = Engine.run ~n_items:1 m in
+        check_true "none" (Engine.sustained_throughput r = None));
+    case "earlier items have priority" (fun () ->
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 1) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 0 [ (0, [ id 0 0 ]) ];
+        let r = Engine.run ~n_items:2 ~period:0.0 m in
+        (* both items injected at 0: item 0 must fully drain first *)
+        check_float "item0 t1 finish" 2.0 (Option.get (r.Engine.finish_time 0 (id 1 0)));
+        check_true "item1 finishes later"
+          (Option.get (r.Engine.finish_time 1 (id 1 0)) > 2.0));
+    case "run rejects bad arguments" (fun () ->
+        let m = Mapping.create ~dag:Fixtures.singleton ~platform:(Fixtures.uniform 1) ~eps:0 in
+        Alcotest.check_raises "incomplete" (Invalid_argument "") (fun () ->
+            try ignore (Engine.run m) with Invalid_argument _ -> raise (Invalid_argument ""));
+        place m 0 0 0 [];
+        Alcotest.check_raises "n_items" (Invalid_argument "") (fun () ->
+            try ignore (Engine.run ~n_items:0 m)
+            with Invalid_argument _ -> raise (Invalid_argument "")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Timed (fail-stop) failures                                          *)
+(* ------------------------------------------------------------------ *)
+
+let timed_failure_tests =
+  [
+    case "a crash after completion changes nothing" (fun () ->
+        let m = lanes () in
+        let r = Engine.run ~timed_failures:[ (0, 100.0) ] m in
+        check_float "latency" 3.0 (Option.get r.Engine.item_latency.(0)));
+    case "a crash at time zero equals the fail-silent case" (fun () ->
+        let m = lanes () in
+        let a = Engine.run ~failed:[ 0 ] m in
+        let b = Engine.run ~timed_failures:[ (0, 0.0) ] m in
+        check_float "same latency"
+          (Option.get a.Engine.item_latency.(0))
+          (Option.get b.Engine.item_latency.(0)));
+    case "work crossing the crash instant is lost" (fun () ->
+        (* lane 0 executes t0 in [0,1], t1 in [1,2], t2 in [2,3]; crash P0
+           at 1.5 loses t1(0) and t2(0) but lane 1 still delivers *)
+        let m = lanes () in
+        let r = Engine.run ~timed_failures:[ (0, 1.5) ] m in
+        check_float "t0(0) survived" 1.0
+          (Option.get (r.Engine.finish_time 0 (id 0 0)));
+        check_true "t1(0) lost" (r.Engine.finish_time 0 (id 1 0) = None);
+        check_float "lane 1 delivers" 3.0 (Option.get r.Engine.item_latency.(0)));
+    case "work finishing exactly at the crash instant survives" (fun () ->
+        let m = lanes () in
+        let r = Engine.run ~timed_failures:[ (0, 2.0) ] m in
+        check_float "t1(0) survives the boundary" 2.0
+          (Option.get (r.Engine.finish_time 0 (id 1 0)));
+        check_true "t2(0) lost" (r.Engine.finish_time 0 (id 2 0) = None));
+    case "messages in flight are lost with their sender" (fun () ->
+        (* t0 on P0 finishes at 1 and sends [1,2] to t1 on P1; crashing P0
+           at 1.5 loses the transfer, so t1 never runs and the single-copy
+           output is lost *)
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 2) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 1 [ (0, [ id 0 0 ]) ];
+        let r = Engine.run ~timed_failures:[ (0, 1.5) ] m in
+        check_true "output lost" (r.Engine.item_latency.(0) = None);
+        check_int "no completed transfer" 0 (List.length r.Engine.messages));
+    case "later items fail over to the surviving lane mid-stream" (fun () ->
+        let m = lanes () in
+        (* P0 crashes during item 1: item 0 comes from lane 0, item 1's
+           output must still be delivered by lane 1 *)
+        let r =
+          Engine.run ~n_items:3 ~period:10.0 ~timed_failures:[ (0, 12.0) ] m
+        in
+        Array.iter
+          (fun l -> check_true "every item delivered" (l <> None))
+          r.Engine.item_latency);
+    case "negative failure times are rejected" (fun () ->
+        Alcotest.check_raises "negative" (Invalid_argument "") (fun () ->
+            try ignore (Engine.run ~timed_failures:[ (0, -1.0) ] (lanes ()))
+            with Invalid_argument _ -> raise (Invalid_argument "")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stage-synchronous latency                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stage_latency_tests =
+  [
+    case "lanes have depth one" (fun () ->
+        check_int "depth" 1 (Option.get (Stage_latency.effective_depth (lanes ())));
+        check_float "latency = period" 10.0
+          (Option.get (Stage_latency.latency (lanes ()) ~throughput:0.1)));
+    case "spread diamond has depth three" (fun () ->
+        let m = Mapping.create ~dag:Fixtures.diamond4 ~platform:Fixtures.hetero4 ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 1 [ (0, [ id 0 0 ]) ];
+        place m 2 0 2 [ (0, [ id 0 0 ]) ];
+        place m 3 0 3 [ (1, [ id 1 0 ]); (2, [ id 2 0 ]) ];
+        check_int "depth" 3 (Option.get (Stage_latency.effective_depth m)));
+    case "effective depth takes the best source" (fun () ->
+        (* t1(0) has a local and a remote source: the local one wins *)
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 3) ~eps:1 in
+        place m 0 0 0 [];
+        place m 0 1 1 [];
+        place m 1 0 0 [ (0, [ id 0 0; id 0 1 ]) ];
+        place m 1 1 2 [ (0, [ id 0 0; id 0 1 ]) ];
+        check_int "official stages take the max" 2 (Metrics.stage_depth m);
+        check_int "effective depth takes the min" 1
+          (Option.get (Stage_latency.effective_depth m)));
+    case "failures can only increase the depth" (fun () ->
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 3) ~eps:1 in
+        place m 0 0 0 [];
+        place m 0 1 1 [];
+        place m 1 0 0 [ (0, [ id 0 0; id 0 1 ]) ];
+        place m 1 1 2 [ (0, [ id 0 0; id 0 1 ]) ];
+        let healthy = Option.get (Stage_latency.effective_depth m) in
+        (* failing P0 kills the lane exit; the survivor pays a hop *)
+        let degraded = Option.get (Stage_latency.effective_depth ~failed:[ 0 ] m) in
+        check_int "healthy" 1 healthy;
+        check_int "degraded" 2 degraded);
+    case "defeated schedules return None" (fun () ->
+        check_true "both lanes"
+          (Stage_latency.effective_depth ~failed:[ 0; 1 ] (lanes ()) = None));
+    case "mean crash latency over draws" (fun () ->
+        let rng = Rng.create ~seed:3 in
+        let mean =
+          Stage_latency.mean_crash_latency
+            ~rand_int:(fun b -> Rng.int rng b)
+            ~crashes:1 ~runs:16 ~throughput:0.1 (lanes ())
+        in
+        (* any single crash leaves depth 1 *)
+        check_float "still one stage" 10.0 (Option.get mean));
+    case "empty graph has depth zero" (fun () ->
+        let m = Mapping.create ~dag:Fixtures.empty ~platform:(Fixtures.uniform 1) ~eps:0 in
+        check_int "zero" 0 (Option.get (Stage_latency.effective_depth m)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Crash sampling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let crash_tests =
+  [
+    case "with_failures is deterministic" (fun () ->
+        let o = Crash.with_failures (lanes ()) ~failed:[ 1 ] in
+        check_float "latency" 3.0 (Option.get o.Crash.latency);
+        Alcotest.(check (list int)) "failed set" [ 1 ] o.Crash.failed);
+    case "sample draws distinct processors" (fun () ->
+        let rng = Rng.create ~seed:9 in
+        for _ = 1 to 32 do
+          let o =
+            Crash.sample ~rand_int:(fun b -> Rng.int rng b) ~crashes:3 (lanes ())
+          in
+          check_int "three distinct" 3
+            (List.length (List.sort_uniq compare o.Crash.failed))
+        done);
+    case "sample rejects too many crashes" (fun () ->
+        Alcotest.check_raises "too many" (Invalid_argument "") (fun () ->
+            try
+              ignore
+                (Crash.sample ~rand_int:(fun _ -> 0) ~crashes:5 (lanes ()))
+            with Invalid_argument _ -> raise (Invalid_argument "")));
+    case "mean over surviving draws" (fun () ->
+        let rng = Rng.create ~seed:4 in
+        let mean =
+          Crash.mean_latency
+            ~rand_int:(fun b -> Rng.int rng b)
+            ~crashes:1 ~runs:10 (lanes ())
+        in
+        check_float "all draws survive at 3.0" 3.0 (Option.get mean));
+  ]
+
+let () =
+  Alcotest.run "stream_sim"
+    [
+      ("event-heap", heap_tests);
+      ("engine-timing", engine_tests);
+      ("engine-failures", failure_tests);
+      ("engine-timed-failures", timed_failure_tests);
+      ("engine-pipeline", pipeline_tests);
+      ("stage-latency", stage_latency_tests);
+      ("crash", crash_tests);
+    ]
