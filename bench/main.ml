@@ -93,6 +93,26 @@ let figure_tests =
                 ~latency_bound:500.0 ())));
   ]
 
+(* A 12-trial sweep (3 granularities x 4 graphs) timed at -j 1/2/4:
+   the collect results are bit-identical across the three, only the
+   wall-clock may differ.  Pool setup/teardown is included, as in the
+   CLI's `-j N` path. *)
+let parallel_collect_config =
+  {
+    (Fig_common.quick ~eps:1 ~crashes:1) with
+    Fig_common.graphs_per_point = 4;
+    granularities = [ 0.6; 1.0; 1.4 ];
+  }
+
+let parallel_tests =
+  List.map
+    (fun jobs ->
+      Test.make
+        ~name:(Printf.sprintf "collect 12 trials, -j %d" jobs)
+        (Staged.stage (fun () ->
+             Fig_common.collect ~jobs parallel_collect_config)))
+    [ 1; 2; 4 ]
+
 let algorithm_tests =
   [
     Test.make ~name:"LTF schedule (v=100, m=20, eps=1)"
@@ -181,5 +201,6 @@ let () =
   print_endline "Benchmarks (Bechamel, monotonic clock, OLS ns/run)";
   print_endline "===================================================";
   run_group "Figure regeneration (one sweep point each)" figure_tests;
+  run_group "Parallel sweep engine (domain pool)" parallel_tests;
   run_group "Scheduling algorithms" algorithm_tests;
   run_group "Substrates" substrate_tests

@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let run_experiments names quick seed out_dir =
+let run_experiments names quick seed jobs out_dir =
   let targets =
     match names with
     | [] | [ "all" ] -> Ok Runner.all
@@ -16,6 +16,7 @@ let run_experiments names quick seed out_dir =
                (String.concat ", " ("all" :: Runner.names)))
         else Ok (List.filter_map Runner.find names)
   in
+  let jobs = if jobs <= 0 then Parallel.default_jobs () else jobs in
   match targets with
   | Error msg ->
       prerr_endline msg;
@@ -24,7 +25,7 @@ let run_experiments names quick seed out_dir =
       List.iter
         (fun (e : Runner.experiment) ->
           Printf.printf "=== %s: %s ===\n%!" e.Runner.name e.Runner.description;
-          e.Runner.run ~quick ~seed ~out_dir;
+          e.Runner.run ~quick ~seed ~jobs ~out_dir;
           print_newline ())
         targets;
       0
@@ -47,6 +48,15 @@ let seed_arg =
   let doc = "Base random seed (runs are deterministic in the seed)." in
   Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the sample sweeps.  $(b,-j 1) (the default) runs \
+     sequentially without spawning any domain; $(b,-j 0) uses one worker \
+     per recommended domain.  Results are byte-for-byte identical for \
+     every value — parallelism only changes the wall-clock."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let out_arg =
   let doc = "Directory for the CSV outputs." in
   Arg.(value & opt string "results" & info [ "out" ] ~docv:"DIR" ~doc)
@@ -57,6 +67,9 @@ let cmd =
      Applications under Throughput and Reliability Constraints'"
   in
   let info = Cmd.info "experiments" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run_experiments $ names_arg $ quick_arg $ seed_arg $ out_arg)
+  Cmd.v info
+    Term.(
+      const run_experiments $ names_arg $ quick_arg $ seed_arg $ jobs_arg
+      $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -20,29 +20,52 @@ let configurations =
   ]
 
 let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 20)
-    ?(granularity = 1.0) ?(eps = 1) () =
+    ?(granularity = 1.0) ?(eps = 1) ?(jobs = 1) () =
   let throughput = Paper_workload.throughput ~eps in
   let rows =
     List.map
       (fun (name, opts) ->
-        let strict_ok = ref 0 and meets = ref 0 in
-        let stages = ref [] and latency = ref [] and messages = ref [] in
-        for rep = 0 to graphs - 1 do
+        (* One graph is a pure function of its rep index; the graphs run
+           on a domain pool and the folds below stay in rep order, so the
+           row is identical for every [jobs]. *)
+        let measure rep =
           let rng = Rng.create ~seed:(seed + (7919 * rep)) in
           let inst = Paper_workload.instance ~rng ~granularity () in
           let prob =
             Types.problem ~dag:inst.Paper_workload.dag
               ~platform:inst.Paper_workload.plat ~eps ~throughput
           in
-          (match Rltf.run ~opts prob with Ok _ -> incr strict_ok | Error _ -> ());
-          match Rltf.run ~mode:Scheduler.Best_effort ~opts prob with
-          | Error _ -> ()
-          | Ok m ->
-              if Metrics.meets_throughput m ~throughput then incr meets;
-              stages := float_of_int (Metrics.stage_depth m) :: !stages;
-              latency := Metrics.latency_bound m ~throughput :: !latency;
-              messages := float_of_int (Mapping.n_messages m) :: !messages
-        done;
+          let strict_ok =
+            match Rltf.run ~opts prob with Ok _ -> true | Error _ -> false
+          in
+          let best_effort =
+            match Rltf.run ~mode:Scheduler.Best_effort ~opts prob with
+            | Error _ -> None
+            | Ok m ->
+                Some
+                  ( Metrics.meets_throughput m ~throughput,
+                    float_of_int (Metrics.stage_depth m),
+                    Metrics.latency_bound m ~throughput,
+                    float_of_int (Mapping.n_messages m) )
+          in
+          (strict_ok, best_effort)
+        in
+        let per_rep =
+          Parallel.map_seeded ~jobs measure (List.init graphs Fun.id)
+        in
+        let strict_ok = ref 0 and meets = ref 0 in
+        let stages = ref [] and latency = ref [] and messages = ref [] in
+        List.iter
+          (fun (ok, best_effort) ->
+            if ok then incr strict_ok;
+            match best_effort with
+            | None -> ()
+            | Some (meets_t, s, l, msg) ->
+                if meets_t then incr meets;
+                stages := s :: !stages;
+                latency := l :: !latency;
+                messages := msg :: !messages)
+          per_rep;
         {
           name;
           strict_ok = !strict_ok;

@@ -24,7 +24,9 @@ val run :
   ?graphs:int ->
   ?granularity:float ->
   ?eps:int ->
+  ?jobs:int ->
   unit ->
   row list
-(** Defaults: 20 graphs, granularity 1.0, ε = 1.  Prints a table and
-    writes [fig-ablation.csv]. *)
+(** Defaults: 20 graphs, granularity 1.0, ε = 1, 1 job.  Graphs are
+    measured on [jobs] worker domains (identical output for every value).
+    Prints a table and writes [fig-ablation.csv]. *)

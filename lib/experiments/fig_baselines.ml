@@ -35,9 +35,30 @@ let algorithms ~throughput =
   ]
 
 let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 30)
-    ?(granularity = 1.0) () =
+    ?(granularity = 1.0) ?(jobs = 1) () =
   let throughput = Paper_workload.throughput ~eps:0 in
   let algos = algorithms ~throughput in
+  (* One graph is a pure function of its rep index, so the graphs can run
+     on a domain pool; aggregation below stays in rep order, making the
+     result identical for every [jobs]. *)
+  let measure rep =
+    let rng = Rng.create ~seed:(seed + (7919 * rep)) in
+    let inst = Paper_workload.instance ~rng ~granularity () in
+    let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
+    List.filter_map
+      (fun (name, algo) ->
+        match algo dag plat with
+        | None -> None
+        | Some mapping ->
+            Some
+              ( name,
+                float_of_int (Metrics.stage_depth mapping),
+                Metrics.latency_bound mapping ~throughput,
+                Engine.latency mapping,
+                Metrics.meets_throughput mapping ~throughput ))
+      algos
+  in
+  let per_rep = Parallel.map_seeded ~jobs measure (List.init graphs Fun.id) in
   let acc = Hashtbl.create 16 in
   let record name field value =
     let key = (name, field) in
@@ -45,25 +66,15 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 30)
     Hashtbl.replace acc key (value :: prev)
   in
   let meets = Hashtbl.create 16 in
-  for rep = 0 to graphs - 1 do
-    let rng = Rng.create ~seed:(seed + (7919 * rep)) in
-    let inst = Paper_workload.instance ~rng ~granularity () in
-    let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
-    List.iter
-      (fun (name, algo) ->
-        match algo dag plat with
-        | None -> ()
-        | Some mapping ->
-            record name `Stages (float_of_int (Metrics.stage_depth mapping));
-            record name `Bound (Metrics.latency_bound mapping ~throughput);
-            (match Engine.latency mapping with
-            | Some l -> record name `Sim l
-            | None -> ());
-            if Metrics.meets_throughput mapping ~throughput then
-              Hashtbl.replace meets name
-                (1 + try Hashtbl.find meets name with Not_found -> 0))
-      algos
-  done;
+  List.iter
+    (List.iter (fun (name, stages, bound, sim, meets_t) ->
+         record name `Stages stages;
+         record name `Bound bound;
+         (match sim with Some l -> record name `Sim l | None -> ());
+         if meets_t then
+           Hashtbl.replace meets name
+             (1 + try Hashtbl.find meets name with Not_found -> 0)))
+    per_rep;
   let rows =
     List.filter_map
       (fun (name, _) ->

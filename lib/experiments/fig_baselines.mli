@@ -19,7 +19,9 @@ val run :
   ?seed:int ->
   ?graphs:int ->
   ?granularity:float ->
+  ?jobs:int ->
   unit ->
   row list
-(** Defaults: seed 2009, 30 graphs, granularity 1.0.  Prints a table and
-    writes [fig-baselines.csv]. *)
+(** Defaults: seed 2009, 30 graphs, granularity 1.0, 1 job.  Graphs are
+    measured on [jobs] worker domains (identical output for every value).
+    Prints a table and writes [fig-baselines.csv]. *)

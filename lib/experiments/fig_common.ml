@@ -24,6 +24,21 @@ let default ~eps ~crashes =
 let quick ~eps ~crashes =
   { (default ~eps ~crashes) with graphs_per_point = 8 }
 
+type trial = {
+  config : config;
+  granularity : float;
+  rep : int;
+}
+
+let trial_seed (t : trial) =
+  t.config.seed + (1_000_003 * t.rep) + int_of_float (t.granularity *. 1_000.0)
+
+let trials config =
+  List.concat_map
+    (fun granularity ->
+      List.init config.graphs_per_point (fun rep -> { config; granularity; rep }))
+    config.granularities
+
 type sample = {
   granularity : float;
   ltf_bound : float;
@@ -56,56 +71,57 @@ let measure_algo config ~throughput ~rng outcome =
       in
       (bound, sim, crash, Metrics.meets_throughput mapping ~throughput)
 
-let collect config =
+(* A trial is a pure function of its record: every random draw comes from
+   streams derived from [trial_seed], which is what lets [collect] farm
+   trials out to a domain pool without changing a single bit of output. *)
+let run_trial (t : trial) =
+  let config = t.config and granularity = t.granularity in
   let throughput = Paper_workload.throughput ~eps:config.eps in
-  List.concat_map
-    (fun granularity ->
-      List.init config.graphs_per_point (fun rep ->
-          (* Independent, reproducible stream per (granularity, graph). *)
-          let rng =
-            Rng.create
-              ~seed:
-                (config.seed
-                + (1_000_003 * rep)
-                + int_of_float (granularity *. 1_000.0))
-          in
-          let inst =
-            Paper_workload.instance ~spec:config.spec ~rng ~granularity ()
-          in
-          let prob =
-            Types.problem ~dag:inst.Paper_workload.dag
-              ~platform:inst.Paper_workload.plat ~eps:config.eps ~throughput
-          in
-          let ltf_bound, ltf_sim, ltf_crash, ltf_meets =
-            measure_algo config ~throughput ~rng (Ltf.run ~mode:config.mode prob)
-          in
-          let rltf_bound, rltf_sim, rltf_crash, rltf_meets =
-            measure_algo config ~throughput ~rng (Rltf.run ~mode:config.mode prob)
-          in
-          (* The fault-free reference is an ε = 0 schedule, so its desired
-             throughput follows the same rule with ε = 0: T = 1/10. *)
-          let ff_throughput = Paper_workload.throughput ~eps:0 in
-          let ff_sim =
-            match
-              Fault_free.run ~mode:config.mode ~dag:inst.Paper_workload.dag
-                ~platform:inst.Paper_workload.plat ~throughput:ff_throughput ()
-            with
-            | Error _ -> nan
-            | Ok ff -> of_option (Stage_latency.latency ff ~throughput:ff_throughput)
-          in
-          {
-            granularity;
-            ltf_bound;
-            ltf_sim;
-            ltf_crash;
-            ltf_meets;
-            rltf_bound;
-            rltf_sim;
-            rltf_crash;
-            rltf_meets;
-            ff_sim;
-          }))
-    config.granularities
+  (* Independent, reproducible stream per (granularity, graph). *)
+  let rng = Rng.create ~seed:(trial_seed t) in
+  let inst = Paper_workload.instance ~spec:config.spec ~rng ~granularity () in
+  (* Each algorithm measures on its own child stream: R-LTF's crash draws
+     must not depend on how many draws LTF consumed (or on whether LTF
+     scheduled at all).  Both splits happen before any measurement. *)
+  let ltf_rng = Rng.split rng in
+  let rltf_rng = Rng.split rng in
+  let prob =
+    Types.problem ~dag:inst.Paper_workload.dag
+      ~platform:inst.Paper_workload.plat ~eps:config.eps ~throughput
+  in
+  let ltf_bound, ltf_sim, ltf_crash, ltf_meets =
+    measure_algo config ~throughput ~rng:ltf_rng (Ltf.run ~mode:config.mode prob)
+  in
+  let rltf_bound, rltf_sim, rltf_crash, rltf_meets =
+    measure_algo config ~throughput ~rng:rltf_rng
+      (Rltf.run ~mode:config.mode prob)
+  in
+  (* The fault-free reference is an ε = 0 schedule, so its desired
+     throughput follows the same rule with ε = 0: T = 1/10. *)
+  let ff_throughput = Paper_workload.throughput ~eps:0 in
+  let ff_sim =
+    match
+      Fault_free.run ~mode:config.mode ~dag:inst.Paper_workload.dag
+        ~platform:inst.Paper_workload.plat ~throughput:ff_throughput ()
+    with
+    | Error _ -> nan
+    | Ok ff -> of_option (Stage_latency.latency ff ~throughput:ff_throughput)
+  in
+  {
+    granularity;
+    ltf_bound;
+    ltf_sim;
+    ltf_crash;
+    ltf_meets;
+    rltf_bound;
+    rltf_sim;
+    rltf_crash;
+    rltf_meets;
+    ff_sim;
+  }
+
+let collect ?(jobs = 1) config =
+  Parallel.map_seeded ~jobs run_trial (trials config)
 
 let by_granularity samples =
   let table = Hashtbl.create 16 in

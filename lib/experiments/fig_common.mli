@@ -24,6 +24,23 @@ val default : eps:int -> crashes:int -> config
 val quick : eps:int -> crashes:int -> config
 (** A fast variant (8 graphs/point) for tests and smoke runs. *)
 
+(** One point of the sweep: a trial is a {e pure} function of this record
+    — its whole RNG stream is derived from {!trial_seed} — which is what
+    makes the parallel [collect] bit-identical to the sequential one. *)
+type trial = {
+  config : config;
+  granularity : float;
+  rep : int;  (** graph index within the point, [0 .. graphs_per_point-1] *)
+}
+
+val trials : config -> trial list
+(** All (granularity × rep) trials, in (granularity, rep) order — the
+    order [collect] returns samples in. *)
+
+val trial_seed : trial -> int
+(** The per-trial root seed, derived from [config.seed], the granularity
+    and the rep index. *)
+
 (** Everything measured on one random graph at one granularity; [nan]
     marks a quantity that could not be measured (scheduling failure, lost
     exit task). *)
@@ -40,9 +57,25 @@ type sample = {
   ff_sim : float;         (** fault-free (ε = 0 R-LTF) simulated latency *)
 }
 
-val collect : config -> sample list
+val measure_algo :
+  config ->
+  throughput:float ->
+  rng:Rng.t ->
+  (Mapping.t, 'e) result ->
+  float * float * float * bool
+(** [(bound, sim, crash, meets)] for one algorithm's outcome.  All crash
+    draws come from [rng] and nothing else, so independent streams give
+    independent measurements (exposed for the regression tests). *)
+
+val run_trial : trial -> sample
+(** Generate the trial's instance and measure LTF, R-LTF and the
+    fault-free reference on it. *)
+
+val collect : ?jobs:int -> config -> sample list
 (** Samples in (granularity, graph index) order; deterministic in
-    [config.seed]. *)
+    [config.seed].  [jobs] (default 1) is the number of worker domains:
+    [jobs = 1] runs sequentially without spawning any domain, and every
+    value of [jobs] yields byte-for-byte identical output. *)
 
 val by_granularity : sample list -> (float * sample list) list
 (** Group in increasing granularity. *)

@@ -67,8 +67,9 @@ let table_of_series series =
         ~header:("g" :: List.map (fun s -> s.Ascii_plot.label) series)
         rows
 
-let run ?(out_dir = "results") ~(config : Fig_common.config) ~mode () =
-  let samples = Fig_common.collect config in
+let run ?(out_dir = "results") ?(jobs = 1) ~(config : Fig_common.config) ~mode
+    () =
+  let samples = Fig_common.collect ~jobs config in
   let curves = series ~mode samples in
   let what =
     match mode with

@@ -9,9 +9,10 @@ val series : mode:mode -> Fig_common.sample list -> Ascii_plot.series list
 (** The four curves of the figure, in the paper's legend order. *)
 
 val run :
-  ?out_dir:string -> config:Fig_common.config -> mode:mode -> unit ->
-  Ascii_plot.series list
-(** Collect samples, print the plot and table, write
+  ?out_dir:string -> ?jobs:int -> config:Fig_common.config -> mode:mode ->
+  unit -> Ascii_plot.series list
+(** Collect samples ([jobs] worker domains, default 1 = sequential; the
+    output is identical for every value), print the plot and table, write
     [fig-latency-<bounds|crashN>-epsE.csv] under [out_dir] (default
     "results"), and return the series. *)
 

@@ -19,8 +19,8 @@ let series samples =
       samples;
   ]
 
-let run ?(out_dir = "results") ~(config : Fig_common.config) () =
-  let samples = Fig_common.collect config in
+let run ?(out_dir = "results") ?(jobs = 1) ~(config : Fig_common.config) () =
+  let samples = Fig_common.collect ~jobs config in
   let curves = series samples in
   let title =
     Printf.sprintf

@@ -9,5 +9,7 @@
 val series : Fig_common.sample list -> Ascii_plot.series list
 
 val run :
-  ?out_dir:string -> config:Fig_common.config -> unit -> Ascii_plot.series list
-(** Prints the plot and table and writes [fig-overhead-epsE.csv]. *)
+  ?out_dir:string -> ?jobs:int -> config:Fig_common.config -> unit ->
+  Ascii_plot.series list
+(** Prints the plot and table and writes [fig-overhead-epsE.csv].
+    [jobs] worker domains (default 1 = sequential, identical output). *)

@@ -1,7 +1,7 @@
 type experiment = {
   name : string;
   description : string;
-  run : quick:bool -> seed:int -> out_dir:string -> unit;
+  run : quick:bool -> seed:int -> jobs:int -> out_dir:string -> unit;
 }
 
 let latency_fig name ~eps ~mode ~crashes description =
@@ -9,13 +9,13 @@ let latency_fig name ~eps ~mode ~crashes description =
     name;
     description;
     run =
-      (fun ~quick ~seed ~out_dir ->
+      (fun ~quick ~seed ~jobs ~out_dir ->
         let config =
           if quick then Fig_common.quick ~eps ~crashes
           else Fig_common.default ~eps ~crashes
         in
         let config = { config with Fig_common.seed } in
-        ignore (Fig_latency.run ~out_dir ~config ~mode ()));
+        ignore (Fig_latency.run ~out_dir ~jobs ~config ~mode ()));
   }
 
 let overhead_fig name ~eps ~crashes description =
@@ -23,13 +23,13 @@ let overhead_fig name ~eps ~crashes description =
     name;
     description;
     run =
-      (fun ~quick ~seed ~out_dir ->
+      (fun ~quick ~seed ~jobs ~out_dir ->
         let config =
           if quick then Fig_common.quick ~eps ~crashes
           else Fig_common.default ~eps ~crashes
         in
         let config = { config with Fig_common.seed } in
-        ignore (Fig_overhead.run ~out_dir ~config ()));
+        ignore (Fig_overhead.run ~out_dir ~jobs ~config ()));
   }
 
 let all =
@@ -49,21 +49,22 @@ let all =
     {
       name = "examples";
       description = "Figs. 1-2: the paper's worked examples, replayed";
-      run = (fun ~quick:_ ~seed:_ ~out_dir:_ -> Paper_examples.print ());
+      run = (fun ~quick:_ ~seed:_ ~jobs:_ ~out_dir:_ -> Paper_examples.print ());
     };
     {
       name = "baselines";
       description = "Extension A: Section 3 heuristics on the paper workload";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs ~out_dir ->
           ignore
-            (Fig_baselines.run ~out_dir ~seed ~graphs:(if quick then 6 else 30) ()));
+            (Fig_baselines.run ~out_dir ~seed ~jobs
+               ~graphs:(if quick then 6 else 30) ()));
     };
     {
       name = "complexity";
       description = "Theorem 1: empirical LTF runtime scaling";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~out_dir ->
           ignore
             (Fig_complexity.run ~out_dir ~seed
                ~repetitions:(if quick then 1 else 3)
@@ -73,7 +74,7 @@ let all =
       name = "symmetric";
       description = "Extension B: Section 6 symmetric problems";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~out_dir ->
           ignore
             (Fig_symmetric.run ~out_dir ~seed ~graphs:(if quick then 3 else 10) ()));
     };
@@ -81,15 +82,16 @@ let all =
       name = "ablation";
       description = "Extension C: ablation of the implementation's mechanisms";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs ~out_dir ->
           ignore
-            (Fig_ablation.run ~out_dir ~seed ~graphs:(if quick then 5 else 20) ()));
+            (Fig_ablation.run ~out_dir ~seed ~jobs
+               ~graphs:(if quick then 5 else 20) ()));
     };
     {
       name = "pipeline";
       description = "Extension D: event-driven validation of the throughput";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~out_dir ->
           ignore
             (Fig_pipeline.run ~out_dir ~seed ~graphs:(if quick then 3 else 10) ()));
     };
@@ -97,7 +99,7 @@ let all =
       name = "optgap";
       description = "Extension F: optimality gap vs exact branch-and-bound";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~out_dir ->
           ignore
             (Fig_optgap.run ~out_dir ~seed ~graphs:(if quick then 5 else 15) ()));
     };
@@ -105,7 +107,7 @@ let all =
       name = "families";
       description = "Extension H: robustness across graph families";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~out_dir ->
           ignore
             (Fig_families.run ~out_dir ~seed ~graphs:(if quick then 4 else 12) ()));
     };
@@ -113,7 +115,7 @@ let all =
       name = "topology";
       description = "Extension G: sensitivity to the platform topology";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~out_dir ->
           ignore
             (Fig_topology.run ~out_dir ~seed ~graphs:(if quick then 4 else 12) ()));
     };
@@ -121,7 +123,7 @@ let all =
       name = "cost";
       description = "Extension E: platform rental-cost minimization (Section 6)";
       run =
-        (fun ~quick ~seed ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~out_dir ->
           ignore (Fig_cost.run ~out_dir ~seed ~graphs:(if quick then 2 else 8) ()));
     };
   ]

@@ -4,8 +4,10 @@
 type experiment = {
   name : string;        (** CLI name, e.g. "fig3a" *)
   description : string;
-  run : quick:bool -> seed:int -> out_dir:string -> unit;
-      (** [quick] shrinks the per-point replication for smoke runs *)
+  run : quick:bool -> seed:int -> jobs:int -> out_dir:string -> unit;
+      (** [quick] shrinks the per-point replication for smoke runs;
+          [jobs] is the worker-domain count for the sample sweeps (1 =
+          sequential; the output never depends on it) *)
 }
 
 val all : experiment list

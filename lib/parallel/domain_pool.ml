@@ -1,0 +1,115 @@
+(* A classic mutex/condition work queue shared by a fixed set of worker
+   domains.  Tasks submitted through [run] are wrapped so a worker never
+   dies on a task's exception — failures are stored per slot and
+   re-raised in the caller, keeping the pool reusable. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;
+  tasks : task Queue.t;
+  mutex : Mutex.t;
+  pending : Condition.t;  (* signalled on submit and on shutdown *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.tasks && not t.stopping do
+      Condition.wait t.pending t.mutex
+    done;
+    match Queue.take_opt t.tasks with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        (* [run] wraps every task; the catch-all is belt and braces so a
+           raw task can never take the worker down with it. *)
+        (try task () with _ -> ());
+        loop ()
+    | None -> Mutex.unlock t.mutex (* stopping and drained *)
+  in
+  loop ()
+
+let create ?num_domains () =
+  let size =
+    match num_domains with
+    | None -> max 1 (Domain.recommended_domain_count ())
+    | Some n when n >= 1 -> n
+    | Some n ->
+        invalid_arg (Printf.sprintf "Domain_pool.create: num_domains = %d" n)
+  in
+  let t =
+    {
+      size;
+      tasks = Queue.create ();
+      mutex = Mutex.create ();
+      pending = Condition.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init size (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.stopping then (
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool: submit after shutdown");
+  Queue.add task t.tasks;
+  Condition.signal t.pending;
+  Mutex.unlock t.mutex
+
+let run t thunks =
+  let n = List.length thunks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let finished = Condition.create () in
+    List.iteri
+      (fun i f ->
+        submit t (fun () ->
+            let r =
+              try Ok (f ())
+              with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock t.mutex;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast finished;
+            Mutex.unlock t.mutex))
+      thunks;
+    Mutex.lock t.mutex;
+    while !remaining > 0 do
+      Condition.wait finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (* Ordered collection: the first (lowest-index) failure wins, and only
+       after every task has settled, so no stragglers keep running. *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let map t f xs = run t (List.map (fun x () -> f x) xs)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.pending;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,37 @@
+(** A fixed-size pool of worker domains (OCaml 5 [Domain]s).
+
+    The pool owns its domains for its whole lifetime, so the per-spawn
+    cost (~hundreds of microseconds each) is paid once, not per task.
+    Tasks are closures; results come back in submission order; an
+    exception raised by a task is re-raised in the caller — and the pool
+    stays usable afterwards. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** Spawn a pool of [num_domains] workers (default
+    [Domain.recommended_domain_count ()], clamped to at least 1).
+    @raise Invalid_argument if [num_domains < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute every thunk on the pool and return the results in input
+    order.  Blocks until all thunks finished.  If any thunk raised, the
+    exception of the {e lowest-indexed} failing thunk is re-raised (with
+    its backtrace) after every thunk has settled, so the pool is never
+    left with stragglers and later calls keep working. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [run pool] over [fun () -> f x]; the result equals
+    [List.map f xs] whenever [f] is pure per element. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop the workers and join their domains.
+    Idempotent.  Submitting to a shut-down pool raises
+    [Invalid_argument]. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, applies [f] and shuts the pool down,
+    also on exceptions. *)

@@ -140,6 +140,60 @@ let fig_tests =
             if not (Float.is_nan s.rltf_sim || Float.is_nan s.rltf_crash) then
               check_true "rltf crash" (s.rltf_crash >= s.rltf_sim -. 1e-6))
           (Fig_common.collect config));
+    slow_case "R-LTF crash draws are independent of LTF's outcome" (fun () ->
+        (* Regression: measure_algo used to consume crash draws from one
+           shared stream, so R-LTF's sample shifted with the number of
+           draws LTF made (none at all when LTF errored out).  Each
+           algorithm now measures on its own child stream, derived as in
+           Fig_common.run_trial. *)
+        let config = { (Fig_common.quick ~eps:1 ~crashes:2) with Fig_common.crash_draws = 4 } in
+        let throughput = Paper_workload.throughput ~eps:1 in
+        let inst = Fixtures.paper_instance () in
+        let prob =
+          Types.problem ~dag:inst.Paper_workload.dag
+            ~platform:inst.Paper_workload.plat ~eps:1 ~throughput
+        in
+        let mapping = Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf prob in
+        let ltf_outcome = Ltf.run ~mode:Scheduler.Best_effort prob in
+        check_true "fixture: LTF schedules and draws crashes"
+          (match ltf_outcome with Ok _ -> true | Error _ -> false);
+        let streams () =
+          let rng = Rng.create ~seed:4242 in
+          let ltf_rng = Rng.split rng in
+          let rltf_rng = Rng.split rng in
+          (ltf_rng, rltf_rng)
+        in
+        let rltf_crash ~ltf_outcome =
+          let ltf_rng, rltf_rng = streams () in
+          ignore (Fig_common.measure_algo config ~throughput ~rng:ltf_rng ltf_outcome);
+          let _, _, crash, _ =
+            Fig_common.measure_algo config ~throughput ~rng:rltf_rng (Ok mapping)
+          in
+          crash
+        in
+        let with_ltf_ok = rltf_crash ~ltf_outcome in
+        let with_ltf_failed = rltf_crash ~ltf_outcome:(Error ()) in
+        check_true "crash latency is not NaN" (not (Float.is_nan with_ltf_ok));
+        check_true "identical crash latency"
+          (Int64.equal
+             (Int64.bits_of_float with_ltf_ok)
+             (Int64.bits_of_float with_ltf_failed)));
+    slow_case "parallel collect matches sequential field-for-field" (fun () ->
+        let config = tiny_config ~eps:1 ~crashes:1 in
+        let sequential = Fig_common.collect ~jobs:1 config in
+        let parallel = Fig_common.collect ~jobs:3 config in
+        check_int "same length" (List.length sequential) (List.length parallel);
+        List.iter2
+          (fun (x : Fig_common.sample) (y : Fig_common.sample) ->
+            let same u v =
+              Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v)
+            in
+            check_true "granularity" (same x.granularity y.granularity);
+            check_true "ltf" (same x.ltf_sim y.ltf_sim && same x.ltf_crash y.ltf_crash);
+            check_true "rltf" (same x.rltf_sim y.rltf_sim && same x.rltf_crash y.rltf_crash);
+            check_true "ff" (same x.ff_sim y.ff_sim);
+            check_true "meets" (x.ltf_meets = y.ltf_meets && x.rltf_meets = y.rltf_meets))
+          sequential parallel);
     slow_case "collect is deterministic in the seed" (fun () ->
         let config = tiny_config ~eps:1 ~crashes:0 in
         let a = Fig_common.collect config and b = Fig_common.collect config in

@@ -1,0 +1,116 @@
+open Test_support
+
+let case = Fixtures.case
+let check_int = Fixtures.check_int
+let check_true = Fixtures.check_true
+
+exception Boom of int
+
+let pool_tests =
+  [
+    case "empty input returns immediately" (fun () ->
+        Domain_pool.with_pool ~num_domains:2 (fun pool ->
+            check_true "run []" (Domain_pool.run pool [] = []);
+            check_true "map []" (Domain_pool.map pool string_of_int [] = [])));
+    case "pool of size 1 behaves like List.map" (fun () ->
+        Domain_pool.with_pool ~num_domains:1 (fun pool ->
+            let xs = List.init 20 Fun.id in
+            check_true "squares"
+              (Domain_pool.map pool (fun x -> x * x) xs
+              = List.map (fun x -> x * x) xs)));
+    case "pool larger than the task count" (fun () ->
+        Domain_pool.with_pool ~num_domains:8 (fun pool ->
+            check_int "size" 8 (Domain_pool.size pool);
+            check_true "three tasks"
+              (Domain_pool.run pool
+                 [ (fun () -> "a"); (fun () -> "b"); (fun () -> "c") ]
+              = [ "a"; "b"; "c" ])));
+    case "an exception propagates and the pool survives" (fun () ->
+        Domain_pool.with_pool ~num_domains:2 (fun pool ->
+            (match
+               Domain_pool.run pool
+                 [ (fun () -> 1); (fun () -> raise (Boom 7)); (fun () -> 3) ]
+             with
+            | _ -> Alcotest.fail "expected Boom to propagate"
+            | exception Boom 7 -> ());
+            (* the pool must still accept and complete work *)
+            check_true "pool usable after failure"
+              (Domain_pool.map pool succ [ 1; 2; 3 ] = [ 2; 3; 4 ])));
+    case "the lowest-indexed failure wins" (fun () ->
+        Domain_pool.with_pool ~num_domains:4 (fun pool ->
+            match
+              Domain_pool.run pool
+                [
+                  (fun () -> 0);
+                  (fun () -> raise (Boom 1));
+                  (fun () -> 2);
+                  (fun () -> raise (Boom 3));
+                ]
+            with
+            | _ -> Alcotest.fail "expected Boom to propagate"
+            | exception Boom i -> check_int "first failing index" 1 i));
+    case "1000 tiny tasks come back in order" (fun () ->
+        Domain_pool.with_pool ~num_domains:4 (fun pool ->
+            let xs = List.init 1000 Fun.id in
+            check_true "order preserved"
+              (Domain_pool.map pool (fun i -> (2 * i) + 1) xs
+              = List.map (fun i -> (2 * i) + 1) xs)));
+    case "default size is at least one" (fun () ->
+        let pool = Domain_pool.create () in
+        check_true "size >= 1" (Domain_pool.size pool >= 1);
+        Domain_pool.shutdown pool);
+    case "invalid sizes are rejected" (fun () ->
+        check_true "zero"
+          (match Domain_pool.create ~num_domains:0 () with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+    case "shutdown is idempotent and closes submission" (fun () ->
+        let pool = Domain_pool.create ~num_domains:2 () in
+        check_true "works" (Domain_pool.map pool succ [ 1 ] = [ 2 ]);
+        Domain_pool.shutdown pool;
+        Domain_pool.shutdown pool;
+        check_true "submit after shutdown"
+          (match Domain_pool.run pool [ (fun () -> 1) ] with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+  ]
+
+let map_seeded_tests =
+  [
+    case "jobs = 1 equals List.map" (fun () ->
+        let xs = List.init 50 Fun.id in
+        check_true "sequential path"
+          (Parallel.map_seeded ~jobs:1 (fun x -> 3 * x) xs
+          = List.map (fun x -> 3 * x) xs));
+    case "jobs = 4 equals List.map" (fun () ->
+        let xs = List.init 50 Fun.id in
+        check_true "parallel path"
+          (Parallel.map_seeded ~jobs:4 (fun x -> 3 * x) xs
+          = List.map (fun x -> 3 * x) xs));
+    case "per-element seeded streams are identical under parallelism"
+      (fun () ->
+        (* each element derives all randomness from its own seed — the
+           map_seeded contract — so draws must match the sequential run *)
+        let draw seed =
+          let rng = Rng.create ~seed in
+          List.init 5 (fun _ -> Rng.int rng 1000)
+        in
+        let xs = List.init 40 Fun.id in
+        check_true "byte-identical draws"
+          (Parallel.map_seeded ~jobs:4 draw xs = List.map draw xs));
+    case "exceptions surface from the parallel path" (fun () ->
+        check_true "raises"
+          (match
+             Parallel.map_seeded ~jobs:2
+               (fun x -> if x = 3 then raise (Boom x) else x)
+               [ 1; 2; 3; 4 ]
+           with
+          | _ -> false
+          | exception Boom 3 -> true));
+    case "default_jobs is positive" (fun () ->
+        check_true "positive" (Parallel.default_jobs () >= 1));
+  ]
+
+let () =
+  Alcotest.run "stream_parallel"
+    [ ("domain_pool", pool_tests); ("map_seeded", map_seeded_tests) ]

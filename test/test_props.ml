@@ -406,6 +406,48 @@ let prop_workflow_io_roundtrip =
                  && Float.abs (Dag.volume g' s d -. v)
                     <= 1e-6 *. Float.max 1.0 v))
 
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep engine                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Byte-for-byte float equality: NaN = NaN, and -0.0 <> 0.0, which is
+   exactly the determinism contract of Parallel.map_seeded. *)
+let float_bits_equal x y =
+  Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let sample_bits_equal (a : Fig_common.sample) (b : Fig_common.sample) =
+  float_bits_equal a.Fig_common.granularity b.Fig_common.granularity
+  && float_bits_equal a.Fig_common.ltf_bound b.Fig_common.ltf_bound
+  && float_bits_equal a.Fig_common.ltf_sim b.Fig_common.ltf_sim
+  && float_bits_equal a.Fig_common.ltf_crash b.Fig_common.ltf_crash
+  && a.Fig_common.ltf_meets = b.Fig_common.ltf_meets
+  && float_bits_equal a.Fig_common.rltf_bound b.Fig_common.rltf_bound
+  && float_bits_equal a.Fig_common.rltf_sim b.Fig_common.rltf_sim
+  && float_bits_equal a.Fig_common.rltf_crash b.Fig_common.rltf_crash
+  && a.Fig_common.rltf_meets = b.Fig_common.rltf_meets
+  && float_bits_equal a.Fig_common.ff_sim b.Fig_common.ff_sim
+
+let prop_parallel_collect_deterministic =
+  QCheck.Test.make
+    ~name:"parallel collect is byte-identical to the sequential collect"
+    ~count:4
+    QCheck.(
+      quad (int_range 0 100_000) (int_range 0 3) (int_range 0 2)
+        (int_range 1 4))
+    (fun (seed, eps, crashes, jobs) ->
+      let config =
+        {
+          (Fig_common.quick ~eps ~crashes) with
+          Fig_common.seed;
+          graphs_per_point = 2;
+          granularities = [ 0.6; 1.4 ];
+        }
+      in
+      let sequential = Fig_common.collect ~jobs:1 config in
+      let parallel = Fig_common.collect ~jobs config in
+      List.length sequential = List.length parallel
+      && List.for_all2 sample_bits_equal sequential parallel)
+
 let prop_rng_int_bounds =
   QCheck.Test.make ~name:"Rng.int stays within arbitrary bounds" ~count:200
     QCheck.(pair seed_arb (int_range 1 1000))
@@ -434,6 +476,8 @@ let () =
       ( "workload",
         List.map to_alcotest
           [ prop_calibration_exact; prop_rng_int_bounds; prop_workflow_io_roundtrip ] );
+      ( "parallel",
+        List.map to_alcotest [ prop_parallel_collect_deterministic ] );
       ( "scheduling",
         List.map to_alcotest
           [
