@@ -27,12 +27,12 @@ let prob_e1 = problem ~eps:1 inst_g1
 let prob_e3 = problem ~eps:3 inst_g1
 
 let mapping_e1 =
-  match Rltf.run ~mode:Scheduler.Best_effort prob_e1 with
+  match Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob_e1 with
   | Ok m -> m
   | Error _ -> failwith "bench fixture: R-LTF failed"
 
 let mapping_e3 =
-  match Rltf.run ~mode:Scheduler.Best_effort prob_e3 with
+  match Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob_e3 with
   | Ok m -> m
   | Error _ -> failwith "bench fixture: R-LTF failed"
 
@@ -116,13 +116,13 @@ let parallel_tests =
 let algorithm_tests =
   [
     Test.make ~name:"LTF schedule (v=100, m=20, eps=1)"
-      (Staged.stage (fun () -> Ltf.run ~mode:Scheduler.Best_effort prob_e1));
+      (Staged.stage (fun () -> Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob_e1));
     Test.make ~name:"R-LTF schedule (v=100, m=20, eps=1)"
-      (Staged.stage (fun () -> Rltf.run ~mode:Scheduler.Best_effort prob_e1));
+      (Staged.stage (fun () -> Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob_e1));
     Test.make ~name:"LTF schedule (eps=3)"
-      (Staged.stage (fun () -> Ltf.run ~mode:Scheduler.Best_effort prob_e3));
+      (Staged.stage (fun () -> Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob_e3));
     Test.make ~name:"R-LTF schedule (eps=3)"
-      (Staged.stage (fun () -> Rltf.run ~mode:Scheduler.Best_effort prob_e3));
+      (Staged.stage (fun () -> Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob_e3));
   ]
 
 let substrate_tests =
@@ -170,6 +170,41 @@ let substrate_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Counter deltas                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Work-per-run to go with the time-per-run above: run each
+   representative operation once under the observability layer and print
+   what a single invocation costs in placement probes, heap events, etc.
+   Recording stays off for the timed groups so they measure the same
+   code path as production runs. *)
+let counter_deltas () =
+  Printf.printf "## Counter deltas (Stream_obs, one invocation each)\n%!";
+  Obs.set_enabled true;
+  let delta name f =
+    Obs.reset ();
+    ignore (f ());
+    let counters =
+      List.sort compare (Obs.Registry.counters (Obs.snapshot ()))
+    in
+    Printf.printf "%s\n" name;
+    List.iter
+      (fun (k, v) -> if v > 0 then Printf.printf "    %-32s %d\n" k v)
+      counters
+  in
+  delta "LTF schedule (v=100, m=20, eps=1)" (fun () ->
+      Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob_e1);
+  delta "R-LTF schedule (eps=3)" (fun () ->
+      Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob_e3);
+  delta "one-port event simulation (20 items)" (fun () ->
+      Engine.run ~n_items:20 mapping_e1);
+  delta "fig3a sweep point (1 graph)" (fun () ->
+      figure_point ~eps:1 ~crashes:0 ~granularity:1.0 11);
+  Obs.set_enabled false;
+  Obs.reset ();
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -203,4 +238,5 @@ let () =
   run_group "Figure regeneration (one sweep point each)" figure_tests;
   run_group "Parallel sweep engine (domain pool)" parallel_tests;
   run_group "Scheduling algorithms" algorithm_tests;
-  run_group "Substrates" substrate_tests
+  run_group "Substrates" substrate_tests;
+  counter_deltas ()

@@ -3,7 +3,34 @@
 
 open Cmdliner
 
-let run_experiments names quick seed jobs out_dir =
+let report_metrics ~metrics ~metrics_text ~check_metrics =
+  let reg = Obs.snapshot () in
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Registry.to_json reg);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics written to %s\n%!" path);
+  if metrics_text then Format.printf "%a@?" Obs.Registry.pp_text reg;
+  if not check_metrics then 0
+  else
+    (* Validate the rendered JSON, not the in-memory registry: the
+       round-trip through the parser is part of the contract. *)
+    match Obs_report.validate_string (Obs.Registry.to_json reg) with
+    | Ok () ->
+        print_endline "metrics check: ok";
+        0
+    | Error problems ->
+        List.iter
+          (fun p -> Printf.eprintf "metrics check: missing %s\n" p)
+          problems;
+        1
+
+let run_experiments names fig quick seed jobs out_dir metrics metrics_text
+    check_metrics =
+  let names = match fig with Some f -> [ f ] | None -> names in
   let targets =
     match names with
     | [] | [ "all" ] -> Ok Runner.all
@@ -17,18 +44,23 @@ let run_experiments names quick seed jobs out_dir =
         else Ok (List.filter_map Runner.find names)
   in
   let jobs = if jobs <= 0 then Parallel.default_jobs () else jobs in
+  let obs_on = metrics <> None || metrics_text || check_metrics in
   match targets with
   | Error msg ->
       prerr_endline msg;
       1
   | Ok targets ->
+      if obs_on then begin
+        Obs.set_enabled true;
+        Obs.reset ()
+      end;
       List.iter
         (fun (e : Runner.experiment) ->
           Printf.printf "=== %s: %s ===\n%!" e.Runner.name e.Runner.description;
           e.Runner.run ~quick ~seed ~jobs ~out_dir;
           print_newline ())
         targets;
-      0
+      if obs_on then report_metrics ~metrics ~metrics_text ~check_metrics else 0
 
 let names_arg =
   let doc =
@@ -61,6 +93,41 @@ let out_arg =
   let doc = "Directory for the CSV outputs." in
   Arg.(value & opt string "results" & info [ "out" ] ~docv:"DIR" ~doc)
 
+let fig_arg =
+  let doc =
+    "Run a single experiment by name (same names as the positional \
+     arguments; overrides them).  $(b,--fig latency) is the profiling \
+     run that exercises every instrumented layer."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "fig" ] ~docv:"EXPERIMENT" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Enable the observability layer and write the collected counters, \
+     histograms and spans as JSON to $(docv) after the run.  Recording \
+     is purely observational: results and figure outputs are \
+     byte-for-byte identical with or without it."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics" ] ~docv:"PATH" ~doc)
+
+let metrics_text_arg =
+  let doc =
+    "Enable the observability layer and print a human-readable metrics \
+     dump after the run."
+  in
+  Arg.(value & flag & info [ "metrics-text" ] ~doc)
+
+let check_metrics_arg =
+  let doc =
+    "Enable the observability layer and validate the collected metrics \
+     against the documented key set (see Obs_report); exits non-zero \
+     when a documented key is missing.  Meaningful after a run that \
+     touches every layer, e.g. $(b,--fig latency)."
+  in
+  Arg.(value & flag & info [ "check-metrics" ] ~doc)
+
 let cmd =
   let doc =
     "regenerate the evaluation of 'Optimizing the Latency of Streaming \
@@ -69,7 +136,8 @@ let cmd =
   let info = Cmd.info "experiments" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
-      const run_experiments $ names_arg $ quick_arg $ seed_arg $ jobs_arg
-      $ out_arg)
+      const run_experiments $ names_arg $ fig_arg $ quick_arg $ seed_arg
+      $ jobs_arg $ out_arg $ metrics_arg $ metrics_text_arg
+      $ check_metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

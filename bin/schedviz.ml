@@ -60,8 +60,8 @@ let main graph_name algo tasks m eps period seed crash workflow_file
           | Error e -> failwith (path ^ ": " ^ Mapping_io.error_to_string e))
       | None -> (
           match algo with
-          | "ltf" -> Ltf.run ~mode:Scheduler.Best_effort prob
-          | "rltf" -> Rltf.run ~mode:Scheduler.Best_effort prob
+          | "ltf" -> Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob
+          | "rltf" -> Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob
           | other -> failwith (Printf.sprintf "unknown algorithm %S" other))
     in
     match outcome with

@@ -55,7 +55,7 @@ let () =
   let throughput = 1.0 /. 10.0 in
   let eps = 1 in
   let problem = Types.problem ~dag ~platform ~eps ~throughput in
-  match Rltf.run problem with
+  match Rltf.schedule problem with
   | Error f -> Printf.printf "unschedulable: %s\n" (Types.failure_to_string f)
   | Ok mapping ->
       Printf.printf "full rack: S = %d, latency bound = %.1f\n"

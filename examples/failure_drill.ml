@@ -24,7 +24,7 @@ let () =
   let eps = 2 in
   let throughput = 1.0 /. 16.0 in
   let problem = Types.problem ~dag ~platform ~eps ~throughput in
-  match Rltf.run ~mode:Scheduler.Best_effort problem with
+  match Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) problem with
   | Error f -> Printf.printf "scheduling failed: %s\n" (Types.failure_to_string f)
   | Ok mapping ->
       Printf.printf "FFT-8 workflow (%d tasks), eps = %d, m = 10\n\n"

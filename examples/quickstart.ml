@@ -30,7 +30,7 @@ let () =
   in
   (* Tolerate one failure, process one item every 12 time units. *)
   let problem = Types.problem ~dag ~platform ~eps:1 ~throughput:(1.0 /. 12.0) in
-  match Rltf.run problem with
+  match Rltf.schedule problem with
   | Error failure ->
       Printf.printf "R-LTF could not schedule: %s\n"
         (Types.failure_to_string failure)

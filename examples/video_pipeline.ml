@@ -95,5 +95,5 @@ let () =
               errs);
         print_newline ()
   in
-  report "LTF" (Ltf.run problem);
-  report "R-LTF" (Rltf.run problem)
+  report "LTF" (Ltf.schedule problem);
+  report "R-LTF" (Rltf.schedule problem)

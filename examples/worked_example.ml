@@ -30,6 +30,6 @@ let () =
     (fun m ->
       let platform = Classic.fig2_platform ~m in
       let problem = Types.problem ~dag ~platform ~eps:1 ~throughput in
-      show (Printf.sprintf "LTF, m = %d" m) (Ltf.run problem) ~throughput;
-      show (Printf.sprintf "R-LTF, m = %d" m) (Rltf.run problem) ~throughput)
+      show (Printf.sprintf "LTF, m = %d" m) (Ltf.schedule problem) ~throughput;
+      show (Printf.sprintf "R-LTF, m = %d" m) (Rltf.schedule problem) ~throughput)
     [ 8; 10 ]

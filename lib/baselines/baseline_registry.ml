@@ -1,0 +1,35 @@
+let wrap name (build : Types.problem -> Mapping.t) :
+    (module Chunk_scheduler.Algo) =
+  (module struct
+    let name = name
+
+    let run ?mode:_ ?opts:_ (prob : Types.problem) : Types.outcome =
+      Ok (build prob)
+  end)
+
+let all : (module Chunk_scheduler.Algo) list =
+  [
+    wrap "HEFT [9]" (fun p ->
+        Heft.mapping ~throughput:p.Types.throughput p.Types.dag p.Types.platform);
+    wrap "ETF [6]" (fun p ->
+        Etf.mapping ~throughput:p.Types.throughput p.Types.dag p.Types.platform);
+    wrap "Hary-Ozguner [4]" (fun p ->
+        Hary.mapping p.Types.dag p.Types.platform ~throughput:p.Types.throughput);
+    wrap "EXPERT [3]" (fun p ->
+        Expert.mapping p.Types.dag p.Types.platform
+          ~throughput:p.Types.throughput);
+    wrap "TDA [11]" (fun p ->
+        Tda.mapping p.Types.dag p.Types.platform ~throughput:p.Types.throughput);
+    wrap "STDP [8]" (fun p ->
+        Stdp.mapping p.Types.dag p.Types.platform ~throughput:p.Types.throughput);
+    wrap "WMSH [10]" (fun p ->
+        Wmsh.mapping p.Types.dag p.Types.platform ~throughput:p.Types.throughput);
+    wrap "Hoang-Rabaey [5]" (fun p ->
+        Hoang.mapping ~iterations:20 p.Types.dag p.Types.platform);
+  ]
+
+let find name =
+  let norm s = String.lowercase_ascii (String.trim s) in
+  List.find_opt
+    (fun (module A : Chunk_scheduler.Algo) -> norm A.name = norm name)
+    all

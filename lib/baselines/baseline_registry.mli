@@ -1,0 +1,17 @@
+(** The §3 related-work heuristics as {!Chunk_scheduler.Algo} registry
+    entries, so figure sweeps iterate one uniform list instead of naming
+    each baseline.
+
+    The baselines are single-copy (ε = 0) heuristics: each entry ignores
+    the scheduling options and the problem's [eps] and always succeeds,
+    returning the mapping its assignment induces under the support
+    discipline.  Pass problems with [eps = 0] — the entries themselves
+    never replicate.  The core algorithms live in [Scheduler.all]; the
+    two registries concatenate cleanly. *)
+
+val all : (module Chunk_scheduler.Algo) list
+(** In the presentation order of the baseline comparison figure:
+    HEFT, ETF, Hary-Özgüner, EXPERT, TDA, STDP, WMSH, Hoang-Rabaey. *)
+
+val find : string -> (module Chunk_scheduler.Algo) option
+(** Case-insensitive lookup in {!all} by name. *)

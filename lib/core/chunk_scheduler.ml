@@ -1,0 +1,428 @@
+type rank = State.t -> State.trial -> float * float
+
+type mode = Strict | Best_effort
+
+type source_policy = Both_variants | Greedy_only | Conservative_only
+
+type options = {
+  mode : mode;
+  lane_budget_factor : float;
+  use_one_to_one : bool;
+  source_policy : source_policy;
+}
+
+let default =
+  {
+    mode = Strict;
+    lane_budget_factor = 1.0;
+    use_one_to_one = true;
+    source_policy = Both_variants;
+  }
+
+let with_mode mode opts = { opts with mode }
+let with_lane_budget_factor lane_budget_factor opts = { opts with lane_budget_factor }
+let with_use_one_to_one use_one_to_one opts = { opts with use_one_to_one }
+let with_source_policy source_policy opts = { opts with source_policy }
+
+let resolve ?mode ?opts () =
+  let opts = Option.value opts ~default in
+  match mode with Some mode -> { opts with mode } | None -> opts
+
+module type Algo = sig
+  val name : string
+
+  val run : ?mode:mode -> ?opts:options -> Types.problem -> Types.outcome
+end
+
+let by_finish_time : rank = fun _ trial -> (trial.State.t_finish, 0.0)
+
+let by_stage_then_finish : rank =
+ fun _ trial -> (float_of_int trial.State.t_stage, trial.State.t_finish)
+
+(* Per-chunk-task working data.  [ct_claimed] is the union of the kill
+   sets of the already-placed replicas of the task: the locking discipline
+   of §4 ("locked" processors) generalized transitively — a new replica may
+   neither be placed on, nor sole-source (directly or transitively)
+   through, a processor whose failure already kills a sibling replica.
+   Keeping the replicas' kill sets pairwise disjoint is what guarantees
+   that no ε failures can silence all ε+1 of them. *)
+type chunk_task = {
+  ct_task : Dag.task;
+  mutable ct_z : int;
+  ct_theta : int;
+  mutable ct_claimed : State.Pset.t;
+  ct_heads : (Dag.task * Replica.id list ref) list;
+      (* per predecessor: remaining singleton replicas, sorted by the
+         one-to-one communication-readiness key *)
+}
+
+let record_placement state ct (trial : State.trial) =
+  ct.ct_claimed <-
+    State.Pset.union ct.ct_claimed
+      (State.support_of_sources state ~proc:trial.State.t_proc
+         ~sources:trial.State.t_sources)
+
+let singleton_data state task =
+  let prob = State.problem state in
+  let dag = prob.Types.dag in
+  let mapping = State.mapping state in
+  let preds = List.map fst (Dag.preds dag task) in
+  let n_procs = Platform.size prob.Types.platform in
+  let count = Array.make n_procs 0 in
+  List.iter
+    (fun pred ->
+      List.iter
+        (fun (r : Replica.t) -> count.(r.proc) <- count.(r.proc) + 1)
+        (Mapping.replicas_of_task mapping pred))
+    preds;
+  let heads =
+    List.map
+      (fun pred ->
+        let on_singletons =
+          Mapping.replicas_of_task mapping pred
+          |> List.filter (fun (r : Replica.t) -> count.(r.proc) = 1)
+          |> List.map (fun (r : Replica.t) -> (r.id, r.proc))
+        in
+        let key (id, proc) =
+          (Float.max (State.finish state id) (State.send_ready state proc), id)
+        in
+        let sorted =
+          List.sort (fun a b -> compare (key a) (key b)) on_singletons
+          |> List.map fst
+        in
+        (pred, ref sorted))
+      preds
+  in
+  let theta =
+    match heads with
+    | [] -> prob.Types.eps + 1 (* entry task: no communications to pair up *)
+    | _ ->
+        List.fold_left
+          (fun acc (_, ids) -> min acc (List.length !ids))
+          max_int heads
+  in
+  { ct_task = task; ct_z = 0; ct_theta = theta; ct_claimed = State.Pset.empty;
+    ct_heads = heads }
+
+let pick_best ~mode ~rank state scored =
+  let score trial =
+    let penalty = match mode with Strict -> 0.0 | Best_effort -> State.overload state trial in
+    (penalty, rank state trial)
+  in
+  List.fold_left
+    (fun acc trial ->
+      match acc with
+      | Some (best_key, best) ->
+          let key = score trial in
+          if key < best_key
+             || (key = best_key && trial.State.t_proc < best.State.t_proc)
+          then Some (key, trial)
+          else acc
+      | None -> Some (score trial, trial))
+    None scored
+  |> Option.map snd
+
+(* Condition-(1) admission shared by both placement branches: in strict
+   mode an infeasible trial is rejected, in best-effort mode it survives
+   (ranked by overload) but still counts as a rejection for the profile. *)
+let admit ~mode state trial =
+  match mode with
+  | Strict ->
+      if State.feasible state trial then Some trial
+      else begin
+        Obs.incr "core.feasibility_rejections";
+        None
+      end
+  | Best_effort ->
+      if Obs.enabled () && not (State.feasible state trial) then
+        Obs.incr "core.feasibility_rejections";
+      Some trial
+
+(* Each replica may sole-source (transitively) through at most a "lane" of
+   [m / (ε+1)] processors: the kill sets of the ε+1 replicas of a task must
+   be pairwise disjoint subsets of the m processors, so unbounded chains
+   leave no room for the remaining siblings.  When the budget runs out, the
+   full-replica-group fallback resets the chain (no single failure can
+   silence a full group). *)
+let lane_budget ~opts prob =
+  let m = Platform.size prob.Types.platform in
+  max 1
+    (int_of_float
+       (Float.round
+          (opts.lane_budget_factor *. float_of_int m
+          /. float_of_int (prob.Types.eps + 1))))
+
+(* Algorithm 4.2: map one replica so that each head replica of every
+   predecessor feeds exactly this replica.  A head is only usable while its
+   kill set stays disjoint from the processors already claimed by sibling
+   replicas and small enough to fit the lane budget; stale heads are
+   dropped lazily. *)
+let one_to_one ~opts ~rank state ct ~copy =
+  Obs.incr "core.one_to_one_calls";
+  let mode = opts.mode in
+  let prob = State.problem state in
+  let budget = lane_budget ~opts prob in
+  let usable (id : Replica.id) =
+    let s = State.support state id in
+    State.Pset.disjoint s ct.ct_claimed && State.Pset.cardinal s < budget
+  in
+  List.iter (fun (_, ids) -> ids := List.filter usable !ids) ct.ct_heads;
+  if List.exists (fun (_, ids) -> !ids = []) ct.ct_heads then None
+  else begin
+    let sources =
+      List.map (fun (pred, ids) -> (pred, [ List.hd !ids ])) ct.ct_heads
+    in
+    let trials =
+      List.filter_map
+        (fun proc ->
+          if State.Pset.mem proc ct.ct_claimed then None
+          else begin
+            let kill = State.support_of_sources state ~proc ~sources in
+            if State.Pset.cardinal kill > budget then None
+            else begin
+              let trial =
+                State.evaluate state ~task:ct.ct_task ~copy ~proc ~sources
+              in
+              admit ~mode state trial
+            end
+          end)
+        (Platform.procs prob.Types.platform)
+    in
+    match pick_best ~mode ~rank state trials with
+    | None -> None
+    | Some trial ->
+        State.commit state trial;
+        record_placement state ct trial;
+        List.iter (fun (_, ids) -> ids := List.tl !ids) ct.ct_heads;
+        Some trial
+  end
+
+(* General branch: the replica receives, for each predecessor, either from
+   a co-located predecessor replica whose kill set is still unclaimed (a
+   single comm-free source), or from the cheapest remote replica with an
+   unclaimed kill set (a single message), or from all replicas of the
+   predecessor (heavy on communication, but immune to single failures).
+   Two source-set variants are tried per candidate processor — the greedy
+   single-source one and the conservative local-or-full one — because
+   claiming long kill chains can paint later siblings into a corner while
+   full groups keep them free.  A kill chain through the candidate
+   processor itself is harmless (the replica dies with its host anyway)
+   and is exempt from the disjointness requirement. *)
+let general ~opts ~rank state ct ~copy =
+  Obs.incr "core.general_calls";
+  let mode = opts.mode in
+  let prob = State.problem state in
+  let mapping = State.mapping state in
+  let plat = prob.Types.platform in
+  let pred_replicas =
+    List.map
+      (fun (pred, vol) -> (pred, vol, Mapping.replicas_of_task mapping pred))
+      (Dag.preds prob.Types.dag ct.ct_task)
+  in
+  let budget = lane_budget ~opts prob in
+  let variants_on proc =
+    let others = State.Pset.remove proc ct.ct_claimed in
+    let disjoint (r : Replica.t) =
+      State.Pset.disjoint (State.support state r.id) others
+    in
+    (* Greedy variant: fold over the predecessors accumulating the kill
+       set, sole-sourcing only while the lane budget allows and preferring
+       the source that grows the chain least, then the cheapest transfer. *)
+    let greedy =
+      let acc = ref (State.Pset.singleton proc) in
+      List.map
+        (fun (pred, vol, replicas) ->
+          let full =
+            (pred, List.map (fun (r : Replica.t) -> r.Replica.id) replicas)
+          in
+          let fits (r : Replica.t) =
+            State.Pset.cardinal
+              (State.Pset.union !acc (State.support state r.id))
+            <= budget
+          in
+          let candidates =
+            List.filter (fun r -> disjoint r && fits r) replicas
+            |> List.map (fun (r : Replica.t) ->
+                   let growth =
+                     State.Pset.cardinal
+                       (State.Pset.diff (State.support state r.id) !acc)
+                   in
+                   let comm =
+                     if r.proc = proc then 0.0
+                     else Platform.comm_time plat r.proc proc vol
+                   in
+                   ((growth, comm), r))
+            |> List.sort (fun (ka, (ra : Replica.t)) (kb, rb) ->
+                   match compare ka kb with
+                   | 0 -> Replica.compare_id ra.id rb.Replica.id
+                   | c -> c)
+          in
+          match candidates with
+          | (_, r) :: _ ->
+              acc := State.Pset.union !acc (State.support state r.id);
+              (pred, [ r.Replica.id ])
+          | [] -> full)
+        pred_replicas
+    in
+    (* Conservative variant: local sole source when free, else the full
+       group; keeps the claim small for later siblings. *)
+    let conservative =
+      let acc = ref (State.Pset.singleton proc) in
+      List.map
+        (fun (pred, _, replicas) ->
+          let local =
+            List.find_opt
+              (fun (r : Replica.t) ->
+                r.proc = proc && disjoint r
+                && State.Pset.cardinal
+                     (State.Pset.union !acc (State.support state r.id))
+                   <= budget)
+              replicas
+          in
+          match local with
+          | Some r ->
+              acc := State.Pset.union !acc (State.support state r.id);
+              (pred, [ r.Replica.id ])
+          | None ->
+              (pred, List.map (fun (r : Replica.t) -> r.Replica.id) replicas))
+        pred_replicas
+    in
+    match opts.source_policy with
+    | Greedy_only -> [ greedy ]
+    | Conservative_only -> [ conservative ]
+    | Both_variants ->
+        if greedy = conservative then [ greedy ] else [ greedy; conservative ]
+  in
+  let trials =
+    List.concat_map
+      (fun proc ->
+        if State.Pset.mem proc ct.ct_claimed then []
+        else
+          List.filter_map
+            (fun sources ->
+              let kill_set = State.support_of_sources state ~proc ~sources in
+              if
+                not
+                  (State.Pset.disjoint
+                     (State.Pset.remove proc kill_set)
+                     ct.ct_claimed)
+              then None
+              else begin
+                let trial =
+                  State.evaluate state ~task:ct.ct_task ~copy ~proc ~sources
+                in
+                admit ~mode state trial
+              end)
+            (variants_on proc))
+      (Platform.procs prob.Types.platform)
+  in
+  match pick_best ~mode ~rank state trials with
+  | None ->
+      if Sys.getenv_opt "STREAMSCHED_DEBUG" <> None then begin
+        Printf.eprintf "general: no proc for t%d(%d); claimed={%s}\n"
+          ct.ct_task copy
+          (String.concat ","
+             (List.map string_of_int (State.Pset.elements ct.ct_claimed)));
+        List.iter
+          (fun proc ->
+            let delta = Types.period prob in
+            Printf.eprintf
+              "  P%d claimed=%b sigma=%.2f c_in=%.2f c_out=%.2f (delta=%.1f)\n"
+              proc
+              (State.Pset.mem proc ct.ct_claimed)
+              (State.sigma state proc) (State.c_in state proc)
+              (State.c_out state proc) delta)
+          (Platform.procs prob.Types.platform)
+      end;
+      None
+  | Some trial ->
+      State.commit state trial;
+      record_placement state ct trial;
+      Some trial
+
+let schedule ?(opts = default) ~rank (prob : Types.problem) =
+  Obs.touch "core.placement_probes";
+  Obs.touch "core.feasibility_rejections";
+  Obs.touch "core.one_to_one_calls";
+  Obs.touch "core.general_calls";
+  Obs.touch "core.commits";
+  Obs.touch "core.chunks";
+  let dag = prob.Types.dag and plat = prob.Types.platform in
+  let state = State.create prob in
+  let weights =
+    {
+      Levels.node = (fun t -> Dag.exec dag t *. Platform.mean_inverse_speed plat);
+      Levels.edge = (fun _ _ vol -> vol *. Platform.mean_unit_delay plat);
+    }
+  in
+  let priority = Levels.priority dag weights in
+  let higher a b =
+    if priority.(a) <> priority.(b) then compare priority.(b) priority.(a)
+    else compare a b
+  in
+  let module Tset = Set.Make (struct
+    type t = Dag.task
+
+    let compare = higher
+  end) in
+  let ready = ref Tset.empty in
+  List.iter (fun t -> ready := Tset.add t !ready) (Dag.entries dag);
+  let n_pending_preds = Array.init (Dag.size dag) (Dag.in_degree dag) in
+  let chunk_bound = Platform.size plat in
+  let failure = ref None in
+  let unscheduled = ref (Dag.size dag) in
+  while !failure = None && not (Tset.is_empty !ready) do
+    Obs.with_span "core.scheduler.chunk" (fun () ->
+        (* Select the chunk β of highest-priority ready tasks. *)
+        let rec take k acc =
+          if k = 0 || Tset.is_empty !ready then List.rev acc
+          else begin
+            let t = Tset.min_elt !ready in
+            ready := Tset.remove t !ready;
+            take (k - 1) (t :: acc)
+          end
+        in
+        let beta = take chunk_bound [] |> List.map (singleton_data state) in
+        Obs.incr "core.chunks";
+        Obs.observe "core.chunk_size" (float_of_int (List.length beta));
+        (* Copy-major placement, as in Algorithm 4.1. *)
+        let rec copies n =
+          if n <= prob.Types.eps && !failure = None then begin
+            List.iter
+              (fun ct ->
+                if !failure = None then begin
+                  let placed =
+                    if opts.use_one_to_one && ct.ct_z < ct.ct_theta then begin
+                      match one_to_one ~opts ~rank state ct ~copy:n with
+                      | Some _ ->
+                          ct.ct_z <- ct.ct_z + 1;
+                          true
+                      | None ->
+                          Option.is_some (general ~opts ~rank state ct ~copy:n)
+                    end
+                    else Option.is_some (general ~opts ~rank state ct ~copy:n)
+                  in
+                  if not placed then
+                    failure := Some (Types.No_feasible_processor (ct.ct_task, n))
+                end)
+              beta;
+            copies (n + 1)
+          end
+        in
+        copies 0;
+        if !failure = None then
+          List.iter
+            (fun ct ->
+              unscheduled := !unscheduled - 1;
+              List.iter
+                (fun (succ, _) ->
+                  n_pending_preds.(succ) <- n_pending_preds.(succ) - 1;
+                  if n_pending_preds.(succ) = 0 then ready := Tset.add succ !ready)
+                (Dag.succs dag ct.ct_task))
+            beta)
+  done;
+  match !failure with
+  | Some f -> Error f
+  | None ->
+      assert (!unscheduled = 0);
+      Ok state

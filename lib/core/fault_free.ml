@@ -1,7 +1,7 @@
-let run ?mode ~dag ~platform ~throughput () =
-  Rltf.run ?mode (Types.problem ~dag ~platform ~eps:0 ~throughput)
+let run ?opts ~dag ~platform ~throughput () =
+  Rltf.schedule ?opts (Types.problem ~dag ~platform ~eps:0 ~throughput)
 
-let latency ?mode ~dag ~platform ~throughput () =
-  match run ?mode ~dag ~platform ~throughput () with
+let latency ?opts ~dag ~platform ~throughput () =
+  match run ?opts ~dag ~platform ~throughput () with
   | Error _ -> None
   | Ok mapping -> Engine.latency mapping

@@ -1,4 +1,20 @@
-let run_state ?mode ?opts prob =
-  Scheduler.run ?mode ?opts ~rank:Scheduler.by_finish_time prob
+let schedule_state ?opts prob =
+  Obs.with_span "core.ltf.run" (fun () ->
+      Chunk_scheduler.schedule ?opts ~rank:Chunk_scheduler.by_finish_time prob)
 
-let run ?mode ?opts prob = Result.map State.mapping (run_state ?mode ?opts prob)
+let schedule ?opts prob = Result.map State.mapping (schedule_state ?opts prob)
+
+let run_state ?mode ?opts prob =
+  schedule_state ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
+
+let run ?mode ?opts prob =
+  schedule ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
+
+module Algo = struct
+  let name = "LTF"
+
+  let run ?mode ?opts prob =
+    schedule ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
+end
+
+let algo : (module Chunk_scheduler.Algo) = (module Algo)

@@ -30,7 +30,7 @@ let minimize ?cost_of ?(latency_bound = infinity) ~dag ~platform ~eps
     else begin
       incr evaluations;
       let sub = restrict platform kept in
-      match Rltf.run (Types.problem ~dag ~platform:sub ~eps ~throughput) with
+      match Rltf.schedule (Types.problem ~dag ~platform:sub ~eps ~throughput) with
       | Error _ -> None
       | Ok mapping ->
           if Metrics.latency_bound mapping ~throughput <= latency_bound then

@@ -2,9 +2,10 @@ let reverse_problem (prob : Types.problem) =
   Types.problem ~dag:(Dag.reverse prob.dag) ~platform:prob.platform
     ~eps:prob.eps ~throughput:prob.throughput
 
-let run_state ?mode ?opts prob =
-  Scheduler.run ?mode ?opts ~rank:Scheduler.by_stage_then_finish
-    (reverse_problem prob)
+let schedule_state ?opts prob =
+  Obs.with_span "core.rltf.run" (fun () ->
+      Chunk_scheduler.schedule ?opts ~rank:Chunk_scheduler.by_stage_then_finish
+        (reverse_problem prob))
 
 (* The bottom-up run fixes where every replica lives; the forward
    communication structure is then re-derived under the forward support
@@ -12,37 +13,38 @@ let run_state ?mode ?opts prob =
    task's replicas pairwise disjoint — the reverse-direction pairing would
    not by itself bound the forward kill chains. *)
 let forward_mapping (prob : Types.problem) rmapping =
-  (* The reverse-run source set of a replica r_p (of task p) lists, for its
-     reverse predecessor t (= forward successor), the t-replicas it pairs
-     with; transposed, r_p is a preferred forward source for exactly those
-     t-replicas. *)
-  let hint task copy pred =
-    Mapping.replicas_of_task rmapping pred
-    |> List.filter_map (fun (rp : Replica.t) ->
-           let paired =
-             List.exists
-               (fun (src : Replica.id) -> src.task = task && src.copy = copy)
-               (Replica.sources_for rp task)
-           in
-           if paired then Some rp.Replica.id else None)
-  in
-  Source_derivation.derive ~throughput:prob.throughput ~hint ~dag:prob.dag
-    ~platform:prob.platform ~eps:prob.eps
-    ~proc_of:(fun task copy ->
-      (Mapping.replica_exn rmapping task copy).Replica.proc)
-    ()
+  Obs.with_span "core.rltf.derive" (fun () ->
+      (* The reverse-run source set of a replica r_p (of task p) lists, for
+         its reverse predecessor t (= forward successor), the t-replicas it
+         pairs with; transposed, r_p is a preferred forward source for
+         exactly those t-replicas. *)
+      let hint task copy pred =
+        Mapping.replicas_of_task rmapping pred
+        |> List.filter_map (fun (rp : Replica.t) ->
+               let paired =
+                 List.exists
+                   (fun (src : Replica.id) -> src.task = task && src.copy = copy)
+                   (Replica.sources_for rp task)
+               in
+               if paired then Some rp.Replica.id else None)
+      in
+      Source_derivation.derive ~throughput:prob.throughput ~hint ~dag:prob.dag
+        ~platform:prob.platform ~eps:prob.eps
+        ~proc_of:(fun task copy ->
+          (Mapping.replica_exn rmapping task copy).Replica.proc)
+        ())
 
-let run ?mode ?opts prob =
-  match run_state ?mode ?opts prob with
+let schedule ?(opts = Chunk_scheduler.default) prob =
+  match schedule_state ~opts prob with
   | Error e -> Error e
   | Ok state -> (
       let mapping = forward_mapping prob (State.mapping state) in
       (* The reverse run enforced condition (1) on its own pairing; the
          forward derivation may need extra transfers for fault tolerance.
          In strict mode an overloaded result is an honest failure. *)
-      match mode with
-      | Some Scheduler.Best_effort -> Ok mapping
-      | Some Scheduler.Strict | None ->
+      match opts.Chunk_scheduler.mode with
+      | Chunk_scheduler.Best_effort -> Ok mapping
+      | Chunk_scheduler.Strict ->
           if Metrics.meets_throughput mapping ~throughput:prob.Types.throughput
           then Ok mapping
           else begin
@@ -56,3 +58,18 @@ let run ?mode ?opts prob =
             Error
               (Types.Derived_overload (!worst, Loads.cycle_time loads !worst))
           end)
+
+let run_state ?mode ?opts prob =
+  schedule_state ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
+
+let run ?mode ?opts prob =
+  schedule ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
+
+module Algo = struct
+  let name = "R-LTF"
+
+  let run ?mode ?opts prob =
+    schedule ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
+end
+
+let algo : (module Chunk_scheduler.Algo) = (module Algo)

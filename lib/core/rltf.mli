@@ -13,16 +13,31 @@
     cannot fit the period is reported as {!Types.Derived_overload} rather
     than returned. *)
 
-val run :
-  ?mode:Scheduler.mode ->
-  ?opts:Scheduler.options ->
-  Types.problem ->
-  Types.outcome
+val schedule : ?opts:Chunk_scheduler.options -> Types.problem -> Types.outcome
+(** Run R-LTF under the given options ({!Chunk_scheduler.default} when
+    omitted) and return the forward mapping. *)
 
-val run_state :
-  ?mode:Scheduler.mode ->
-  ?opts:Scheduler.options ->
+val schedule_state :
+  ?opts:Chunk_scheduler.options ->
   Types.problem ->
   (State.t, Types.failure) result
 (** The scheduling state of the reverse run (over the transpose graph);
-    mainly for tests.  Use {!run} for the forward mapping. *)
+    mainly for tests.  Use {!schedule} for the forward mapping. *)
+
+val algo : (module Chunk_scheduler.Algo)
+(** R-LTF as a registry entry (named ["R-LTF"]); see [Scheduler.all]. *)
+
+val run :
+  ?mode:Chunk_scheduler.mode ->
+  ?opts:Chunk_scheduler.options ->
+  Types.problem ->
+  Types.outcome
+[@@deprecated "use Rltf.schedule with Scheduler.options (mode is a field now)"]
+
+val run_state :
+  ?mode:Chunk_scheduler.mode ->
+  ?opts:Chunk_scheduler.options ->
+  Types.problem ->
+  (State.t, Types.failure) result
+[@@deprecated
+  "use Rltf.schedule_state with Scheduler.options (mode is a field now)"]

@@ -1,65 +1,42 @@
-(** The chunked list-scheduling skeleton shared by LTF and R-LTF
-    (Algorithm 4.1 of the paper, with Algorithm 4.2 as its inner
-    procedure).
+(** The public face of the scheduling core: the chunked list-scheduling
+    engine shared by LTF and R-LTF (re-exported from {!Chunk_scheduler},
+    where the full algorithm documentation lives) plus the registry of
+    first-class algorithm modules that drives the figure sweeps.
 
-    At each step the scheduler selects a chunk [β] of up to [B = m] ready
-    tasks of highest priority ([tℓ + bℓ] on platform-averaged weights) and
-    places the [ε + 1] replicas of each, iterating copy-major as in the
-    paper (copy [N] of every chunk task, then copy [N+1], ...).  While a
-    task still has singleton predecessor replicas available ([Z_k < θ_k]),
-    replicas are placed by the one-to-one mapping procedure — each selected
-    head replica feeds exactly this replica — otherwise by the general rule
-    where the replica receives from all [ε + 1] replicas of every
-    predecessor.
-
-    Processor eligibility follows §4: a candidate must not be locked for
-    the task (hosting one of its replicas, or involved in a communication
-    with one) and must satisfy the throughput condition (1).  When no
-    unlocked processor is feasible, the general branch may fall back to
-    communication-locked processors that are provably safe for the
-    ε-failure guarantee (never those hosting a replica of the task, nor
-    those that are the sole source of a placed replica); this implements
-    the paper's "we use other processors" escape hatch without
-    compromising fault tolerance.  If even the fallback finds no
-    processor, the algorithm fails, as LTF does in the worked example of
-    §4.3.
-
-    Candidate ranking is a parameter: LTF minimizes the estimated finish
-    time [F]; R-LTF minimizes the pipeline stage first (Rule 1) and the
-    finish time second. *)
+    New code configures a run with one {!options} record:
+    {[
+      let opts = Scheduler.(default |> with_mode Best_effort) in
+      Ltf.schedule ~opts prob
+    ]}
+    and discovers algorithms through {!all} rather than naming [Ltf] /
+    [Rltf] directly.  The pre-record entry points ([?mode] plus a modeless
+    options record) survive one release as deprecated wrappers. *)
 
 type rank = State.t -> State.trial -> float * float
 (** Smaller is better, compared lexicographically; ties broken by processor
     index. *)
 
-type mode =
+type mode = Chunk_scheduler.mode =
   | Strict
       (** condition (1) is a hard constraint: the algorithm fails when no
           eligible processor satisfies it, as in the pseudocode of
           Algorithm 4.1 *)
   | Best_effort
       (** condition (1) is a preference: when no eligible processor
-          satisfies it, the least-overloaded placement is used instead
-          (the paper's "we use other processors, at the risk of increasing
-          the communication overhead"; the paper's own worked example
-          carries Σ = 22 > Δ = 20, so its experiments evidently allowed
-          this).  The replica-placement and fault-tolerance rules remain
-          hard. *)
-
-val by_finish_time : rank
-(** LTF's policy: [(F, 0)]. *)
-
-val by_stage_then_finish : rank
-(** R-LTF's Rule 1 policy: [(stage, F)]. *)
+          satisfies it, the least-overloaded placement is used instead.
+          The replica-placement and fault-tolerance rules remain hard. *)
 
 (** Ablation knobs for the design choices DESIGN.md calls out; the
     defaults reproduce the paper's algorithms. *)
-type source_policy =
+type source_policy = Chunk_scheduler.source_policy =
   | Both_variants       (** trial greedy and conservative source sets *)
   | Greedy_only         (** sole-source whenever the kill sets allow *)
   | Conservative_only   (** local sole sources or full groups only *)
 
-type options = {
+(** All scheduling knobs in one record; build variations from {!default}
+    with the [with_*] builders. *)
+type options = Chunk_scheduler.options = {
+  mode : mode;
   lane_budget_factor : float;
       (** scales the kill-chain budget m/(ε+1); 1.0 is the default *)
   use_one_to_one : bool;
@@ -67,7 +44,47 @@ type options = {
   source_policy : source_policy;
 }
 
+val default : options
+(** [Strict] mode with the paper's placement rules. *)
+
+val with_mode : mode -> options -> options
+val with_lane_budget_factor : float -> options -> options
+val with_use_one_to_one : bool -> options -> options
+val with_source_policy : source_policy -> options -> options
+
+val resolve : ?mode:mode -> ?opts:options -> unit -> options
+(** Combine the legacy optional arguments into one record: start from
+    [opts] (default {!default}) and let an explicit [mode] override its
+    mode field. *)
+
+(** A schedulable algorithm as a first-class module. *)
+module type Algo = Chunk_scheduler.Algo
+
+val all : (module Algo) list
+(** The core algorithms, in presentation order: LTF then R-LTF.  Baseline
+    heuristics register separately in [Baseline_registry.all]
+    (lib/baselines). *)
+
+val find : string -> (module Algo) option
+(** Case-insensitive lookup in {!all} by [Algo.name]. *)
+
+val by_finish_time : rank
+(** LTF's policy: [(F, 0)]. *)
+
+val by_stage_then_finish : rank
+(** R-LTF's Rule 1 policy: [(stage, F)]. *)
+
+val schedule :
+  ?opts:options ->
+  rank:rank ->
+  Types.problem ->
+  (State.t, Types.failure) result
+(** Schedule every task of the problem's DAG.  On success the returned
+    state holds a complete mapping.  See {!Chunk_scheduler.schedule} for
+    the algorithm and the recorded metrics. *)
+
 val default_options : options
+[@@deprecated "use Scheduler.default (mode is a field now)"]
 
 val run :
   ?mode:mode ->
@@ -75,5 +92,4 @@ val run :
   rank:rank ->
   Types.problem ->
   (State.t, Types.failure) result
-(** Schedule every task of the problem's DAG.  On success the returned
-    state holds a complete mapping. *)
+[@@deprecated "use Scheduler.schedule with Scheduler.options"]

@@ -110,6 +110,7 @@ let proc_of_replica s (id : Replica.id) =
   (Mapping.replica_exn s.mapping id.task id.copy).Replica.proc
 
 let evaluate s ~task ~copy ~proc ~sources =
+  Obs.incr "core.placement_probes";
   let plat = s.prob.platform and dag = s.prob.dag in
   (* Off-processor transfers, scheduled in order of data readiness so the
      estimate is deterministic. *)
@@ -219,6 +220,7 @@ let overload s trial =
        outgoing 0.0
 
 let commit s trial =
+  Obs.incr "core.commits";
   let plat = s.prob.platform and dag = s.prob.dag in
   Mapping.assign s.mapping
     {

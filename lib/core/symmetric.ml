@@ -6,7 +6,7 @@ type search_result = {
 let feasible ~dag ~platform ~eps ~latency_bound throughput =
   if throughput <= 0.0 then None
   else
-    match Rltf.run (Types.problem ~dag ~platform ~eps ~throughput) with
+    match Rltf.schedule (Types.problem ~dag ~platform ~eps ~throughput) with
     | Error _ -> None
     | Ok mapping ->
         if Metrics.latency_bound mapping ~throughput <= latency_bound then

@@ -8,16 +8,16 @@ type row = {
 }
 
 let configurations =
-  let default = Scheduler.default_options in
-  [
-    ("default", default);
-    ("no one-to-one", { default with Scheduler.use_one_to_one = false });
-    ("greedy sources only", { default with Scheduler.source_policy = Scheduler.Greedy_only });
-    ( "conservative sources only",
-      { default with Scheduler.source_policy = Scheduler.Conservative_only } );
-    ("half lane budget", { default with Scheduler.lane_budget_factor = 0.5 });
-    ("double lane budget", { default with Scheduler.lane_budget_factor = 2.0 });
-  ]
+  Scheduler.
+    [
+      ("default", default);
+      ("no one-to-one", default |> with_use_one_to_one false);
+      ("greedy sources only", default |> with_source_policy Greedy_only);
+      ( "conservative sources only",
+        default |> with_source_policy Conservative_only );
+      ("half lane budget", default |> with_lane_budget_factor 0.5);
+      ("double lane budget", default |> with_lane_budget_factor 2.0);
+    ]
 
 let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 20)
     ?(granularity = 1.0) ?(eps = 1) ?(jobs = 1) () =
@@ -36,10 +36,12 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 20)
               ~platform:inst.Paper_workload.plat ~eps ~throughput
           in
           let strict_ok =
-            match Rltf.run ~opts prob with Ok _ -> true | Error _ -> false
+            match Rltf.schedule ~opts prob with Ok _ -> true | Error _ -> false
           in
           let best_effort =
-            match Rltf.run ~mode:Scheduler.Best_effort ~opts prob with
+            match
+              Rltf.schedule ~opts:Scheduler.(opts |> with_mode Best_effort) prob
+            with
             | Error _ -> None
             | Ok m ->
                 Some

@@ -6,33 +6,21 @@ type row = {
   meets_throughput : int;
 }
 
+(* One uniform sweep over the two registries: the core algorithms
+   (labelled with the ε they run at, since they otherwise replicate) and
+   the §3 baselines.  Every entry goes through the same [Algo.run] door —
+   no per-algorithm cases. *)
 let algorithms ~throughput =
-  [
-    ( "LTF (eps=0)",
+  let opts = Scheduler.(default |> with_mode Best_effort) in
+  let entry ?(suffix = "") (module A : Scheduler.Algo) =
+    ( A.name ^ suffix,
       fun dag plat ->
-        match
-          Ltf.run ~mode:Scheduler.Best_effort
-            (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)
-        with
-        | Ok m -> Some m
-        | Error _ -> None );
-    ( "R-LTF (eps=0)",
-      fun dag plat ->
-        match
-          Rltf.run ~mode:Scheduler.Best_effort
-            (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)
-        with
-        | Ok m -> Some m
-        | Error _ -> None );
-    ("HEFT [9]", fun dag plat -> Some (Heft.mapping ~throughput dag plat));
-    ("ETF [6]", fun dag plat -> Some (Etf.mapping ~throughput dag plat));
-    ("Hary-Ozguner [4]", fun dag plat -> Some (Hary.mapping dag plat ~throughput));
-    ("EXPERT [3]", fun dag plat -> Some (Expert.mapping dag plat ~throughput));
-    ("TDA [11]", fun dag plat -> Some (Tda.mapping dag plat ~throughput));
-    ("STDP [8]", fun dag plat -> Some (Stdp.mapping dag plat ~throughput));
-    ("WMSH [10]", fun dag plat -> Some (Wmsh.mapping dag plat ~throughput));
-    ("Hoang-Rabaey [5]", fun dag plat -> Some (Hoang.mapping ~iterations:20 dag plat));
-  ]
+        Result.to_option
+          (A.run ~opts (Types.problem ~dag ~platform:plat ~eps:0 ~throughput))
+    )
+  in
+  List.map (entry ~suffix:" (eps=0)") Scheduler.all
+  @ List.map (fun a -> entry a) Baseline_registry.all
 
 let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 30)
     ?(granularity = 1.0) ?(jobs = 1) () =

@@ -5,7 +5,7 @@ type config = {
   crashes : int;
   crash_draws : int;
   spec : Paper_workload.spec;
-  mode : Scheduler.mode;
+  sched : Scheduler.options;
   granularities : float list;
 }
 
@@ -17,7 +17,7 @@ let default ~eps ~crashes =
     crashes;
     crash_draws = 3;
     spec = Paper_workload.default_spec;
-    mode = Scheduler.Best_effort;
+    sched = Scheduler.(default |> with_mode Best_effort);
     granularities = Paper_workload.granularities;
   }
 
@@ -39,24 +39,37 @@ let trials config =
       List.init config.graphs_per_point (fun rep -> { config; granularity; rep }))
     config.granularities
 
+type trial_result = {
+  bound : float;
+  sim : float;
+  crash : float;
+  meets : bool;
+}
+
+let no_result = { bound = nan; sim = nan; crash = nan; meets = false }
+
 type sample = {
   granularity : float;
-  ltf_bound : float;
-  ltf_sim : float;
-  ltf_crash : float;
-  ltf_meets : bool;
-  rltf_bound : float;
-  rltf_sim : float;
-  rltf_crash : float;
-  rltf_meets : bool;
+  ltf : trial_result;
+  rltf : trial_result;
   ff_sim : float;
 }
+
+let ltf_bound s = s.ltf.bound
+let ltf_sim s = s.ltf.sim
+let ltf_crash s = s.ltf.crash
+let ltf_meets s = s.ltf.meets
+let rltf_bound s = s.rltf.bound
+let rltf_sim s = s.rltf.sim
+let rltf_crash s = s.rltf.crash
+let rltf_meets s = s.rltf.meets
+let ff_sim s = s.ff_sim
 
 let of_option = function Some v -> v | None -> nan
 
 let measure_algo config ~throughput ~rng outcome =
   match outcome with
-  | Error _ -> (nan, nan, nan, false)
+  | Error _ -> no_result
   | Ok mapping ->
       let bound = Metrics.latency_bound mapping ~throughput in
       let sim = of_option (Stage_latency.latency mapping ~throughput) in
@@ -69,56 +82,51 @@ let measure_algo config ~throughput ~rng outcome =
                ~crashes:config.crashes ~runs:config.crash_draws ~throughput
                mapping)
       in
-      (bound, sim, crash, Metrics.meets_throughput mapping ~throughput)
+      { bound; sim; crash; meets = Metrics.meets_throughput mapping ~throughput }
 
 (* A trial is a pure function of its record: every random draw comes from
    streams derived from [trial_seed], which is what lets [collect] farm
-   trials out to a domain pool without changing a single bit of output. *)
+   trials out to a domain pool without changing a single bit of output.
+   The instrumentation below is observational only — it consumes no
+   randomness and touches no measured value. *)
 let run_trial (t : trial) =
-  let config = t.config and granularity = t.granularity in
-  let throughput = Paper_workload.throughput ~eps:config.eps in
-  (* Independent, reproducible stream per (granularity, graph). *)
-  let rng = Rng.create ~seed:(trial_seed t) in
-  let inst = Paper_workload.instance ~spec:config.spec ~rng ~granularity () in
-  (* Each algorithm measures on its own child stream: R-LTF's crash draws
-     must not depend on how many draws LTF consumed (or on whether LTF
-     scheduled at all).  Both splits happen before any measurement. *)
-  let ltf_rng = Rng.split rng in
-  let rltf_rng = Rng.split rng in
-  let prob =
-    Types.problem ~dag:inst.Paper_workload.dag
-      ~platform:inst.Paper_workload.plat ~eps:config.eps ~throughput
-  in
-  let ltf_bound, ltf_sim, ltf_crash, ltf_meets =
-    measure_algo config ~throughput ~rng:ltf_rng (Ltf.run ~mode:config.mode prob)
-  in
-  let rltf_bound, rltf_sim, rltf_crash, rltf_meets =
-    measure_algo config ~throughput ~rng:rltf_rng
-      (Rltf.run ~mode:config.mode prob)
-  in
-  (* The fault-free reference is an ε = 0 schedule, so its desired
-     throughput follows the same rule with ε = 0: T = 1/10. *)
-  let ff_throughput = Paper_workload.throughput ~eps:0 in
-  let ff_sim =
-    match
-      Fault_free.run ~mode:config.mode ~dag:inst.Paper_workload.dag
-        ~platform:inst.Paper_workload.plat ~throughput:ff_throughput ()
-    with
-    | Error _ -> nan
-    | Ok ff -> of_option (Stage_latency.latency ff ~throughput:ff_throughput)
-  in
-  {
-    granularity;
-    ltf_bound;
-    ltf_sim;
-    ltf_crash;
-    ltf_meets;
-    rltf_bound;
-    rltf_sim;
-    rltf_crash;
-    rltf_meets;
-    ff_sim;
-  }
+  Obs.with_span "exp.trial" (fun () ->
+      Obs.incr "exp.trials";
+      let config = t.config and granularity = t.granularity in
+      let throughput = Paper_workload.throughput ~eps:config.eps in
+      (* Independent, reproducible stream per (granularity, graph). *)
+      let rng = Rng.create ~seed:(trial_seed t) in
+      let inst = Paper_workload.instance ~spec:config.spec ~rng ~granularity () in
+      (* Each algorithm measures on its own child stream: R-LTF's crash
+         draws must not depend on how many draws LTF consumed (or on
+         whether LTF scheduled at all).  Both splits happen before any
+         measurement. *)
+      let ltf_rng = Rng.split rng in
+      let rltf_rng = Rng.split rng in
+      let prob =
+        Types.problem ~dag:inst.Paper_workload.dag
+          ~platform:inst.Paper_workload.plat ~eps:config.eps ~throughput
+      in
+      let ltf =
+        measure_algo config ~throughput ~rng:ltf_rng
+          (Ltf.schedule ~opts:config.sched prob)
+      in
+      let rltf =
+        measure_algo config ~throughput ~rng:rltf_rng
+          (Rltf.schedule ~opts:config.sched prob)
+      in
+      (* The fault-free reference is an ε = 0 schedule, so its desired
+         throughput follows the same rule with ε = 0: T = 1/10. *)
+      let ff_throughput = Paper_workload.throughput ~eps:0 in
+      let ff_sim =
+        match
+          Fault_free.run ~opts:config.sched ~dag:inst.Paper_workload.dag
+            ~platform:inst.Paper_workload.plat ~throughput:ff_throughput ()
+        with
+        | Error _ -> nan
+        | Ok ff -> of_option (Stage_latency.latency ff ~throughput:ff_throughput)
+      in
+      { granularity; ltf; rltf; ff_sim })
 
 let collect ?(jobs = 1) config =
   Parallel.map_seeded ~jobs run_trial (trials config)
@@ -136,14 +144,6 @@ let by_granularity samples =
 let mean_series ~label proj samples =
   let points =
     by_granularity samples
-    |> List.map (fun (g, ss) ->
-           let values =
-             List.filter_map
-               (fun s ->
-                 let v = proj s in
-                 if Float.is_nan v then None else Some v)
-               ss
-           in
-           (g, match values with [] -> nan | _ -> Stats.mean values))
+    |> List.map (fun (g, ss) -> (g, Stats.mean_by proj ss))
   in
   { Ascii_plot.label; points }

@@ -4,7 +4,11 @@
     3 and 4 need — latency upper bounds, simulated 0-crash latencies,
     simulated latencies under [c] random crashes, and the fault-free
     reference latency — so each figure is an aggregation of the same
-    sample set, exactly as in the paper. *)
+    sample set, exactly as in the paper.
+
+    With {!Obs.enabled} on, every trial records an [exp.trial] span and an
+    [exp.trials] counter (plus whatever the algorithms and the simulator
+    record underneath); the instrumentation never changes the samples. *)
 
 type config = {
   seed : int;
@@ -13,7 +17,7 @@ type config = {
   crashes : int;           (** c, the number of failed processors *)
   crash_draws : int;       (** crash samples averaged per graph *)
   spec : Paper_workload.spec;
-  mode : Scheduler.mode;
+  sched : Scheduler.options;  (** options for LTF/R-LTF and the reference *)
   granularities : float list;
 }
 
@@ -41,31 +45,48 @@ val trial_seed : trial -> int
 (** The per-trial root seed, derived from [config.seed], the granularity
     and the rep index. *)
 
-(** Everything measured on one random graph at one granularity; [nan]
-    marks a quantity that could not be measured (scheduling failure, lost
-    exit task). *)
+(** What one algorithm measured on one instance; [nan] marks a quantity
+    that could not be measured (scheduling failure, lost exit task). *)
+type trial_result = {
+  bound : float;   (** (2S−1)/T for the mapping *)
+  sim : float;     (** simulated 0-crash latency *)
+  crash : float;   (** mean simulated latency under [crashes] failures *)
+  meets : bool;    (** the mapping satisfies the desired throughput *)
+}
+
+val no_result : trial_result
+(** All-[nan] (and [meets = false]): the algorithm failed to schedule. *)
+
+(** Everything measured on one random graph at one granularity. *)
 type sample = {
   granularity : float;
-  ltf_bound : float;      (** (2S−1)/T for the LTF mapping *)
-  ltf_sim : float;        (** simulated 0-crash latency *)
-  ltf_crash : float;      (** mean simulated latency under [crashes] *)
-  ltf_meets : bool;       (** LTF mapping satisfies the throughput *)
-  rltf_bound : float;
-  rltf_sim : float;
-  rltf_crash : float;
-  rltf_meets : bool;
-  ff_sim : float;         (** fault-free (ε = 0 R-LTF) simulated latency *)
+  ltf : trial_result;
+  rltf : trial_result;
+  ff_sim : float;  (** fault-free (ε = 0 R-LTF) simulated latency *)
 }
+
+(** Named accessors, shaped for {!mean_series} / {!Stats.mean_by} — figure
+    modules compose these instead of destructuring the records. *)
+
+val ltf_bound : sample -> float
+val ltf_sim : sample -> float
+val ltf_crash : sample -> float
+val ltf_meets : sample -> bool
+val rltf_bound : sample -> float
+val rltf_sim : sample -> float
+val rltf_crash : sample -> float
+val rltf_meets : sample -> bool
+val ff_sim : sample -> float
 
 val measure_algo :
   config ->
   throughput:float ->
   rng:Rng.t ->
   (Mapping.t, 'e) result ->
-  float * float * float * bool
-(** [(bound, sim, crash, meets)] for one algorithm's outcome.  All crash
-    draws come from [rng] and nothing else, so independent streams give
-    independent measurements (exposed for the regression tests). *)
+  trial_result
+(** Measurements for one algorithm's outcome.  All crash draws come from
+    [rng] and nothing else, so independent streams give independent
+    measurements (exposed for the regression tests). *)
 
 val run_trial : trial -> sample
 (** Generate the trial's instance and measure LTF, R-LTF and the

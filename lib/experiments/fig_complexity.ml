@@ -32,7 +32,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(repetitions = 3) () =
         ~platform:inst.Paper_workload.plat ~eps ~throughput
     in
     let seconds =
-      measure ~repetitions (fun () -> Ltf.run ~mode:Scheduler.Best_effort prob)
+      measure ~repetitions (fun () -> Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob)
     in
     {
       v = Dag.size inst.Paper_workload.dag;

@@ -15,7 +15,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 8) ?(eps = 1)
           let rng = Rng.create ~seed:(seed + (3571 * rep)) in
           let inst = Paper_workload.instance ~rng ~granularity () in
           let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
-          match Rltf.run (Types.problem ~dag ~platform:plat ~eps ~throughput) with
+          match Rltf.schedule (Types.problem ~dag ~platform:plat ~eps ~throughput) with
           | Error _ -> ()
           | Ok reference -> (
               let latency_bound =

@@ -46,8 +46,8 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 12) () =
                   (Metrics.latency_bound m ~throughput)
                   (Metrics.meets_throughput m ~throughput))
           [
-            ("LTF", Ltf.run ~mode:Scheduler.Best_effort prob);
-            ("R-LTF", Rltf.run ~mode:Scheduler.Best_effort prob);
+            ("LTF", Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob);
+            ("R-LTF", Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob);
           ]
       done;
       Hashtbl.iter

@@ -5,24 +5,24 @@ let series ~mode samples =
   | Bounds ->
       [
         Fig_common.mean_series ~label:"R-LTF With 0 Crash"
-          (fun s -> s.Fig_common.rltf_sim) samples;
+          Fig_common.rltf_sim samples;
         Fig_common.mean_series ~label:"R-LTF UpperBound"
-          (fun s -> s.Fig_common.rltf_bound) samples;
+          Fig_common.rltf_bound samples;
         Fig_common.mean_series ~label:"LTF With 0 Crash"
-          (fun s -> s.Fig_common.ltf_sim) samples;
+          Fig_common.ltf_sim samples;
         Fig_common.mean_series ~label:"LTF UpperBound"
-          (fun s -> s.Fig_common.ltf_bound) samples;
+          Fig_common.ltf_bound samples;
       ]
   | Crash ->
       [
         Fig_common.mean_series ~label:"R-LTF With 0 Crash"
-          (fun s -> s.Fig_common.rltf_sim) samples;
+          Fig_common.rltf_sim samples;
         Fig_common.mean_series ~label:"R-LTF With Crash"
-          (fun s -> s.Fig_common.rltf_crash) samples;
+          Fig_common.rltf_crash samples;
         Fig_common.mean_series ~label:"LTF With 0 Crash"
-          (fun s -> s.Fig_common.ltf_sim) samples;
+          Fig_common.ltf_sim samples;
         Fig_common.mean_series ~label:"LTF With Crash"
-          (fun s -> s.Fig_common.ltf_crash) samples;
+          Fig_common.ltf_crash samples;
       ]
 
 let csv_of_series path series =

@@ -10,12 +10,12 @@ let heuristics ~throughput =
     ( "LTF (eps=0)",
       fun dag plat ->
         Result.to_option
-          (Ltf.run ~mode:Scheduler.Best_effort
+          (Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort)
              (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)) );
     ( "R-LTF (eps=0)",
       fun dag plat ->
         Result.to_option
-          (Rltf.run ~mode:Scheduler.Best_effort
+          (Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort)
              (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)) );
     ("HEFT [9]", fun dag plat -> Some (Heft.mapping ~throughput dag plat));
     ("WMSH [10]", fun dag plat -> Some (Wmsh.mapping dag plat ~throughput));

@@ -1,22 +1,18 @@
 let overhead proj (s : Fig_common.sample) =
-  let l = proj s and ff = s.Fig_common.ff_sim in
+  let l = proj s and ff = Fig_common.ff_sim s in
   if Float.is_nan l || Float.is_nan ff || ff <= 0.0 then nan
   else (l -. ff) /. ff *. 100.0
 
 let series samples =
   [
     Fig_common.mean_series ~label:"R-LTF With 0 Crash"
-      (overhead (fun s -> s.Fig_common.rltf_sim))
-      samples;
+      (overhead Fig_common.rltf_sim) samples;
     Fig_common.mean_series ~label:"R-LTF With Crash"
-      (overhead (fun s -> s.Fig_common.rltf_crash))
-      samples;
+      (overhead Fig_common.rltf_crash) samples;
     Fig_common.mean_series ~label:"LTF With 0 Crash"
-      (overhead (fun s -> s.Fig_common.ltf_sim))
-      samples;
+      (overhead Fig_common.ltf_sim) samples;
     Fig_common.mean_series ~label:"LTF With Crash"
-      (overhead (fun s -> s.Fig_common.ltf_crash))
-      samples;
+      (overhead Fig_common.ltf_crash) samples;
   ]
 
 let run ?(out_dir = "results") ?(jobs = 1) ~(config : Fig_common.config) () =

@@ -20,7 +20,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 10) ?(items = 30)
             Types.problem ~dag:inst.Paper_workload.dag
               ~platform:inst.Paper_workload.plat ~eps ~throughput
           in
-          match Rltf.run ~mode:Scheduler.Best_effort prob with
+          match Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
           | Error _ -> ()
           | Ok mapping ->
               (* Only schedules that analytically meet the desired period

@@ -15,7 +15,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 10)
           let inst = Paper_workload.instance ~rng ~granularity () in
           let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
           let t1 = Paper_workload.throughput ~eps:1 in
-          match Rltf.run (Types.problem ~dag ~platform:plat ~eps:1 ~throughput:t1) with
+          match Rltf.schedule (Types.problem ~dag ~platform:plat ~eps:1 ~throughput:t1) with
           | Error _ -> ()
           | Ok mapping ->
               let latency_bound =

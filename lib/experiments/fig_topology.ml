@@ -62,8 +62,8 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 12) () =
                   (float_of_int (Mapping.n_messages m))
                   (Metrics.meets_throughput m ~throughput))
           [
-            ("LTF", Ltf.run ~mode:Scheduler.Best_effort prob);
-            ("R-LTF", Rltf.run ~mode:Scheduler.Best_effort prob);
+            ("LTF", Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob);
+            ("R-LTF", Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob);
           ]
       done;
       Hashtbl.iter

@@ -1,0 +1,34 @@
+(** The documented metric key set, and validation of metric dumps against
+    it — the contract behind [bin/experiments.exe --check-metrics].
+
+    A profiling run of the ["latency"] experiment (the fig3a sweep plus an
+    event-driven replay) must produce every key listed here; CI validates
+    one such dump, so renaming or dropping an instrumentation point breaks
+    the build instead of downstream dashboards.  The lists are the single
+    source of truth that EXPERIMENTS.md documents. *)
+
+val required_counters : string list
+(** [core.placement_probes] (one per {!State.evaluate}),
+    [core.feasibility_rejections] (condition-(1) refusals),
+    [core.one_to_one_calls] / [core.general_calls] (placement branch
+    invocations), [core.commits], [core.chunks], [sim.events_popped],
+    [sim.runs], [sim.failures_injected], [sim.crash.draws],
+    [exp.trials]. *)
+
+val required_histograms : string list
+(** [core.chunk_size] (tasks per chunk β) and [sim.heap_size] (event-heap
+    occupancy after every push — its [max] is the high-water mark). *)
+
+val required_spans : string list
+(** [core.scheduler.chunk], [core.ltf.run], [core.rltf.run],
+    [core.rltf.derive], [sim.engine.run], [sim.crash.sample],
+    [exp.trial].  One dynamic [exp.fig.<name>] span per figure is
+    additionally required by {!validate}. *)
+
+val validate : Obs.Registry.t -> (unit, string list) result
+(** Check that every required key is present (counters may be zero; they
+    are pre-registered by the instrumented entry points precisely so
+    presence is deterministic).  [Error] lists every missing key. *)
+
+val validate_string : string -> (unit, string list) result
+(** Parse a {!Obs.Registry.to_json} dump and {!validate} it. *)

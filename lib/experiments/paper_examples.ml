@@ -69,10 +69,10 @@ let fig2 () =
           (Metrics.latency_bound m ~throughput)
   in
   let run_ltf m =
-    Ltf.run (Types.problem ~dag ~platform:(Classic.fig2_platform ~m) ~eps:1 ~throughput)
+    Ltf.schedule (Types.problem ~dag ~platform:(Classic.fig2_platform ~m) ~eps:1 ~throughput)
   in
   let run_rltf m =
-    Rltf.run (Types.problem ~dag ~platform:(Classic.fig2_platform ~m) ~eps:1 ~throughput)
+    Rltf.schedule (Types.problem ~dag ~platform:(Classic.fig2_platform ~m) ~eps:1 ~throughput)
   in
   [
     {

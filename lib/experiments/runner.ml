@@ -126,7 +126,66 @@ let all =
         (fun ~quick ~seed ~jobs:_ ~out_dir ->
           ignore (Fig_cost.run ~out_dir ~seed ~graphs:(if quick then 2 else 8) ()));
     };
+    {
+      name = "latency";
+      description =
+        "Profile: the fig3a sweep plus an event-driven replay of R-LTF \
+         mappings (touches every instrumented layer)";
+      run =
+        (fun ~quick ~seed ~jobs ~out_dir ->
+          let config =
+            if quick then Fig_common.quick ~eps:1 ~crashes:0
+            else Fig_common.default ~eps:1 ~crashes:0
+          in
+          let config = { config with Fig_common.seed } in
+          ignore (Fig_latency.run ~out_dir ~jobs ~config ~mode:Fig_latency.Bounds ());
+          (* The sweep above measures latency with the stage-synchronous
+             model; replay a few of the same instances through the
+             event-driven one-port simulator so a latency profile also
+             covers the sim.* metrics. *)
+          let graphs = if quick then 3 else 10 in
+          let throughput = Paper_workload.throughput ~eps:1 in
+          let replayed = ref 0 in
+          List.iter
+            (fun rep ->
+              let rng = Rng.create ~seed:(seed + (7919 * rep)) in
+              let inst = Paper_workload.instance ~rng ~granularity:1.0 () in
+              let prob =
+                Types.problem ~dag:inst.Paper_workload.dag
+                  ~platform:inst.Paper_workload.plat ~eps:1 ~throughput
+              in
+              match
+                Rltf.schedule
+                  ~opts:Scheduler.(default |> with_mode Best_effort)
+                  prob
+              with
+              | Error _ -> ()
+              | Ok mapping ->
+                  ignore (Engine.run ~n_items:4 mapping);
+                  ignore
+                    (Crash.sample
+                       ~rand_int:(fun bound -> Rng.int rng bound)
+                       ~crashes:1 mapping);
+                  incr replayed)
+            (List.init graphs Fun.id);
+          Printf.printf "event-driven replay: %d/%d instances simulated\n"
+            !replayed graphs);
+    };
   ]
+
+(* Group everything an experiment does under one per-figure span, so a
+   metrics dump attributes time figure-by-figure. *)
+let all =
+  List.map
+    (fun e ->
+      {
+        e with
+        run =
+          (fun ~quick ~seed ~jobs ~out_dir ->
+            Obs.with_span ("exp.fig." ^ e.name) (fun () ->
+                e.run ~quick ~seed ~jobs ~out_dir));
+      })
+    all
 
 let find name = List.find_opt (fun e -> e.name = name) all
 let names = List.map (fun e -> e.name) all

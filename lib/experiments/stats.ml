@@ -30,6 +30,16 @@ let summarize_opt = function [] -> None | values -> Some (summarize values)
 
 let mean values = (summarize values).mean
 
+let mean_by proj items =
+  let values =
+    List.filter_map
+      (fun x ->
+        let v = proj x in
+        if Float.is_nan v then None else Some v)
+      items
+  in
+  match values with [] -> nan | _ -> mean values
+
 let median values =
   match List.sort compare values with
   | [] -> invalid_arg "Stats.median: empty sample"

@@ -18,5 +18,10 @@ val summarize_opt : float list -> summary option
 val mean : float list -> float
 val median : float list -> float
 
+val mean_by : ('a -> float) -> 'a list -> float
+(** Mean of the projection over the items, skipping [nan] projections;
+    [nan] when nothing measurable remains.  This is how the figures
+    consume record-shaped samples directly. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 (** ["mean ± stderr (n=…)"]. *)

@@ -1,0 +1,564 @@
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* Integral values print as integers; everything else with enough digits
+     to round-trip through float_of_string. *)
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (num_to_string f)
+    | Str s -> escape_to buf s
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+
+  exception Parse_error of int * string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let error msg = raise (Parse_error (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> error (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else error (Printf.sprintf "expected '%s'" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then error "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then error "unterminated escape");
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 > n then error "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> error "bad \\u escape"
+              in
+              Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
+          | _ -> error "unknown escape");
+          loop ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      if !pos = start then error "expected a number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> error "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> error "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((key, v) :: acc)
+              | _ -> error "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> error "expected ',' or ']'"
+            in
+            Arr (items [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then error "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error (at, msg) ->
+        Error (Printf.sprintf "JSON error at offset %d: %s" at msg)
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+module Registry = struct
+  type histogram = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;
+  }
+
+  type span_stat = { calls : int; total : float }
+
+  let n_buckets = 64
+
+  type hist_cell = {
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+    h_buckets : int array;
+  }
+
+  type span_cell = { mutable s_calls : int; mutable s_total : float }
+
+  type t = {
+    c_tbl : (string, int ref) Hashtbl.t;
+    h_tbl : (string, hist_cell) Hashtbl.t;
+    s_tbl : (string, span_cell) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      c_tbl = Hashtbl.create 32;
+      h_tbl = Hashtbl.create 16;
+      s_tbl = Hashtbl.create 16;
+    }
+
+  let clear t =
+    Hashtbl.reset t.c_tbl;
+    Hashtbl.reset t.h_tbl;
+    Hashtbl.reset t.s_tbl
+
+  let is_empty t =
+    Hashtbl.length t.c_tbl = 0
+    && Hashtbl.length t.h_tbl = 0
+    && Hashtbl.length t.s_tbl = 0
+
+  (* Bucket 0 is the underflow bucket; bucket i >= 1 covers
+     [2^(i-32), 2^(i-31)), clamped at the top. *)
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else begin
+      let _, e = Float.frexp v in
+      min (n_buckets - 1) (max 0 (e + 31))
+    end
+
+  let bucket_lo i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 32)
+
+  let incr ?(by = 1) t name =
+    match Hashtbl.find_opt t.c_tbl name with
+    | Some cell -> cell := !cell + by
+    | None -> Hashtbl.add t.c_tbl name (ref by)
+
+  let hist_cell t name =
+    match Hashtbl.find_opt t.h_tbl name with
+    | Some cell -> cell
+    | None ->
+        let cell =
+          {
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_buckets = Array.make n_buckets 0;
+          }
+        in
+        Hashtbl.add t.h_tbl name cell;
+        cell
+
+  let observe t name v =
+    let cell = hist_cell t name in
+    cell.h_count <- cell.h_count + 1;
+    cell.h_sum <- cell.h_sum +. v;
+    if v < cell.h_min then cell.h_min <- v;
+    if v > cell.h_max then cell.h_max <- v;
+    let b = bucket_of v in
+    cell.h_buckets.(b) <- cell.h_buckets.(b) + 1
+
+  let span_cell t name =
+    match Hashtbl.find_opt t.s_tbl name with
+    | Some cell -> cell
+    | None ->
+        let cell = { s_calls = 0; s_total = 0.0 } in
+        Hashtbl.add t.s_tbl name cell;
+        cell
+
+  let span_add t name dt =
+    let cell = span_cell t name in
+    cell.s_calls <- cell.s_calls + 1;
+    cell.s_total <- cell.s_total +. dt
+
+  let merge ~into src =
+    Hashtbl.iter (fun name cell -> incr ~by:!cell into name) src.c_tbl;
+    Hashtbl.iter
+      (fun name cell ->
+        let dst = hist_cell into name in
+        dst.h_count <- dst.h_count + cell.h_count;
+        dst.h_sum <- dst.h_sum +. cell.h_sum;
+        if cell.h_min < dst.h_min then dst.h_min <- cell.h_min;
+        if cell.h_max > dst.h_max then dst.h_max <- cell.h_max;
+        Array.iteri
+          (fun i c -> dst.h_buckets.(i) <- dst.h_buckets.(i) + c)
+          cell.h_buckets)
+      src.h_tbl;
+    Hashtbl.iter
+      (fun name cell ->
+        let dst = span_cell into name in
+        dst.s_calls <- dst.s_calls + cell.s_calls;
+        dst.s_total <- dst.s_total +. cell.s_total)
+      src.s_tbl
+
+  let counter t name =
+    match Hashtbl.find_opt t.c_tbl name with Some c -> !c | None -> 0
+
+  let sorted_keys tbl =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+  let counters t =
+    sorted_keys t.c_tbl |> List.map (fun k -> (k, counter t k))
+
+  let export_hist cell =
+    let buckets = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if cell.h_buckets.(i) > 0 then
+        buckets := (bucket_lo i, cell.h_buckets.(i)) :: !buckets
+    done;
+    {
+      count = cell.h_count;
+      sum = cell.h_sum;
+      min = cell.h_min;
+      max = cell.h_max;
+      buckets = !buckets;
+    }
+
+  let histogram t name = Option.map export_hist (Hashtbl.find_opt t.h_tbl name)
+
+  let histograms t =
+    sorted_keys t.h_tbl
+    |> List.map (fun k -> (k, export_hist (Hashtbl.find t.h_tbl k)))
+
+  let span_stats t name =
+    Option.map
+      (fun c -> { calls = c.s_calls; total = c.s_total })
+      (Hashtbl.find_opt t.s_tbl name)
+
+  let spans t =
+    sorted_keys t.s_tbl
+    |> List.map (fun k ->
+           let c = Hashtbl.find t.s_tbl k in
+           (k, { calls = c.s_calls; total = c.s_total }))
+
+  let to_json_value t =
+    let counters =
+      Json.Obj
+        (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) (counters t))
+    in
+    let histograms =
+      Json.Obj
+        (List.map
+           (fun (k, h) ->
+             ( k,
+               Json.Obj
+                 [
+                   ("count", Json.Num (float_of_int h.count));
+                   ("sum", Json.Num h.sum);
+                   ("min", Json.Num h.min);
+                   ("max", Json.Num h.max);
+                   ( "buckets",
+                     Json.Arr
+                       (List.map
+                          (fun (lo, c) ->
+                            Json.Arr [ Json.Num lo; Json.Num (float_of_int c) ])
+                          h.buckets) );
+                 ] ))
+           (histograms t))
+    in
+    let spans =
+      Json.Obj
+        (List.map
+           (fun (k, s) ->
+             ( k,
+               Json.Obj
+                 [
+                   ("calls", Json.Num (float_of_int s.calls));
+                   ("total_s", Json.Num s.total);
+                 ] ))
+           (spans t))
+    in
+    Json.Obj
+      [ ("counters", counters); ("histograms", histograms); ("spans", spans) ]
+
+  let to_json t = Json.to_string (to_json_value t)
+
+  let of_json s =
+    let ( let* ) = Result.bind in
+    let num = function
+      | Json.Num f -> Ok f
+      | _ -> Error "expected a number"
+    in
+    let field name obj =
+      match Json.member name obj with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" name)
+    in
+    let fields = function
+      | Json.Obj kvs -> Ok kvs
+      | _ -> Error "expected an object"
+    in
+    let* root = Json.parse s in
+    let t = create () in
+    let* cs = field "counters" root in
+    let* cs = fields cs in
+    let* () =
+      List.fold_left
+        (fun acc (name, v) ->
+          let* () = acc in
+          let* f = num v in
+          incr ~by:(int_of_float f) t name;
+          Ok ())
+        (Ok ()) cs
+    in
+    let* hs = field "histograms" root in
+    let* hs = fields hs in
+    let* () =
+      List.fold_left
+        (fun acc (name, v) ->
+          let* () = acc in
+          let* count = Result.bind (field "count" v) num in
+          let* sum = Result.bind (field "sum" v) num in
+          let* mn = Result.bind (field "min" v) num in
+          let* mx = Result.bind (field "max" v) num in
+          let* buckets = field "buckets" v in
+          let cell = hist_cell t name in
+          cell.h_count <- int_of_float count;
+          cell.h_sum <- sum;
+          cell.h_min <- mn;
+          cell.h_max <- mx;
+          match buckets with
+          | Json.Arr pairs ->
+              List.fold_left
+                (fun acc pair ->
+                  let* () = acc in
+                  match pair with
+                  | Json.Arr [ Json.Num lo; Json.Num c ] ->
+                      let i = bucket_of lo in
+                      cell.h_buckets.(i) <-
+                        cell.h_buckets.(i) + int_of_float c;
+                      Ok ()
+                  | _ -> Error "expected a [lower_bound, count] pair")
+                (Ok ()) pairs
+          | _ -> Error "expected a bucket array")
+        (Ok ()) hs
+    in
+    let* ss = field "spans" root in
+    let* ss = fields ss in
+    let* () =
+      List.fold_left
+        (fun acc (name, v) ->
+          let* () = acc in
+          let* calls = Result.bind (field "calls" v) num in
+          let* total = Result.bind (field "total_s" v) num in
+          let cell = span_cell t name in
+          cell.s_calls <- int_of_float calls;
+          cell.s_total <- total;
+          Ok ())
+        (Ok ()) ss
+    in
+    Ok t
+
+  let pp_text ppf t =
+    let open Format in
+    fprintf ppf "counters:@\n";
+    List.iter
+      (fun (k, v) -> fprintf ppf "  %-42s %d@\n" k v)
+      (counters t);
+    fprintf ppf "histograms:@\n";
+    List.iter
+      (fun (k, h) ->
+        fprintf ppf "  %-42s count=%d min=%g max=%g mean=%g@\n" k h.count h.min
+          h.max
+          (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count))
+      (histograms t);
+    fprintf ppf "spans:@\n";
+    List.iter
+      (fun (k, s) ->
+        fprintf ppf "  %-42s calls=%d total=%.6fs@\n" k s.calls s.total)
+      (spans t)
+end
+
+(* One registry per domain: probes never contend.  Workers fold their
+   registry into [accum] via [publish] before exiting. *)
+let dls_key : Registry.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Registry.create ())
+
+let current () = Domain.DLS.get dls_key
+
+let accum = Registry.create ()
+let accum_mutex = Mutex.create ()
+
+let publish () =
+  let r = current () in
+  if not (Registry.is_empty r) then begin
+    Mutex.lock accum_mutex;
+    Registry.merge ~into:accum r;
+    Mutex.unlock accum_mutex;
+    Domain.DLS.set dls_key (Registry.create ())
+  end
+
+let snapshot () =
+  let out = Registry.create () in
+  Mutex.lock accum_mutex;
+  Registry.merge ~into:out accum;
+  Mutex.unlock accum_mutex;
+  Registry.merge ~into:out (current ());
+  out
+
+let reset () =
+  Mutex.lock accum_mutex;
+  Registry.clear accum;
+  Mutex.unlock accum_mutex;
+  Registry.clear (current ())
+
+let incr ?by name = if enabled () then Registry.incr ?by (current ()) name
+let touch name = if enabled () then Registry.incr ~by:0 (current ()) name
+let observe name v = if enabled () then Registry.observe (current ()) name v
+
+let with_span name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        Registry.span_add (current ()) name (Unix.gettimeofday () -. t0))
+      f
+  end

@@ -29,7 +29,12 @@ let worker t () =
            raw task can never take the worker down with it. *)
         (try task () with _ -> ());
         loop ()
-    | None -> Mutex.unlock t.mutex (* stopping and drained *)
+    | None ->
+        Mutex.unlock t.mutex (* stopping and drained *);
+        (* Fold whatever this domain recorded into the shared accumulator
+           before the domain dies; [shutdown] joins the workers, so the
+           parent's next [Obs.snapshot] sees everything. *)
+        Obs.publish ()
   in
   loop ()
 

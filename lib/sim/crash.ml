@@ -17,10 +17,13 @@ let draw_distinct ~rand_int ~count ~bound =
   pick [] count
 
 let sample ~rand_int ~crashes m =
-  let n_procs = Platform.size (Mapping.platform m) in
-  if crashes > n_procs then invalid_arg "Crash.sample: more crashes than processors";
-  let failed = draw_distinct ~rand_int ~count:crashes ~bound:n_procs in
-  with_failures m ~failed
+  Obs.with_span "sim.crash.sample" (fun () ->
+      Obs.incr "sim.crash.draws";
+      let n_procs = Platform.size (Mapping.platform m) in
+      if crashes > n_procs then
+        invalid_arg "Crash.sample: more crashes than processors";
+      let failed = draw_distinct ~rand_int ~count:crashes ~bound:n_procs in
+      with_failures m ~failed)
 
 let mean_latency ~rand_int ~crashes ~runs m =
   let rec loop i total count =

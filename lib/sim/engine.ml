@@ -77,7 +77,7 @@ let consumer_table m =
         r.sources);
   Array.map (Array.map List.rev) table
 
-let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
+let run_impl ~n_items ~period ~failed ~timed_failures m =
   if not (Mapping.is_complete m) then invalid_arg "Engine.run: incomplete mapping";
   if n_items < 1 then invalid_arg "Engine.run: n_items < 1";
   let dag = Mapping.dag m and plat = Mapping.platform m in
@@ -148,6 +148,10 @@ let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
   let ready : instance list array = Array.make n_procs [] in
   let pending : pending_msg list ref = ref [] in
   let events : event Event_heap.t = Event_heap.create () in
+  let observe_heap () =
+    if Obs.enabled () then
+      Obs.observe "sim.heap_size" (float_of_int (Event_heap.size events))
+  in
   let log = ref [] in
   let makespan = ref 0.0 in
   let enqueue_ready inst =
@@ -194,8 +198,10 @@ let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
             starts.(i) <- now;
             running.(p) <- true;
             busy_until.(p) <- now +. dur;
-            if now +. dur <= fail_time.(p) then
-              Event_heap.add events (now +. dur) (Finish inst)
+            if now +. dur <= fail_time.(p) then begin
+              Event_heap.add events (now +. dur) (Finish inst);
+              observe_heap ()
+            end
             (* else: the crash interrupts this execution; the processor
                never frees and the result is lost *)
       end
@@ -246,6 +252,7 @@ let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
           (* the crash loses the transfer in flight, but the ports still
              free up and waiting messages must be woken *)
           Event_heap.add events (now +. msg.p_dur) Port_free;
+        observe_heap ();
         dispatch_msgs now
   in
   (* Seed: entry instances of every item at their injection times. *)
@@ -253,10 +260,12 @@ let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
     List.iter
       (fun task ->
         for copy = 0 to copies - 1 do
-          if alive task copy then
+          if alive task copy then begin
             Event_heap.add events
               (float_of_int item *. period)
-              (Inject { item; rep = { Replica.task; copy } })
+              (Inject { item; rep = { Replica.task; copy } });
+            observe_heap ()
+          end
         done)
       (Dag.entries dag)
   done;
@@ -307,13 +316,16 @@ let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
     match Event_heap.pop_min events with
     | None -> ()
     | Some (now, ev) ->
+        Obs.incr "sim.events_popped";
         handle now ev;
         (* Drain simultaneous events before dispatching decisions. *)
         let rec drain () =
           match Event_heap.min_key events with
           | Some k when k <= now ->
               (match Event_heap.pop_min events with
-              | Some (_, ev') -> handle now ev'
+              | Some (_, ev') ->
+                  Obs.incr "sim.events_popped";
+                  handle now ev'
               | None -> ());
               drain ()
           | _ -> ()
@@ -369,6 +381,15 @@ let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
     makespan = !makespan;
     messages = List.rev !log;
   }
+
+let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
+  Obs.with_span "sim.engine.run" (fun () ->
+      Obs.incr "sim.runs";
+      Obs.touch "sim.events_popped";
+      Obs.incr
+        ~by:(List.length failed + List.length timed_failures)
+        "sim.failures_injected";
+      run_impl ~n_items ~period ~failed ~timed_failures m)
 
 let latency ?failed m =
   let r = run ?failed ~n_items:1 m in

@@ -37,7 +37,10 @@ let paper_instance ?(seed = 42) ?(granularity = 1.0) () =
 
 (* Schedule helpers. *)
 let must_schedule ?mode algo prob =
-  let run = match algo with `Ltf -> Ltf.run ?mode | `Rltf -> Rltf.run ?mode in
+  let opts = Scheduler.resolve ?mode () in
+  let run =
+    match algo with `Ltf -> Ltf.schedule ~opts | `Rltf -> Rltf.schedule ~opts
+  in
   match run prob with
   | Ok mapping -> mapping
   | Error f ->

@@ -76,7 +76,7 @@ let classic_tests =
           (Metrics.stage_depth rltf <= Metrics.stage_depth ltf));
     case "fig2: strict R-LTF cannot do m=8 (the paper's own schedule is overloaded)"
       (fun () ->
-        match Rltf.run (problem ~m:8 Classic.fig2_graph) with
+        match Rltf.schedule (problem ~m:8 Classic.fig2_graph) with
         | Error (Types.No_feasible_processor _ | Types.Derived_overload _) -> ()
         | Ok m ->
             (* if it ever succeeds, it must be genuinely valid *)
@@ -110,10 +110,10 @@ let classic_tests =
           Types.problem ~dag:Fixtures.chain3 ~platform:(Fixtures.uniform 4)
             ~eps:1 ~throughput:2.0
         in
-        (match Ltf.run prob with
+        (match Ltf.schedule prob with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "LTF accepted an impossible throughput");
-        match Rltf.run prob with
+        match Rltf.schedule prob with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "R-LTF accepted an impossible throughput");
     case "best-effort never refuses feasible structure" (fun () ->
@@ -134,7 +134,7 @@ let state_tests =
   [
     case "state stages agree with the mapping stages" (fun () ->
         let prob = problem ~m:10 Classic.fig2_graph in
-        match Ltf.run_state prob with
+        match Ltf.schedule_state prob with
         | Error f -> Alcotest.failf "LTF failed: %s" (Types.failure_to_string f)
         | Ok state ->
             let mapping = State.mapping state in
@@ -146,7 +146,7 @@ let state_tests =
                   (State.stage state r.Replica.id)));
     case "state loads agree with recomputed loads" (fun () ->
         let prob = problem ~m:10 Classic.fig2_graph in
-        match Ltf.run_state prob with
+        match Ltf.schedule_state prob with
         | Error f -> Alcotest.failf "LTF failed: %s" (Types.failure_to_string f)
         | Ok state ->
             let loads = Loads.of_mapping (State.mapping state) in
@@ -159,7 +159,7 @@ let state_tests =
               loads.Loads.sigma);
     case "finish times respect dependencies" (fun () ->
         let prob = problem ~m:10 Classic.fig2_graph in
-        match Ltf.run_state prob with
+        match Ltf.schedule_state prob with
         | Error f -> Alcotest.failf "LTF failed: %s" (Types.failure_to_string f)
         | Ok state ->
             let mapping = State.mapping state in
@@ -175,7 +175,7 @@ let state_tests =
                   r.Replica.sources));
     case "supports of siblings are pairwise disjoint" (fun () ->
         let prob = problem ~eps:2 ~m:10 ~throughput:0.02 Fixtures.gauss5 in
-        match Ltf.run_state prob with
+        match Ltf.schedule_state prob with
         | Error f -> Alcotest.failf "LTF failed: %s" (Types.failure_to_string f)
         | Ok state ->
             Dag.iter_tasks Fixtures.gauss5 (fun t ->
@@ -221,7 +221,7 @@ let determinism_tests =
               ~platform:inst.Paper_workload.plat ~eps:1
               ~throughput:(Paper_workload.throughput ~eps:1)
           in
-          match Ltf.run ~mode:Scheduler.Best_effort prob with
+          match Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
           | Ok m -> fingerprint m
           | Error _ -> "failed"
         in
@@ -398,7 +398,7 @@ let integration_tests =
                     Fixtures.check_valid
                       ~what:(Printf.sprintf "%s seed=%d g=%.1f eps=%d" name seed g eps)
                       m ~throughput)
-              [ ("LTF", Ltf.run prob); ("R-LTF", Rltf.run prob) ])
+              [ ("LTF", Ltf.schedule prob); ("R-LTF", Rltf.schedule prob) ])
           [
             (11, 1.0, 1); (12, 1.4, 1); (13, 2.0, 1);
             (14, 1.0, 3); (15, 2.0, 3); (16, 0.6, 1);
@@ -424,8 +424,8 @@ let integration_tests =
                       ~what:(Printf.sprintf "%s seed=%d g=%.1f eps=%d" name seed g eps)
                       m)
               [
-                ("LTF", Ltf.run ~mode:Scheduler.Best_effort prob);
-                ("R-LTF", Rltf.run ~mode:Scheduler.Best_effort prob);
+                ("LTF", Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob);
+                ("R-LTF", Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob);
               ])
           [
             (21, 0.2, 1); (22, 0.6, 1); (23, 1.0, 1); (24, 2.0, 1);
@@ -441,8 +441,8 @@ let integration_tests =
               ~platform:inst.Paper_workload.plat ~eps:1 ~throughput
           in
           match
-            ( Ltf.run ~mode:Scheduler.Best_effort prob,
-              Rltf.run ~mode:Scheduler.Best_effort prob )
+            ( Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob,
+              Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob )
           with
           | Ok ltf, Ok rltf ->
               incr total;
@@ -498,7 +498,7 @@ let optimal_tests =
               Fixtures.check_valid ~what:"optimal mapping" exact.Optimal.mapping
                 ~throughput;
               match
-                Rltf.run ~mode:Scheduler.Best_effort
+                Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort)
                   (Types.problem ~dag ~platform:plat ~eps:0 ~throughput)
               with
               | Ok heuristic ->
@@ -614,7 +614,7 @@ let options_tests =
         ~platform:inst.Paper_workload.plat ~eps:1
         ~throughput:(Paper_workload.throughput ~eps:1)
     in
-    Rltf.run ~mode:Scheduler.Best_effort ~opts prob
+    Rltf.schedule ~opts:Scheduler.(opts |> with_mode Best_effort) prob
   in
   [
     case "every ablation configuration stays fault tolerant" (fun () ->
@@ -626,20 +626,18 @@ let options_tests =
             | Ok m -> Fixtures.check_tolerant ~what:name m)
           Fig_ablation.configurations);
     case "disabling one-to-one changes the pairing structure" (fun () ->
-        let default = Option.get (Result.to_option (run_with Scheduler.default_options)) in
+        let default = Option.get (Result.to_option (run_with Scheduler.default)) in
         let without =
           Option.get
             (Result.to_option
-               (run_with { Scheduler.default_options with Scheduler.use_one_to_one = false }))
+               (run_with Scheduler.(default |> with_use_one_to_one false)))
         in
         (* not necessarily more messages, but a different schedule *)
         check_true "different schedules"
           (fingerprint default <> fingerprint without
           || Mapping.n_messages default <> Mapping.n_messages without));
     case "a tiny lane budget forces full groups" (fun () ->
-        match
-          run_with { Scheduler.default_options with Scheduler.lane_budget_factor = 0.01 }
-        with
+        match run_with Scheduler.(default |> with_lane_budget_factor 0.01) with
         | Error _ -> ()
         | Ok m ->
             Fixtures.check_tolerant m;
@@ -647,7 +645,7 @@ let options_tests =
                message count approaches the full-replication regime *)
             check_true "many messages" (Mapping.n_messages m > 0));
     case "options default equals not passing them" (fun () ->
-        let a = Option.get (Result.to_option (run_with Scheduler.default_options)) in
+        let a = Option.get (Result.to_option (run_with Scheduler.default)) in
         let inst = Fixtures.paper_instance ~seed:55 ~granularity:1.0 () in
         let prob =
           Types.problem ~dag:inst.Paper_workload.dag
@@ -655,7 +653,7 @@ let options_tests =
             ~throughput:(Paper_workload.throughput ~eps:1)
         in
         let b =
-          Option.get (Result.to_option (Rltf.run ~mode:Scheduler.Best_effort prob))
+          Option.get (Result.to_option (Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob))
         in
         Alcotest.(check string) "identical" (fingerprint a) (fingerprint b));
   ]

@@ -125,20 +125,20 @@ let fig_tests =
         List.iter
           (fun s ->
             let open Fig_common in
-            if not (Float.is_nan s.ltf_sim || Float.is_nan s.ltf_bound) then
-              check_true "ltf bound" (s.ltf_sim <= s.ltf_bound +. 1e-6);
-            if not (Float.is_nan s.rltf_sim || Float.is_nan s.rltf_bound) then
-              check_true "rltf bound" (s.rltf_sim <= s.rltf_bound +. 1e-6))
+            if not (Float.is_nan (ltf_sim s) || Float.is_nan (ltf_bound s))
+            then check_true "ltf bound" (ltf_sim s <= ltf_bound s +. 1e-6);
+            if not (Float.is_nan (rltf_sim s) || Float.is_nan (rltf_bound s))
+            then check_true "rltf bound" (rltf_sim s <= rltf_bound s +. 1e-6))
           (Fig_common.collect config));
     slow_case "crashes never speed things up" (fun () ->
         let config = tiny_config ~eps:1 ~crashes:1 in
         List.iter
           (fun s ->
             let open Fig_common in
-            if not (Float.is_nan s.ltf_sim || Float.is_nan s.ltf_crash) then
-              check_true "ltf crash" (s.ltf_crash >= s.ltf_sim -. 1e-6);
-            if not (Float.is_nan s.rltf_sim || Float.is_nan s.rltf_crash) then
-              check_true "rltf crash" (s.rltf_crash >= s.rltf_sim -. 1e-6))
+            if not (Float.is_nan (ltf_sim s) || Float.is_nan (ltf_crash s))
+            then check_true "ltf crash" (ltf_crash s >= ltf_sim s -. 1e-6);
+            if not (Float.is_nan (rltf_sim s) || Float.is_nan (rltf_crash s))
+            then check_true "rltf crash" (rltf_crash s >= rltf_sim s -. 1e-6))
           (Fig_common.collect config));
     slow_case "R-LTF crash draws are independent of LTF's outcome" (fun () ->
         (* Regression: measure_algo used to consume crash draws from one
@@ -154,7 +154,9 @@ let fig_tests =
             ~platform:inst.Paper_workload.plat ~eps:1 ~throughput
         in
         let mapping = Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf prob in
-        let ltf_outcome = Ltf.run ~mode:Scheduler.Best_effort prob in
+        let ltf_outcome =
+          Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob
+        in
         check_true "fixture: LTF schedules and draws crashes"
           (match ltf_outcome with Ok _ -> true | Error _ -> false);
         let streams () =
@@ -166,10 +168,10 @@ let fig_tests =
         let rltf_crash ~ltf_outcome =
           let ltf_rng, rltf_rng = streams () in
           ignore (Fig_common.measure_algo config ~throughput ~rng:ltf_rng ltf_outcome);
-          let _, _, crash, _ =
+          let r =
             Fig_common.measure_algo config ~throughput ~rng:rltf_rng (Ok mapping)
           in
-          crash
+          r.Fig_common.crash
         in
         let with_ltf_ok = rltf_crash ~ltf_outcome in
         let with_ltf_failed = rltf_crash ~ltf_outcome:(Error ()) in
@@ -185,14 +187,19 @@ let fig_tests =
         check_int "same length" (List.length sequential) (List.length parallel);
         List.iter2
           (fun (x : Fig_common.sample) (y : Fig_common.sample) ->
+            let open Fig_common in
             let same u v =
               Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v)
             in
             check_true "granularity" (same x.granularity y.granularity);
-            check_true "ltf" (same x.ltf_sim y.ltf_sim && same x.ltf_crash y.ltf_crash);
-            check_true "rltf" (same x.rltf_sim y.rltf_sim && same x.rltf_crash y.rltf_crash);
-            check_true "ff" (same x.ff_sim y.ff_sim);
-            check_true "meets" (x.ltf_meets = y.ltf_meets && x.rltf_meets = y.rltf_meets))
+            check_true "ltf"
+              (same (ltf_sim x) (ltf_sim y) && same (ltf_crash x) (ltf_crash y));
+            check_true "rltf"
+              (same (rltf_sim x) (rltf_sim y)
+              && same (rltf_crash x) (rltf_crash y));
+            check_true "ff" (same (ff_sim x) (ff_sim y));
+            check_true "meets"
+              (ltf_meets x = ltf_meets y && rltf_meets x = rltf_meets y))
           sequential parallel);
     slow_case "collect is deterministic in the seed" (fun () ->
         let config = tiny_config ~eps:1 ~crashes:0 in
@@ -200,23 +207,22 @@ let fig_tests =
         List.iter2
           (fun (x : Fig_common.sample) (y : Fig_common.sample) ->
             let same u v = (Float.is_nan u && Float.is_nan v) || u = v in
-            check_true "identical" (same x.ltf_sim y.ltf_sim);
-            check_true "identical bound" (same x.rltf_bound y.rltf_bound))
+            check_true "identical" (same (Fig_common.ltf_sim x) (Fig_common.ltf_sim y));
+            check_true "identical bound"
+              (same (Fig_common.rltf_bound x) (Fig_common.rltf_bound y)))
           a b);
     case "mean series handles all-NaN groups" (fun () ->
         let samples =
           [
             {
               Fig_common.granularity = 1.0;
-              ltf_bound = nan; ltf_sim = nan; ltf_crash = nan; ltf_meets = false;
-              rltf_bound = nan; rltf_sim = nan; rltf_crash = nan; rltf_meets = false;
+              ltf = Fig_common.no_result;
+              rltf = Fig_common.no_result;
               ff_sim = nan;
             };
           ]
         in
-        let s =
-          Fig_common.mean_series ~label:"x" (fun s -> s.Fig_common.ltf_sim) samples
-        in
+        let s = Fig_common.mean_series ~label:"x" Fig_common.ltf_sim samples in
         match s.Ascii_plot.points with
         | [ (g, y) ] ->
             check_float "granularity" 1.0 g;

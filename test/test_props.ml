@@ -173,7 +173,7 @@ let prop_ltf_valid =
     ~name:"strict LTF schedules are complete, feasible and eps-tolerant"
     ~count:60 seed_arb (fun seed ->
       let prob = small_problem_of_seed seed in
-      match Ltf.run prob with
+      match Ltf.schedule prob with
       | Error _ -> QCheck.assume_fail ()
       | Ok m -> Validate.all m ~throughput:prob.Types.throughput = [])
 
@@ -182,7 +182,7 @@ let prop_rltf_valid =
     ~name:"strict R-LTF schedules are complete, feasible and eps-tolerant"
     ~count:60 seed_arb (fun seed ->
       let prob = small_problem_of_seed seed in
-      match Rltf.run prob with
+      match Rltf.schedule prob with
       | Error _ -> QCheck.assume_fail ()
       | Ok m -> Validate.all m ~throughput:prob.Types.throughput = [])
 
@@ -197,15 +197,15 @@ let prop_best_effort_tolerant =
         | Ok m ->
             Validate.structure m = [] && Validate.fault_tolerance m = []
       in
-      check (Ltf.run ~mode:Scheduler.Best_effort prob)
-      && check (Rltf.run ~mode:Scheduler.Best_effort prob))
+      check (Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob)
+      && check (Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob))
 
 let prop_effective_depth_bounded =
   QCheck.Test.make
     ~name:"effective pipeline depth never exceeds the official stage count"
     ~count:40 seed_arb (fun seed ->
       let prob = small_problem_of_seed seed in
-      match Ltf.run ~mode:Scheduler.Best_effort prob with
+      match Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
       | Error _ -> QCheck.assume_fail ()
       | Ok m -> (
           match Stage_latency.effective_depth m with
@@ -216,7 +216,7 @@ let prop_crash_monotone =
   QCheck.Test.make ~name:"a crash never shrinks the effective depth" ~count:40
     seed_arb (fun seed ->
       let prob = small_problem_of_seed seed in
-      match Rltf.run ~mode:Scheduler.Best_effort prob with
+      match Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
       | Error _ -> QCheck.assume_fail ()
       | Ok m -> (
           match Stage_latency.effective_depth m with
@@ -236,7 +236,7 @@ let prop_single_failure_survival =
       let prob = small_problem_of_seed seed in
       if prob.Types.eps = 0 then true
       else
-        match Ltf.run ~mode:Scheduler.Best_effort prob with
+        match Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
         | Error _ -> QCheck.assume_fail ()
         | Ok m ->
             List.for_all
@@ -276,7 +276,7 @@ let prop_survival_consistency =
     (QCheck.pair seed_arb (QCheck.int_range 0 3))
     (fun (seed, n_failures) ->
       let prob = small_problem_of_seed seed in
-      match Ltf.run ~mode:Scheduler.Best_effort prob with
+      match Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
       | Error _ -> QCheck.assume_fail ()
       | Ok m ->
           let rng = Rng.create ~seed:(seed + 1) in
@@ -297,7 +297,7 @@ let prop_engine_one_port =
   QCheck.Test.make ~name:"engine respects the bi-directional one-port model"
     ~count:30 seed_arb (fun seed ->
       let prob = small_problem_of_seed seed in
-      match Rltf.run ~mode:Scheduler.Best_effort prob with
+      match Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
       | Error _ -> QCheck.assume_fail ()
       | Ok m ->
           let result = Engine.run ~n_items:3 m in
@@ -348,7 +348,7 @@ let prop_recovery_restores_tolerance =
     ~name:"recovery restores full tolerance among the survivors" ~count:30
     seed_arb (fun seed ->
       let prob = small_problem_of_seed seed in
-      match Rltf.run ~mode:Scheduler.Best_effort prob with
+      match Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
       | Error _ -> QCheck.assume_fail ()
       | Ok m ->
           let rng = Rng.create ~seed:(seed + 7) in
@@ -368,7 +368,7 @@ let prop_engine_latency_lower_bound =
     ~name:"simulated latency is at least the heaviest task's execution"
     ~count:40 seed_arb (fun seed ->
       let prob = small_problem_of_seed seed in
-      match Ltf.run ~mode:Scheduler.Best_effort prob with
+      match Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
       | Error _ -> QCheck.assume_fail ()
       | Ok m -> (
           match Engine.latency m with
@@ -415,17 +415,18 @@ let prop_workflow_io_roundtrip =
 let float_bits_equal x y =
   Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
 
+let trial_bits_equal (a : Fig_common.trial_result) (b : Fig_common.trial_result)
+    =
+  float_bits_equal a.Fig_common.bound b.Fig_common.bound
+  && float_bits_equal a.Fig_common.sim b.Fig_common.sim
+  && float_bits_equal a.Fig_common.crash b.Fig_common.crash
+  && a.Fig_common.meets = b.Fig_common.meets
+
 let sample_bits_equal (a : Fig_common.sample) (b : Fig_common.sample) =
   float_bits_equal a.Fig_common.granularity b.Fig_common.granularity
-  && float_bits_equal a.Fig_common.ltf_bound b.Fig_common.ltf_bound
-  && float_bits_equal a.Fig_common.ltf_sim b.Fig_common.ltf_sim
-  && float_bits_equal a.Fig_common.ltf_crash b.Fig_common.ltf_crash
-  && a.Fig_common.ltf_meets = b.Fig_common.ltf_meets
-  && float_bits_equal a.Fig_common.rltf_bound b.Fig_common.rltf_bound
-  && float_bits_equal a.Fig_common.rltf_sim b.Fig_common.rltf_sim
-  && float_bits_equal a.Fig_common.rltf_crash b.Fig_common.rltf_crash
-  && a.Fig_common.rltf_meets = b.Fig_common.rltf_meets
-  && float_bits_equal a.Fig_common.ff_sim b.Fig_common.ff_sim
+  && trial_bits_equal a.Fig_common.ltf b.Fig_common.ltf
+  && trial_bits_equal a.Fig_common.rltf b.Fig_common.rltf
+  && float_bits_equal (Fig_common.ff_sim a) (Fig_common.ff_sim b)
 
 let prop_parallel_collect_deterministic =
   QCheck.Test.make
