@@ -170,6 +170,144 @@ let substrate_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Incremental scheduling state: before/after pairs                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each pair re-enacts a placement-phase operation the way the engine did
+   it before this change (full rescans, tree sets, validated sub-platform
+   builds) and the way it does it now (incremental loads, bitsets, direct
+   restriction).  The "before" closures reproduce the legacy code paths on
+   today's primitives, so both sides run on the same inputs. *)
+
+let throughput_e1 = Paper_workload.throughput ~eps:1
+
+let replicas_e1 =
+  let acc = ref [] in
+  Mapping.iter mapping_e1 (fun r -> acc := r :: !acc);
+  List.rev !acc
+
+(* Built once, outside the timed region; with_tentative restores it
+   verbatim after every probe. *)
+let loads_e1 = Loads.of_mapping mapping_e1
+
+let probe_legacy () =
+  (* One candidate evaluation = one full O(replicas · degree) rescan plus
+     an O(p) max scan, for every replica of the mapping. *)
+  List.fold_left
+    (fun acc (_ : Replica.t) ->
+      let l = Loads.of_mapping mapping_e1 in
+      let best = ref 0.0 in
+      Array.iteri
+        (fun u _ -> best := Float.max !best (Loads.cycle_time l u))
+        l.Loads.sigma;
+      acc +. !best)
+    0.0 replicas_e1
+
+let probe_incremental () =
+  (* One candidate evaluation = one O(degree) tentative charge and an O(1)
+     cached max read. *)
+  List.fold_left
+    (fun acc r ->
+      acc +. Loads.with_tentative loads_e1 mapping_e1 r Loads.max_cycle_time)
+    0.0 replicas_e1
+
+let strict_check_legacy () =
+  (* R-LTF's strict finish before ?loads: meets_throughput rewalks the
+     mapping, then the worst-processor scan rewalks it again. *)
+  let ok = Metrics.meets_throughput mapping_e1 ~throughput:throughput_e1 in
+  let loads = Loads.of_mapping mapping_e1 in
+  let worst = ref 0 in
+  Array.iteri
+    (fun u _ ->
+      if Loads.cycle_time loads u > Loads.cycle_time loads !worst then worst := u)
+    loads.Loads.sigma;
+  (ok, !worst)
+
+let strict_check_shared () =
+  let loads = Loads.of_mapping mapping_e1 in
+  let ok = Metrics.meets_throughput ~loads mapping_e1 ~throughput:throughput_e1 in
+  let worst = ref 0 in
+  Array.iteri
+    (fun u _ ->
+      if Loads.cycle_time loads u > Loads.cycle_time loads !worst then worst := u)
+    loads.Loads.sigma;
+  (ok, !worst)
+
+(* Kill-set workload shaped like the scheduler's: ~(ε+1)·m support sets
+   over m = 20 processors, probed pairwise for disjointness and merged. *)
+module Iset = Set.Make (Int)
+
+let kill_set_lists =
+  let rng = Rng.create ~seed:31 in
+  List.init 64 (fun _ -> List.init (1 + Rng.int rng 8) (fun _ -> Rng.int rng 20))
+
+let kill_isets = List.map Iset.of_list kill_set_lists
+let kill_bitsets = List.map Bitset.of_list kill_set_lists
+
+let killset_ops_set () =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc b ->
+          if Iset.disjoint a b then acc + Iset.cardinal (Iset.union a b)
+          else acc)
+        acc kill_isets)
+    0 kill_isets
+
+let killset_ops_bitset () =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc b ->
+          if Bitset.disjoint a b then acc + Bitset.cardinal (Bitset.union a b)
+          else acc)
+        acc kill_bitsets)
+    0 kill_bitsets
+
+let plat_e1 = inst_g1.Paper_workload.plat
+let kept17 = Array.init 17 Fun.id
+
+let restrict_legacy () =
+  (* What Platform_cost.restrict used to do per elimination probe: rebuild
+     the sub-platform through create's O(m²) validation and double copy. *)
+  let speeds = Array.map (Platform.speed plat_e1) kept17 in
+  let bw =
+    Array.init (Array.length kept17) (fun i ->
+        Array.init (Array.length kept17) (fun j ->
+            if i = j then 1.0
+            else Platform.bandwidth plat_e1 kept17.(i) kept17.(j)))
+  in
+  Platform.create ~name:(Platform.name plat_e1 ^ "-subset") ~speeds
+    ~bandwidth:bw ()
+
+let restrict_direct () = Platform.restrict plat_e1 kept17
+
+let opaque f () = ignore (Sys.opaque_identity (f ()))
+
+let sched_pairs : (string * (unit -> unit) * (unit -> unit)) list =
+  [
+    ( "placement probe (loads per candidate)",
+      opaque probe_legacy,
+      opaque probe_incremental );
+    ( "strict-mode throughput check",
+      opaque strict_check_legacy,
+      opaque strict_check_shared );
+    ( "kill-set disjoint/union/cardinal",
+      opaque killset_ops_set,
+      opaque killset_ops_bitset );
+    ("sub-platform restriction", opaque restrict_legacy, opaque restrict_direct);
+  ]
+
+let sched_tests =
+  List.concat_map
+    (fun (name, before, after) ->
+      [
+        Test.make ~name:(name ^ " [before]") (Staged.stage before);
+        Test.make ~name:(name ^ " [after]") (Staged.stage after);
+      ])
+    sched_pairs
+
+(* ------------------------------------------------------------------ *)
 (* Counter deltas                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -208,35 +346,109 @@ let counter_deltas () =
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let bench_cfg () =
+  Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+
+(* ns/run OLS estimates of one Test.make, as (label, ns) pairs. *)
+let estimates cfg test =
+  let measures = Instance.[ monotonic_clock ] in
+  let results = Benchmark.all cfg measures test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Instance.monotonic_clock results in
+  Hashtbl.fold
+    (fun label result acc ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns_per_run ] -> (label, Some ns_per_run) :: acc
+      | _ -> (label, None) :: acc)
+    analyzed []
+
 let run_group name tests =
   Printf.printf "## %s\n%!" name;
-  let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
-  in
-  let measures = Instance.[ monotonic_clock ] in
+  let cfg = bench_cfg () in
   List.iter
     (fun test ->
-      let results = Benchmark.all cfg measures test in
-      let ols =
-        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-      in
-      let analyzed = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun label result ->
-          match Analyze.OLS.estimates result with
-          | Some [ ns_per_run ] ->
+      List.iter
+        (fun (label, est) ->
+          match est with
+          | Some ns_per_run ->
               Printf.printf "%-44s %14.0f ns/run (%10.3f ms)\n%!" label
                 ns_per_run (ns_per_run /. 1e6)
-          | _ -> Printf.printf "%-44s (no estimate)\n%!" label)
-        analyzed)
+          | None -> Printf.printf "%-44s (no estimate)\n%!" label)
+        (estimates cfg test))
     tests;
   print_newline ()
 
+(* --sched-json PATH: measure the before/after pairs plus the real
+   scheduler trajectory points and emit them as one JSON document — the
+   perf-trajectory format committed as BENCH_sched.json and produced by
+   the CI bench smoke step. *)
+let sched_json path =
+  let cfg = bench_cfg () in
+  let measure name thunk =
+    match estimates cfg (Test.make ~name (Staged.stage thunk)) with
+    | [ (_, Some ns) ] -> ns
+    | _ -> nan
+  in
+  let pairs =
+    List.map
+      (fun (name, before, after) ->
+        let before_ns = measure (name ^ " [before]") before in
+        let after_ns = measure (name ^ " [after]") after in
+        Printf.printf "%-40s %12.0f -> %10.0f ns/run (%5.1fx)\n%!" name
+          before_ns after_ns (before_ns /. after_ns);
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str name);
+            ("before_ns", Obs.Json.Num before_ns);
+            ("after_ns", Obs.Json.Num after_ns);
+            ("speedup", Obs.Json.Num (before_ns /. after_ns));
+          ])
+      sched_pairs
+  in
+  let trajectory =
+    List.map
+      (fun (key, thunk) ->
+        let ns = measure key thunk in
+        Printf.printf "%-40s %12.0f ns/run\n%!" key ns;
+        (key, Obs.Json.Num ns))
+      [
+        ( "ltf_schedule_ns",
+          opaque (fun () ->
+              Ltf.schedule
+                ~opts:Scheduler.(default |> with_mode Best_effort)
+                prob_e1) );
+        ( "rltf_schedule_ns",
+          opaque (fun () ->
+              Rltf.schedule
+                ~opts:Scheduler.(default |> with_mode Best_effort)
+                prob_e1) );
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "streamsched-bench-sched/1");
+        ("pairs", Obs.Json.Arr pairs);
+        ("trajectory", Obs.Json.Obj trajectory);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let () =
-  print_endline "Benchmarks (Bechamel, monotonic clock, OLS ns/run)";
-  print_endline "===================================================";
-  run_group "Figure regeneration (one sweep point each)" figure_tests;
-  run_group "Parallel sweep engine (domain pool)" parallel_tests;
-  run_group "Scheduling algorithms" algorithm_tests;
-  run_group "Substrates" substrate_tests;
-  counter_deltas ()
+  match Array.to_list Sys.argv with
+  | _ :: "--sched-json" :: path :: _ -> sched_json path
+  | _ ->
+      print_endline "Benchmarks (Bechamel, monotonic clock, OLS ns/run)";
+      print_endline "===================================================";
+      run_group "Figure regeneration (one sweep point each)" figure_tests;
+      run_group "Parallel sweep engine (domain pool)" parallel_tests;
+      run_group "Scheduling algorithms" algorithm_tests;
+      run_group "Incremental scheduling state (before/after)" sched_tests;
+      run_group "Substrates" substrate_tests;
+      counter_deltas ()

@@ -1,13 +1,11 @@
-let wrap name (build : Types.problem -> Mapping.t) :
-    (module Chunk_scheduler.Algo) =
+let wrap name (build : Types.problem -> Mapping.t) : (module Sched_api.Algo) =
   (module struct
     let name = name
 
-    let run ?mode:_ ?opts:_ (prob : Types.problem) : Types.outcome =
-      Ok (build prob)
+    let run ?opts:_ (prob : Types.problem) : Types.outcome = Ok (build prob)
   end)
 
-let all : (module Chunk_scheduler.Algo) list =
+let all : (module Sched_api.Algo) list =
   [
     wrap "HEFT [9]" (fun p ->
         Heft.mapping ~throughput:p.Types.throughput p.Types.dag p.Types.platform);
@@ -31,5 +29,5 @@ let all : (module Chunk_scheduler.Algo) list =
 let find name =
   let norm s = String.lowercase_ascii (String.trim s) in
   List.find_opt
-    (fun (module A : Chunk_scheduler.Algo) -> norm A.name = norm name)
+    (fun (module A : Sched_api.Algo) -> norm A.name = norm name)
     all

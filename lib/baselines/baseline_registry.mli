@@ -1,4 +1,4 @@
-(** The §3 related-work heuristics as {!Chunk_scheduler.Algo} registry
+(** The §3 related-work heuristics as {!Sched_api.Algo} registry
     entries, so figure sweeps iterate one uniform list instead of naming
     each baseline.
 
@@ -9,9 +9,9 @@
     never replicate.  The core algorithms live in [Scheduler.all]; the
     two registries concatenate cleanly. *)
 
-val all : (module Chunk_scheduler.Algo) list
+val all : (module Sched_api.Algo) list
 (** In the presentation order of the baseline comparison figure:
     HEFT, ETF, Hary-Özgüner, EXPERT, TDA, STDP, WMSH, Hoang-Rabaey. *)
 
-val find : string -> (module Chunk_scheduler.Algo) option
+val find : string -> (module Sched_api.Algo) option
 (** Case-insensitive lookup in {!all} by name. *)

@@ -1,39 +1,5 @@
 type rank = State.t -> State.trial -> float * float
 
-type mode = Strict | Best_effort
-
-type source_policy = Both_variants | Greedy_only | Conservative_only
-
-type options = {
-  mode : mode;
-  lane_budget_factor : float;
-  use_one_to_one : bool;
-  source_policy : source_policy;
-}
-
-let default =
-  {
-    mode = Strict;
-    lane_budget_factor = 1.0;
-    use_one_to_one = true;
-    source_policy = Both_variants;
-  }
-
-let with_mode mode opts = { opts with mode }
-let with_lane_budget_factor lane_budget_factor opts = { opts with lane_budget_factor }
-let with_use_one_to_one use_one_to_one opts = { opts with use_one_to_one }
-let with_source_policy source_policy opts = { opts with source_policy }
-
-let resolve ?mode ?opts () =
-  let opts = Option.value opts ~default in
-  match mode with Some mode -> { opts with mode } | None -> opts
-
-module type Algo = sig
-  val name : string
-
-  val run : ?mode:mode -> ?opts:options -> Types.problem -> Types.outcome
-end
-
 let by_finish_time : rank = fun _ trial -> (trial.State.t_finish, 0.0)
 
 let by_stage_then_finish : rank =
@@ -104,7 +70,7 @@ let singleton_data state task =
   { ct_task = task; ct_z = 0; ct_theta = theta; ct_claimed = State.Pset.empty;
     ct_heads = heads }
 
-let pick_best ~mode ~rank state scored =
+let pick_best ~(mode : Sched_api.mode) ~rank state scored =
   let score trial =
     let penalty = match mode with Strict -> 0.0 | Best_effort -> State.overload state trial in
     (penalty, rank state trial)
@@ -125,7 +91,7 @@ let pick_best ~mode ~rank state scored =
 (* Condition-(1) admission shared by both placement branches: in strict
    mode an infeasible trial is rejected, in best-effort mode it survives
    (ranked by overload) but still counts as a rejection for the profile. *)
-let admit ~mode state trial =
+let admit ~(mode : Sched_api.mode) state trial =
   match mode with
   | Strict ->
       if State.feasible state trial then Some trial
@@ -144,7 +110,7 @@ let admit ~mode state trial =
    leave no room for the remaining siblings.  When the budget runs out, the
    full-replica-group fallback resets the chain (no single failure can
    silence a full group). *)
-let lane_budget ~opts prob =
+let lane_budget ~(opts : Sched_api.options) prob =
   let m = Platform.size prob.Types.platform in
   max 1
     (int_of_float
@@ -157,7 +123,7 @@ let lane_budget ~opts prob =
    kill set stays disjoint from the processors already claimed by sibling
    replicas and small enough to fit the lane budget; stale heads are
    dropped lazily. *)
-let one_to_one ~opts ~rank state ct ~copy =
+let one_to_one ~(opts : Sched_api.options) ~rank state ct ~copy =
   Obs.incr "core.one_to_one_calls";
   let mode = opts.mode in
   let prob = State.problem state in
@@ -208,7 +174,7 @@ let one_to_one ~opts ~rank state ct ~copy =
    full groups keep them free.  A kill chain through the candidate
    processor itself is harmless (the replica dies with its host anyway)
    and is exempt from the disjointness requirement. *)
-let general ~opts ~rank state ct ~copy =
+let general ~(opts : Sched_api.options) ~rank state ct ~copy =
   Obs.incr "core.general_calls";
   let mode = opts.mode in
   let prob = State.problem state in
@@ -340,7 +306,7 @@ let general ~opts ~rank state ct ~copy =
       record_placement state ct trial;
       Some trial
 
-let schedule ?(opts = default) ~rank (prob : Types.problem) =
+let schedule ?(opts = Sched_api.default) ~rank (prob : Types.problem) =
   Obs.touch "core.placement_probes";
   Obs.touch "core.feasibility_rejections";
   Obs.touch "core.one_to_one_calls";

@@ -28,6 +28,9 @@
     time [F]; R-LTF minimizes the pipeline stage first (Rule 1) and the
     finish time second.
 
+    Configuration lives in the one canonical {!Sched_api.options} record
+    (re-exported by [Scheduler]); this module defines only the engine.
+
     When {!Obs.enabled} is on, a run records the counters
     [core.placement_probes], [core.feasibility_rejections],
     [core.one_to_one_calls], [core.general_calls], [core.commits] and
@@ -40,62 +43,6 @@ type rank = State.t -> State.trial -> float * float
 (** Smaller is better, compared lexicographically; ties broken by processor
     index. *)
 
-type mode =
-  | Strict
-      (** condition (1) is a hard constraint: the algorithm fails when no
-          eligible processor satisfies it, as in the pseudocode of
-          Algorithm 4.1 *)
-  | Best_effort
-      (** condition (1) is a preference: when no eligible processor
-          satisfies it, the least-overloaded placement is used instead
-          (the paper's "we use other processors, at the risk of increasing
-          the communication overhead"; the paper's own worked example
-          carries Σ = 22 > Δ = 20, so its experiments evidently allowed
-          this).  The replica-placement and fault-tolerance rules remain
-          hard. *)
-
-(** Ablation knobs for the design choices DESIGN.md calls out; the
-    defaults reproduce the paper's algorithms. *)
-type source_policy =
-  | Both_variants       (** trial greedy and conservative source sets *)
-  | Greedy_only         (** sole-source whenever the kill sets allow *)
-  | Conservative_only   (** local sole sources or full groups only *)
-
-(** All scheduling knobs in one record.  Build variations from {!default}
-    with the [with_*] builders:
-    [Scheduler.(default |> with_mode Best_effort)]. *)
-type options = {
-  mode : mode;
-  lane_budget_factor : float;
-      (** scales the kill-chain budget m/(ε+1); 1.0 is the default *)
-  use_one_to_one : bool;
-      (** disable to force every placement through the general branch *)
-  source_policy : source_policy;
-}
-
-val default : options
-(** [Strict] mode with the paper's placement rules. *)
-
-val with_mode : mode -> options -> options
-val with_lane_budget_factor : float -> options -> options
-val with_use_one_to_one : bool -> options -> options
-val with_source_policy : source_policy -> options -> options
-
-val resolve : ?mode:mode -> ?opts:options -> unit -> options
-(** Combine the legacy optional arguments into one record: start from
-    [opts] (default {!default}) and let an explicit [mode] override its
-    mode field.  Used by the deprecated wrappers; new code should pass a
-    full [options] value instead. *)
-
-(** A schedulable algorithm as a first-class module, the registry entry
-    point used by {!Scheduler.all} and the figure sweeps. *)
-module type Algo = sig
-  val name : string
-
-  val run : ?mode:mode -> ?opts:options -> Types.problem -> Types.outcome
-  (** [mode], when given, overrides [opts.mode] (see {!resolve}). *)
-end
-
 val by_finish_time : rank
 (** LTF's policy: [(F, 0)]. *)
 
@@ -103,7 +50,7 @@ val by_stage_then_finish : rank
 (** R-LTF's Rule 1 policy: [(stage, F)]. *)
 
 val schedule :
-  ?opts:options ->
+  ?opts:Sched_api.options ->
   rank:rank ->
   Types.problem ->
   (State.t, Types.failure) result

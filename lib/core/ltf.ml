@@ -4,17 +4,10 @@ let schedule_state ?opts prob =
 
 let schedule ?opts prob = Result.map State.mapping (schedule_state ?opts prob)
 
-let run_state ?mode ?opts prob =
-  schedule_state ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
-
-let run ?mode ?opts prob =
-  schedule ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
-
 module Algo = struct
   let name = "LTF"
 
-  let run ?mode ?opts prob =
-    schedule ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
+  let run ?opts prob = schedule ?opts prob
 end
 
-let algo : (module Chunk_scheduler.Algo) = (module Algo)
+let algo : (module Sched_api.Algo) = (module Algo)

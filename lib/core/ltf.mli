@@ -8,31 +8,15 @@
     some replica cannot be placed without violating the desired
     throughput. *)
 
-val schedule : ?opts:Chunk_scheduler.options -> Types.problem -> Types.outcome
-(** Run LTF under the given options ({!Chunk_scheduler.default} when
-    omitted). *)
+val schedule : ?opts:Sched_api.options -> Types.problem -> Types.outcome
+(** Run LTF under the given options ({!Sched_api.default} when omitted). *)
 
 val schedule_state :
-  ?opts:Chunk_scheduler.options ->
+  ?opts:Sched_api.options ->
   Types.problem ->
   (State.t, Types.failure) result
 (** Like {!schedule} but exposing the full scheduling state (committed
     finish times and stages), for inspection and tests. *)
 
-val algo : (module Chunk_scheduler.Algo)
+val algo : (module Sched_api.Algo)
 (** LTF as a registry entry (named ["LTF"]); see [Scheduler.all]. *)
-
-val run :
-  ?mode:Chunk_scheduler.mode ->
-  ?opts:Chunk_scheduler.options ->
-  Types.problem ->
-  Types.outcome
-[@@deprecated "use Ltf.schedule with Scheduler.options (mode is a field now)"]
-
-val run_state :
-  ?mode:Chunk_scheduler.mode ->
-  ?opts:Chunk_scheduler.options ->
-  Types.problem ->
-  (State.t, Types.failure) result
-[@@deprecated
-  "use Ltf.schedule_state with Scheduler.options (mode is a field now)"]

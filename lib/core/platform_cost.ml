@@ -6,19 +6,6 @@ type result = {
   evaluations : int;
 }
 
-(* Build the sub-platform induced by a subset of processors (order
-   preserved). *)
-let restrict platform kept =
-  let kept = Array.of_list kept in
-  let m = Array.length kept in
-  let speeds = Array.map (Platform.speed platform) kept in
-  let bw =
-    Array.init m (fun i ->
-        Array.init m (fun j ->
-            if i = j then 1.0 else Platform.bandwidth platform kept.(i) kept.(j)))
-  in
-  Platform.create ~name:(Platform.name platform ^ "-subset") ~speeds ~bandwidth:bw ()
-
 let minimize ?cost_of ?(latency_bound = infinity) ~dag ~platform ~eps
     ~throughput () =
   let cost_of =
@@ -29,7 +16,7 @@ let minimize ?cost_of ?(latency_bound = infinity) ~dag ~platform ~eps
     if List.length kept <= eps then None
     else begin
       incr evaluations;
-      let sub = restrict platform kept in
+      let sub = Platform.restrict platform (Array.of_list kept) in
       match Rltf.schedule (Types.problem ~dag ~platform:sub ~eps ~throughput) with
       | Error _ -> None
       | Ok mapping ->

@@ -34,21 +34,25 @@ let forward_mapping (prob : Types.problem) rmapping =
           (Mapping.replica_exn rmapping task copy).Replica.proc)
         ())
 
-let schedule ?(opts = Chunk_scheduler.default) prob =
+let schedule ?(opts = Sched_api.default) prob =
   match schedule_state ~opts prob with
   | Error e -> Error e
   | Ok state -> (
       let mapping = forward_mapping prob (State.mapping state) in
       (* The reverse run enforced condition (1) on its own pairing; the
          forward derivation may need extra transfers for fault tolerance.
-         In strict mode an overloaded result is an honest failure. *)
-      match opts.Chunk_scheduler.mode with
-      | Chunk_scheduler.Best_effort -> Ok mapping
-      | Chunk_scheduler.Strict ->
-          if Metrics.meets_throughput mapping ~throughput:prob.Types.throughput
+         In strict mode an overloaded result is an honest failure.  The
+         loads are computed once and shared between the throughput check
+         and the worst-processor scan. *)
+      match opts.Sched_api.mode with
+      | Sched_api.Best_effort -> Ok mapping
+      | Sched_api.Strict ->
+          let loads = Loads.of_mapping mapping in
+          if
+            Metrics.meets_throughput ~loads mapping
+              ~throughput:prob.Types.throughput
           then Ok mapping
           else begin
-            let loads = Loads.of_mapping mapping in
             let worst = ref 0 in
             Array.iteri
               (fun u _ ->
@@ -59,17 +63,10 @@ let schedule ?(opts = Chunk_scheduler.default) prob =
               (Types.Derived_overload (!worst, Loads.cycle_time loads !worst))
           end)
 
-let run_state ?mode ?opts prob =
-  schedule_state ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
-
-let run ?mode ?opts prob =
-  schedule ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
-
 module Algo = struct
   let name = "R-LTF"
 
-  let run ?mode ?opts prob =
-    schedule ~opts:(Chunk_scheduler.resolve ?mode ?opts ()) prob
+  let run ?opts prob = schedule ?opts prob
 end
 
-let algo : (module Chunk_scheduler.Algo) = (module Algo)
+let algo : (module Sched_api.Algo) = (module Algo)

@@ -13,31 +13,16 @@
     cannot fit the period is reported as {!Types.Derived_overload} rather
     than returned. *)
 
-val schedule : ?opts:Chunk_scheduler.options -> Types.problem -> Types.outcome
-(** Run R-LTF under the given options ({!Chunk_scheduler.default} when
-    omitted) and return the forward mapping. *)
+val schedule : ?opts:Sched_api.options -> Types.problem -> Types.outcome
+(** Run R-LTF under the given options ({!Sched_api.default} when omitted)
+    and return the forward mapping. *)
 
 val schedule_state :
-  ?opts:Chunk_scheduler.options ->
+  ?opts:Sched_api.options ->
   Types.problem ->
   (State.t, Types.failure) result
 (** The scheduling state of the reverse run (over the transpose graph);
     mainly for tests.  Use {!schedule} for the forward mapping. *)
 
-val algo : (module Chunk_scheduler.Algo)
+val algo : (module Sched_api.Algo)
 (** R-LTF as a registry entry (named ["R-LTF"]); see [Scheduler.all]. *)
-
-val run :
-  ?mode:Chunk_scheduler.mode ->
-  ?opts:Chunk_scheduler.options ->
-  Types.problem ->
-  Types.outcome
-[@@deprecated "use Rltf.schedule with Scheduler.options (mode is a field now)"]
-
-val run_state :
-  ?mode:Chunk_scheduler.mode ->
-  ?opts:Chunk_scheduler.options ->
-  Types.problem ->
-  (State.t, Types.failure) result
-[@@deprecated
-  "use Rltf.schedule_state with Scheduler.options (mode is a field now)"]

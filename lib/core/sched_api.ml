@@ -1,0 +1,67 @@
+(** The one canonical scheduling-options surface.
+
+    Every algorithm in the repo — the core LTF/R-LTF pair, the chunked
+    engine underneath them and the §3 baseline heuristics — is configured
+    by the single {!options} record and exposed as a single {!Algo} module
+    type defined here.  [Scheduler] re-exports this module, so user code
+    writes [Scheduler.(default |> with_mode Best_effort)]; the engine
+    ([Chunk_scheduler]) and the registries consume the same definitions
+    rather than re-declaring their own.
+
+    This module deliberately has no interface file: the record and the
+    module type exist exactly once in the codebase. *)
+
+type mode =
+  | Strict
+      (** condition (1) is a hard constraint: the algorithm fails when no
+          eligible processor satisfies it, as in the pseudocode of
+          Algorithm 4.1 *)
+  | Best_effort
+      (** condition (1) is a preference: when no eligible processor
+          satisfies it, the least-overloaded placement is used instead
+          (the paper's "we use other processors, at the risk of increasing
+          the communication overhead"; the paper's own worked example
+          carries Σ = 22 > Δ = 20, so its experiments evidently allowed
+          this).  The replica-placement and fault-tolerance rules remain
+          hard. *)
+
+(** Ablation knobs for the design choices DESIGN.md calls out; the
+    defaults reproduce the paper's algorithms. *)
+type source_policy =
+  | Both_variants  (** trial greedy and conservative source sets *)
+  | Greedy_only  (** sole-source whenever the kill sets allow *)
+  | Conservative_only  (** local sole sources or full groups only *)
+
+(** All scheduling knobs in one record.  Build variations from {!default}
+    with the [with_*] builders:
+    [Scheduler.(default |> with_mode Best_effort)]. *)
+type options = {
+  mode : mode;
+  lane_budget_factor : float;
+      (** scales the kill-chain budget m/(ε+1); 1.0 is the default *)
+  use_one_to_one : bool;
+      (** disable to force every placement through the general branch *)
+  source_policy : source_policy;
+}
+
+let default =
+  {
+    mode = Strict;
+    lane_budget_factor = 1.0;
+    use_one_to_one = true;
+    source_policy = Both_variants;
+  }
+
+let with_mode mode opts = { opts with mode }
+let with_lane_budget_factor lane_budget_factor opts = { opts with lane_budget_factor }
+let with_use_one_to_one use_one_to_one opts = { opts with use_one_to_one }
+let with_source_policy source_policy opts = { opts with source_policy }
+
+(** A schedulable algorithm as a first-class module, the registry entry
+    point used by [Scheduler.all], [Baseline_registry.all] and the figure
+    sweeps. *)
+module type Algo = sig
+  val name : string
+
+  val run : ?opts:options -> Types.problem -> Types.outcome
+end

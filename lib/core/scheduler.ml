@@ -1,11 +1,8 @@
+include Sched_api
 include Chunk_scheduler
 
-let default_options = default
-
-let run ?mode ?opts ~rank prob = schedule ~opts:(resolve ?mode ?opts ()) ~rank prob
-
-let all : (module Algo) list = [ Ltf.algo; Rltf.algo ]
+let all : (module Sched_api.Algo) list = [ Ltf.algo; Rltf.algo ]
 
 let find name =
   let norm s = String.lowercase_ascii (String.trim s) in
-  List.find_opt (fun (module A : Algo) -> norm A.name = norm name) all
+  List.find_opt (fun (module A : Sched_api.Algo) -> norm A.name = norm name) all

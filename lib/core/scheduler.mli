@@ -1,72 +1,26 @@
-(** The public face of the scheduling core: the chunked list-scheduling
-    engine shared by LTF and R-LTF (re-exported from {!Chunk_scheduler},
-    where the full algorithm documentation lives) plus the registry of
-    first-class algorithm modules that drives the figure sweeps.
+(** The public face of the scheduling core: the canonical configuration
+    surface (re-exported from {!Sched_api}, whose record and [Algo]
+    signature are the only ones in the codebase), the chunked
+    list-scheduling engine shared by LTF and R-LTF (re-exported from
+    {!Chunk_scheduler}, where the full algorithm documentation lives), and
+    the registry of first-class algorithm modules that drives the figure
+    sweeps.
 
-    New code configures a run with one {!options} record:
+    Code configures a run with one {!options} record:
     {[
       let opts = Scheduler.(default |> with_mode Best_effort) in
       Ltf.schedule ~opts prob
     ]}
     and discovers algorithms through {!all} rather than naming [Ltf] /
-    [Rltf] directly.  The pre-record entry points ([?mode] plus a modeless
-    options record) survive one release as deprecated wrappers. *)
+    [Rltf] directly. *)
 
-type rank = State.t -> State.trial -> float * float
+include module type of struct
+  include Sched_api
+end
+
+type rank = Chunk_scheduler.rank
 (** Smaller is better, compared lexicographically; ties broken by processor
     index. *)
-
-type mode = Chunk_scheduler.mode =
-  | Strict
-      (** condition (1) is a hard constraint: the algorithm fails when no
-          eligible processor satisfies it, as in the pseudocode of
-          Algorithm 4.1 *)
-  | Best_effort
-      (** condition (1) is a preference: when no eligible processor
-          satisfies it, the least-overloaded placement is used instead.
-          The replica-placement and fault-tolerance rules remain hard. *)
-
-(** Ablation knobs for the design choices DESIGN.md calls out; the
-    defaults reproduce the paper's algorithms. *)
-type source_policy = Chunk_scheduler.source_policy =
-  | Both_variants       (** trial greedy and conservative source sets *)
-  | Greedy_only         (** sole-source whenever the kill sets allow *)
-  | Conservative_only   (** local sole sources or full groups only *)
-
-(** All scheduling knobs in one record; build variations from {!default}
-    with the [with_*] builders. *)
-type options = Chunk_scheduler.options = {
-  mode : mode;
-  lane_budget_factor : float;
-      (** scales the kill-chain budget m/(ε+1); 1.0 is the default *)
-  use_one_to_one : bool;
-      (** disable to force every placement through the general branch *)
-  source_policy : source_policy;
-}
-
-val default : options
-(** [Strict] mode with the paper's placement rules. *)
-
-val with_mode : mode -> options -> options
-val with_lane_budget_factor : float -> options -> options
-val with_use_one_to_one : bool -> options -> options
-val with_source_policy : source_policy -> options -> options
-
-val resolve : ?mode:mode -> ?opts:options -> unit -> options
-(** Combine the legacy optional arguments into one record: start from
-    [opts] (default {!default}) and let an explicit [mode] override its
-    mode field. *)
-
-(** A schedulable algorithm as a first-class module. *)
-module type Algo = Chunk_scheduler.Algo
-
-val all : (module Algo) list
-(** The core algorithms, in presentation order: LTF then R-LTF.  Baseline
-    heuristics register separately in [Baseline_registry.all]
-    (lib/baselines). *)
-
-val find : string -> (module Algo) option
-(** Case-insensitive lookup in {!all} by [Algo.name]. *)
 
 val by_finish_time : rank
 (** LTF's policy: [(F, 0)]. *)
@@ -83,13 +37,10 @@ val schedule :
     state holds a complete mapping.  See {!Chunk_scheduler.schedule} for
     the algorithm and the recorded metrics. *)
 
-val default_options : options
-[@@deprecated "use Scheduler.default (mode is a field now)"]
+val all : (module Algo) list
+(** The core algorithms, in presentation order: LTF then R-LTF.  Baseline
+    heuristics register separately in [Baseline_registry.all]
+    (lib/baselines). *)
 
-val run :
-  ?mode:mode ->
-  ?opts:options ->
-  rank:rank ->
-  Types.problem ->
-  (State.t, Types.failure) result
-[@@deprecated "use Scheduler.schedule with Scheduler.options"]
+val find : string -> (module Algo) option
+(** Case-insensitive lookup in {!all} by [Algo.name]. *)

@@ -1,4 +1,4 @@
-module Pset = Set.Make (Int)
+module Pset = Bitset
 
 let derive ?throughput ?hint ~dag ~platform ~eps ~proc_of () =
   let hint =

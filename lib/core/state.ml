@@ -1,12 +1,10 @@
-module Pset = Set.Make (Int)
+module Pset = Bitset
 
 type t = {
   prob : Types.problem;
   mapping : Mapping.t;
   delta : float;
-  sigma_arr : float array;
-  c_in_arr : float array;
-  c_out_arr : float array;
+  loads : Loads.t;
   proc_tl : Timeline.t array;
   send_tl : Timeline.t array;
   recv_tl : Timeline.t array;
@@ -22,9 +20,7 @@ let create (prob : Types.problem) =
     prob;
     mapping = Mapping.create ~dag:prob.dag ~platform:prob.platform ~eps:prob.eps;
     delta = Types.period prob;
-    sigma_arr = Array.make n_procs 0.0;
-    c_in_arr = Array.make n_procs 0.0;
-    c_out_arr = Array.make n_procs 0.0;
+    loads = Loads.create ~n_procs;
     proc_tl = Array.make n_procs Timeline.empty;
     send_tl = Array.make n_procs Timeline.empty;
     recv_tl = Array.make n_procs Timeline.empty;
@@ -51,9 +47,10 @@ let stage s (id : Replica.id) =
       (Printf.sprintf "State.stage: %s not placed" (Replica.id_to_string id));
   st
 
-let sigma s u = s.sigma_arr.(u)
-let c_in s u = s.c_in_arr.(u)
-let c_out s u = s.c_out_arr.(u)
+let loads s = s.loads
+let sigma s u = s.loads.Loads.sigma.(u)
+let c_in s u = s.loads.Loads.c_in.(u)
+let c_out s u = s.loads.Loads.c_out.(u)
 
 let support s (id : Replica.id) = s.support_arr.(id.task).(id.copy)
 
@@ -204,19 +201,19 @@ let trial_loads s trial =
 let feasible s trial =
   let slack = s.delta *. (1.0 +. 1e-9) in
   let exec, incoming, outgoing = trial_loads s trial in
-  s.sigma_arr.(trial.t_proc) +. exec <= slack
-  && s.c_in_arr.(trial.t_proc) +. incoming <= slack
+  s.loads.Loads.sigma.(trial.t_proc) +. exec <= slack
+  && s.loads.Loads.c_in.(trial.t_proc) +. incoming <= slack
   && Hashtbl.fold
-       (fun sp extra ok -> ok && s.c_out_arr.(sp) +. extra <= slack)
+       (fun sp extra ok -> ok && s.loads.Loads.c_out.(sp) +. extra <= slack)
        outgoing true
 
 let overload s trial =
   let exec, incoming, outgoing = trial_loads s trial in
   let over current extra = Float.max 0.0 (current +. extra -. s.delta) in
-  over s.sigma_arr.(trial.t_proc) exec
-  +. over s.c_in_arr.(trial.t_proc) incoming
+  over s.loads.Loads.sigma.(trial.t_proc) exec
+  +. over s.loads.Loads.c_in.(trial.t_proc) incoming
   +. Hashtbl.fold
-       (fun sp extra acc -> acc +. over s.c_out_arr.(sp) extra)
+       (fun sp extra acc -> acc +. over s.loads.Loads.c_out.(sp) extra)
        outgoing 0.0
 
 let commit s trial =
@@ -229,12 +226,14 @@ let commit s trial =
       sources = trial.t_sources;
     };
   let exec = Platform.exec_time plat trial.t_proc (Dag.exec dag trial.t_task) in
-  s.sigma_arr.(trial.t_proc) <- s.sigma_arr.(trial.t_proc) +. exec;
+  (* Charge through the Loads primitives in exactly the historical float
+     order (Σ, then per transfer Cᴵ before Cᴼ): schedules are pinned
+     bit-identical and float addition is order-sensitive. *)
+  Loads.add_exec s.loads trial.t_proc exec;
   List.iter
     (fun ((src : Replica.id), start, dur, _) ->
       let sp = proc_of_replica s src in
-      s.c_in_arr.(trial.t_proc) <- s.c_in_arr.(trial.t_proc) +. dur;
-      s.c_out_arr.(sp) <- s.c_out_arr.(sp) +. dur;
+      Loads.add_comm s.loads ~src:sp ~dst:trial.t_proc dur;
       s.recv_tl.(trial.t_proc) <-
         Timeline.insert s.recv_tl.(trial.t_proc) ~start ~duration:dur;
       s.send_tl.(sp) <- Timeline.insert s.send_tl.(sp) ~start ~duration:dur)

@@ -32,7 +32,15 @@ val sigma : t -> Platform.proc -> float
 val c_in : t -> Platform.proc -> float
 val c_out : t -> Platform.proc -> float
 
-module Pset : Set.S with type elt = Platform.proc
+val loads : t -> Loads.t
+(** The incrementally maintained per-processor loads (Σ/Cᴵ/Cᴼ and the
+    cached max cycle time).  {!commit} charges them through the [Loads]
+    primitives, so readers never pay a full [Loads.of_mapping] rewalk. *)
+
+module Pset = Bitset
+(** Kill sets are packed bitsets over the processor indices: [disjoint] /
+    [union] / [cardinal] — the operations on the placement hot path — run
+    in O(m/word_size) word steps instead of walking a balanced tree. *)
 
 val support : t -> Replica.id -> Pset.t
 (** The {e kill set} of a placed replica: the processors whose individual

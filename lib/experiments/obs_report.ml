@@ -6,6 +6,10 @@ let required_counters =
     "core.general_calls";
     "core.commits";
     "core.chunks";
+    "sched.loads.full_recomputes";
+    "sched.loads.incremental_updates";
+    "sched.loads.max_cache_hits";
+    "sched.loads.max_cache_misses";
     "sim.events_popped";
     "sim.runs";
     "sim.failures_injected";

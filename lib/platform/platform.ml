@@ -89,6 +89,20 @@ let slowest_comm_time p vol =
     vol /. !min_bw
   end
 
+(* The caller (platform-cost minimization) probes hundreds of subsets: copy
+   the rows straight out of an already-validated platform instead of going
+   through [create]'s O(m²) re-validation and double copy. *)
+let restrict p kept =
+  let m = Array.length kept in
+  if m = 0 then invalid_arg "Platform.restrict: no processors";
+  let speeds = Array.map (fun u -> p.speeds.(u)) kept in
+  let bw =
+    Array.init m (fun i ->
+        Array.init m (fun j ->
+            if i = j then 1.0 else p.bw.(kept.(i)).(kept.(j))))
+  in
+  { name = p.name ^ "-subset"; speeds; bw }
+
 let fastest_proc p =
   let best = ref 0 in
   Array.iteri (fun u s -> if s > p.speeds.(!best) then best := u) p.speeds;

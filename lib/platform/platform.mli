@@ -62,6 +62,13 @@ val slowest_exec_time : t -> float -> float
 val slowest_comm_time : t -> float -> float
 (** Transfer time of a volume over the slowest link; [0] when [m = 1]. *)
 
+val restrict : t -> proc array -> t
+(** The sub-platform induced by the given processors, in the given order
+    (named ["<name>-subset"]).  Built directly from the parent's validated
+    tables — no re-validation, one copy — so subset probes (platform-cost
+    minimization) stay cheap.
+    @raise Invalid_argument on an empty selection. *)
+
 val fastest_proc : t -> proc
 (** A processor of maximal speed (smallest index among ties). *)
 

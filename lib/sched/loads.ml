@@ -2,38 +2,145 @@ type t = {
   sigma : float array;
   c_in : float array;
   c_out : float array;
+  mutable max_cache : float;
+  mutable max_valid : bool;
 }
 
-let of_mapping m =
-  let plat = Mapping.platform m in
-  let dag = Mapping.dag m in
-  let n = Platform.size plat in
-  let loads =
-    { sigma = Array.make n 0.0; c_in = Array.make n 0.0; c_out = Array.make n 0.0 }
-  in
-  Mapping.iter m (fun (r : Replica.t) ->
-      loads.sigma.(r.proc) <-
-        loads.sigma.(r.proc) +. Platform.exec_time plat r.proc (Dag.exec dag r.id.task);
-      List.iter
-        (fun (pred, ids) ->
-          let vol = Dag.volume dag pred r.id.task in
-          List.iter
-            (fun (src : Replica.id) ->
-              let src_r = Mapping.replica_exn m src.task src.copy in
-              if src_r.proc <> r.proc then begin
-                let time = Platform.comm_time plat src_r.proc r.proc vol in
-                loads.c_in.(r.proc) <- loads.c_in.(r.proc) +. time;
-                loads.c_out.(src_r.proc) <- loads.c_out.(src_r.proc) +. time
-              end)
-            ids)
-        r.sources);
-  loads
+let touch_counters () =
+  Obs.touch "sched.loads.full_recomputes";
+  Obs.touch "sched.loads.incremental_updates";
+  Obs.touch "sched.loads.max_cache_hits";
+  Obs.touch "sched.loads.max_cache_misses"
+
+let create ~n_procs =
+  touch_counters ();
+  {
+    sigma = Array.make n_procs 0.0;
+    c_in = Array.make n_procs 0.0;
+    c_out = Array.make n_procs 0.0;
+    max_cache = 0.0;
+    max_valid = true;
+  }
 
 let cycle_time l u = Float.max l.sigma.(u) (Float.max l.c_in.(u) l.c_out.(u))
 
+(* Loads only grow under additions, so folding the affected processor's new
+   cycle time into the cached maximum keeps the cache exact; removals can
+   lower the maximum, so they invalidate instead (lazy O(p) recompute). *)
+let bump_max l u =
+  if l.max_valid then l.max_cache <- Float.max l.max_cache (cycle_time l u)
+
+let add_exec l u time =
+  Obs.incr "sched.loads.incremental_updates";
+  l.sigma.(u) <- l.sigma.(u) +. time;
+  bump_max l u
+
+let add_comm l ~src ~dst time =
+  l.c_in.(dst) <- l.c_in.(dst) +. time;
+  l.c_out.(src) <- l.c_out.(src) +. time;
+  bump_max l dst;
+  bump_max l src
+
+(* Charge one replica against its already-placed sources, in exactly the
+   order [of_mapping] has always used (float addition is order-sensitive and
+   schedules are pinned bit-identical): Σ first, then per predecessor and
+   per off-processor source, Cᴵ at the replica then Cᴼ at the source. *)
+let charge l m (r : Replica.t) =
+  let plat = Mapping.platform m in
+  let dag = Mapping.dag m in
+  l.sigma.(r.proc) <-
+    l.sigma.(r.proc) +. Platform.exec_time plat r.proc (Dag.exec dag r.id.task);
+  bump_max l r.proc;
+  List.iter
+    (fun (pred, ids) ->
+      let vol = Dag.volume dag pred r.id.task in
+      List.iter
+        (fun (src : Replica.id) ->
+          let src_r = Mapping.replica_exn m src.task src.copy in
+          if src_r.proc <> r.proc then begin
+            let time = Platform.comm_time plat src_r.proc r.proc vol in
+            l.c_in.(r.proc) <- l.c_in.(r.proc) +. time;
+            l.c_out.(src_r.proc) <- l.c_out.(src_r.proc) +. time;
+            bump_max l r.proc;
+            bump_max l src_r.proc
+          end)
+        ids)
+    r.sources
+
+let discharge l m (r : Replica.t) =
+  let plat = Mapping.platform m in
+  let dag = Mapping.dag m in
+  l.sigma.(r.proc) <-
+    l.sigma.(r.proc) -. Platform.exec_time plat r.proc (Dag.exec dag r.id.task);
+  List.iter
+    (fun (pred, ids) ->
+      let vol = Dag.volume dag pred r.id.task in
+      List.iter
+        (fun (src : Replica.id) ->
+          let src_r = Mapping.replica_exn m src.task src.copy in
+          if src_r.proc <> r.proc then begin
+            let time = Platform.comm_time plat src_r.proc r.proc vol in
+            l.c_in.(r.proc) <- l.c_in.(r.proc) -. time;
+            l.c_out.(src_r.proc) <- l.c_out.(src_r.proc) -. time
+          end)
+        ids)
+    r.sources;
+  l.max_valid <- false
+
+let add_replica l m r =
+  Obs.incr "sched.loads.incremental_updates";
+  charge l m r
+
+let remove_replica l m r =
+  Obs.incr "sched.loads.incremental_updates";
+  discharge l m r
+
+let with_tentative l m (r : Replica.t) f =
+  Obs.incr "sched.loads.incremental_updates";
+  (* Exact rollback: save the touched entries and restore them verbatim, so
+     a probe is bitwise-neutral (subtracting back is not, in floats). *)
+  let saved_sigma = l.sigma.(r.proc)
+  and saved_c_in = l.c_in.(r.proc)
+  and saved_max = l.max_cache
+  and saved_valid = l.max_valid in
+  let saved_out = ref [] in
+  List.iter
+    (fun (_, ids) ->
+      List.iter
+        (fun (src : Replica.id) ->
+          let sp = (Mapping.replica_exn m src.task src.copy).Replica.proc in
+          if not (List.mem_assoc sp !saved_out) then
+            saved_out := (sp, l.c_out.(sp)) :: !saved_out)
+        ids)
+    r.sources;
+  charge l m r;
+  Fun.protect
+    ~finally:(fun () ->
+      l.sigma.(r.proc) <- saved_sigma;
+      l.c_in.(r.proc) <- saved_c_in;
+      List.iter (fun (p, v) -> l.c_out.(p) <- v) !saved_out;
+      l.max_cache <- saved_max;
+      l.max_valid <- saved_valid)
+    (fun () -> f l)
+
+let of_mapping m =
+  Obs.incr "sched.loads.full_recomputes";
+  let loads = create ~n_procs:(Platform.size (Mapping.platform m)) in
+  Mapping.iter m (fun r -> charge loads m r);
+  loads
+
 let max_cycle_time l =
-  let best = ref 0.0 in
-  Array.iteri (fun u _ -> best := Float.max !best (cycle_time l u)) l.sigma;
-  !best
+  if l.max_valid then begin
+    Obs.incr "sched.loads.max_cache_hits";
+    l.max_cache
+  end
+  else begin
+    Obs.incr "sched.loads.max_cache_misses";
+    let best = ref 0.0 in
+    Array.iteri (fun u _ -> best := Float.max !best (cycle_time l u)) l.sigma;
+    l.max_cache <- !best;
+    l.max_valid <- true;
+    !best
+  end
 
 let utilization l ~throughput u = throughput *. l.sigma.(u)

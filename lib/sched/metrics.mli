@@ -6,18 +6,20 @@ val granularity : Dag.t -> Platform.t -> float
     [infinity] when the graph has no edge or the platform a single
     processor. *)
 
-val achieved_throughput : Mapping.t -> float
+val achieved_throughput : ?loads:Loads.t -> Mapping.t -> float
 (** [1 / max_u Δ_u] for the loads of the mapping; [infinity] for an empty
-    mapping. *)
+    mapping.  Callers holding incremental state pass [?loads] to skip the
+    full {!Loads.of_mapping} rewalk. *)
 
-val period : Mapping.t -> float
+val period : ?loads:Loads.t -> Mapping.t -> float
 (** Inverse of {!achieved_throughput}: the smallest iteration period the
     mapping can sustain. *)
 
-val meets_throughput : Mapping.t -> throughput:float -> bool
+val meets_throughput : ?loads:Loads.t -> Mapping.t -> throughput:float -> bool
 (** Whether every processor satisfies [T · Σ_u ≤ 1], [T · Cᴵ_u ≤ 1] and
     [T · Cᴼ_u ≤ 1] (condition (1) aggregated over the final mapping).
-    A small relative tolerance absorbs floating-point accumulation. *)
+    A small relative tolerance absorbs floating-point accumulation.
+    [?loads], when given, must be the loads of [m] (skips the rewalk). *)
 
 val stage_depth : Mapping.t -> int
 (** Pipeline stage number [S]. *)

@@ -37,7 +37,11 @@ let paper_instance ?(seed = 42) ?(granularity = 1.0) () =
 
 (* Schedule helpers. *)
 let must_schedule ?mode algo prob =
-  let opts = Scheduler.resolve ?mode () in
+  let opts =
+    match mode with
+    | None -> Scheduler.default
+    | Some mode -> Scheduler.(default |> with_mode mode)
+  in
   let run =
     match algo with `Ltf -> Ltf.schedule ~opts | `Rltf -> Rltf.schedule ~opts
   in

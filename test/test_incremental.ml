@@ -1,0 +1,302 @@
+open Test_support
+
+(* The incremental scheduling-state engine: Loads add/remove/tentative
+   equivalence with the from-scratch recompute, the cached max-cycle-time
+   invariant, Bitset agreement with the Set.Make(Int) reference, and the
+   pinned figure/schedule regression guaranteeing the engine produces
+   bit-identical results. *)
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let case = Fixtures.case
+let slow_case = Fixtures.slow_case
+let check_true = Fixtures.check_true
+
+let seed_arb = QCheck.int_range 0 100_000
+
+(* ------------------------------------------------------------------ *)
+(* Incremental Loads vs of_mapping                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A complete mapping to replay replica-by-replica: LTF best-effort on a
+   random layered graph (best-effort only fails on replication-rule dead
+   ends, which a 6-processor platform avoids at these sizes). *)
+let mapping_of_seed seed =
+  let rng = Rng.create ~seed in
+  let tasks = 2 + Rng.int rng 19 in
+  let dag = Random_dag.layered ~rng ~tasks () in
+  let prob =
+    Types.problem ~dag ~platform:(Fixtures.uniform 6) ~eps:1 ~throughput:0.01
+  in
+  match
+    Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob
+  with
+  | Ok m -> Some m
+  | Error _ -> None
+
+let replicas_of m =
+  let acc = ref [] in
+  Mapping.iter m (fun r -> acc := r :: !acc);
+  List.rev !acc
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b)
+
+let agrees (l : Loads.t) (ref_l : Loads.t) =
+  let arrays_close x y =
+    Array.for_all2 (fun a b -> close a b) x y
+  in
+  arrays_close l.Loads.sigma ref_l.Loads.sigma
+  && arrays_close l.Loads.c_in ref_l.Loads.c_in
+  && arrays_close l.Loads.c_out ref_l.Loads.c_out
+
+let recomputed_max (l : Loads.t) =
+  let best = ref 0.0 in
+  Array.iteri (fun u _ -> best := Float.max !best (Loads.cycle_time l u)) l.Loads.sigma;
+  !best
+
+let prop_incremental_equals_scratch =
+  QCheck.Test.make
+    ~name:"random add/remove/tentative sequence matches of_mapping" ~count:60
+    seed_arb (fun seed ->
+      match mapping_of_seed seed with
+      | None -> true
+      | Some m ->
+          let rng = Rng.create ~seed:(seed + 7919) in
+          let l =
+            Loads.create ~n_procs:(Platform.size (Mapping.platform m))
+          in
+          (* Replay every replica into [l]; along the way, churn with
+             remove/re-add pairs and bitwise-neutral tentative probes. *)
+          let rebounds = ref 0 in
+          let ok = ref true in
+          let check_cache () =
+            if l.Loads.max_valid then
+              ok :=
+                !ok && Loads.max_cycle_time l = recomputed_max l
+          in
+          let rec drain = function
+            | [] -> ()
+            | r :: rest -> (
+                match Rng.int rng 4 with
+                | 0 ->
+                    (* Tentative probe first: must leave every entry
+                       bitwise unchanged. *)
+                    let snap_sigma = Array.copy l.Loads.sigma
+                    and snap_in = Array.copy l.Loads.c_in
+                    and snap_out = Array.copy l.Loads.c_out in
+                    let probed =
+                      Loads.with_tentative l m r (fun l' ->
+                          Loads.max_cycle_time l')
+                    in
+                    ok :=
+                      !ok && probed >= 0.0
+                      && l.Loads.sigma = snap_sigma
+                      && l.Loads.c_in = snap_in
+                      && l.Loads.c_out = snap_out;
+                    Loads.add_replica l m r;
+                    check_cache ();
+                    drain rest
+                | 1 when !rebounds < 40 ->
+                    (* Add, remove again, and retry later. *)
+                    incr rebounds;
+                    Loads.add_replica l m r;
+                    Loads.remove_replica l m r;
+                    check_cache ();
+                    drain (rest @ [ r ])
+                | _ ->
+                    Loads.add_replica l m r;
+                    check_cache ();
+                    drain rest)
+          in
+          drain (replicas_of m);
+          let scratch = Loads.of_mapping m in
+          !ok && agrees l scratch
+          && close (Loads.max_cycle_time l) (Loads.max_cycle_time scratch))
+
+let prop_tentative_matches_committed =
+  QCheck.Test.make
+    ~name:"with_tentative sees the same loads as a committed add" ~count:60
+    seed_arb (fun seed ->
+      match mapping_of_seed seed with
+      | None -> true
+      | Some m -> (
+          match List.rev (replicas_of m) with
+          | [] -> true
+          | last :: _ ->
+              let n_procs = Platform.size (Mapping.platform m) in
+              let build skip_last =
+                let l = Loads.create ~n_procs in
+                List.iter
+                  (fun (r : Replica.t) ->
+                    if not (skip_last && r == last) then Loads.add_replica l m r)
+                  (replicas_of m);
+                l
+              in
+              let committed = build false in
+              let l = build true in
+              Loads.with_tentative l m last (fun l' ->
+                  agrees l' committed
+                  && Loads.max_cycle_time l'
+                     = Loads.max_cycle_time committed)))
+
+(* ------------------------------------------------------------------ *)
+(* Bitset vs Set.Make (Int)                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Iset = Set.Make (Int)
+
+let sets_of_seed seed =
+  let rng = Rng.create ~seed in
+  let random_list () =
+    List.init (Rng.int rng 40) (fun _ -> Rng.int rng 200)
+  in
+  let la = random_list () and lb = random_list () in
+  ((Bitset.of_list la, Iset.of_list la), (Bitset.of_list lb, Iset.of_list lb))
+
+let mirrors b s = Bitset.elements b = Iset.elements s
+
+let prop_bitset_matches_set =
+  QCheck.Test.make ~name:"bitset ops agree with the Set.Make(Int) reference"
+    ~count:200 seed_arb (fun seed ->
+      let (ba, sa), (bb, sb) = sets_of_seed seed in
+      mirrors ba sa && mirrors bb sb
+      && mirrors (Bitset.union ba bb) (Iset.union sa sb)
+      && mirrors (Bitset.inter ba bb) (Iset.inter sa sb)
+      && mirrors (Bitset.diff ba bb) (Iset.diff sa sb)
+      && Bitset.disjoint ba bb = Iset.disjoint sa sb
+      && Bitset.subset ba bb = Iset.subset sa sb
+      && Bitset.cardinal ba = Iset.cardinal sa
+      && Bitset.is_empty ba = Iset.is_empty sa
+      && List.for_all
+           (fun x -> Bitset.mem x ba = Iset.mem x sa)
+           (List.init 210 Fun.id)
+      && Bitset.equal (Bitset.inter ba ba) ba
+      && Bitset.fold (fun x acc -> x :: acc) ba []
+         = Iset.fold (fun x acc -> x :: acc) sa [])
+
+let prop_bitset_add_remove =
+  QCheck.Test.make ~name:"bitset add/remove round-trips like the reference"
+    ~count:200 seed_arb (fun seed ->
+      let rng = Rng.create ~seed in
+      let steps = List.init 60 (fun _ -> (Rng.int rng 2 = 0, Rng.int rng 300)) in
+      let b, s =
+        List.fold_left
+          (fun (b, s) (add, x) ->
+            if add then (Bitset.add x b, Iset.add x s)
+            else (Bitset.remove x b, Iset.remove x s))
+          (Bitset.empty, Iset.empty) steps
+      in
+      mirrors b s
+      (* normalization: equal contents imply structural equality *)
+      && Bitset.equal b (Bitset.of_list (Iset.elements s))
+      && Bitset.compare b (Bitset.of_list (Iset.elements s)) = 0)
+
+let bitset_tests =
+  [
+    case "singleton and negative elements" (fun () ->
+        check_true "mem" (Bitset.mem 63 (Bitset.singleton 63));
+        check_true "not mem" (not (Bitset.mem 62 (Bitset.singleton 63)));
+        check_true "mem negative is false" (not (Bitset.mem (-1) Bitset.empty));
+        Alcotest.check_raises "singleton -1"
+          (Invalid_argument "Bitset.singleton: negative element") (fun () ->
+            ignore (Bitset.singleton (-1))));
+    case "empty removal keeps the representation canonical" (fun () ->
+        let s = Bitset.remove 100 (Bitset.add 100 Bitset.empty) in
+        check_true "is_empty" (Bitset.is_empty s);
+        check_true "equal empty" (Bitset.equal s Bitset.empty));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pinned regression: figure samples and schedule fingerprints         *)
+(* ------------------------------------------------------------------ *)
+
+(* These values were captured on the pre-incremental engine (PR 2); the
+   incremental state, bitset kill sets and restriction fast path must
+   reproduce them bit for bit. *)
+let pinned_samples =
+  [
+    "g=0.6 ltf=(420,380,380,false) rltf=(420,300,353.33333333333331,false) \
+     ff=170";
+    "g=0.6 ltf=(380,300,340,false) rltf=(380,300,300,false) ff=150";
+    "g=1.0 ltf=(380,300,326.66666666666669,true) \
+     rltf=(300,220,233.33333333333334,true) ff=110";
+    "g=1.0 ltf=(380,340,353.33333333333331,true) rltf=(260,220,220,false) \
+     ff=130";
+  ]
+
+let pinned_ltf_digest = "3451d182152d61149471dcfa142c5e32"
+let pinned_rltf_digest = "3444c193041d492b90169cd79973f9e8"
+
+let fingerprint mapping =
+  let parts = ref [] in
+  Mapping.iter mapping (fun r ->
+      parts :=
+        Printf.sprintf "%s@%d" (Replica.id_to_string r.Replica.id) r.Replica.proc
+        :: !parts);
+  String.concat ";" (List.rev !parts)
+
+let regression_tests =
+  [
+    slow_case "figure samples are bit-identical to the pinned run" (fun () ->
+        let config =
+          {
+            (Fig_common.quick ~eps:1 ~crashes:1) with
+            Fig_common.graphs_per_point = 2;
+            granularities = [ 0.6; 1.0 ];
+          }
+        in
+        let lines =
+          Fig_common.collect config
+          |> List.map (fun (s : Fig_common.sample) ->
+                 Printf.sprintf
+                   "g=%.1f ltf=(%.17g,%.17g,%.17g,%b) \
+                    rltf=(%.17g,%.17g,%.17g,%b) ff=%.17g"
+                   s.Fig_common.granularity s.ltf.Fig_common.bound s.ltf.sim
+                   s.ltf.crash s.ltf.meets s.rltf.Fig_common.bound s.rltf.sim
+                   s.rltf.crash s.rltf.meets s.ff_sim)
+        in
+        Alcotest.(check (list string)) "samples" pinned_samples lines);
+    case "paper-instance schedules are bit-identical to the pinned run"
+      (fun () ->
+        let inst =
+          let rng = Rng.create ~seed:11 in
+          Paper_workload.instance ~rng ~granularity:1.0 ()
+        in
+        let prob =
+          Types.problem ~dag:inst.Paper_workload.dag
+            ~platform:inst.Paper_workload.plat ~eps:1
+            ~throughput:(Paper_workload.throughput ~eps:1)
+        in
+        let opts = Scheduler.(default |> with_mode Best_effort) in
+        (match Ltf.schedule ~opts prob with
+        | Ok m ->
+            Alcotest.(check string)
+              "LTF" pinned_ltf_digest
+              (Digest.to_hex (Digest.string (fingerprint m)))
+        | Error f -> Alcotest.failf "LTF failed: %s" (Types.failure_to_string f));
+        match Rltf.schedule ~opts prob with
+        | Ok m ->
+            Alcotest.(check string)
+              "R-LTF" pinned_rltf_digest
+              (Digest.to_hex (Digest.string (fingerprint m)))
+        | Error f ->
+            Alcotest.failf "R-LTF failed: %s" (Types.failure_to_string f));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "loads",
+        [
+          to_alcotest prop_incremental_equals_scratch;
+          to_alcotest prop_tentative_matches_committed;
+        ] );
+      ( "bitset",
+        bitset_tests
+        @ [ to_alcotest prop_bitset_matches_set;
+            to_alcotest prop_bitset_add_remove;
+          ] );
+      ("regression", regression_tests);
+    ]

@@ -350,20 +350,19 @@ let registry_api_tests =
     case "baseline registry covers the Section 3 heuristics" (fun () ->
         check_int "eight heuristics" 8 (List.length Baseline_registry.all);
         check_true "HEFT" (Baseline_registry.find "HEFT [9]" <> None));
-    case "deprecated wrappers still compile and agree" (fun () ->
+    case "builders and record syntax build the same options" (fun () ->
         let prob = paper_problem () in
-        let opts = Scheduler.(default |> with_mode Best_effort) in
-        let expected =
+        let built = Scheduler.(default |> with_mode Best_effort) in
+        (* The canonical record re-exported by Scheduler is the one the
+           algorithms consume: literal record syntax and the builders are
+           interchangeable. *)
+        let literal = { Scheduler.default with mode = Scheduler.Best_effort } in
+        let fp opts =
           match Ltf.schedule ~opts prob with
           | Ok m -> fingerprint m
           | Error f -> Types.failure_to_string f
         in
-        let legacy =
-          (match[@warning "-3"] Ltf.run ~mode:Scheduler.Best_effort prob with
-          | Ok m -> fingerprint m
-          | Error f -> Types.failure_to_string f)
-        in
-        Alcotest.(check string) "same mapping" expected legacy);
+        Alcotest.(check string) "same mapping" (fp built) (fp literal));
   ]
 
 let () =
