@@ -12,6 +12,10 @@ let pp_error ppf = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
+(* Mirror of Metrics.meets_throughput's slack: re-placement must not turn
+   a mapping that was exactly at the bound into a rejection. *)
+let tolerance = 1e-9
+
 let restore ?throughput m ~failed =
   let dag = Mapping.dag m and plat = Mapping.platform m in
   let eps = Mapping.eps m in
@@ -44,8 +48,25 @@ let restore ?throughput m ~failed =
           let siblings =
             Array.to_list proc_table.(task) |> List.filter (fun p -> p >= 0)
           in
+          (* A survivor is eligible when it hosts no sibling and — under a
+             throughput bound — when absorbing the replica's execution
+             load keeps its cycle time within the period (the execution
+             part of condition (1); the derived communications are checked
+             by the caller).  Without the bound any sibling-free survivor
+             qualifies, which is the degraded-mode relaxation the recovery
+             policy falls back to. *)
+          let fits p =
+            match throughput with
+            | None -> true
+            | Some t ->
+                (load.(p) +. Platform.exec_time plat p (Dag.exec dag task))
+                *. t
+                <= 1.0 +. tolerance
+          in
           let eligible =
-            List.filter (fun p -> not (List.mem p siblings)) survivors
+            List.filter
+              (fun p -> (not (List.mem p siblings)) && fits p)
+              survivors
           in
           let best =
             List.fold_left

@@ -17,7 +17,10 @@ type error =
           cannot be restored *)
   | No_room of Dag.task * int
       (** the given replica cannot be re-placed on any surviving processor
-          without colliding with a sibling *)
+          without colliding with a sibling or — when a throughput bound is
+          given — without pushing the host's execution load beyond the
+          period.  Unreachable without a bound: with ε + 1 survivors and
+          at most ε live siblings, a sibling-free survivor always exists. *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
@@ -33,4 +36,9 @@ val restore :
     task's replicas are pairwise disjoint within the surviving processors
     (so the result again tolerates ε arbitrary further failures among
     them).  Re-placed replicas go to the least-loaded eligible surviving
-    processor.  [throughput] makes the source derivation load-aware. *)
+    processor.  [throughput] makes the re-placement respect the execution
+    part of condition (1) — a survivor whose cycle time would exceed the
+    period is not eligible, so restoration can fail with {!No_room} where
+    the unconstrained call would overload a processor — and makes the
+    source derivation load-aware.  Degraded-mode callers drop the bound
+    and accept the slower achieved period (see [Recovery_policy]). *)

@@ -1,0 +1,119 @@
+type level =
+  | Full_strength
+  | Relaxed_throughput
+  | Reduced_eps of int
+  | Best_effort_remap
+
+let level_to_string = function
+  | Full_strength -> "full-strength"
+  | Relaxed_throughput -> "relaxed-throughput"
+  | Reduced_eps e -> Printf.sprintf "reduced-eps(%d)" e
+  | Best_effort_remap -> "best-effort-remap"
+
+type outcome = {
+  mapping : Mapping.t;
+  level : level;
+  procs : Platform.proc array;
+  tolerance : int;
+  attempts : int;
+}
+
+type verdict = Restored of outcome | Outage of { attempts : int }
+
+let touch () =
+  List.iter Obs.touch
+    [
+      "ops.recovery.attempts";
+      "ops.recovery.outages";
+      "ops.recovery.restored.full";
+      "ops.recovery.restored.relaxed";
+      "ops.recovery.restored.reduced_eps";
+      "ops.recovery.restored.best_effort";
+    ]
+
+let count_restore = function
+  | Full_strength -> Obs.incr "ops.recovery.restored.full"
+  | Relaxed_throughput -> Obs.incr "ops.recovery.restored.relaxed"
+  | Reduced_eps _ -> Obs.incr "ops.recovery.restored.reduced_eps"
+  | Best_effort_remap -> Obs.incr "ops.recovery.restored.best_effort"
+
+let react ?max_attempts ~throughput ~failed m =
+  touch ();
+  let plat = Mapping.platform m in
+  let eps = Mapping.eps m in
+  let n_procs = Platform.size plat in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n_procs then
+        invalid_arg "Recovery_policy.react: failed processor out of range")
+    failed;
+  let failed = List.sort_uniq compare failed in
+  (* The chain has 2 restore rungs, eps − 1 reduced-degree rungs and the
+     final unreplicated remap; eps + 3 covers it for every eps ≥ 0. *)
+  let max_attempts = Option.value max_attempts ~default:(eps + 3) in
+  if max_attempts < 1 then
+    invalid_arg "Recovery_policy.react: max_attempts < 1";
+  let survivors =
+    List.filter (fun p -> not (List.mem p failed)) (Platform.procs plat)
+  in
+  let identity_procs = Array.init n_procs Fun.id in
+  let attempts = ref 0 in
+  (* Each rung is a thunk returning the restored outcome when it applies;
+     the chain walks them in order of decreasing service level until one
+     succeeds or the retry budget runs out. *)
+  let rung level thunk =
+    if !attempts >= max_attempts then None
+    else begin
+      incr attempts;
+      Obs.incr "ops.recovery.attempts";
+      match thunk () with
+      | None -> None
+      | Some (mapping, procs, tolerance) ->
+          Some { mapping; level; procs; tolerance; attempts = !attempts }
+    end
+  in
+  let restore_with bound =
+    match Recovery.restore ?throughput:bound m ~failed with
+    | Ok mapping -> Some (mapping, identity_procs, eps)
+    | Error _ -> None
+  in
+  (* Degraded re-schedule from scratch on the surviving sub-platform with
+     a reduced replication degree: surviving work is abandoned (the
+     pipeline restarts), which is exactly why this rung ranks below the
+     in-place restorations. *)
+  let reschedule eps' =
+    let procs = Array.of_list survivors in
+    let sub = Platform.restrict plat procs in
+    if eps' >= Platform.size sub then None
+    else begin
+      let prob =
+        Types.problem ~dag:(Mapping.dag m) ~platform:sub ~eps:eps' ~throughput
+      in
+      let opts = Sched_api.(default |> with_mode Best_effort) in
+      let outcome =
+        if eps' = 0 then Ltf.schedule ~opts prob else Rltf.schedule ~opts prob
+      in
+      match outcome with
+      | Ok mapping -> Some (mapping, procs, eps')
+      | Error _ -> None
+    end
+  in
+  let chain =
+    (fun () -> rung Full_strength (fun () -> restore_with (Some throughput)))
+    :: (fun () -> rung Relaxed_throughput (fun () -> restore_with None))
+    :: List.init (max 0 (eps - 1)) (fun i ->
+           let eps' = eps - 1 - i in
+           fun () -> rung (Reduced_eps eps') (fun () -> reschedule eps'))
+    @ [ (fun () -> rung Best_effort_remap (fun () -> reschedule 0)) ]
+  in
+  let result =
+    if survivors = [] then None
+    else List.find_map (fun attempt -> attempt ()) chain
+  in
+  match result with
+  | Some outcome ->
+      count_restore outcome.level;
+      Restored outcome
+  | None ->
+      Obs.incr "ops.recovery.outages";
+      Outage { attempts = !attempts }

@@ -1,0 +1,71 @@
+(** Graceful degradation after real crashes: the recovery decision chain.
+
+    {!Recovery.restore} re-establishes the full replication degree in
+    place, but a long-running stream cannot simply stop when restoration
+    fails — too few survivors, or no survivor with room under the
+    throughput bound.  This module walks a fallback chain of decreasing
+    service levels and reports which level it had to settle for:
+
+    + {!Full_strength} — [Recovery.restore] under the throughput bound:
+      every surviving replica stays put, the degree is back to ε, the
+      desired period holds;
+    + {!Relaxed_throughput} — [Recovery.restore] without the bound: full
+      degree, but some processor may exceed the period, so the stream
+      runs at the (slower) achieved period;
+    + {!Reduced_eps ε′} — a fresh best-effort R-LTF schedule on the
+      surviving sub-platform with ε′ < ε replicas per task, trying the
+      largest ε′ first;
+    + {!Best_effort_remap} — an unreplicated (ε′ = 0) best-effort LTF
+      remap: the stream keeps flowing with no tolerance left.
+
+    When every rung fails (or the retry budget [max_attempts] is spent)
+    the verdict is a terminal {!Outage}.
+
+    The chain records [ops.recovery.attempts], one
+    [ops.recovery.restored.*] counter per service level and
+    [ops.recovery.outages] (all pre-registered on entry, so metric dumps
+    expose them deterministically). *)
+
+type level =
+  | Full_strength
+  | Relaxed_throughput
+  | Reduced_eps of int  (** the reduced degree ε′, [1 ≤ ε′ < ε] *)
+  | Best_effort_remap
+
+val level_to_string : level -> string
+
+val touch : unit -> unit
+(** Pre-register the decision counters at 0 (a no-op when metrics are
+    off), so a timeline that never crashes still exports the keys. *)
+
+type outcome = {
+  mapping : Mapping.t;
+      (** the mapping to run the next epoch with.  For the two restore
+          levels it lives on the original platform; for the two
+          re-schedule levels it lives on the surviving sub-platform. *)
+  level : level;
+  procs : Platform.proc array;
+      (** original processor behind each processor index of
+          [mapping]'s platform (identity for the restore levels) —
+          compose with the previous epoch's table when degrading
+          repeatedly *)
+  tolerance : int;
+      (** further failures the restored mapping survives (ε, ε′ or 0) *)
+  attempts : int;  (** rungs tried, including the successful one *)
+}
+
+type verdict = Restored of outcome | Outage of { attempts : int }
+
+val react :
+  ?max_attempts:int ->
+  throughput:float ->
+  failed:Platform.proc list ->
+  Mapping.t ->
+  verdict
+(** [react ~throughput ~failed m] walks the chain for a mapping whose
+    [failed] processors (ids of [m]'s platform) have crashed.
+    [max_attempts] (default [ε + 3], enough for the whole chain) bounds
+    the rungs tried, so a pathological instance degrades to {!Outage}
+    rather than retrying forever.
+    @raise Invalid_argument if a failed processor is out of range or
+    [max_attempts < 1]. *)

@@ -43,10 +43,12 @@ type trial_result = {
   bound : float;
   sim : float;
   crash : float;
+  defeat_rate : float;
   meets : bool;
 }
 
-let no_result = { bound = nan; sim = nan; crash = nan; meets = false }
+let no_result =
+  { bound = nan; sim = nan; crash = nan; defeat_rate = nan; meets = false }
 
 type sample = {
   granularity : float;
@@ -63,6 +65,8 @@ let rltf_bound s = s.rltf.bound
 let rltf_sim s = s.rltf.sim
 let rltf_crash s = s.rltf.crash
 let rltf_meets s = s.rltf.meets
+let ltf_defeat_rate s = s.ltf.defeat_rate
+let rltf_defeat_rate s = s.rltf.defeat_rate
 let ff_sim s = s.ff_sim
 
 let of_option = function Some v -> v | None -> nan
@@ -73,16 +77,26 @@ let measure_algo config ~throughput ~rng outcome =
   | Ok mapping ->
       let bound = Metrics.latency_bound mapping ~throughput in
       let sim = of_option (Stage_latency.latency mapping ~throughput) in
-      let crash =
-        if config.crashes = 0 then sim
+      (* The stats variant consumes the exact same draws as the plain
+         mean, so adding the defeat rate changes no measured value. *)
+      let crash, defeat_rate =
+        if config.crashes = 0 then (sim, nan)
         else
-          of_option
-            (Stage_latency.mean_crash_latency
-               ~rand_int:(fun bound -> Rng.int rng bound)
-               ~crashes:config.crashes ~runs:config.crash_draws ~throughput
-               mapping)
+          let stats =
+            Stage_latency.mean_crash_latency_stats
+              ~rand_int:(fun bound -> Rng.int rng bound)
+              ~crashes:config.crashes ~runs:config.crash_draws ~throughput
+              mapping
+          in
+          (of_option stats.Crash.mean, Crash.defeat_rate stats)
       in
-      { bound; sim; crash; meets = Metrics.meets_throughput mapping ~throughput }
+      {
+        bound;
+        sim;
+        crash;
+        defeat_rate;
+        meets = Metrics.meets_throughput mapping ~throughput;
+      }
 
 (* A trial is a pure function of its record: every random draw comes from
    streams derived from [trial_seed], which is what lets [collect] farm

@@ -51,6 +51,9 @@ type trial_result = {
   bound : float;   (** (2S−1)/T for the mapping *)
   sim : float;     (** simulated 0-crash latency *)
   crash : float;   (** mean simulated latency under [crashes] failures *)
+  defeat_rate : float;
+      (** fraction of crash draws that defeated the mapping (an exit task
+          lost all replicas); [nan] when [crashes = 0] *)
   meets : bool;    (** the mapping satisfies the desired throughput *)
 }
 
@@ -76,6 +79,8 @@ val rltf_bound : sample -> float
 val rltf_sim : sample -> float
 val rltf_crash : sample -> float
 val rltf_meets : sample -> bool
+val ltf_defeat_rate : sample -> float
+val rltf_defeat_rate : sample -> float
 val ff_sim : sample -> float
 
 val measure_algo :

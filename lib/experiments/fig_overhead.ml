@@ -15,6 +15,21 @@ let series samples =
       (overhead Fig_common.ltf_crash) samples;
   ]
 
+(* Share of crash draws that defeated the mapping (an exit task lost all
+   replicas), in %.  Kept out of the overhead CSV so that artifact stays
+   byte-identical across releases; it gets its own table and file. *)
+let defeat_series samples =
+  let pct proj s =
+    let r = proj s in
+    if Float.is_nan r then nan else r *. 100.0
+  in
+  [
+    Fig_common.mean_series ~label:"R-LTF Defeat %"
+      (pct Fig_common.rltf_defeat_rate) samples;
+    Fig_common.mean_series ~label:"LTF Defeat %"
+      (pct Fig_common.ltf_defeat_rate) samples;
+  ]
+
 let run ?(out_dir = "results") ?(jobs = 1) ~(config : Fig_common.config) () =
   let samples = Fig_common.collect ~jobs config in
   let curves = series samples in
@@ -31,4 +46,14 @@ let run ?(out_dir = "results") ?(jobs = 1) ~(config : Fig_common.config) () =
     (Filename.concat out_dir
        (Printf.sprintf "fig-overhead-eps%d.csv" config.Fig_common.eps))
     curves;
+  if config.Fig_common.crashes > 0 then begin
+    let defeats = defeat_series samples in
+    Printf.printf "Defeated crash draws (c=%d, %% of draws):\n"
+      config.Fig_common.crashes;
+    Fig_latency.table_of_series defeats;
+    Fig_latency.csv_of_series
+      (Filename.concat out_dir
+         (Printf.sprintf "fig-overhead-defeats-eps%d.csv" config.Fig_common.eps))
+      defeats
+  end;
   curves

@@ -8,8 +8,15 @@
 
 val series : Fig_common.sample list -> Ascii_plot.series list
 
+val defeat_series : Fig_common.sample list -> Ascii_plot.series list
+(** Mean percentage of crash draws that defeated the mapping (an exit
+    task lost every replica), per algorithm. *)
+
 val run :
   ?out_dir:string -> ?jobs:int -> config:Fig_common.config -> unit ->
   Ascii_plot.series list
-(** Prints the plot and table and writes [fig-overhead-epsE.csv].
-    [jobs] worker domains (default 1 = sequential, identical output). *)
+(** Prints the plot and table and writes [fig-overhead-epsE.csv];
+    when [crashes > 0] also prints the defeat-rate table and writes it to
+    the separate [fig-overhead-defeats-epsE.csv] (the overhead CSV itself
+    is unchanged).  [jobs] worker domains (default 1 = sequential,
+    identical output). *)

@@ -1,0 +1,225 @@
+(* The hazard is swept in crashes per processor per 1000 injected items,
+   and the horizon / reconfiguration delay are expressed in items too:
+   different algorithms run at different periods (ε = 0 baselines inject
+   twice as fast as an ε = 1 schedule under the 1/(10(ε+1)) rule), and
+   item-denominated knobs expose every algorithm to the same failure
+   pressure per unit of delivered work. *)
+type config = {
+  seed : int;
+  reps : int;  (** random graphs per sweep point *)
+  hazards : float list;  (** crashes per processor per 1000 items *)
+  horizon_items : int;
+  reconfig_items : float;  (** downtime per recovery attempt, in items *)
+  eps : int;  (** replication degree for LTF / R-LTF *)
+  spec : Paper_workload.spec;
+}
+
+(* A deliberately smaller workload than the figure sweeps: an operations
+   timeline replays hundreds of items through the event-driven engine,
+   so the per-trial cost is a long horizon rather than a big graph. *)
+let spec =
+  {
+    Paper_workload.default_spec with
+    Paper_workload.tasks_range = (30, 60);
+    m = 12;
+  }
+
+let default =
+  {
+    seed = 2009;
+    reps = 10;
+    hazards = [ 0.05; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0 ];
+    horizon_items = 200;
+    reconfig_items = 2.0;
+    eps = 1;
+    spec;
+  }
+
+let quick =
+  {
+    default with
+    reps = 3;
+    hazards = [ 0.1; 0.5; 2.0 ];
+    horizon_items = 60;
+  }
+
+type algo = {
+  label : string;
+  algo_eps : int;
+  schedule : Types.problem -> Types.outcome;
+}
+
+let algorithms ~eps =
+  let opts = Scheduler.(default |> with_mode Best_effort) in
+  let baseline name =
+    match Baseline_registry.find name with
+    | Some (module A : Scheduler.Algo) ->
+        { label = A.name; algo_eps = 0; schedule = A.run ~opts }
+    | None -> invalid_arg ("Fig_recovery: unknown baseline " ^ name)
+  in
+  [
+    {
+      label = Printf.sprintf "R-LTF (eps=%d)" eps;
+      algo_eps = eps;
+      schedule = Rltf.schedule ~opts;
+    };
+    {
+      label = Printf.sprintf "LTF (eps=%d)" eps;
+      algo_eps = eps;
+      schedule = Ltf.schedule ~opts;
+    };
+    baseline "HEFT [9]";
+    baseline "Hary-Ozguner [4]";
+  ]
+
+(* What one algorithm's timeline contributed to one sweep point. *)
+type point = {
+  availability : float;
+  degraded_latency : float;
+  had_outage : float;  (** 0/1, so the mean is the outage rate *)
+}
+
+let measure config ~hazard_per_kitem ~rng algo inst =
+  let throughput = Paper_workload.throughput ~eps:algo.algo_eps in
+  let prob =
+    Types.problem ~dag:inst.Paper_workload.dag
+      ~platform:inst.Paper_workload.plat ~eps:algo.algo_eps ~throughput
+  in
+  match algo.schedule prob with
+  | Error _ -> None
+  | Ok mapping ->
+      (* The mapping's effective period converts the item-denominated
+         knobs into the absolute time units the ops simulator runs in. *)
+      let p = Float.max (1.0 /. throughput) (Metrics.period mapping) in
+      let ops_config =
+        {
+          Stream_ops.horizon = float_of_int config.horizon_items *. p;
+          hazard =
+            Failure_gen.uniform ~lambda:(hazard_per_kitem /. (1000.0 *. p));
+          max_attempts = None;
+          reconfig_delay = config.reconfig_items *. p;
+          max_items_per_epoch = config.horizon_items + 8;
+        }
+      in
+      let report = Stream_ops.run ~config:ops_config ~rng ~throughput mapping in
+      Some
+        {
+          availability = report.Stream_ops.availability;
+          degraded_latency = report.Stream_ops.degraded_mean_latency;
+          had_outage = (if report.Stream_ops.outage then 1.0 else 0.0);
+        }
+
+type trial = { hazard_per_kitem : float; rep : int }
+
+(* The trial seed ignores the hazard on purpose: with equal RNG state the
+   failure generator's quanta are identical across sweep points (common
+   random numbers), so each curve moves along the sweep because of the
+   rate, never because of resampling noise. *)
+let run_trial config t =
+  let rng = Rng.create ~seed:(config.seed + (7919 * t.rep)) in
+  let inst =
+    Paper_workload.instance ~spec:config.spec ~rng ~granularity:1.0 ()
+  in
+  let algos = algorithms ~eps:config.eps in
+  (* Every algorithm draws from its own child stream, split in fixed
+     order before any scheduling, so adding or reordering measurements
+     never perturbs another algorithm's timeline. *)
+  let rngs = List.map (fun _ -> Rng.split rng) algos in
+  List.map2
+    (fun algo algo_rng ->
+      ( algo.label,
+        measure config ~hazard_per_kitem:t.hazard_per_kitem ~rng:algo_rng algo
+          inst ))
+    algos rngs
+
+let mean proj points =
+  let vals =
+    List.filter_map
+      (fun p ->
+        let v = proj p in
+        if Float.is_nan v then None else Some v)
+      points
+  in
+  match vals with
+  | [] -> nan
+  | _ ->
+      List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
+
+let series config results proj =
+  let labels = List.map (fun a -> a.label) (algorithms ~eps:config.eps) in
+  List.map
+    (fun label ->
+      let points =
+        List.map
+          (fun hazard ->
+            let here =
+              List.concat_map
+                (fun (t, measured) ->
+                  if t.hazard_per_kitem <> hazard then []
+                  else
+                    List.filter_map
+                      (fun (l, m) -> if l = label then m else None)
+                      measured)
+                results
+            in
+            (hazard, mean proj here))
+          config.hazards
+      in
+      { Ascii_plot.label; points })
+    labels
+
+let csv path series_list =
+  match series_list with
+  | [] -> ()
+  | first :: _ ->
+      let xs = List.map fst first.Ascii_plot.points in
+      let rows =
+        List.map
+          (fun x ->
+            x
+            :: List.map
+                 (fun s ->
+                   match List.assoc_opt x s.Ascii_plot.points with
+                   | Some y -> y
+                   | None -> nan)
+                 series_list)
+          xs
+      in
+      Csv.write_floats ~path
+        ~header:
+          ("crashes_per_proc_per_kitem"
+          :: List.map (fun s -> s.Ascii_plot.label) series_list)
+        rows
+
+let run ?(out_dir = "results") ?(jobs = 1) ~(config : config) () =
+  let trials =
+    List.concat_map
+      (fun hazard_per_kitem ->
+        List.init config.reps (fun rep -> { hazard_per_kitem; rep }))
+      config.hazards
+  in
+  (* A trial is a pure function of its record (the RNG stream derives
+     from the seed and rep alone), so the sweep runs on the domain pool
+     with bit-identical output for every [jobs]. *)
+  let measured = Parallel.map_seeded ~jobs (run_trial config) trials in
+  let results = List.combine trials measured in
+  let availability = series config results (fun p -> p.availability) in
+  let latency = series config results (fun p -> p.degraded_latency) in
+  let outages = series config results (fun p -> p.had_outage *. 100.0) in
+  Ascii_plot.print
+    ~title:
+      (Printf.sprintf
+         "Availability vs failure pressure (eps=%d, %d items, %d graphs/point)"
+         config.eps config.horizon_items config.reps)
+    ~x_label:"crashes/proc/1000 items" ~y_label:"availability" availability;
+  Fig_latency.table_of_series availability;
+  Ascii_plot.print
+    ~title:"Mean degraded-mode latency vs failure pressure"
+    ~x_label:"crashes/proc/1000 items" ~y_label:"latency" latency;
+  Fig_latency.table_of_series latency;
+  Printf.printf "Outage rate (%% of timelines):\n";
+  Fig_latency.table_of_series outages;
+  csv (Filename.concat out_dir "fig-recovery-availability.csv") availability;
+  csv (Filename.concat out_dir "fig-recovery-latency.csv") latency;
+  csv (Filename.concat out_dir "fig-recovery-outages.csv") outages;
+  (availability, latency)

@@ -1,0 +1,61 @@
+(** Extension I: operating schedules under live failures.
+
+    The §5 figures measure a mapping on independent one-shot runs; this
+    experiment {e operates} each mapping over a long horizon with
+    {!Stream_ops}: exponential fail-stop arrivals, per-crash recovery
+    through the {!Recovery_policy} degradation chain, downtime and item
+    loss.  It sweeps the failure pressure and compares LTF and R-LTF
+    (replicated, ε from the config) against two unreplicated §3
+    baselines (HEFT and Hary-Özgüner), plotting availability (items
+    delivered / items injected) and the mean degraded-mode latency.
+
+    Knobs are denominated in {e items} (crashes per processor per 1000
+    injected items, horizon and reconfiguration delay in items) so every
+    algorithm faces the same failure pressure per unit of delivered work
+    even though their injection periods differ.  The per-trial RNG seed
+    ignores the swept hazard (common random numbers): each curve moves
+    along the sweep because of the rate, not resampling noise. *)
+
+type config = {
+  seed : int;
+  reps : int;  (** random graphs per sweep point *)
+  hazards : float list;  (** crashes per processor per 1000 items *)
+  horizon_items : int;
+  reconfig_items : float;  (** downtime per recovery attempt, in items *)
+  eps : int;  (** replication degree for LTF / R-LTF *)
+  spec : Paper_workload.spec;
+}
+
+val default : config
+(** 10 graphs/point, hazards 0.05 … 5, 200-item horizon, ε = 1, on a
+    smaller workload than the figure sweeps (30–60 tasks, 12 processors)
+    — an ops timeline replays hundreds of items per trial. *)
+
+val quick : config
+(** 3 graphs/point, 3 hazard points, 60-item horizon. *)
+
+type trial = { hazard_per_kitem : float; rep : int }
+
+type point = {
+  availability : float;
+  degraded_latency : float;
+  had_outage : float;  (** 0/1, so the mean is the outage rate *)
+}
+
+val run_trial : config -> trial -> (string * point option) list
+(** One (hazard, graph) cell: schedule every algorithm on the same
+    instance and operate each mapping on its own pre-split RNG stream;
+    [None] marks an algorithm that failed to schedule.  Pure function of
+    its arguments (exposed for the regression tests). *)
+
+val run :
+  ?out_dir:string ->
+  ?jobs:int ->
+  config:config ->
+  unit ->
+  Ascii_plot.series list * Ascii_plot.series list
+(** Prints the availability and degraded-latency plots/tables plus the
+    outage-rate table, writes [fig-recovery-availability.csv],
+    [fig-recovery-latency.csv] and [fig-recovery-outages.csv], and
+    returns the (availability, latency) series.  [jobs] worker domains
+    (default 1 = sequential, identical output for every value). *)

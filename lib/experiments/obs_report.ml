@@ -14,10 +14,21 @@ let required_counters =
     "sim.runs";
     "sim.failures_injected";
     "sim.crash.draws";
+    "sim.crash.defeats";
+    "sim.epoch.resumes";
+    "ops.recovery.crashes";
+    "ops.recovery.epochs";
+    "ops.recovery.attempts";
+    "ops.recovery.outages";
+    "ops.recovery.restored.full";
+    "ops.recovery.restored.relaxed";
+    "ops.recovery.restored.reduced_eps";
+    "ops.recovery.restored.best_effort";
     "exp.trials";
   ]
 
-let required_histograms = [ "core.chunk_size"; "sim.heap_size" ]
+let required_histograms =
+  [ "core.chunk_size"; "sim.heap_size"; "sim.epoch.items"; "ops.recovery.downtime" ]
 
 let required_spans =
   [
@@ -27,6 +38,8 @@ let required_spans =
     "core.rltf.derive";
     "sim.engine.run";
     "sim.crash.sample";
+    "ops.recovery.timeline";
+    "ops.recovery.epoch";
     "exp.trial";
   ]
 

@@ -2,10 +2,11 @@
     it — the contract behind [bin/experiments.exe --check-metrics].
 
     A profiling run of the ["latency"] experiment (the fig3a sweep plus an
-    event-driven replay) must produce every key listed here; CI validates
-    one such dump, so renaming or dropping an instrumentation point breaks
-    the build instead of downstream dashboards.  The lists are the single
-    source of truth that EXPERIMENTS.md documents. *)
+    event-driven replay) followed by the ["recovery"] experiment (the
+    operations timelines) must produce every key listed here; CI
+    validates one such dump, so renaming or dropping an instrumentation
+    point breaks the build instead of downstream dashboards.  The lists
+    are the single source of truth that EXPERIMENTS.md documents. *)
 
 val required_counters : string list
 (** [core.placement_probes] (one per {!State.evaluate}),
@@ -13,17 +14,27 @@ val required_counters : string list
     [core.one_to_one_calls] / [core.general_calls] (placement branch
     invocations), [core.commits], [core.chunks], [sim.events_popped],
     [sim.runs], [sim.failures_injected], [sim.crash.draws],
-    [exp.trials]. *)
+    [sim.crash.defeats] (draws that killed every replica of an exit
+    task), [sim.epoch.resumes] (engine runs resumed from a non-boot
+    snapshot), the recovery-engine family — [ops.recovery.crashes],
+    [ops.recovery.epochs], [ops.recovery.attempts],
+    [ops.recovery.outages] and one [ops.recovery.restored.<level>] per
+    degradation level — and [exp.trials]. *)
 
 val required_histograms : string list
-(** [core.chunk_size] (tasks per chunk β) and [sim.heap_size] (event-heap
-    occupancy after every push — its [max] is the high-water mark). *)
+(** [core.chunk_size] (tasks per chunk β), [sim.heap_size] (event-heap
+    occupancy after every push — its [max] is the high-water mark),
+    [sim.epoch.items] (items injected per engine run under the epoch
+    API) and [ops.recovery.downtime] (reconfiguration pause per epoch,
+    observed as 0 for clean epochs). *)
 
 val required_spans : string list
 (** [core.scheduler.chunk], [core.ltf.run], [core.rltf.run],
     [core.rltf.derive], [sim.engine.run], [sim.crash.sample],
-    [exp.trial].  One dynamic [exp.fig.<name>] span per figure is
-    additionally required by {!validate}. *)
+    [ops.recovery.timeline] (one whole operations run),
+    [ops.recovery.epoch] (crash handling within it), [exp.trial].  One
+    dynamic [exp.fig.<name>] span per figure is additionally required by
+    {!validate}. *)
 
 val validate : Obs.Registry.t -> (unit, string list) result
 (** Check that every required key is present (counters may be zero; they

@@ -127,6 +127,18 @@ let all =
           ignore (Fig_cost.run ~out_dir ~seed ~graphs:(if quick then 2 else 8) ()));
     };
     {
+      name = "recovery";
+      description =
+        "Extension I: availability and degraded latency under live failures";
+      run =
+        (fun ~quick ~seed ~jobs ~out_dir ->
+          let config =
+            if quick then Fig_recovery.quick else Fig_recovery.default
+          in
+          let config = { config with Fig_recovery.seed } in
+          ignore (Fig_recovery.run ~out_dir ~jobs ~config ()));
+    };
+    {
       name = "latency";
       description =
         "Profile: the fig3a sweep plus an event-driven replay of R-LTF \

@@ -1,0 +1,26 @@
+type hazard = { lambda : float; speed_exponent : float }
+
+let uniform ~lambda = { lambda; speed_exponent = 0.0 }
+
+let rate hazard plat p =
+  if hazard.lambda < 0.0 then invalid_arg "Failure_gen.rate: negative lambda";
+  hazard.lambda *. (Platform.speed plat p ** hazard.speed_exponent)
+
+let lifetimes ~rng hazard plat =
+  let crashes =
+    List.filter_map
+      (fun p ->
+        let r = rate hazard plat p in
+        (* One standard-exponential quantum per processor, drawn in
+           processor order from the same stream regardless of the rate:
+           scaling λ rescales every lifetime by the same factor, so the
+           crash set within any horizon is nested monotonically in λ
+           (common random numbers across sweep points). *)
+        let q = Rng.exponential rng ~rate:1.0 in
+        if r <= 0.0 then None else Some (p, q /. r))
+      (Platform.procs plat)
+  in
+  List.sort
+    (fun (p1, t1) (p2, t2) ->
+      match compare t1 t2 with 0 -> compare p1 p2 | c -> c)
+    crashes

@@ -1,0 +1,34 @@
+(** Exponentially-distributed fail-stop arrivals for the operations
+    simulator.
+
+    Every processor [u] has an exponential lifetime with rate
+    [λ · s_u^α]: [α = 0] makes failures uniform across the platform and
+    [α > 0] makes fast processors fail more often (the usual
+    speed/reliability trade-off of the bi-criteria reliability models —
+    arXiv:0711.1231 uses exactly such per-processor failure rates).
+    Processors are fail-stop: each crashes at most once and is never
+    repaired, matching the paper's failure model. *)
+
+type hazard = {
+  lambda : float;  (** base failure rate λ (crashes per time unit) *)
+  speed_exponent : float;  (** α in [λ · speed^α] *)
+}
+
+val uniform : lambda:float -> hazard
+(** Speed-independent hazard ([α = 0]). *)
+
+val rate : hazard -> Platform.t -> Platform.proc -> float
+(** The processor's crash rate [λ · s_u^α].
+    @raise Invalid_argument if [λ < 0]. *)
+
+val lifetimes :
+  rng:Rng.t -> hazard -> Platform.t -> (Platform.proc * float) list
+(** One crash instant per processor, sorted by time (ties by processor
+    id); processors with zero rate never crash and are omitted.  The
+    standard-exponential quantum of each processor is drawn from [rng] in
+    processor order {e before} the rate is applied, so two calls with
+    equal-state generators and different [λ] return timelines that are
+    exact time-rescalings of each other — the crash set inside any fixed
+    horizon grows monotonically with [λ] (common random numbers, the
+    property the chaos suite's availability-monotonicity assertion leans
+    on). *)

@@ -1,0 +1,97 @@
+(** Long-horizon operations simulator: epochs, crashes, live recovery.
+
+    The figure experiments evaluate a mapping on independent one-shot
+    runs; this module instead {e operates} a mapping over a long horizon
+    the way a deployment would.  Fail-stop crashes arrive with
+    exponential lifetimes ({!Failure_gen}); the stream runs epoch by
+    epoch, each epoch resuming the discrete-event engine from the
+    previous surviving state ({!Engine.snapshot}).  When a processor
+    hosting live replicas dies, the in-flight items it carried are lost,
+    the stream pauses for a reconfiguration delay and
+    {!Recovery_policy.react} picks the best surviving service level —
+    full-strength in-place restoration down to an unreplicated remap —
+    or declares a terminal {!Outage} after which every remaining item is
+    counted lost.
+
+    Every epoch records what an operator would want on a dashboard:
+    items injected/delivered/lost, peak and mean latency, downtime, the
+    recovery decision and the surviving fault tolerance.  The run emits
+    [ops.recovery.*] counters, histograms and spans (plus the engine's
+    [sim.epoch.*] keys), all pre-registered so metric dumps expose them
+    deterministically. *)
+
+type config = {
+  horizon : float;  (** simulated operation time (time units) *)
+  hazard : Failure_gen.hazard;  (** crash arrival law *)
+  max_attempts : int option;
+      (** retry budget forwarded to {!Recovery_policy.react};
+          [None] = the policy default (the whole chain) *)
+  reconfig_delay : float;
+      (** stream downtime per recovery attempt (time units) *)
+  max_items_per_epoch : int;
+      (** cap on items simulated per epoch; slots beyond the cap are
+          reported as [capped], not silently dropped *)
+}
+
+val default_config : config
+(** 400 time units, uniform λ = 10⁻³, policy-default retries, delay 5,
+    at most 256 items per epoch. *)
+
+type decision =
+  | Ran_clean  (** no crash in the epoch *)
+  | Restored of Recovery_policy.level
+  | Outage of { attempts : int }
+
+val decision_to_string : decision -> string
+
+type epoch = {
+  index : int;
+  t_start : float;
+  t_end : float;
+  injected : int;
+      (** items injected during the epoch, including slots lost to
+          downtime (and, for an outage, the unserved tail) *)
+  delivered : int;
+  lost : int;  (** [injected - delivered] *)
+  capped : int;  (** injection slots beyond [max_items_per_epoch] *)
+  peak_latency : float;  (** worst delivered-item latency; [nan] if none *)
+  mean_latency : float;  (** mean delivered-item latency; [nan] if none *)
+  crash : (Platform.proc * float) option;
+      (** the (original processor, time) crash closing the epoch *)
+  downtime : float;  (** reconfiguration pause after the epoch *)
+  decision : decision;
+  tolerance : int;
+      (** failures the epoch's mapping could still absorb when it ran *)
+  mapping : Mapping.t;  (** the mapping the epoch ran with *)
+}
+
+type report = {
+  epochs : epoch list;  (** in time order *)
+  crashes : int;  (** crashes that hit live processors *)
+  injected : int;
+  delivered : int;
+  availability : float;
+      (** [delivered / injected]; [1.0] when nothing was injected *)
+  mean_latency : float;  (** over all delivered items; [nan] if none *)
+  degraded_mean_latency : float;
+      (** over delivered items from the first crash epoch onward;
+          [nan] when no crash ever hit *)
+  total_downtime : float;
+  outage : bool;
+  outage_clock : float;  (** when service stopped; [nan] if it never did *)
+}
+
+val touch : unit -> unit
+(** Pre-register the [ops.recovery.*] counters at 0 (no-op when metrics
+    are off). *)
+
+val run :
+  ?config:config -> rng:Rng.t -> throughput:float -> Mapping.t -> report
+(** [run ~rng ~throughput m] operates the complete mapping [m] under the
+    contractual [throughput] until the horizon.  Items are injected at
+    the desired period while the current mapping sustains it, and at the
+    mapping's achieved period when a degraded restoration runs slower.
+    Deterministic for a given [rng] state.
+    @raise Invalid_argument if [m] is incomplete, [throughput ≤ 0], or
+    the config has a non-positive/non-finite horizon, a negative
+    reconfiguration delay, or a per-epoch item cap below 1. *)

@@ -1,9 +1,22 @@
 type outcome = {
   failed : Platform.proc list;
   latency : float option;
+  defeated : bool;
 }
 
-let with_failures m ~failed = { failed; latency = Engine.latency ~failed m }
+type stats = {
+  mean : float option;
+  draws : int;
+  defeated_draws : int;
+}
+
+let defeat_rate s =
+  if s.draws = 0 then nan
+  else float_of_int s.defeated_draws /. float_of_int s.draws
+
+let with_failures m ~failed =
+  let latency = Engine.latency ~failed m in
+  { failed; latency; defeated = latency = None }
 
 let draw_distinct ~rand_int ~count ~bound =
   let rec pick chosen remaining =
@@ -19,20 +32,30 @@ let draw_distinct ~rand_int ~count ~bound =
 let sample ~rand_int ~crashes m =
   Obs.with_span "sim.crash.sample" (fun () ->
       Obs.incr "sim.crash.draws";
+      Obs.touch "sim.crash.defeats";
       let n_procs = Platform.size (Mapping.platform m) in
       if crashes > n_procs then
         invalid_arg "Crash.sample: more crashes than processors";
       let failed = draw_distinct ~rand_int ~count:crashes ~bound:n_procs in
-      with_failures m ~failed)
+      let outcome = with_failures m ~failed in
+      if outcome.defeated then Obs.incr "sim.crash.defeats";
+      outcome)
 
-let mean_latency ~rand_int ~crashes ~runs m =
-  let rec loop i total count =
+let mean_latency_stats ~rand_int ~crashes ~runs m =
+  let rec loop i total count defeated =
     if i >= runs then
-      if count = 0 then None else Some (total /. float_of_int count)
+      {
+        mean = (if count = 0 then None else Some (total /. float_of_int count));
+        draws = runs;
+        defeated_draws = defeated;
+      }
     else begin
       match (sample ~rand_int ~crashes m).latency with
-      | Some l -> loop (i + 1) (total +. l) (count + 1)
-      | None -> loop (i + 1) total count
+      | Some l -> loop (i + 1) (total +. l) (count + 1) defeated
+      | None -> loop (i + 1) total count (defeated + 1)
     end
   in
-  loop 0 0.0 0
+  loop 0 0.0 0 0
+
+let mean_latency ~rand_int ~crashes ~runs m =
+  (mean_latency_stats ~rand_int ~crashes ~runs m).mean

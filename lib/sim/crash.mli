@@ -12,7 +12,22 @@ type outcome = {
       (** single-item real latency; [None] when the failure set defeats the
           schedule (more failures than it tolerates, or an invalid
           schedule) *)
+  defeated : bool;
+      (** [latency = None]: the draw defeated the schedule.  Exposed as a
+          first-class flag so aggregations can count defeats instead of
+          silently dropping them. *)
 }
+
+type stats = {
+  mean : float option;
+      (** mean latency over the surviving draws; [None] if every draw
+          defeated the schedule *)
+  draws : int;  (** total draws taken *)
+  defeated_draws : int;  (** draws excluded from the mean *)
+}
+
+val defeat_rate : stats -> float
+(** [defeated_draws / draws]; [nan] when no draw was taken. *)
 
 val with_failures : Mapping.t -> failed:Platform.proc list -> outcome
 (** Deterministic single run. *)
@@ -24,7 +39,18 @@ val sample :
   outcome
 (** Fail [crashes] distinct processors drawn uniformly with [rand_int]
     (where [rand_int n] returns a value in [0 .. n-1]) and replay.
+    Records a [sim.crash.defeats] counter tick when the draw defeats the
+    schedule.
     @raise Invalid_argument if [crashes] exceeds the processor count. *)
+
+val mean_latency_stats :
+  rand_int:(int -> int) ->
+  crashes:int ->
+  runs:int ->
+  Mapping.t ->
+  stats
+(** {!sample} latency averaged over [runs] draws, with the defeated draws
+    counted rather than silently excluded. *)
 
 val mean_latency :
   rand_int:(int -> int) ->
@@ -32,6 +58,6 @@ val mean_latency :
   runs:int ->
   Mapping.t ->
   float option
-(** Average {!sample} latency over [runs] draws; [None] if every draw
-    defeated the schedule.  Draws that defeat the schedule are excluded
-    from the mean (with [crashes <= ε] none should). *)
+(** [(mean_latency_stats ...).mean] — kept for callers that only need the
+    mean.  Draws that defeat the schedule are excluded (with
+    [crashes <= ε] none should be). *)

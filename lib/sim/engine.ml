@@ -1,3 +1,7 @@
+type snapshot = { clock : float; down : Platform.proc list }
+
+let boot = { clock = 0.0; down = [] }
+
 type instance = { item : int; rep : Replica.id }
 
 type message = {
@@ -77,9 +81,12 @@ let consumer_table m =
         r.sources);
   Array.map (Array.map List.rev) table
 
-let run_impl ~n_items ~period ~failed ~timed_failures m =
+let run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m =
   if not (Mapping.is_complete m) then invalid_arg "Engine.run: incomplete mapping";
   if n_items < 1 then invalid_arg "Engine.run: n_items < 1";
+  let clock = snapshot.clock in
+  if clock < 0.0 || not (Float.is_finite clock) then
+    invalid_arg "Engine.run: snapshot clock must be finite and non-negative";
   let dag = Mapping.dag m and plat = Mapping.platform m in
   let copies = Mapping.n_copies m in
   let n_tasks = Dag.size dag and n_procs = Platform.size plat in
@@ -89,17 +96,23 @@ let run_impl ~n_items ~period ~failed ~timed_failures m =
     | None -> Metrics.period m
   in
   (* fail_time.(p) is when the processor crashes (fail-stop): work and
-     transfers completing strictly later are lost.  A crash at time 0 is
-     the paper's fail-silent-from-the-start case and also prunes replicas
-     statically (they can never produce anything). *)
+     transfers completing strictly later are lost.  A crash at or before
+     the snapshot clock is the paper's fail-silent-from-the-start case and
+     also prunes replicas statically (they can never produce anything). *)
   let fail_time = Array.make n_procs infinity in
-  List.iter (fun p -> fail_time.(p) <- 0.0) failed;
+  List.iter (fun p -> fail_time.(p) <- 0.0) (failed @ snapshot.down);
+  let seen_timed = Array.make n_procs false in
   List.iter
     (fun (p, t) ->
       if t < 0.0 then invalid_arg "Engine.run: negative failure time";
+      if seen_timed.(p) then
+        invalid_arg "Engine.run: duplicate processor in timed_failures";
+      seen_timed.(p) <- true;
       fail_time.(p) <- Float.min fail_time.(p) t)
     timed_failures;
-  let failed_procs = Array.map (fun t -> t = 0.0) (Array.init n_procs (fun p -> fail_time.(p))) in
+  let failed_procs =
+    Array.map (fun t -> t <= clock) (Array.init n_procs (fun p -> fail_time.(p)))
+  in
   let dead = replica_dead m ~failed_procs in
   let consumers = consumer_table m in
   (* Task priority: bottom level on platform-averaged weights. *)
@@ -153,7 +166,7 @@ let run_impl ~n_items ~period ~failed ~timed_failures m =
       Obs.observe "sim.heap_size" (float_of_int (Event_heap.size events))
   in
   let log = ref [] in
-  let makespan = ref 0.0 in
+  let makespan = ref clock in
   let enqueue_ready inst =
     let p = proc_of.(inst.rep.Replica.task).(inst.rep.Replica.copy) in
     ready.(p) <- inst :: ready.(p)
@@ -262,7 +275,7 @@ let run_impl ~n_items ~period ~failed ~timed_failures m =
         for copy = 0 to copies - 1 do
           if alive task copy then begin
             Event_heap.add events
-              (float_of_int item *. period)
+              (clock +. (float_of_int item *. period))
               (Inject { item; rep = { Replica.task; copy } });
             observe_heap ()
           end
@@ -345,7 +358,7 @@ let run_impl ~n_items ~period ~failed ~timed_failures m =
   in
   let item_latency =
     Array.init n_items (fun item ->
-        let injection = float_of_int item *. period in
+        let injection = clock +. (float_of_int item *. period) in
         List.fold_left
           (fun acc exit_task ->
             match acc with
@@ -382,14 +395,24 @@ let run_impl ~n_items ~period ~failed ~timed_failures m =
     messages = List.rev !log;
   }
 
-let run ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m =
+let run ?snapshot ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m
+    =
   Obs.with_span "sim.engine.run" (fun () ->
       Obs.incr "sim.runs";
       Obs.touch "sim.events_popped";
       Obs.incr
         ~by:(List.length failed + List.length timed_failures)
         "sim.failures_injected";
-      run_impl ~n_items ~period ~failed ~timed_failures m)
+      (match snapshot with
+      | None -> ()
+      | Some s ->
+          (* Epoch bookkeeping: a run that picks the stream up from a
+             surviving-state snapshot rather than time 0 is a resume. *)
+          Obs.touch "sim.epoch.resumes";
+          if s.clock > 0.0 then Obs.incr "sim.epoch.resumes";
+          Obs.observe "sim.epoch.items" (float_of_int n_items));
+      let snapshot = Option.value snapshot ~default:boot in
+      run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m)
 
 let latency ?failed m =
   let r = run ?failed ~n_items:1 m in

@@ -27,6 +27,19 @@
     execution time for a given schedule" used in the crash experiments of
     §5. *)
 
+(** Surviving-state snapshot an epoch resumes from (the operations layer
+    drives one {!run} per epoch instead of replaying from time 0):
+    [clock] is the absolute time the epoch starts — item [k] of the run is
+    injected at [clock + k · period] and every failure instant is
+    interpreted on the same absolute axis — and [down] lists the
+    processors that already crashed in earlier epochs (statically dead,
+    exactly like [failed]). *)
+type snapshot = { clock : float; down : Platform.proc list }
+
+val boot : snapshot
+(** [{ clock = 0.0; down = [] }]: the fresh-stream state.  [run] without
+    [?snapshot] behaves exactly as before the epoch API existed. *)
+
 type instance = { item : int; rep : Replica.id }
 
 type message = {
@@ -49,23 +62,31 @@ type result = {
 }
 
 val run :
+  ?snapshot:snapshot ->
   ?n_items:int ->
   ?period:float ->
   ?failed:Platform.proc list ->
   ?timed_failures:(Platform.proc * float) list ->
   Mapping.t ->
   result
-(** Execute the mapping.  [n_items] defaults to 1, [period] to the mapping's
-    achieved period (irrelevant when [n_items = 1]), [failed] to no
-    failures.
+(** Execute the mapping.  [snapshot] defaults to {!boot}, [n_items] to 1,
+    [period] to the mapping's achieved period (irrelevant when
+    [n_items = 1]), [failed] to no failures.
 
     [timed_failures] crashes processors mid-stream (fail-stop): work or
     transfers that would complete strictly after the processor's crash
     instant are lost, in-flight messages from the crashed sender never
     arrive, and nothing starts on it afterwards; results produced up to the
-    crash remain valid.  [failed] is shorthand for a crash at time 0.
+    crash remain valid.  [failed] is shorthand for a crash at time 0.  A
+    crash at or before the snapshot clock is fail-silent-from-the-start:
+    the replicas on that processor are pruned statically.
+
+    With [?snapshot] the run records [sim.epoch.resumes] (clock > 0) and a
+    [sim.epoch.items] histogram sample; without it the recorded metrics
+    are exactly the pre-epoch ones.
     @raise Invalid_argument if the mapping is incomplete, [n_items < 1],
-    [period < 0], or a failure time is negative. *)
+    [period < 0], a failure time is negative, a processor appears twice in
+    [timed_failures], or the snapshot clock is negative or not finite. *)
 
 val latency : ?failed:Platform.proc list -> Mapping.t -> float option
 (** Single-item latency: [run ~n_items:1] and the first {!result.item_latency}. *)

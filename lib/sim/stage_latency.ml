@@ -63,7 +63,7 @@ let latency ?failed m ~throughput =
     (fun depth -> float_of_int ((2 * depth) - 1) /. throughput)
     (effective_depth ?failed m)
 
-let mean_crash_latency ~rand_int ~crashes ~runs ~throughput m =
+let mean_crash_latency_stats ~rand_int ~crashes ~runs ~throughput m =
   let n_procs = Platform.size (Mapping.platform m) in
   if crashes > n_procs then
     invalid_arg "Stage_latency.mean_crash_latency: more crashes than processors";
@@ -78,13 +78,21 @@ let mean_crash_latency ~rand_int ~crashes ~runs ~throughput m =
     in
     pick [] crashes
   in
-  let rec loop i total count =
+  let rec loop i total count defeated =
     if i >= runs then
-      if count = 0 then None else Some (total /. float_of_int count)
+      {
+        Crash.mean =
+          (if count = 0 then None else Some (total /. float_of_int count));
+        draws = runs;
+        defeated_draws = defeated;
+      }
     else begin
       match latency ~failed:(draw ()) m ~throughput with
-      | Some l -> loop (i + 1) (total +. l) (count + 1)
-      | None -> loop (i + 1) total count
+      | Some l -> loop (i + 1) (total +. l) (count + 1) defeated
+      | None -> loop (i + 1) total count (defeated + 1)
     end
   in
-  loop 0 0.0 0
+  loop 0 0.0 0 0
+
+let mean_crash_latency ~rand_int ~crashes ~runs ~throughput m =
+  (mean_crash_latency_stats ~rand_int ~crashes ~runs ~throughput m).Crash.mean

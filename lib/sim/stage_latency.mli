@@ -26,6 +26,17 @@ val latency :
   ?failed:Platform.proc list -> Mapping.t -> throughput:float -> float option
 (** [(2·S_eff − 1) / T]. *)
 
+val mean_crash_latency_stats :
+  rand_int:(int -> int) ->
+  crashes:int ->
+  runs:int ->
+  throughput:float ->
+  Mapping.t ->
+  Crash.stats
+(** Average {!latency} over [runs] uniform draws of [crashes] distinct
+    failed processors, with the draws that defeated the schedule counted
+    in {!Crash.stats.defeated_draws} instead of silently dropped. *)
+
 val mean_crash_latency :
   rand_int:(int -> int) ->
   crashes:int ->
@@ -33,6 +44,5 @@ val mean_crash_latency :
   throughput:float ->
   Mapping.t ->
   float option
-(** Average {!latency} over [runs] uniform draws of [crashes] distinct
-    failed processors; draws that defeat the schedule are excluded.
-    [None] if every draw did. *)
+(** The mean of {!mean_crash_latency_stats}; draws that defeat the
+    schedule are excluded.  [None] if every draw did. *)

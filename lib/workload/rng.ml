@@ -28,6 +28,12 @@ let float t x =
   Int64.to_float mantissa /. 9007199254740992.0 *. x
 
 let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: non-positive rate";
+  (* float is uniform in [0, 1), so 1 - u is in (0, 1] and the log is
+     finite. *)
+  -.log1p (-.float t 1.0) /. rate
 let uniform_int t ~lo ~hi = lo + int t (hi - lo + 1)
 let bool t p = float t 1.0 < p
 

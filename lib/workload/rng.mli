@@ -25,6 +25,11 @@ val float : t -> float -> float
 val uniform : t -> lo:float -> hi:float -> float
 (** Uniform in [[lo, hi)]. *)
 
+val exponential : t -> rate:float -> float
+(** Exponentially distributed with the given rate (mean [1 / rate]) —
+    the fail-stop inter-arrival law of the operations simulator.
+    @raise Invalid_argument if [rate <= 0]. *)
+
 val uniform_int : t -> lo:int -> hi:int -> int
 (** Uniform in [[lo, hi]] (inclusive). *)
 

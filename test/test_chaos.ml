@@ -1,0 +1,162 @@
+(* The chaos harness: seed-pinned long-horizon operation of R-LTF
+   mappings under escalating failure pressure.  Every timeline is
+   deterministic (pinned seeds, pinned sweep), so the assertions are
+   exact, not statistical:
+
+   - the recovery engine never throws across hundreds of epochs;
+   - every epoch that is not a terminal outage runs a structurally valid
+     mapping, fault-tolerant to the tolerance it advertises;
+   - per-epoch accounting is sane (downtime >= 0, delivered <= injected,
+     availability in [0,1]);
+   - for a fixed seed, availability is monotonically non-increasing in
+     the failure rate — the common-random-numbers design of
+     Failure_gen.lifetimes makes the crash sets nested across the sweep,
+     so more pressure can only lose more items. *)
+
+open Test_support
+
+let case = Fixtures.case
+let check_true = Fixtures.check_true
+
+let seeds = [ 11; 23; 37; 51; 64; 78; 86; 99 ]
+
+(* Failure pressure in crashes per processor per 1000 injected items;
+   increasing, for the monotonicity assertion. *)
+let pressures = [ 2.0; 5.0; 10.0 ]
+
+let horizon_items = 100
+
+let spec =
+  {
+    Paper_workload.default_spec with
+    Paper_workload.tasks_range = (20, 40);
+    m = 8;
+  }
+
+let eps = 1
+
+let mapping_of seed =
+  let rng = Rng.create ~seed in
+  let inst = Paper_workload.instance ~spec ~rng ~granularity:1.0 () in
+  Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf
+    (Types.problem ~dag:inst.Paper_workload.dag
+       ~platform:inst.Paper_workload.plat ~eps
+       ~throughput:(Paper_workload.throughput ~eps))
+
+let operate ~seed ~pressure mapping =
+  let throughput = Paper_workload.throughput ~eps in
+  let p = Float.max (1.0 /. throughput) (Metrics.period mapping) in
+  let config =
+    {
+      Stream_ops.horizon = float_of_int horizon_items *. p;
+      hazard = Failure_gen.uniform ~lambda:(pressure /. (1000.0 *. p));
+      max_attempts = None;
+      reconfig_delay = 2.0 *. p;
+      max_items_per_epoch = horizon_items + 8;
+    }
+  in
+  (* The operations RNG depends on the seed only, never on the pressure:
+     equal generator states across the sweep are what make the crash
+     sets nested (common random numbers). *)
+  let rng = Rng.create ~seed:(0x5EED + seed) in
+  Stream_ops.run ~config ~rng ~throughput mapping
+
+let check_epoch ~seed ~pressure (ep : Stream_ops.epoch) =
+  let ctx = Printf.sprintf "seed %d pressure %.1f epoch %d" seed pressure in
+  check_true (ctx ep.Stream_ops.index ^ ": downtime >= 0")
+    (ep.Stream_ops.downtime >= 0.0);
+  check_true (ctx ep.Stream_ops.index ^ ": delivered <= injected")
+    (ep.Stream_ops.delivered <= ep.Stream_ops.injected
+    && ep.Stream_ops.delivered >= 0);
+  check_true (ctx ep.Stream_ops.index ^ ": lost accounts for the rest")
+    (ep.Stream_ops.lost = ep.Stream_ops.injected - ep.Stream_ops.delivered);
+  check_true (ctx ep.Stream_ops.index ^ ": time moves forward")
+    (ep.Stream_ops.t_end >= ep.Stream_ops.t_start);
+  match ep.Stream_ops.decision with
+  | Stream_ops.Outage _ -> ()
+  | Stream_ops.Ran_clean | Stream_ops.Restored _ -> (
+      (match Validate.structure ep.Stream_ops.mapping with
+      | [] -> ()
+      | e :: _ ->
+          Alcotest.failf "%s: invalid mapping: %s"
+            (ctx ep.Stream_ops.index)
+            (Validate.error_to_string e));
+      if ep.Stream_ops.tolerance > 0 then
+        match Validate.fault_tolerance ep.Stream_ops.mapping with
+        | [] -> ()
+        | e :: _ ->
+            Alcotest.failf "%s: tolerance %d not honoured: %s"
+              (ctx ep.Stream_ops.index)
+              ep.Stream_ops.tolerance
+              (Validate.error_to_string e))
+
+let chaos_tests =
+  [
+    case "hundreds of epochs survive escalating failure pressure" (fun () ->
+        let total_epochs = ref 0 and total_crashes = ref 0 in
+        List.iter
+          (fun seed ->
+            let mapping = mapping_of seed in
+            let availabilities =
+              List.map
+                (fun pressure ->
+                  let report = operate ~seed ~pressure mapping in
+                  total_epochs :=
+                    !total_epochs + List.length report.Stream_ops.epochs;
+                  total_crashes := !total_crashes + report.Stream_ops.crashes;
+                  check_true
+                    (Printf.sprintf "seed %d pressure %.1f: availability in range"
+                       seed pressure)
+                    (report.Stream_ops.availability >= 0.0
+                    && report.Stream_ops.availability <= 1.0);
+                  check_true
+                    (Printf.sprintf "seed %d pressure %.1f: downtime >= 0" seed
+                       pressure)
+                    (report.Stream_ops.total_downtime >= 0.0);
+                  List.iter (check_epoch ~seed ~pressure)
+                    report.Stream_ops.epochs;
+                  report.Stream_ops.availability)
+                pressures
+            in
+            (* nested crash sets: more pressure can only lose more *)
+            ignore
+              (List.fold_left
+                 (fun prev avail ->
+                   check_true
+                     (Printf.sprintf
+                        "seed %d: availability non-increasing in the rate" seed)
+                     (avail <= prev +. 1e-9);
+                   avail)
+                 infinity availabilities))
+          seeds;
+        check_true
+          (Printf.sprintf "enough epochs driven (%d)" !total_epochs)
+          (!total_epochs >= 100);
+        check_true
+          (Printf.sprintf "enough crashes recovered (%d)" !total_crashes)
+          (!total_crashes >= 30));
+    case "a timeline is deterministic for a pinned seed" (fun () ->
+        let seed = List.hd seeds and pressure = List.nth pressures 1 in
+        let mapping = mapping_of seed in
+        let a = operate ~seed ~pressure mapping in
+        let b = operate ~seed ~pressure mapping in
+        Fixtures.check_int "same epoch count"
+          (List.length a.Stream_ops.epochs)
+          (List.length b.Stream_ops.epochs);
+        check_true "same availability bits"
+          (Int64.bits_of_float a.Stream_ops.availability
+          = Int64.bits_of_float b.Stream_ops.availability);
+        check_true "same latency bits"
+          (Int64.bits_of_float a.Stream_ops.mean_latency
+          = Int64.bits_of_float b.Stream_ops.mean_latency));
+    case "a zero rate never crashes and delivers everything" (fun () ->
+        let mapping = mapping_of 11 in
+        let report = operate ~seed:11 ~pressure:0.0 mapping in
+        Fixtures.check_int "no crashes" 0 report.Stream_ops.crashes;
+        Fixtures.check_int "one clean epoch" 1
+          (List.length report.Stream_ops.epochs);
+        check_true "full availability" (report.Stream_ops.availability = 1.0);
+        check_true "no outage" (not report.Stream_ops.outage));
+  ]
+
+let () = Alcotest.run "chaos" [ ("recovery-engine", chaos_tests) ]

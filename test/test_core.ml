@@ -537,6 +537,23 @@ let optimal_tests =
 (* Recovery                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* chain2 with both tasks replicated on {P0, P1} of a uniform platform of
+   [m] processors: killing P0 forces every re-placement onto the same
+   survivors, which lets a throughput bound make the chain degrade on
+   cue. *)
+let two_on_shared_lanes ?(m = 3) () =
+  let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+  let mapping = Mapping.create ~dag ~platform:(Fixtures.uniform m) ~eps:1 in
+  let id task copy = { Replica.task; copy } in
+  let place task copy proc sources =
+    Mapping.assign mapping { Replica.id = id task copy; proc; sources }
+  in
+  place 0 0 0 [];
+  place 0 1 1 [];
+  place 1 0 0 [ (0, [ id 0 0 ]) ];
+  place 1 1 1 [ (0, [ id 0 1 ]) ];
+  mapping
+
 let recovery_tests =
   let scheduled ?(eps = 1) ?(m = 8) ?(throughput = 0.05) dag =
     Fixtures.must_schedule `Rltf
@@ -600,6 +617,147 @@ let recovery_tests =
         match Recovery.restore m ~failed:[] with
         | Error e -> Alcotest.failf "recovery failed: %s" (Recovery.error_to_string e)
         | Ok restored -> Fixtures.check_tolerant restored);
+    case "recovery refuses when no survivor has room" (fun () ->
+        (* Two chained tasks, both replicated on {P0, P1}; killing P0
+           leaves P2 the only sibling-free survivor.  Under a 0.6
+           throughput bound (load cap 1/0.6) P2 takes t0's replica (load
+           1) but has no room for t1's, so restoration must report
+           No_room rather than overload it. *)
+        let m = two_on_shared_lanes () in
+        (match Recovery.restore ~throughput:0.6 m ~failed:[ 0 ] with
+        | Error (Recovery.No_room (task, copy)) ->
+            check_int "second task is stuck" 1 task;
+            check_int "its lane-0 copy" 0 copy
+        | Error e -> Alcotest.failf "unexpected error: %s" (Recovery.error_to_string e)
+        | Ok _ -> Alcotest.fail "expected No_room");
+        (* without the bound the same restoration goes through *)
+        match Recovery.restore m ~failed:[ 0 ] with
+        | Error e -> Alcotest.failf "unbounded restore failed: %s" (Recovery.error_to_string e)
+        | Ok restored -> Fixtures.check_tolerant ~what:"unbounded restore" restored);
+    case "restored mappings pass Validate with disjoint survivor kills (QCheck)"
+      (fun () ->
+        let prop seed =
+          let inst = Fixtures.paper_instance ~seed () in
+          let throughput = Paper_workload.throughput ~eps:1 in
+          let m =
+            Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf
+              (Types.problem ~dag:inst.Paper_workload.dag
+                 ~platform:inst.Paper_workload.plat ~eps:1 ~throughput)
+          in
+          let n = Platform.size (Mapping.platform m) in
+          let victim = seed mod n in
+          match Recovery.restore m ~failed:[ victim ] with
+          | Error e ->
+              Alcotest.failf "restore failed: %s" (Recovery.error_to_string e)
+          | Ok restored ->
+              Fixtures.check_tolerant ~what:"restored" restored;
+              (* the victim is already dead: the restored mapping must
+                 survive {victim, p} for every surviving processor p *)
+              List.for_all
+                (fun p ->
+                  p = victim || Validate.survives restored ~failed:[ victim; p ])
+                (Platform.procs (Mapping.platform restored))
+        in
+        QCheck.Test.check_exn
+          (QCheck.Test.make ~count:15 ~name:"restored-validates"
+             QCheck.(int_range 0 10_000)
+             prop));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Recovery policy: the degradation chain                               *)
+(* ------------------------------------------------------------------ *)
+
+let policy_tests =
+  let level_of = function
+    | Recovery_policy.Restored o -> Recovery_policy.level_to_string o.Recovery_policy.level
+    | Recovery_policy.Outage _ -> "outage"
+  in
+  [
+    case "a feasible restore keeps full strength" (fun () ->
+        let m = two_on_shared_lanes ~m:4 () in
+        match Recovery_policy.react ~throughput:0.4 ~failed:[ 0 ] m with
+        | Recovery_policy.Restored o ->
+            check_int "one attempt" 1 o.Recovery_policy.attempts;
+            check_int "tolerance back to eps" 1 o.Recovery_policy.tolerance;
+            check_true "full strength"
+              (o.Recovery_policy.level = Recovery_policy.Full_strength);
+            check_true "identity processor table"
+              (o.Recovery_policy.procs = [| 0; 1; 2; 3 |]);
+            Fixtures.check_tolerant ~what:"full-strength" o.Recovery_policy.mapping
+        | v -> Alcotest.failf "expected Full_strength, got %s" (level_of v));
+    case "a throughput-bound failure relaxes to the achieved period" (fun () ->
+        (* same instance as the No_room test: the bounded restore fails,
+           the unbounded one succeeds on the next rung *)
+        let m = two_on_shared_lanes () in
+        match Recovery_policy.react ~throughput:0.6 ~failed:[ 0 ] m with
+        | Recovery_policy.Restored o ->
+            check_int "two attempts" 2 o.Recovery_policy.attempts;
+            check_true "relaxed"
+              (o.Recovery_policy.level = Recovery_policy.Relaxed_throughput);
+            check_int "tolerance kept" 1 o.Recovery_policy.tolerance;
+            Fixtures.check_tolerant ~what:"relaxed" o.Recovery_policy.mapping
+        | v -> Alcotest.failf "expected Relaxed_throughput, got %s" (level_of v));
+    case "too few survivors reduce the replication degree" (fun () ->
+        (* eps = 2 needs 3 processors; kill 2 of 4 and only eps' = 1 fits
+           the surviving pair *)
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m =
+          Fixtures.must_schedule `Rltf
+            (Types.problem ~dag ~platform:(Fixtures.uniform 4) ~eps:2
+               ~throughput:0.01)
+        in
+        match Recovery_policy.react ~throughput:0.01 ~failed:[ 0; 1 ] m with
+        | Recovery_policy.Restored o ->
+            check_true "reduced degree"
+              (o.Recovery_policy.level = Recovery_policy.Reduced_eps 1);
+            check_int "tolerance is eps'" 1 o.Recovery_policy.tolerance;
+            check_true "survivor sub-platform"
+              (o.Recovery_policy.procs = [| 2; 3 |]);
+            check_int "remapped on the survivors" 2
+              (Platform.size
+                 (Mapping.platform o.Recovery_policy.mapping))
+        | v -> Alcotest.failf "expected Reduced_eps 1, got %s" (level_of v));
+    case "a single survivor gets the unreplicated remap" (fun () ->
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m =
+          Fixtures.must_schedule `Rltf
+            (Types.problem ~dag ~platform:(Fixtures.uniform 3) ~eps:1
+               ~throughput:0.01)
+        in
+        match Recovery_policy.react ~throughput:0.01 ~failed:[ 0; 1 ] m with
+        | Recovery_policy.Restored o ->
+            check_true "best effort"
+              (o.Recovery_policy.level = Recovery_policy.Best_effort_remap);
+            check_int "no tolerance left" 0 o.Recovery_policy.tolerance;
+            check_true "lives on the last survivor"
+              (o.Recovery_policy.procs = [| 2 |])
+        | v -> Alcotest.failf "expected Best_effort_remap, got %s" (level_of v));
+    case "no survivors is a terminal outage" (fun () ->
+        let m = two_on_shared_lanes () in
+        match Recovery_policy.react ~throughput:0.6 ~failed:[ 0; 1; 2 ] m with
+        | Recovery_policy.Outage { attempts } -> check_int "no rungs tried" 0 attempts
+        | v -> Alcotest.failf "expected Outage, got %s" (level_of v));
+    case "the retry budget cuts the chain short" (fun () ->
+        (* one attempt only: the bounded restore fails and nothing else
+           may be tried *)
+        let m = two_on_shared_lanes () in
+        match
+          Recovery_policy.react ~max_attempts:1 ~throughput:0.6 ~failed:[ 0 ] m
+        with
+        | Recovery_policy.Outage { attempts } -> check_int "one rung" 1 attempts
+        | v -> Alcotest.failf "expected Outage, got %s" (level_of v));
+    case "react validates its arguments" (fun () ->
+        let m = two_on_shared_lanes () in
+        Alcotest.check_raises "out of range" (Invalid_argument "") (fun () ->
+            try ignore (Recovery_policy.react ~throughput:0.6 ~failed:[ 9 ] m)
+            with Invalid_argument _ -> raise (Invalid_argument ""));
+        Alcotest.check_raises "bad budget" (Invalid_argument "") (fun () ->
+            try
+              ignore
+                (Recovery_policy.react ~max_attempts:0 ~throughput:0.6
+                   ~failed:[ 0 ] m)
+            with Invalid_argument _ -> raise (Invalid_argument "")));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -669,6 +827,7 @@ let () =
       ("extensions", extension_tests);
       ("exact-optimum", optimal_tests);
       ("recovery", recovery_tests);
+      ("recovery-policy", policy_tests);
       ("ablation-options", options_tests);
       ("integration", integration_tests);
     ]

@@ -300,12 +300,20 @@ let report_tests =
               (List.length missing));
     case "validate_string rejects invalid JSON" (fun () ->
         check_true "rejected" (Result.is_error (Obs_report.validate_string "{")));
-    slow_case "a latency profile run satisfies --check-metrics" (fun () ->
+    slow_case "a latency+recovery profile run satisfies --check-metrics"
+      (fun () ->
         with_obs (fun () ->
-            let e = Option.get (Runner.find "latency") in
+            (* The documented key set spans both profiles: the latency
+               experiment covers the scheduler/simulator/sweep keys, the
+               recovery experiment the ops.recovery.* family — the same
+               pair CI profiles for --check-metrics. *)
             let out_dir = Filename.temp_file "obs" ".d" in
             Sys.remove out_dir;
-            e.Runner.run ~quick:true ~seed:7 ~jobs:2 ~out_dir;
+            List.iter
+              (fun name ->
+                let e = Option.get (Runner.find name) in
+                e.Runner.run ~quick:true ~seed:7 ~jobs:2 ~out_dir)
+              [ "latency"; "recovery" ];
             let json = Obs.Registry.to_json (Obs.snapshot ()) in
             match Obs_report.validate_string json with
             | Ok () -> ()

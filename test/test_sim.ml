@@ -292,6 +292,127 @@ let timed_failure_tests =
         Alcotest.check_raises "negative" (Invalid_argument "") (fun () ->
             try ignore (Engine.run ~timed_failures:[ (0, -1.0) ] (lanes ()))
             with Invalid_argument _ -> raise (Invalid_argument "")));
+    case "duplicate processors in timed_failures are rejected" (fun () ->
+        Alcotest.check_raises "duplicate" (Invalid_argument "") (fun () ->
+            try
+              ignore
+                (Engine.run
+                   ~timed_failures:[ (0, 1.0); (0, 2.0) ]
+                   (lanes ()))
+            with Invalid_argument _ -> raise (Invalid_argument "")));
+    case "a crash at time zero equals fail-silent on paper instances (QCheck)"
+      (fun () ->
+        let prop seed =
+          let inst = Fixtures.paper_instance ~seed () in
+          let throughput = Paper_workload.throughput ~eps:1 in
+          let m =
+            Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf
+              (Types.problem ~dag:inst.Paper_workload.dag
+                 ~platform:inst.Paper_workload.plat ~eps:1 ~throughput)
+          in
+          let p = seed mod Platform.size (Mapping.platform m) in
+          let a = Engine.run ~n_items:3 ~failed:[ p ] m in
+          let b = Engine.run ~n_items:3 ~timed_failures:[ (p, 0.0) ] m in
+          let lat r =
+            Array.to_list
+              (Array.map
+                 (function
+                   | None -> Int64.min_int | Some l -> Int64.bits_of_float l)
+                 r.Engine.item_latency)
+          in
+          lat a = lat b
+          && Int64.bits_of_float a.Engine.makespan
+             = Int64.bits_of_float b.Engine.makespan
+          && List.length a.Engine.messages = List.length b.Engine.messages
+        in
+        QCheck.Test.check_exn
+          (QCheck.Test.make ~count:15 ~name:"timed-zero-equals-failed"
+             QCheck.(int_range 0 10_000)
+             prop));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine: epoch resume                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let epoch_tests =
+  let lat_bits r =
+    Array.to_list
+      (Array.map
+         (function None -> Int64.min_int | Some l -> Int64.bits_of_float l)
+         r.Engine.item_latency)
+  in
+  [
+    case "a clock shift leaves per-item latencies bit-identical" (fun () ->
+        let m = lanes () in
+        let base = Engine.run ~n_items:3 ~period:10.0 m in
+        let shifted =
+          Engine.run
+            ~snapshot:{ Engine.clock = 7.5; down = [] }
+            ~n_items:3 ~period:10.0 m
+        in
+        Alcotest.(check (list int64))
+          "latencies are injection-relative" (lat_bits base) (lat_bits shifted);
+        check_float "makespan shifts with the clock"
+          (base.Engine.makespan +. 7.5)
+          shifted.Engine.makespan);
+    case "snapshot.down equals failed" (fun () ->
+        let m = lanes () in
+        let a = Engine.run ~n_items:2 ~period:10.0 ~failed:[ 0 ] m in
+        let b =
+          Engine.run
+            ~snapshot:{ Engine.clock = 0.0; down = [ 0 ] }
+            ~n_items:2 ~period:10.0 m
+        in
+        Alcotest.(check (list int64)) "same outcome" (lat_bits a) (lat_bits b));
+    case "a crash at or before the resume clock is statically pruned"
+      (fun () ->
+        let m = lanes () in
+        let via_down =
+          Engine.run
+            ~snapshot:{ Engine.clock = 5.0; down = [ 0 ] }
+            ~n_items:2 ~period:10.0 m
+        in
+        let via_timed =
+          Engine.run
+            ~snapshot:{ Engine.clock = 5.0; down = [] }
+            ~n_items:2 ~period:10.0 ~timed_failures:[ (0, 3.0) ] m
+        in
+        Alcotest.(check (list int64))
+          "same outcome" (lat_bits via_down) (lat_bits via_timed));
+    case "boot snapshot equals not passing one" (fun () ->
+        let m = lanes () in
+        let a = Engine.run ~n_items:2 ~period:10.0 m in
+        let b = Engine.run ~snapshot:Engine.boot ~n_items:2 ~period:10.0 m in
+        Alcotest.(check (list int64)) "identical" (lat_bits a) (lat_bits b);
+        check_float "same makespan" a.Engine.makespan b.Engine.makespan);
+    case "a mid-epoch crash after resume loses the in-flight work" (fun () ->
+        (* lane 0 runs items [10,13) and [20,23); crashing P0 at 21.5 after
+           resuming at 10 must still deliver every item via lane 1 *)
+        let m = lanes () in
+        let r =
+          Engine.run
+            ~snapshot:{ Engine.clock = 10.0; down = [] }
+            ~n_items:2 ~period:10.0
+            ~timed_failures:[ (0, 21.5) ]
+            m
+        in
+        Array.iter
+          (fun l -> check_true "delivered by the survivor" (l <> None))
+          r.Engine.item_latency;
+        check_true "t2(0) of item 1 lost with P0"
+          (r.Engine.finish_time 1 (id 2 0) = None));
+    case "negative or non-finite snapshot clocks are rejected" (fun () ->
+        List.iter
+          (fun clock ->
+            Alcotest.check_raises "bad clock" (Invalid_argument "") (fun () ->
+                try
+                  ignore
+                    (Engine.run
+                       ~snapshot:{ Engine.clock; down = [] }
+                       (lanes ()))
+                with Invalid_argument _ -> raise (Invalid_argument "")))
+          [ -1.0; Float.nan; Float.infinity ]);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -384,6 +505,56 @@ let crash_tests =
             ~crashes:1 ~runs:10 (lanes ())
         in
         check_float "all draws survive at 3.0" 3.0 (Option.get mean));
+    case "with_failures marks defeated draws" (fun () ->
+        let alive = Crash.with_failures (lanes ()) ~failed:[ 1 ] in
+        check_true "survivor not defeated" (not alive.Crash.defeated);
+        let dead = Crash.with_failures (lanes ()) ~failed:[ 0; 1 ] in
+        check_true "no latency" (dead.Crash.latency = None);
+        check_true "defeated" dead.Crash.defeated);
+    case "stats count defeated draws" (fun () ->
+        (* two crashes on the four-processor lanes: only the {0,1} pair
+           (1 of 6) kills both lanes, so a long run sees some but not
+           only defeats *)
+        let rng = Rng.create ~seed:11 in
+        let stats =
+          Crash.mean_latency_stats
+            ~rand_int:(fun b -> Rng.int rng b)
+            ~crashes:2 ~runs:48 (lanes ())
+        in
+        check_int "every draw counted" 48 stats.Crash.draws;
+        check_true "some defeats" (stats.Crash.defeated_draws > 0);
+        check_true "not all defeats" (stats.Crash.defeated_draws < 48);
+        check_float "defeat rate"
+          (float_of_int stats.Crash.defeated_draws /. 48.0)
+          (Crash.defeat_rate stats);
+        check_float "surviving draws still deliver 3.0" 3.0
+          (Option.get stats.Crash.mean));
+    case "mean_latency agrees with the stats mean" (fun () ->
+        let draws seed =
+          let rng = Rng.create ~seed in
+          fun b -> Rng.int rng b
+        in
+        let plain =
+          Crash.mean_latency ~rand_int:(draws 21) ~crashes:2 ~runs:16
+            (lanes ())
+        in
+        let stats =
+          Crash.mean_latency_stats ~rand_int:(draws 21) ~crashes:2 ~runs:16
+            (lanes ())
+        in
+        (* the stats variant consumes the exact same draw sequence *)
+        check_true "same option shape" (plain = stats.Crash.mean));
+    case "stage-latency stats expose the defeat rate" (fun () ->
+        let rng = Rng.create ~seed:5 in
+        let stats =
+          Stage_latency.mean_crash_latency_stats
+            ~rand_int:(fun b -> Rng.int rng b)
+            ~crashes:2 ~runs:48 ~throughput:0.1 (lanes ())
+        in
+        check_int "draws" 48 stats.Crash.draws;
+        check_true "defeats seen" (stats.Crash.defeated_draws > 0);
+        check_true "rate in (0,1)"
+          (Crash.defeat_rate stats > 0.0 && Crash.defeat_rate stats < 1.0));
   ]
 
 let () =
@@ -393,6 +564,7 @@ let () =
       ("engine-timing", engine_tests);
       ("engine-failures", failure_tests);
       ("engine-timed-failures", timed_failure_tests);
+      ("engine-epochs", epoch_tests);
       ("engine-pipeline", pipeline_tests);
       ("stage-latency", stage_latency_tests);
       ("crash", crash_tests);
