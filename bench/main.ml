@@ -308,6 +308,110 @@ let sched_tests =
     sched_pairs
 
 (* ------------------------------------------------------------------ *)
+(* Compiled simulator: before/after pairs                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each pair plays the same simulation scenario the way every caller did
+   it before the compile/run split — Engine.run pays the full per-mapping
+   flattening on every invocation — and the way the hot callers do it now,
+   replaying a program compiled once outside the timed region.  Both sides
+   produce bit-identical results. *)
+
+let sim_instance ~seed ~tasks =
+  let rng = Rng.create ~seed in
+  let spec = { Paper_workload.default_spec with tasks_range = (tasks, tasks) } in
+  Paper_workload.instance ~spec ~rng ~granularity:1.0 ()
+
+let sim_mapping ~seed ~tasks ~eps =
+  let inst = sim_instance ~seed ~tasks in
+  let prob =
+    Types.problem ~dag:inst.Paper_workload.dag
+      ~platform:inst.Paper_workload.plat ~eps
+      ~throughput:(Paper_workload.throughput ~eps)
+  in
+  match Rltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
+  | Ok m -> m
+  | Error _ -> failwith "bench fixture: R-LTF failed on sim workload"
+
+let sim_small = sim_mapping ~seed:41 ~tasks:50 ~eps:1
+let sim_medium = sim_mapping ~seed:42 ~tasks:100 ~eps:1
+let sim_large = sim_mapping ~seed:43 ~tasks:150 ~eps:2
+
+let sim_small_prog = Engine.compile sim_small
+let sim_medium_prog = Engine.compile sim_medium
+let sim_large_prog = Engine.compile sim_large
+
+let crash_draws_per_mapping = 20
+
+(* Legacy shape: every draw recompiles (Crash.sample compiles per call,
+   exactly what the pre-split engine paid per Engine.run). *)
+let crash_draws_legacy () =
+  let rng = Rng.create ~seed:47 in
+  for _ = 1 to crash_draws_per_mapping do
+    ignore (Crash.sample ~rand_int:(fun b -> Rng.int rng b) ~crashes:1 sim_medium)
+  done
+
+let crash_draws_compiled () =
+  let rng = Rng.create ~seed:47 in
+  for _ = 1 to crash_draws_per_mapping do
+    ignore
+      (Crash.sample_compiled
+         ~rand_int:(fun b -> Rng.int rng b)
+         ~crashes:1 sim_medium_prog)
+  done
+
+let epochs_per_mapping = 8
+
+let epochs_run run_one =
+  (* The operations layer's shape: one short resumed run per epoch against
+     an unchanged mapping. *)
+  let clock = ref 0.0 in
+  for _ = 1 to epochs_per_mapping do
+    ignore
+      (run_one ~snapshot:{ Engine.clock = !clock; down = [] } ~n_items:4);
+    clock := !clock +. 100.0
+  done
+
+let sim_pairs : (string * (unit -> unit) * (unit -> unit)) list =
+  [
+    ( "single fault-free run (small, v=50)",
+      opaque (fun () -> Engine.run sim_small),
+      opaque (fun () -> Engine.run_compiled sim_small_prog) );
+    ( "single fault-free run (medium, v=100)",
+      opaque (fun () -> Engine.run sim_medium),
+      opaque (fun () -> Engine.run_compiled sim_medium_prog) );
+    ( "single fault-free run (large, v=150, eps=2)",
+      opaque (fun () -> Engine.run sim_large),
+      opaque (fun () -> Engine.run_compiled sim_large_prog) );
+    ( "single crashy run (medium, mid-stream fail-stop)",
+      opaque (fun () ->
+          Engine.run ~n_items:4 ~timed_failures:[ (3, 120.0) ] sim_medium),
+      opaque (fun () ->
+          Engine.run_compiled ~n_items:4
+            ~timed_failures:[ (3, 120.0) ]
+            sim_medium_prog) );
+    ( "20 crash draws, one mapping (compile-once)",
+      opaque crash_draws_legacy,
+      opaque crash_draws_compiled );
+    ( "8 resumed epochs, one mapping (stream ops shape)",
+      opaque (fun () ->
+          epochs_run (fun ~snapshot ~n_items ->
+              Engine.run ~snapshot ~n_items sim_medium)),
+      opaque (fun () ->
+          epochs_run (fun ~snapshot ~n_items ->
+              Engine.run_compiled ~snapshot ~n_items sim_medium_prog)) );
+  ]
+
+let sim_tests =
+  List.concat_map
+    (fun (name, before, after) ->
+      [
+        Test.make ~name:(name ^ " [before]") (Staged.stage before);
+        Test.make ~name:(name ^ " [after]") (Staged.stage after);
+      ])
+    sim_pairs
+
+(* ------------------------------------------------------------------ *)
 (* Counter deltas                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -380,6 +484,37 @@ let run_group name tests =
     tests;
   print_newline ()
 
+(* Measure a list of (name, before, after) pairs and render them as the
+   perf-trajectory JSON pair objects shared by --sched-json and
+   --sim-json. *)
+let measure_pairs cfg pairs =
+  let measure name thunk =
+    match estimates cfg (Test.make ~name (Staged.stage thunk)) with
+    | [ (_, Some ns) ] -> ns
+    | _ -> nan
+  in
+  List.map
+    (fun (name, before, after) ->
+      let before_ns = measure (name ^ " [before]") before in
+      let after_ns = measure (name ^ " [after]") after in
+      Printf.printf "%-48s %12.0f -> %10.0f ns/run (%5.1fx)\n%!" name before_ns
+        after_ns (before_ns /. after_ns);
+      Obs.Json.Obj
+        [
+          ("name", Obs.Json.Str name);
+          ("before_ns", Obs.Json.Num before_ns);
+          ("after_ns", Obs.Json.Num after_ns);
+          ("speedup", Obs.Json.Num (before_ns /. after_ns));
+        ])
+    pairs
+
+let write_json path doc =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* --sched-json PATH: measure the before/after pairs plus the real
    scheduler trajectory points and emit them as one JSON document — the
    perf-trajectory format committed as BENCH_sched.json and produced by
@@ -391,22 +526,7 @@ let sched_json path =
     | [ (_, Some ns) ] -> ns
     | _ -> nan
   in
-  let pairs =
-    List.map
-      (fun (name, before, after) ->
-        let before_ns = measure (name ^ " [before]") before in
-        let after_ns = measure (name ^ " [after]") after in
-        Printf.printf "%-40s %12.0f -> %10.0f ns/run (%5.1fx)\n%!" name
-          before_ns after_ns (before_ns /. after_ns);
-        Obs.Json.Obj
-          [
-            ("name", Obs.Json.Str name);
-            ("before_ns", Obs.Json.Num before_ns);
-            ("after_ns", Obs.Json.Num after_ns);
-            ("speedup", Obs.Json.Num (before_ns /. after_ns));
-          ])
-      sched_pairs
-  in
+  let pairs = measure_pairs cfg sched_pairs in
   let trajectory =
     List.map
       (fun (key, thunk) ->
@@ -434,15 +554,94 @@ let sched_json path =
         ("trajectory", Obs.Json.Obj trajectory);
       ]
   in
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n%!" path
+  write_json path doc
+
+(* --sim-json PATH: the compiled-simulator before/after pairs plus the
+   single-run trajectory points, committed as BENCH_sim.json — the second
+   point of the perf trajectory. *)
+let sim_json path =
+  let cfg = bench_cfg () in
+  let measure name thunk =
+    match estimates cfg (Test.make ~name (Staged.stage thunk)) with
+    | [ (_, Some ns) ] -> ns
+    | _ -> nan
+  in
+  let pairs = measure_pairs cfg sim_pairs in
+  let trajectory =
+    List.map
+      (fun (key, thunk) ->
+        let ns = measure key thunk in
+        Printf.printf "%-48s %12.0f ns/run\n%!" key ns;
+        (key, Obs.Json.Num ns))
+      [
+        ( "engine_compile_medium_ns",
+          opaque (fun () -> Engine.compile sim_medium) );
+        ( "engine_run_compiled_medium_ns",
+          opaque (fun () -> Engine.run_compiled sim_medium_prog) );
+        ( "engine_run_compiled_20_items_ns",
+          opaque (fun () -> Engine.run_compiled ~n_items:20 sim_medium_prog) );
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "streamsched-bench-sim/1");
+        ("pairs", Obs.Json.Arr pairs);
+        ("trajectory", Obs.Json.Obj trajectory);
+      ]
+  in
+  write_json path doc
+
+(* --check-sim-json PATH: regression guard over a committed trajectory
+   file — fail the build when any recorded before/after pair has
+   regressed below break-even. *)
+let check_sim_json path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  match Obs.Json.parse body with
+  | Error msg ->
+      Printf.eprintf "%s: unparseable: %s\n" path msg;
+      exit 1
+  | Ok doc ->
+      let pairs =
+        match Obs.Json.member "pairs" doc with
+        | Some (Obs.Json.Arr pairs) -> pairs
+        | _ ->
+            Printf.eprintf "%s: no \"pairs\" array\n" path;
+            exit 1
+      in
+      let bad = ref 0 in
+      List.iter
+        (fun pair ->
+          let name =
+            match Obs.Json.member "name" pair with
+            | Some (Obs.Json.Str s) -> s
+            | _ -> "<unnamed>"
+          in
+          match Obs.Json.member "speedup" pair with
+          | Some (Obs.Json.Num s) when s >= 1.0 ->
+              Printf.printf "ok   %-48s %5.1fx\n" name s
+          | Some (Obs.Json.Num s) ->
+              Printf.printf "FAIL %-48s %5.2fx < 1.0\n" name s;
+              incr bad
+          | _ ->
+              Printf.printf "FAIL %-48s missing speedup\n" name;
+              incr bad)
+        pairs;
+      if !bad > 0 then begin
+        Printf.eprintf "%s: %d pair(s) regressed below 1.0x\n" path !bad;
+        exit 1
+      end;
+      Printf.printf "%s: %d pair(s), all at or above break-even\n" path
+        (List.length pairs)
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--sched-json" :: path :: _ -> sched_json path
+  | _ :: "--sim-json" :: path :: _ -> sim_json path
+  | _ :: "--check-sim-json" :: path :: _ -> check_sim_json path
   | _ ->
       print_endline "Benchmarks (Bechamel, monotonic clock, OLS ns/run)";
       print_endline "===================================================";
@@ -450,5 +649,6 @@ let () =
       run_group "Parallel sweep engine (domain pool)" parallel_tests;
       run_group "Scheduling algorithms" algorithm_tests;
       run_group "Incremental scheduling state (before/after)" sched_tests;
+      run_group "Compiled simulator (before/after)" sim_tests;
       run_group "Substrates" substrate_tests;
       counter_deltas ()

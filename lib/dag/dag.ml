@@ -7,7 +7,21 @@ type t = {
   succs : (task * float) list array;
   preds : (task * float) list array;
   n_edges : int;
+  edge_tbl : (int, float) Hashtbl.t;
+      (* (src * v + dst) -> volume; O(1) volume/has_edge lookups for the
+         simulator's per-finish consumer loop and the schedulers *)
 }
+
+(* The frozen edge table, rebuilt whenever the adjacency lists change
+   (build, reverse, map_weights). *)
+let index_edges succs =
+  let n = Array.length succs in
+  let tbl = Hashtbl.create (max 16 n) in
+  Array.iteri
+    (fun src l ->
+      List.iter (fun (dst, vol) -> Hashtbl.replace tbl ((src * n) + dst) vol) l)
+    succs;
+  tbl
 
 (* Kahn's algorithm; returns false when some node is unreachable from the
    zero-in-degree frontier, i.e. the edge relation has a cycle. *)
@@ -88,13 +102,15 @@ module Builder = struct
     if not (acyclic ~n:b.n ~succs ~in_degree) then
       invalid_arg "Dag.Builder.build: graph has a cycle";
     let sort = List.sort (fun (a, _) (c, _) -> compare a c) in
+    let succs = Array.map sort succs in
     {
       name = b.b_name;
       exec = Array.copy b.b_exec;
       labels = Array.copy b.b_labels;
-      succs = Array.map sort succs;
+      succs;
       preds = Array.map sort preds;
       n_edges = List.length b.b_edges;
+      edge_tbl = index_edges succs;
     }
 end
 
@@ -113,8 +129,8 @@ let succs g t = g.succs.(t)
 let preds g t = g.preds.(t)
 let out_degree g t = List.length g.succs.(t)
 let in_degree g t = List.length g.preds.(t)
-let volume g src dst = List.assoc dst g.succs.(src)
-let has_edge g src dst = List.mem_assoc dst g.succs.(src)
+let volume g src dst = Hashtbl.find g.edge_tbl ((src * size g) + dst)
+let has_edge g src dst = Hashtbl.mem g.edge_tbl ((src * size g) + dst)
 
 let filter_tasks g keep =
   let rec collect i acc =
@@ -154,6 +170,7 @@ let reverse g =
     name = g.name ^ "-rev";
     succs = Array.map (fun l -> l) g.preds;
     preds = Array.map (fun l -> l) g.succs;
+    edge_tbl = index_edges g.preds;
   }
 
 let map_weights ?exec ?volume g =
@@ -161,11 +178,13 @@ let map_weights ?exec ?volume g =
   let vol_f = match volume with Some f -> f | None -> fun _ _ w -> w in
   let remap_succs src = List.map (fun (dst, w) -> (dst, vol_f src dst w)) in
   let remap_preds dst = List.map (fun (src, w) -> (src, vol_f src dst w)) in
+  let succs = Array.mapi remap_succs g.succs in
   {
     g with
     exec = Array.mapi exec_f g.exec;
-    succs = Array.mapi remap_succs g.succs;
+    succs;
     preds = Array.mapi remap_preds g.preds;
+    edge_tbl = index_edges succs;
   }
 
 let pp ppf g =

@@ -76,17 +76,20 @@ let measure_algo config ~throughput ~rng outcome =
   | Error _ -> no_result
   | Ok mapping ->
       let bound = Metrics.latency_bound mapping ~throughput in
-      let sim = of_option (Stage_latency.latency mapping ~throughput) in
+      (* One compiled plan serves the fault-free measurement and every
+         crash draw of this mapping. *)
+      let plan = Stage_latency.compile mapping in
+      let sim = of_option (Stage_latency.latency_of_plan plan ~throughput) in
       (* The stats variant consumes the exact same draws as the plain
          mean, so adding the defeat rate changes no measured value. *)
       let crash, defeat_rate =
         if config.crashes = 0 then (sim, nan)
         else
           let stats =
-            Stage_latency.mean_crash_latency_stats
+            Stage_latency.mean_crash_latency_stats_of_plan
               ~rand_int:(fun bound -> Rng.int rng bound)
               ~crashes:config.crashes ~runs:config.crash_draws ~throughput
-              mapping
+              plan
           in
           (of_option stats.Crash.mean, Crash.defeat_rate stats)
       in

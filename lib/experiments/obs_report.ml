@@ -12,6 +12,7 @@ let required_counters =
     "sched.loads.max_cache_misses";
     "sim.events_popped";
     "sim.runs";
+    "sim.compiles";
     "sim.failures_injected";
     "sim.crash.draws";
     "sim.crash.defeats";

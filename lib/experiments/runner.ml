@@ -173,11 +173,12 @@ let all =
               with
               | Error _ -> ()
               | Ok mapping ->
-                  ignore (Engine.run ~n_items:4 mapping);
+                  let prog = Engine.compile mapping in
+                  ignore (Engine.run_compiled ~n_items:4 prog);
                   ignore
-                    (Crash.sample
+                    (Crash.sample_compiled
                        ~rand_int:(fun bound -> Rng.int rng bound)
-                       ~crashes:1 mapping);
+                       ~crashes:1 prog);
                   incr replayed)
             (List.init graphs Fun.id);
           Printf.printf "event-driven replay: %d/%d instances simulated\n"

@@ -100,6 +100,10 @@ let run ?(config = default_config) ~rng ~throughput m0 =
      processors in current indices (their replicas were moved away by the
      in-place restorations, but the engine still prunes them). *)
   let mapping = ref m0 in
+  (* The engine program for the current mapping: compiled once here and
+     recompiled only when a restoration swaps the mapping, so every epoch
+     of a quiet stretch replays the same program. *)
+  let compiled = ref (Engine.compile m0) in
   let procs = ref (Array.init (Platform.size plat0) Fun.id) in
   let down = ref [] in
   let tolerance = ref (Mapping.eps m0) in
@@ -116,7 +120,7 @@ let run ?(config = default_config) ~rng ~throughput m0 =
   (* The injection period of the current mapping: the desired one when the
      mapping sustains it, the achieved one when a degraded restoration
      runs slower (upstream backpressure). *)
-  let period () = Float.max desired_period (Metrics.period !mapping) in
+  let period () = Float.max desired_period (Engine.program_period !compiled) in
   let record_epoch ~t_start ~t_end ~crash ~downtime ~decision
       ~(run_result : Engine.result option) ~n_items ~capped ~extra_lost =
     let ep_delivered = ref 0 and ep_sum = ref 0.0 and ep_peak = ref nan in
@@ -183,12 +187,12 @@ let run ?(config = default_config) ~rng ~throughput m0 =
       if n_items = 0 then None
       else
         Some
-          (Engine.run
+          (Engine.run_compiled
              ~snapshot:{ Engine.clock = !clock; down = !down }
              ~n_items ~period:p
              ~timed_failures:
                (match crash_now with None -> [] | Some c -> [ c ])
-             !mapping)
+             !compiled)
     in
     (n_items, capped, run_result)
   in
@@ -255,6 +259,7 @@ let run ?(config = default_config) ~rng ~throughput m0 =
           ~decision:(Restored o.level) ~run_result ~n_items ~capped
           ~extra_lost:dt_lost;
         mapping := o.mapping;
+        compiled := Engine.compile o.mapping;
         procs := Array.map (fun i -> !procs.(i)) o.procs;
         tolerance := o.tolerance;
         (match o.level with

@@ -14,9 +14,11 @@ let defeat_rate s =
   if s.draws = 0 then nan
   else float_of_int s.defeated_draws /. float_of_int s.draws
 
-let with_failures m ~failed =
-  let latency = Engine.latency ~failed m in
+let with_failures_compiled p ~failed =
+  let latency = Engine.latency_compiled ~failed p in
   { failed; latency; defeated = latency = None }
+
+let with_failures m ~failed = with_failures_compiled (Engine.compile m) ~failed
 
 let draw_distinct ~rand_int ~count ~bound =
   let rec pick chosen remaining =
@@ -29,19 +31,21 @@ let draw_distinct ~rand_int ~count ~bound =
   in
   pick [] count
 
-let sample ~rand_int ~crashes m =
+let sample_compiled ~rand_int ~crashes p =
   Obs.with_span "sim.crash.sample" (fun () ->
       Obs.incr "sim.crash.draws";
       Obs.touch "sim.crash.defeats";
-      let n_procs = Platform.size (Mapping.platform m) in
+      let n_procs = Platform.size (Mapping.platform (Engine.program_mapping p)) in
       if crashes > n_procs then
         invalid_arg "Crash.sample: more crashes than processors";
       let failed = draw_distinct ~rand_int ~count:crashes ~bound:n_procs in
-      let outcome = with_failures m ~failed in
+      let outcome = with_failures_compiled p ~failed in
       if outcome.defeated then Obs.incr "sim.crash.defeats";
       outcome)
 
-let mean_latency_stats ~rand_int ~crashes ~runs m =
+let sample ~rand_int ~crashes m = sample_compiled ~rand_int ~crashes (Engine.compile m)
+
+let mean_latency_stats_compiled ~rand_int ~crashes ~runs p =
   let rec loop i total count defeated =
     if i >= runs then
       {
@@ -50,12 +54,17 @@ let mean_latency_stats ~rand_int ~crashes ~runs m =
         defeated_draws = defeated;
       }
     else begin
-      match (sample ~rand_int ~crashes m).latency with
+      match (sample_compiled ~rand_int ~crashes p).latency with
       | Some l -> loop (i + 1) (total +. l) (count + 1) defeated
       | None -> loop (i + 1) total count (defeated + 1)
     end
   in
   loop 0 0.0 0 0
+
+(* Compile once, replay per draw: the program carries every per-mapping
+   table, so the draw loop only pays the event simulation itself. *)
+let mean_latency_stats ~rand_int ~crashes ~runs m =
+  mean_latency_stats_compiled ~rand_int ~crashes ~runs (Engine.compile m)
 
 let mean_latency ~rand_int ~crashes ~runs m =
   (mean_latency_stats ~rand_int ~crashes ~runs m).mean

@@ -32,6 +32,11 @@ val defeat_rate : stats -> float
 val with_failures : Mapping.t -> failed:Platform.proc list -> outcome
 (** Deterministic single run. *)
 
+val with_failures_compiled :
+  Engine.program -> failed:Platform.proc list -> outcome
+(** {!with_failures} against a compiled program (compile once, replay per
+    failure set). *)
+
 val sample :
   rand_int:(int -> int) ->
   crashes:int ->
@@ -43,6 +48,14 @@ val sample :
     schedule.
     @raise Invalid_argument if [crashes] exceeds the processor count. *)
 
+val sample_compiled :
+  rand_int:(int -> int) ->
+  crashes:int ->
+  Engine.program ->
+  outcome
+(** {!sample} against a compiled program; consumes [rand_int] and records
+    metrics exactly as {!sample}. *)
+
 val mean_latency_stats :
   rand_int:(int -> int) ->
   crashes:int ->
@@ -50,7 +63,16 @@ val mean_latency_stats :
   Mapping.t ->
   stats
 (** {!sample} latency averaged over [runs] draws, with the defeated draws
-    counted rather than silently excluded. *)
+    counted rather than silently excluded.  Compiles the mapping once and
+    replays the program per draw. *)
+
+val mean_latency_stats_compiled :
+  rand_int:(int -> int) ->
+  crashes:int ->
+  runs:int ->
+  Engine.program ->
+  stats
+(** {!mean_latency_stats} against an already-compiled program. *)
 
 val mean_latency :
   rand_int:(int -> int) ->

@@ -20,103 +20,59 @@ type result = {
   messages : message list;
 }
 
-(* A transfer waiting for its data and for both ports. *)
-type pending_msg = {
-  p_src : instance;
-  p_dst : instance;
-  p_dur : float;
-  p_ready : float;
-  p_dst_alive : bool; (* does the destination replica actually run? *)
+(* ------------------------------------------------------------------ *)
+(* Compiled programs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A program is the mapping + DAG flattened into dense int-indexed
+   tables, built once and reused across runs (crash draws, resumed
+   epochs).  Replicas get a dense id [rid = task * copies + copy]; an
+   instance is the flat index [iidx = item * n_rids + rid], whose integer
+   order is exactly the lexicographic ((item, task, copy)) order the
+   legacy engine used for tie-breaks.  Everything in the record is
+   immutable after [compile], so a program can be shared freely; per-run
+   state lives entirely inside [run_compiled]. *)
+type program = {
+  p_mapping : Mapping.t;
+  p_tasks : int;
+  p_copies : int;
+  p_rids : int;  (* p_tasks * p_copies *)
+  p_procs : int;
+  p_topo : int array;  (* task order for the liveness sweep *)
+  p_prio : float array;  (* per task: bottom level on averaged weights *)
+  p_pred_count : int array;  (* per task *)
+  p_pred_off : int array;  (* per rid: offset into the per-item sat slab *)
+  p_total_preds : int;  (* slab stride: sum of pred counts over all rids *)
+  p_proc : int array;  (* per rid *)
+  p_exec_dur : float array;  (* per rid: execution time on its processor *)
+  (* Source sets as CSR: rid -> groups (one per predecessor task) ->
+     source rids.  Drives the per-run liveness (starvation) sweep. *)
+  p_grp_off : int array;  (* length p_rids + 1 *)
+  p_grp_src_off : int array;  (* length n_groups + 1 *)
+  p_grp_src : int array;
+  (* Consumers as CSR: rid -> (dst rid, transfer duration, position of
+     the finishing task among the destination's predecessors). *)
+  p_cons_off : int array;  (* length p_rids + 1 *)
+  p_cons_dst : int array;
+  p_cons_dur : float array;
+  p_cons_pos : int array;
+  p_entries : int array;
+  p_exits : int array;
+  p_period : float;  (* the mapping's achieved period (default period) *)
 }
 
-type event =
-  | Inject of instance           (* an entry instance becomes ready *)
-  | Finish of instance
-  | Arrival of pending_msg * float (* commit-time start *)
-  | Port_free
-      (* wake-up when a crash-lost transfer releases its ports: the
-         transfer never arrives, but other pending messages must get a
-         chance to claim the port *)
+let program_mapping p = p.p_mapping
+let program_period p = p.p_period
 
-let replica_dead m ~failed_procs =
-  let dag = Mapping.dag m in
-  let copies = Mapping.n_copies m in
-  let dead = Array.init (Dag.size dag) (fun _ -> Array.make copies true) in
-  Array.iter
-    (fun task ->
-      for copy = 0 to copies - 1 do
-        match Mapping.replica m task copy with
-        | None -> ()
-        | Some r ->
-            if not failed_procs.(r.Replica.proc) then begin
-              let starved =
-                List.exists
-                  (fun (_, ids) ->
-                    List.for_all
-                      (fun (src : Replica.id) -> dead.(src.task).(src.copy))
-                      ids)
-                  r.Replica.sources
-              in
-              dead.(task).(copy) <- starved
-            end
-      done)
-    (Topo.order dag);
-  dead
-
-(* Consumers of every replica: dst replica and edge volume, precomputed in
-   one pass over the source sets. *)
-let consumer_table m =
-  let dag = Mapping.dag m in
-  let copies = Mapping.n_copies m in
-  let table = Array.init (Dag.size dag) (fun _ -> Array.make copies []) in
-  Mapping.iter m (fun (r : Replica.t) ->
-      List.iter
-        (fun (pred, ids) ->
-          let vol = Dag.volume dag pred r.id.task in
-          List.iter
-            (fun (src : Replica.id) ->
-              table.(src.task).(src.copy) <-
-                (r.id, vol) :: table.(src.task).(src.copy))
-            ids)
-        r.sources);
-  Array.map (Array.map List.rev) table
-
-let run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m =
-  if not (Mapping.is_complete m) then invalid_arg "Engine.run: incomplete mapping";
-  if n_items < 1 then invalid_arg "Engine.run: n_items < 1";
-  let clock = snapshot.clock in
-  if clock < 0.0 || not (Float.is_finite clock) then
-    invalid_arg "Engine.run: snapshot clock must be finite and non-negative";
+let compile m =
+  if not (Mapping.is_complete m) then
+    invalid_arg "Engine.compile: incomplete mapping";
+  Obs.incr "sim.compiles";
   let dag = Mapping.dag m and plat = Mapping.platform m in
   let copies = Mapping.n_copies m in
   let n_tasks = Dag.size dag and n_procs = Platform.size plat in
-  let period =
-    match period with
-    | Some p -> if p < 0.0 then invalid_arg "Engine.run: negative period" else p
-    | None -> Metrics.period m
-  in
-  (* fail_time.(p) is when the processor crashes (fail-stop): work and
-     transfers completing strictly later are lost.  A crash at or before
-     the snapshot clock is the paper's fail-silent-from-the-start case and
-     also prunes replicas statically (they can never produce anything). *)
-  let fail_time = Array.make n_procs infinity in
-  List.iter (fun p -> fail_time.(p) <- 0.0) (failed @ snapshot.down);
-  let seen_timed = Array.make n_procs false in
-  List.iter
-    (fun (p, t) ->
-      if t < 0.0 then invalid_arg "Engine.run: negative failure time";
-      if seen_timed.(p) then
-        invalid_arg "Engine.run: duplicate processor in timed_failures";
-      seen_timed.(p) <- true;
-      fail_time.(p) <- Float.min fail_time.(p) t)
-    timed_failures;
-  let failed_procs =
-    Array.map (fun t -> t <= clock) (Array.init n_procs (fun p -> fail_time.(p)))
-  in
-  let dead = replica_dead m ~failed_procs in
-  let consumers = consumer_table m in
-  (* Task priority: bottom level on platform-averaged weights. *)
-  let priority =
+  let n_rids = n_tasks * copies in
+  let prio =
     let weights =
       {
         Levels.node = (fun t -> Dag.exec dag t *. Platform.mean_inverse_speed plat);
@@ -125,211 +81,500 @@ let run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m =
     in
     Levels.bottom dag weights
   in
-  let proc_of = Array.init n_tasks (fun task ->
-      Array.init copies (fun copy ->
-          match Mapping.replica m task copy with
-          | Some r -> r.Replica.proc
-          | None -> -1))
+  let pred_count = Array.init n_tasks (fun t -> List.length (Dag.preds dag t)) in
+  let pred_off = Array.make (n_rids + 1) 0 in
+  for rid = 0 to n_rids - 1 do
+    pred_off.(rid + 1) <- pred_off.(rid) + pred_count.(rid / copies)
+  done;
+  let proc_of = Array.make n_rids (-1) in
+  let exec_dur = Array.make n_rids 0.0 in
+  for task = 0 to n_tasks - 1 do
+    for copy = 0 to copies - 1 do
+      match Mapping.replica m task copy with
+      | None -> ()
+      | Some r ->
+          let rid = (task * copies) + copy in
+          proc_of.(rid) <- r.Replica.proc;
+          exec_dur.(rid) <- Platform.exec_time plat r.Replica.proc (Dag.exec dag task)
+    done
+  done;
+  (* Source groups. *)
+  let grp_off = Array.make (n_rids + 1) 0 in
+  for task = 0 to n_tasks - 1 do
+    for copy = 0 to copies - 1 do
+      let rid = (task * copies) + copy in
+      let n =
+        match Mapping.replica m task copy with
+        | None -> 0
+        | Some r -> List.length r.Replica.sources
+      in
+      grp_off.(rid + 1) <- grp_off.(rid) + n
+    done
+  done;
+  let n_groups = grp_off.(n_rids) in
+  let grp_src_off = Array.make (n_groups + 1) 0 in
+  let grp_src_lists = Array.make (max 1 n_groups) [] in
+  let g = ref 0 in
+  for task = 0 to n_tasks - 1 do
+    for copy = 0 to copies - 1 do
+      match Mapping.replica m task copy with
+      | None -> ()
+      | Some r ->
+          List.iter
+            (fun (_, ids) ->
+              grp_src_off.(!g + 1) <-
+                grp_src_off.(!g) + List.length ids;
+              grp_src_lists.(!g) <- ids;
+              incr g)
+            r.Replica.sources
+    done
+  done;
+  let grp_src = Array.make (max 1 grp_src_off.(n_groups)) 0 in
+  for gi = 0 to n_groups - 1 do
+    List.iteri
+      (fun i (src : Replica.id) ->
+        grp_src.(grp_src_off.(gi) + i) <- (src.task * copies) + src.copy)
+      grp_src_lists.(gi)
+  done;
+  (* Consumers, in the legacy consumer-table encounter order: mapping
+     iteration (task, copy ascending), then source-group order, then
+     source order within the group. *)
+  let pred_pos task pred =
+    let rec scan i = function
+      | [] -> invalid_arg "Engine.compile: source is not a predecessor"
+      | (q, _) :: rest -> if q = pred then i else scan (i + 1) rest
+    in
+    scan 0 (Dag.preds dag task)
   in
-  (* Per-instance state, indexed [item][task][copy]. *)
-  let idx item task copy = (((item * n_tasks) + task) * copies) + copy in
-  let total = n_items * n_tasks * copies in
+  let cons_count = Array.make n_rids 0 in
+  Mapping.iter m (fun (r : Replica.t) ->
+      List.iter
+        (fun (_, ids) ->
+          List.iter
+            (fun (src : Replica.id) ->
+              let srid = (src.task * copies) + src.copy in
+              cons_count.(srid) <- cons_count.(srid) + 1)
+            ids)
+        r.Replica.sources);
+  let cons_off = Array.make (n_rids + 1) 0 in
+  for rid = 0 to n_rids - 1 do
+    cons_off.(rid + 1) <- cons_off.(rid) + cons_count.(rid)
+  done;
+  let n_cons = cons_off.(n_rids) in
+  let cons_dst = Array.make (max 1 n_cons) 0 in
+  let cons_dur = Array.make (max 1 n_cons) 0.0 in
+  let cons_pos = Array.make (max 1 n_cons) 0 in
+  let cursor = Array.sub cons_off 0 n_rids in
+  Mapping.iter m (fun (r : Replica.t) ->
+      let dst_rid = (r.id.Replica.task * copies) + r.id.Replica.copy in
+      let dp = r.Replica.proc in
+      List.iter
+        (fun (pred, ids) ->
+          let vol = Dag.volume dag pred r.id.Replica.task in
+          let pos = pred_pos r.id.Replica.task pred in
+          List.iter
+            (fun (src : Replica.id) ->
+              let srid = (src.task * copies) + src.copy in
+              let k = cursor.(srid) in
+              cons_dst.(k) <- dst_rid;
+              cons_pos.(k) <- pos;
+              cons_dur.(k) <-
+                (let sp = proc_of.(srid) in
+                 if sp = dp then 0.0 else Platform.comm_time plat sp dp vol);
+              cursor.(srid) <- k + 1)
+            ids)
+        r.Replica.sources);
+  {
+    p_mapping = m;
+    p_tasks = n_tasks;
+    p_copies = copies;
+    p_rids = n_rids;
+    p_procs = n_procs;
+    p_topo = Topo.order dag;
+    p_prio = prio;
+    p_pred_count = pred_count;
+    p_pred_off = pred_off;
+    p_total_preds = pred_off.(n_rids);
+    p_proc = proc_of;
+    p_exec_dur = exec_dur;
+    p_grp_off = grp_off;
+    p_grp_src_off = grp_src_off;
+    p_grp_src = grp_src;
+    p_cons_off = cons_off;
+    p_cons_dst = cons_dst;
+    p_cons_dur = cons_dur;
+    p_cons_pos = cons_pos;
+    p_entries = Array.of_list (Dag.entries dag);
+    p_exits = Array.of_list (Dag.exits dag);
+    p_period = Metrics.period m;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The event engine over a compiled program                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A transfer waiting for its data and for both ports.  [pm_seq] is the
+   insertion sequence number: the legacy engine kept pending messages in
+   a most-recent-first list and its fold kept the incumbent on full
+   ties, so among equal (destination priority, destination instance)
+   candidates the most recently created message commits first. *)
+type pmsg = {
+  pm_src : int;  (* src iidx, for the log *)
+  pm_dst : int;  (* dst iidx *)
+  pm_dst_rid : int;
+  pm_dp : int;  (* destination processor *)
+  pm_dur : float;
+  pm_pos : int;  (* predecessor position in the destination's sat slab *)
+  pm_dst_alive : bool;
+  pm_seq : int;
+}
+
+type event =
+  | Inject of int  (* an entry instance (iidx) becomes ready *)
+  | Finish of int
+  | Arrival of pmsg * float  (* commit-time start *)
+  | Port_free
+      (* wake-up when a crash-lost transfer releases its ports: the
+         transfer never arrives, but other pending messages must get a
+         chance to claim the port *)
+
+let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
+  if n_items < 1 then invalid_arg "Engine.run: n_items < 1";
+  let clock = snapshot.clock in
+  if clock < 0.0 || not (Float.is_finite clock) then
+    invalid_arg "Engine.run: snapshot clock must be finite and non-negative";
+  let period =
+    match period with
+    | Some q -> if q < 0.0 then invalid_arg "Engine.run: negative period" else q
+    | None -> p.p_period
+  in
+  let copies = p.p_copies in
+  let n_rids = p.p_rids and n_procs = p.p_procs in
+  let prio = p.p_prio and proc_of = p.p_proc in
+  (* fail_time.(u) is when the processor crashes (fail-stop): work and
+     transfers completing strictly later are lost.  A crash at or before
+     the snapshot clock is the paper's fail-silent-from-the-start case and
+     also prunes replicas statically (they can never produce anything). *)
+  let fail_time = Array.make n_procs infinity in
+  List.iter (fun u -> fail_time.(u) <- 0.0) (failed @ snapshot.down);
+  let seen_timed = Array.make n_procs false in
+  List.iter
+    (fun (u, t) ->
+      if t < 0.0 then invalid_arg "Engine.run: negative failure time";
+      if seen_timed.(u) then
+        invalid_arg "Engine.run: duplicate processor in timed_failures";
+      seen_timed.(u) <- true;
+      fail_time.(u) <- Float.min fail_time.(u) t)
+    timed_failures;
+  let failed_procs = Array.init n_procs (fun u -> fail_time.(u) <= clock) in
+  (* Liveness sweep: a replica is dead when its processor failed
+     statically or when, for some predecessor, every source is dead. *)
+  let dead = Array.make n_rids true in
+  Array.iter
+    (fun task ->
+      for copy = 0 to copies - 1 do
+        let rid = (task * copies) + copy in
+        if proc_of.(rid) >= 0 && not failed_procs.(proc_of.(rid)) then begin
+          let starved = ref false in
+          let g = ref p.p_grp_off.(rid) in
+          let g_end = p.p_grp_off.(rid + 1) in
+          while (not !starved) && !g < g_end do
+            let all_dead = ref true in
+            let s = ref p.p_grp_src_off.(!g) in
+            let s_end = p.p_grp_src_off.(!g + 1) in
+            while !all_dead && !s < s_end do
+              if not dead.(p.p_grp_src.(!s)) then all_dead := false;
+              incr s
+            done;
+            if !all_dead then starved := true;
+            incr g
+          done;
+          dead.(rid) <- !starved
+        end
+      done)
+    p.p_topo;
+  (* Per-instance state: iidx = item * n_rids + rid. *)
+  let total = n_items * n_rids in
   let starts = Array.make total nan and finishes = Array.make total nan in
   let unsatisfied = Array.make total 0 in
-  (* Which predecessor positions are already satisfied. *)
-  let pred_index = Array.init n_tasks (fun task ->
-      List.mapi (fun i (p, _) -> (p, i)) (Dag.preds dag task))
-  in
-  let sat = Array.make total [||] in
-  (* Alive source counts per pred drive enabling. *)
-  let alive t c = not dead.(t).(c) in
+  (* Which predecessor positions are already satisfied, one byte per
+     (item, task, position). *)
+  let sat = Bytes.make (n_items * p.p_total_preds) '\000' in
   for item = 0 to n_items - 1 do
-    for task = 0 to n_tasks - 1 do
-      for copy = 0 to copies - 1 do
-        if alive task copy then begin
-          let n_preds = List.length (Dag.preds dag task) in
-          unsatisfied.(idx item task copy) <- n_preds;
-          sat.(idx item task copy) <- Array.make n_preds false
-        end
-      done
+    for rid = 0 to n_rids - 1 do
+      if not dead.(rid) then
+        unsatisfied.((item * n_rids) + rid) <- p.p_pred_count.(rid / copies)
     done
   done;
   (* Processor and port state. *)
   let busy_until = Array.make n_procs 0.0 in
   let running = Array.make n_procs false in
   let send_free = Array.make n_procs 0.0 and recv_free = Array.make n_procs 0.0 in
-  let ready : instance list array = Array.make n_procs [] in
-  let pending : pending_msg list ref = ref [] in
   let events : event Event_heap.t = Event_heap.create () in
+  (* The metrics gate is hoisted out of the hot loop: when recording is
+     off the run pays exactly one flag read. *)
+  let obs = Obs.enabled () in
   let observe_heap () =
-    if Obs.enabled () then
-      Obs.observe "sim.heap_size" (float_of_int (Event_heap.size events))
+    if obs then Obs.observe "sim.heap_size" (float_of_int (Event_heap.size events))
   in
-  let log = ref [] in
-  let makespan = ref clock in
-  let enqueue_ready inst =
-    let p = proc_of.(inst.rep.Replica.task).(inst.rep.Replica.copy) in
-    ready.(p) <- inst :: ready.(p)
-  in
-  let satisfy inst pred time =
-    let i = idx inst.item inst.rep.Replica.task inst.rep.Replica.copy in
-    let pos = List.assoc pred pred_index.(inst.rep.Replica.task) in
-    if not sat.(i).(pos) then begin
-      sat.(i).(pos) <- true;
-      unsatisfied.(i) <- unsatisfied.(i) - 1;
-      if unsatisfied.(i) = 0 then enqueue_ready inst
+  (* Growable message-log buffer, chronological commit order. *)
+  let log = ref (Array.make 64 None) in
+  let log_len = ref 0 in
+  let log_push msg =
+    if !log_len = Array.length !log then begin
+      let d = Array.make (2 * !log_len) None in
+      Array.blit !log 0 d 0 !log_len;
+      log := d
     end;
-    ignore time
+    !log.(!log_len) <- Some msg;
+    incr log_len
+  in
+  let makespan = ref clock in
+  (* Ready instances, one binary heap per processor.  The heap order is
+     the legacy [better] relation — item ascending, then task priority
+     descending, then replica id ascending — which is a strict total
+     order on any one processor's ready set (two instances there always
+     differ in item or task), so popping the root picks exactly the
+     instance the legacy list fold selected. *)
+  let ready_data = Array.make n_procs [||] in
+  let ready_len = Array.make n_procs 0 in
+  let inst_before a b =
+    let ia = a / n_rids and ib = b / n_rids in
+    if ia <> ib then ia < ib
+    else begin
+      let ra = a mod n_rids and rb = b mod n_rids in
+      let pa = prio.(ra / copies) and pb = prio.(rb / copies) in
+      if pa <> pb then pa > pb else ra < rb
+    end
+  in
+  let ready_push u x =
+    let len = ready_len.(u) in
+    if len = Array.length ready_data.(u) then begin
+      let d = Array.make (max 8 (2 * len)) 0 in
+      Array.blit ready_data.(u) 0 d 0 len;
+      ready_data.(u) <- d
+    end;
+    let d = ready_data.(u) in
+    d.(len) <- x;
+    ready_len.(u) <- len + 1;
+    let i = ref len in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      inst_before d.(!i) d.(parent)
+      &&
+      (let tmp = d.(!i) in
+       d.(!i) <- d.(parent);
+       d.(parent) <- tmp;
+       i := parent;
+       true)
+    do
+      ()
+    done
+  in
+  let ready_pop u =
+    let d = ready_data.(u) in
+    let len = ready_len.(u) - 1 in
+    let top = d.(0) in
+    d.(0) <- d.(len);
+    ready_len.(u) <- len;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < len && inst_before d.(l) d.(!smallest) then smallest := l;
+      if r < len && inst_before d.(r) d.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = d.(!i) in
+        d.(!i) <- d.(!smallest);
+        d.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+  in
+  (* Pending transfers, bucketed by sending processor (the send port they
+     wait on); index-based removal, so structurally identical messages
+     are distinct entries. *)
+  let pend_data = Array.make n_procs [||] in
+  let pend_len = Array.make n_procs 0 in
+  let pending_count = ref 0 in
+  let next_seq = ref 0 in
+  let pend_push u msg =
+    let len = pend_len.(u) in
+    if len = Array.length pend_data.(u) then begin
+      let d =
+        Array.make (max 4 (2 * len))
+          { pm_src = 0; pm_dst = 0; pm_dst_rid = 0; pm_dp = 0; pm_dur = 0.0;
+            pm_pos = 0; pm_dst_alive = false; pm_seq = 0 }
+      in
+      Array.blit pend_data.(u) 0 d 0 len;
+      pend_data.(u) <- d
+    end;
+    pend_data.(u).(len) <- msg;
+    pend_len.(u) <- len + 1;
+    incr pending_count
+  in
+  let pend_remove u i =
+    let len = pend_len.(u) - 1 in
+    pend_data.(u).(i) <- pend_data.(u).(len);
+    pend_len.(u) <- len;
+    decr pending_count
+  in
+  let satisfy iidx pos =
+    let item = iidx / n_rids and rid = iidx mod n_rids in
+    let si = (item * p.p_total_preds) + p.p_pred_off.(rid) + pos in
+    if Bytes.get sat si = '\000' then begin
+      Bytes.set sat si '\001';
+      unsatisfied.(iidx) <- unsatisfied.(iidx) - 1;
+      if unsatisfied.(iidx) = 0 then ready_push proc_of.(rid) iidx
+    end
   in
   (* Start the best ready instance on every idle processor. *)
-  let better (a : instance) b =
-    let pa = priority.(a.rep.Replica.task) and pb = priority.(b.rep.Replica.task) in
-    if a.item <> b.item then a.item < b.item
-    else if pa <> pb then pa > pb
-    else Replica.compare_id a.rep b.rep < 0
-  in
   let dispatch_procs now =
-    for p = 0 to n_procs - 1 do
-      if (not running.(p)) && busy_until.(p) <= now && ready.(p) <> []
-         && now < fail_time.(p)
+    for u = 0 to n_procs - 1 do
+      if
+        (not running.(u)) && busy_until.(u) <= now && ready_len.(u) > 0
+        && now < fail_time.(u)
       then begin
-        let best =
-          List.fold_left
-            (fun acc inst ->
-              match acc with
-              | Some b when better b inst -> acc
-              | _ -> Some inst)
-            None ready.(p)
-        in
-        match best with
-        | None -> ()
-        | Some inst ->
-            ready.(p) <- List.filter (fun i -> i <> inst) ready.(p);
-            let work = Dag.exec dag inst.rep.Replica.task in
-            let dur = Platform.exec_time plat p work in
-            let i = idx inst.item inst.rep.Replica.task inst.rep.Replica.copy in
-            starts.(i) <- now;
-            running.(p) <- true;
-            busy_until.(p) <- now +. dur;
-            if now +. dur <= fail_time.(p) then begin
-              Event_heap.add events (now +. dur) (Finish inst);
-              observe_heap ()
-            end
-            (* else: the crash interrupts this execution; the processor
-               never frees and the result is lost *)
+        let iidx = ready_pop u in
+        let dur = p.p_exec_dur.(iidx mod n_rids) in
+        starts.(iidx) <- now;
+        running.(u) <- true;
+        busy_until.(u) <- now +. dur;
+        if now +. dur <= fail_time.(u) then begin
+          Event_heap.add events (now +. dur) (Finish iidx);
+          observe_heap ()
+        end
+        (* else: the crash interrupts this execution; the processor
+           never frees and the result is lost *)
       end
     done
   in
-  (* Greedily commit every transfer whose data and both ports are free. *)
+  (* Greedily commit every transfer whose data and both ports are free.
+     The candidate order is the legacy one: highest destination priority,
+     then smallest destination instance, then (on full ties) the most
+     recently created message. *)
   let rec dispatch_msgs now =
-    let eligible msg =
-      let sp = proc_of.(msg.p_src.rep.Replica.task).(msg.p_src.rep.Replica.copy) in
-      msg.p_ready <= now
-      && now < fail_time.(sp)
-      && send_free.(sp) <= now
-      && (fail_time.(proc_of.(msg.p_dst.rep.Replica.task).(msg.p_dst.rep.Replica.copy))
-          <= now
-          || recv_free.(proc_of.(msg.p_dst.rep.Replica.task).(msg.p_dst.rep.Replica.copy))
-             <= now)
-    in
-    let best =
-      List.fold_left
-        (fun acc msg ->
-          if not (eligible msg) then acc
+    if !pending_count > 0 then begin
+      let best = ref None in
+      let best_u = ref (-1) and best_i = ref (-1) in
+      for u = 0 to n_procs - 1 do
+        if pend_len.(u) > 0 && now < fail_time.(u) && send_free.(u) <= now
+        then
+          for i = 0 to pend_len.(u) - 1 do
+            let msg = pend_data.(u).(i) in
+            if fail_time.(msg.pm_dp) <= now || recv_free.(msg.pm_dp) <= now
+            then begin
+              let beats =
+                match !best with
+                | None -> true
+                | Some b ->
+                    let pm = prio.(msg.pm_dst_rid / copies)
+                    and pb = prio.(b.pm_dst_rid / copies) in
+                    pm > pb
+                    || (pm = pb
+                       && (msg.pm_dst < b.pm_dst
+                          || (msg.pm_dst = b.pm_dst && msg.pm_seq > b.pm_seq)))
+              in
+              if beats then begin
+                best := Some msg;
+                best_u := u;
+                best_i := i
+              end
+            end
+          done
+      done;
+      match !best with
+      | None -> ()
+      | Some msg ->
+          pend_remove !best_u !best_i;
+          let sp = !best_u and dp = msg.pm_dp in
+          send_free.(sp) <- now +. msg.pm_dur;
+          if fail_time.(dp) > now then recv_free.(dp) <- now +. msg.pm_dur;
+          if
+            now +. msg.pm_dur <= fail_time.(sp)
+            && now +. msg.pm_dur <= fail_time.(dp)
+          then Event_heap.add events (now +. msg.pm_dur) (Arrival (msg, now))
           else
-            match acc with
-            | Some b
-              when priority.(b.p_dst.rep.Replica.task)
-                   > priority.(msg.p_dst.rep.Replica.task)
-                   || (priority.(b.p_dst.rep.Replica.task)
-                       = priority.(msg.p_dst.rep.Replica.task)
-                      && compare
-                           (b.p_dst.item, b.p_dst.rep)
-                           (msg.p_dst.item, msg.p_dst.rep)
-                         <= 0) ->
-                acc
-            | _ -> Some msg)
-        None !pending
-    in
-    match best with
-    | None -> ()
-    | Some msg ->
-        pending := List.filter (fun m' -> m' != msg) !pending;
-        let sp = proc_of.(msg.p_src.rep.Replica.task).(msg.p_src.rep.Replica.copy) in
-        let dp = proc_of.(msg.p_dst.rep.Replica.task).(msg.p_dst.rep.Replica.copy) in
-        send_free.(sp) <- now +. msg.p_dur;
-        if fail_time.(dp) > now then recv_free.(dp) <- now +. msg.p_dur;
-        if now +. msg.p_dur <= fail_time.(sp) && now +. msg.p_dur <= fail_time.(dp)
-        then Event_heap.add events (now +. msg.p_dur) (Arrival (msg, now))
-        else
-          (* the crash loses the transfer in flight, but the ports still
-             free up and waiting messages must be woken *)
-          Event_heap.add events (now +. msg.p_dur) Port_free;
-        observe_heap ();
-        dispatch_msgs now
+            (* the crash loses the transfer in flight, but the ports still
+               free up and waiting messages must be woken *)
+            Event_heap.add events (now +. msg.pm_dur) Port_free;
+          observe_heap ();
+          dispatch_msgs now
+    end
   in
   (* Seed: entry instances of every item at their injection times. *)
   for item = 0 to n_items - 1 do
-    List.iter
+    Array.iter
       (fun task ->
         for copy = 0 to copies - 1 do
-          if alive task copy then begin
+          let rid = (task * copies) + copy in
+          if not dead.(rid) then begin
             Event_heap.add events
               (clock +. (float_of_int item *. period))
-              (Inject { item; rep = { Replica.task; copy } });
+              (Inject ((item * n_rids) + rid));
             observe_heap ()
           end
         done)
-      (Dag.entries dag)
+      p.p_entries
   done;
+  let decode iidx =
+    let item = iidx / n_rids and rid = iidx mod n_rids in
+    { item; rep = { Replica.task = rid / copies; copy = rid mod copies } }
+  in
   let handle now = function
-    | Inject inst -> enqueue_ready inst
-    | Finish inst ->
-        let task = inst.rep.Replica.task and copy = inst.rep.Replica.copy in
-        let p = proc_of.(task).(copy) in
-        finishes.(idx inst.item task copy) <- now;
-        running.(p) <- false;
+    | Inject iidx -> ready_push proc_of.(iidx mod n_rids) iidx
+    | Finish iidx ->
+        let rid = iidx mod n_rids and item = iidx / n_rids in
+        let u = proc_of.(rid) in
+        finishes.(iidx) <- now;
+        running.(u) <- false;
         makespan := Float.max !makespan now;
-        List.iter
-          (fun ((dst : Replica.id), vol) ->
-            let dst_proc = proc_of.(dst.task).(dst.copy) in
-            let dst_alive = alive dst.task dst.copy in
-            let dst_inst = { item = inst.item; rep = dst } in
-            if dst_proc = p then begin
-              if dst_alive then satisfy dst_inst task now
-            end
-            else begin
-              let dur = Platform.comm_time plat p dst_proc vol in
-              pending :=
-                {
-                  p_src = inst;
-                  p_dst = dst_inst;
-                  p_dur = dur;
-                  p_ready = now;
-                  p_dst_alive = dst_alive;
-                }
-                :: !pending
-            end)
-          consumers.(task).(copy)
+        for k = p.p_cons_off.(rid) to p.p_cons_off.(rid + 1) - 1 do
+          let dst_rid = p.p_cons_dst.(k) in
+          let dp = proc_of.(dst_rid) in
+          let dst_alive = not dead.(dst_rid) in
+          let dst_iidx = (item * n_rids) + dst_rid in
+          if dp = u then begin
+            if dst_alive then satisfy dst_iidx p.p_cons_pos.(k)
+          end
+          else begin
+            let seq = !next_seq in
+            next_seq := seq + 1;
+            pend_push u
+              {
+                pm_src = iidx;
+                pm_dst = dst_iidx;
+                pm_dst_rid = dst_rid;
+                pm_dp = dp;
+                pm_dur = p.p_cons_dur.(k);
+                pm_pos = p.p_cons_pos.(k);
+                pm_dst_alive = dst_alive;
+                pm_seq = seq;
+              }
+          end
+        done
     | Arrival (msg, started) ->
         makespan := Float.max !makespan now;
-        log :=
+        log_push
           {
-            msg_src = msg.p_src;
-            msg_dst = msg.p_dst;
+            msg_src = decode msg.pm_src;
+            msg_dst = decode msg.pm_dst;
             msg_start = started;
             msg_finish = now;
-          }
-          :: !log;
-        if msg.p_dst_alive then
-          satisfy msg.p_dst msg.p_src.rep.Replica.task now
+          };
+        if msg.pm_dst_alive then satisfy msg.pm_dst msg.pm_pos
     | Port_free -> makespan := Float.max !makespan now
   in
   let rec loop () =
     match Event_heap.pop_min events with
     | None -> ()
     | Some (now, ev) ->
-        Obs.incr "sim.events_popped";
+        if obs then Obs.incr "sim.events_popped";
         handle now ev;
         (* Drain simultaneous events before dispatching decisions. *)
         let rec drain () =
@@ -337,7 +582,7 @@ let run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m =
           | Some k when k <= now ->
               (match Event_heap.pop_min events with
               | Some (_, ev') ->
-                  Obs.incr "sim.events_popped";
+                  if obs then Obs.incr "sim.events_popped";
                   handle now ev'
               | None -> ());
               drain ()
@@ -350,16 +595,16 @@ let run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m =
   in
   loop ();
   let get arr item (id : Replica.id) =
-    if dead.(id.task).(id.copy) then None
+    if dead.((id.task * copies) + id.copy) then None
     else begin
-      let v = arr.(idx item id.task id.copy) in
+      let v = arr.((item * n_rids) + (id.task * copies) + id.copy) in
       if Float.is_nan v then None else Some v
     end
   in
   let item_latency =
     Array.init n_items (fun item ->
         let injection = clock +. (float_of_int item *. period) in
-        List.fold_left
+        Array.fold_left
           (fun acc exit_task ->
             match acc with
             | None -> None
@@ -384,7 +629,16 @@ let run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m =
                 (match best_finish with
                 | None -> None
                 | Some f -> Some (Float.max worst (f -. injection))))
-          (Some 0.0) (Dag.exits dag))
+          (Some 0.0) p.p_exits)
+  in
+  let messages =
+    let rec collect i acc =
+      if i < 0 then acc
+      else
+        collect (i - 1)
+          (match !log.(i) with Some m -> m :: acc | None -> acc)
+    in
+    collect (!log_len - 1) []
   in
   {
     start_time = get starts;
@@ -392,14 +646,15 @@ let run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m =
     item_latency;
     period;
     makespan = !makespan;
-    messages = List.rev !log;
+    messages;
   }
 
-let run ?snapshot ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m
-    =
+let run_compiled ?snapshot ?(n_items = 1) ?period ?(failed = [])
+    ?(timed_failures = []) p =
   Obs.with_span "sim.engine.run" (fun () ->
       Obs.incr "sim.runs";
       Obs.touch "sim.events_popped";
+      Obs.touch "sim.compiles";
       Obs.incr
         ~by:(List.length failed + List.length timed_failures)
         "sim.failures_injected";
@@ -412,11 +667,16 @@ let run ?snapshot ?(n_items = 1) ?period ?(failed = []) ?(timed_failures = []) m
           if s.clock > 0.0 then Obs.incr "sim.epoch.resumes";
           Obs.observe "sim.epoch.items" (float_of_int n_items));
       let snapshot = Option.value snapshot ~default:boot in
-      run_impl ~snapshot ~n_items ~period ~failed ~timed_failures m)
+      run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p)
 
-let latency ?failed m =
-  let r = run ?failed ~n_items:1 m in
+let run ?snapshot ?n_items ?period ?failed ?timed_failures m =
+  run_compiled ?snapshot ?n_items ?period ?failed ?timed_failures (compile m)
+
+let latency_compiled ?failed p =
+  let r = run_compiled ?failed ~n_items:1 p in
   r.item_latency.(0)
+
+let latency ?failed m = latency_compiled ?failed (compile m)
 
 let sustained_throughput r =
   (* Absolute exit-availability instants of the items that completed. *)

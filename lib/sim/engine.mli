@@ -25,7 +25,18 @@
 
     With [n_items = 1] and actual weights this yields the paper's "real
     execution time for a given schedule" used in the crash experiments of
-    §5. *)
+    §5.
+
+    The engine is split into a {e compile} phase and a {e run} phase.
+    {!compile} flattens the mapping + DAG into dense int-indexed tables
+    (dense replica ids, CSR consumer and source-set arrays, precomputed
+    execution and transfer durations, task priorities, the achieved
+    period) built once per mapping; {!run_compiled} plays any number of
+    scenarios — crash draws, resumed epochs — against the same program.
+    [run_compiled] reproduces the legacy event order exactly (same
+    (key, seqno) heap discipline, same destination-priority tie-breaks),
+    so results are bit-identical to {!run}, which is now a thin
+    compile-then-run wrapper. *)
 
 (** Surviving-state snapshot an epoch resumes from (the operations layer
     drives one {!run} per epoch instead of replaying from time 0):
@@ -61,6 +72,40 @@ type result = {
   messages : message list;  (** completed transfers, by start time *)
 }
 
+type program
+(** A mapping compiled for repeated simulation: immutable dense tables
+    shared by every run.  Compile once per mapping, then call
+    {!run_compiled} per crash draw or epoch. *)
+
+val compile : Mapping.t -> program
+(** Flatten the mapping into a {!program}.  Performs all per-mapping work:
+    priorities (bottom levels on averaged weights), the consumer table and
+    predecessor index as CSR arrays, per-replica execution and transfer
+    durations, and the mapping's achieved period (the default [?period]).
+    @raise Invalid_argument if the mapping is incomplete. *)
+
+val program_mapping : program -> Mapping.t
+(** The mapping the program was compiled from. *)
+
+val program_period : program -> float
+(** The mapping's achieved period, cached at compile time; equals
+    [Metrics.period (program_mapping p)]. *)
+
+val run_compiled :
+  ?snapshot:snapshot ->
+  ?n_items:int ->
+  ?period:float ->
+  ?failed:Platform.proc list ->
+  ?timed_failures:(Platform.proc * float) list ->
+  program ->
+  result
+(** Play one scenario against a compiled program.  Arguments and recorded
+    metrics are exactly those of {!run}; the result is bit-identical to
+    [run (program_mapping p)] with the same arguments.  A program holds no
+    per-run state, so it may be reused across any number of calls.
+    @raise Invalid_argument as {!run}, except the incomplete-mapping case
+    which {!compile} raises. *)
+
 val run :
   ?snapshot:snapshot ->
   ?n_items:int ->
@@ -69,9 +114,9 @@ val run :
   ?timed_failures:(Platform.proc * float) list ->
   Mapping.t ->
   result
-(** Execute the mapping.  [snapshot] defaults to {!boot}, [n_items] to 1,
-    [period] to the mapping's achieved period (irrelevant when
-    [n_items = 1]), [failed] to no failures.
+(** [compile] then {!run_compiled}.  [snapshot] defaults to {!boot},
+    [n_items] to 1, [period] to the mapping's achieved period (irrelevant
+    when [n_items = 1]), [failed] to no failures.
 
     [timed_failures] crashes processors mid-stream (fail-stop): work or
     transfers that would complete strictly after the processor's crash
@@ -90,6 +135,9 @@ val run :
 
 val latency : ?failed:Platform.proc list -> Mapping.t -> float option
 (** Single-item latency: [run ~n_items:1] and the first {!result.item_latency}. *)
+
+val latency_compiled : ?failed:Platform.proc list -> program -> float option
+(** {!latency} against a compiled program. *)
 
 val sustained_throughput : result -> float option
 (** [(n - 1) / (t_last - t_first)] over the items that completed, using

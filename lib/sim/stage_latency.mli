@@ -15,6 +15,30 @@
     forced to wait for later-stage sources, and the earliest exit replica
     may be lost. *)
 
+type plan
+(** The stage model compiled into dense arrays (replica processors and
+    source sets as CSR): built once per mapping, replayed per failure
+    draw. *)
+
+val compile : Mapping.t -> plan
+
+val depth_of_plan : ?failed:Platform.proc list -> plan -> int option
+(** {!effective_depth} against a compiled plan; identical result. *)
+
+val latency_of_plan :
+  ?failed:Platform.proc list -> plan -> throughput:float -> float option
+(** {!latency} against a compiled plan; identical result. *)
+
+val mean_crash_latency_stats_of_plan :
+  rand_int:(int -> int) ->
+  crashes:int ->
+  runs:int ->
+  throughput:float ->
+  plan ->
+  Crash.stats
+(** {!mean_crash_latency_stats} against a compiled plan; consumes
+    [rand_int] identically. *)
+
 val effective_depth : ?failed:Platform.proc list -> Mapping.t -> int option
 (** [S_eff]: the maximum over exit tasks of the minimum, over alive
     replicas of that task, of the replica's effective stage (per
@@ -35,7 +59,8 @@ val mean_crash_latency_stats :
   Crash.stats
 (** Average {!latency} over [runs] uniform draws of [crashes] distinct
     failed processors, with the draws that defeated the schedule counted
-    in {!Crash.stats.defeated_draws} instead of silently dropped. *)
+    in {!Crash.stats.defeated_draws} instead of silently dropped.
+    Compiles the mapping once and replays the plan per draw. *)
 
 val mean_crash_latency :
   rand_int:(int -> int) ->

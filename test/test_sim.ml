@@ -557,6 +557,197 @@ let crash_tests =
           (Crash.defeat_rate stats > 0.0 && Crash.defeat_rate stats < 1.0));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Compiled programs: run_compiled ≡ run                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Bit-exact serialization of everything a result exposes: the full
+   message log, every instance start/finish, per-item latencies, the
+   period and the makespan.  Two runs with equal fingerprints replayed
+   the exact same event sequence. *)
+let result_fingerprint m (r : Engine.result) =
+  let n_tasks = Dag.size (Mapping.dag m) and copies = Mapping.n_copies m in
+  let n_items = Array.length r.Engine.item_latency in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (msg : Engine.message) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%d.%d->%d:%d.%d@%h..%h;" msg.Engine.msg_src.item
+           msg.Engine.msg_src.rep.Replica.task msg.Engine.msg_src.rep.Replica.copy
+           msg.Engine.msg_dst.item msg.Engine.msg_dst.rep.Replica.task
+           msg.Engine.msg_dst.rep.Replica.copy msg.Engine.msg_start
+           msg.Engine.msg_finish))
+    r.Engine.messages;
+  let add_opt = function
+    | None -> Buffer.add_string buf "-;"
+    | Some v -> Buffer.add_string buf (Printf.sprintf "%h;" v)
+  in
+  for item = 0 to n_items - 1 do
+    for task = 0 to n_tasks - 1 do
+      for copy = 0 to copies - 1 do
+        add_opt (r.Engine.start_time item { Replica.task; copy });
+        add_opt (r.Engine.finish_time item { Replica.task; copy })
+      done
+    done
+  done;
+  Array.iter add_opt r.Engine.item_latency;
+  Buffer.add_string buf (Printf.sprintf "P%h;M%h" r.Engine.period r.Engine.makespan);
+  Buffer.contents buf
+
+let compiled_tests =
+  [
+    case "run_compiled ≡ run on random draws and epochs (QCheck)" (fun () ->
+        let prop seed =
+          let inst = Fixtures.paper_instance ~seed () in
+          let throughput = Paper_workload.throughput ~eps:1 in
+          let m =
+            Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf
+              (Types.problem ~dag:inst.Paper_workload.dag
+                 ~platform:inst.Paper_workload.plat ~eps:1 ~throughput)
+          in
+          (* One program serves every scenario: a run must leave no state
+             behind in it. *)
+          let prog = Engine.compile m in
+          let n_procs = Platform.size (Mapping.platform m) in
+          let p1 = seed mod n_procs and p2 = (seed / 7) mod n_procs in
+          let scenarios =
+            [
+              (fun () -> (Engine.run ~n_items:3 m, Engine.run_compiled ~n_items:3 prog));
+              (fun () ->
+                ( Engine.run ~n_items:2 ~failed:[ p1 ] m,
+                  Engine.run_compiled ~n_items:2 ~failed:[ p1 ] prog ));
+              (fun () ->
+                let tf = [ (p1, 40.0) ] in
+                ( Engine.run ~n_items:4 ~timed_failures:tf m,
+                  Engine.run_compiled ~n_items:4 ~timed_failures:tf prog ));
+              (fun () ->
+                let snap = { Engine.clock = 30.0; down = [ p2 ] } in
+                let tf = if p1 = p2 then [] else [ (p1, 75.0) ] in
+                ( Engine.run ~snapshot:snap ~n_items:3 ~timed_failures:tf m,
+                  Engine.run_compiled ~snapshot:snap ~n_items:3 ~timed_failures:tf
+                    prog ));
+            ]
+          in
+          List.for_all
+            (fun scenario ->
+              let legacy, compiled = scenario () in
+              result_fingerprint m legacy = result_fingerprint m compiled)
+            scenarios
+          (* and the stage model's plan replays identically too *)
+          && (let plan = Stage_latency.compile m in
+              Stage_latency.depth_of_plan plan = Stage_latency.effective_depth m
+              && Stage_latency.depth_of_plan ~failed:[ p1; p2 ] plan
+                 = Stage_latency.effective_depth ~failed:[ p1; p2 ] m)
+        in
+        QCheck.Test.check_exn
+          (QCheck.Test.make ~count:10 ~name:"run_compiled-equals-run"
+             QCheck.(int_range 0 10_000)
+             prop));
+    case "pinned message-log digest on a paper-scale workload" (fun () ->
+        (* Byte-identity guard: this digest was recorded with the legacy
+           list-based engine before the compile/run split.  Any change to
+           event order, tie-breaks or float expressions breaks it. *)
+        let digest_of_result (r : Engine.result) =
+          let buf = Buffer.create 4096 in
+          List.iter
+            (fun (msg : Engine.message) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%d:%d.%d->%d:%d.%d@%h..%h;"
+                   msg.Engine.msg_src.item msg.Engine.msg_src.rep.Replica.task
+                   msg.Engine.msg_src.rep.Replica.copy msg.Engine.msg_dst.item
+                   msg.Engine.msg_dst.rep.Replica.task
+                   msg.Engine.msg_dst.rep.Replica.copy msg.Engine.msg_start
+                   msg.Engine.msg_finish))
+            r.Engine.messages;
+          Array.iter
+            (fun l ->
+              Buffer.add_string buf
+                (match l with None -> "lost;" | Some l -> Printf.sprintf "%h;" l))
+            r.Engine.item_latency;
+          Buffer.add_string buf
+            (Printf.sprintf "P%h;M%h" r.Engine.period r.Engine.makespan);
+          Digest.to_hex (Digest.string (Buffer.contents buf))
+        in
+        let rng = Rng.create ~seed:2009 in
+        let inst = Paper_workload.instance ~rng ~granularity:1.0 () in
+        let throughput = Paper_workload.throughput ~eps:1 in
+        let m =
+          Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf
+            (Types.problem ~dag:inst.Paper_workload.dag
+               ~platform:inst.Paper_workload.plat ~eps:1 ~throughput)
+        in
+        let r =
+          Engine.run ~n_items:8 ~timed_failures:[ (1, 55.0); (4, 130.0) ] m
+        in
+        check_int "message count" 1415 (List.length r.Engine.messages);
+        Alcotest.(check string)
+          "digest" "86751422180444b1ec5c84c1e9506b12" (digest_of_result r));
+    case "identically-shaped messages both serialize on the port" (fun () ->
+        (* A source listed twice yields two structurally identical pending
+           transfers; removal by index (not structural or physical
+           equality) must keep them distinct, so both occupy the one-port
+           in turn: [1,2) then [2,3). *)
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 2) ~eps:0 in
+        place m 0 0 0 [];
+        place m 1 0 1 [ (0, [ id 0 0; id 0 0 ]) ];
+        let check_result (r : Engine.result) =
+          check_int "both transfers completed" 2 (List.length r.Engine.messages);
+          (match r.Engine.messages with
+          | [ m1; m2 ] ->
+              check_float "first occupies [1,2)" 2.0 m1.Engine.msg_finish;
+              check_float "second occupies [2,3)" 3.0 m2.Engine.msg_finish
+          | _ -> Alcotest.fail "expected exactly two messages");
+          check_float "consumer starts at first arrival" 2.0
+            (Option.get (r.Engine.start_time 0 (id 1 0)))
+        in
+        check_result (Engine.run m);
+        check_result (Engine.run_compiled (Engine.compile m)));
+    case "a program is reusable: back-to-back runs are identical" (fun () ->
+        let m = lanes () in
+        let prog = Engine.compile m in
+        let a = Engine.run_compiled ~n_items:3 ~period:1.5 prog in
+        let b = Engine.run_compiled ~n_items:3 ~period:1.5 prog in
+        Alcotest.(check string)
+          "no state leaks between runs" (result_fingerprint m a)
+          (result_fingerprint m b);
+        let crashy =
+          Engine.run_compiled ~n_items:2 ~timed_failures:[ (0, 1.5) ] prog
+        in
+        let again = Engine.run_compiled ~n_items:3 ~period:1.5 prog in
+        check_true "a crashy run does not poison the program"
+          (result_fingerprint m again = result_fingerprint m a);
+        check_true "crashy run lost lane 0's tail"
+          (crashy.Engine.finish_time 0 (id 2 0) = None));
+    case "program accessors" (fun () ->
+        let m = lanes () in
+        let prog = Engine.compile m in
+        check_true "mapping is the compiled one" (Engine.program_mapping prog == m);
+        check_float "cached period" (Metrics.period m)
+          (Engine.program_period prog));
+    case "compile rejects incomplete mappings" (fun () ->
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let m = Mapping.create ~dag ~platform:(Fixtures.uniform 2) ~eps:0 in
+        Alcotest.check_raises "incomplete" (Invalid_argument "") (fun () ->
+            try ignore (Engine.compile m)
+            with Invalid_argument _ -> raise (Invalid_argument "")));
+    case "crash sampling over a program matches the mapping path" (fun () ->
+        let m = lanes () in
+        let prog = Engine.compile m in
+        let draws seed =
+          let rng = Rng.create ~seed in
+          fun b -> Rng.int rng b
+        in
+        let plain =
+          Crash.mean_latency_stats ~rand_int:(draws 17) ~crashes:2 ~runs:24 m
+        in
+        let compiled =
+          Crash.mean_latency_stats_compiled ~rand_int:(draws 17) ~crashes:2
+            ~runs:24 prog
+        in
+        check_true "same stats" (plain = compiled));
+  ]
+
 let () =
   Alcotest.run "stream_sim"
     [
@@ -568,4 +759,5 @@ let () =
       ("engine-pipeline", pipeline_tests);
       ("stage-latency", stage_latency_tests);
       ("crash", crash_tests);
+      ("compiled-program", compiled_tests);
     ]
