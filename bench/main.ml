@@ -372,6 +372,41 @@ let epochs_run run_one =
     clock := !clock +. 100.0
   done
 
+(* Accuracy-matched reliability pair: a Monte-Carlo defeat estimate
+   needs on the order of 1000 draws to resolve a probability to a couple
+   of percent, while the calculus computes it exactly in one analysis.
+   Both sides answer the same question about the same mapping. *)
+let reliability_mc_draws = 1000
+let reliability_crashes = 2
+let sim_medium_plan = Stage_latency.compile sim_medium
+
+let defeat_rate_mc () =
+  let rng = Rng.create ~seed:53 in
+  let stats =
+    Stage_latency.mean_crash_latency_stats_of_plan
+      ~rand_int:(fun b -> Rng.int rng b)
+      ~crashes:reliability_crashes ~runs:reliability_mc_draws
+      ~throughput:(Paper_workload.throughput ~eps:1)
+      sim_medium_plan
+  in
+  Crash.defeat_rate stats
+
+let defeat_rate_exact () =
+  Crash.exact_defeat_rate ~crashes:reliability_crashes sim_medium
+
+let degraded_stats_mc () =
+  let rng = Rng.create ~seed:59 in
+  Stage_latency.mean_crash_latency_stats_of_plan
+    ~rand_int:(fun b -> Rng.int rng b)
+    ~crashes:reliability_crashes ~runs:reliability_mc_draws
+    ~throughput:(Paper_workload.throughput ~eps:1)
+    sim_medium_plan
+
+let degraded_stats_exact () =
+  Stage_latency.exact_crash_latency_stats ~crashes:reliability_crashes
+    ~throughput:(Paper_workload.throughput ~eps:1)
+    sim_medium
+
 let sim_pairs : (string * (unit -> unit) * (unit -> unit)) list =
   [
     ( "single fault-free run (small, v=50)",
@@ -400,6 +435,12 @@ let sim_pairs : (string * (unit -> unit) * (unit -> unit)) list =
       opaque (fun () ->
           epochs_run (fun ~snapshot ~n_items ->
               Engine.run_compiled ~snapshot ~n_items sim_medium_prog)) );
+    ( "defeat probability (1000 MC draws vs calculus)",
+      opaque defeat_rate_mc,
+      opaque defeat_rate_exact );
+    ( "degraded latency stats (1000 MC draws vs calculus)",
+      opaque degraded_stats_mc,
+      opaque degraded_stats_exact );
   ]
 
 let sim_tests =

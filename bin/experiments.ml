@@ -28,8 +28,8 @@ let report_metrics ~metrics ~metrics_text ~check_metrics =
           problems;
         1
 
-let run_experiments names fig quick seed jobs out_dir metrics metrics_text
-    check_metrics =
+let run_experiments names fig quick seed jobs out_dir exact metrics
+    metrics_text check_metrics check_exact =
   let names = match fig with Some f -> [ f ] | None -> names in
   let targets =
     match names with
@@ -57,10 +57,31 @@ let run_experiments names fig quick seed jobs out_dir metrics metrics_text
       List.iter
         (fun (e : Runner.experiment) ->
           Printf.printf "=== %s: %s ===\n%!" e.Runner.name e.Runner.description;
-          e.Runner.run ~quick ~seed ~jobs ~out_dir;
+          e.Runner.run ~quick ~seed ~jobs ~exact ~out_dir;
           print_newline ())
         targets;
-      if obs_on then report_metrics ~metrics ~metrics_text ~check_metrics else 0
+      let metrics_status =
+        if obs_on then report_metrics ~metrics ~metrics_text ~check_metrics
+        else 0
+      in
+      let exact_status =
+        if not check_exact then 0
+        else
+          (* The gate re-derives everything from the seed, so it checks
+             the calculus/sampler pair itself, not a particular run. *)
+          let config =
+            { (if quick then Fig_convergence.quick else Fig_convergence.default)
+              with Fig_convergence.seed }
+          in
+          match Fig_convergence.check ~jobs config with
+          | Ok () ->
+              print_endline "exact cross-check: ok";
+              0
+          | Error msg ->
+              prerr_endline msg;
+              1
+      in
+      if metrics_status <> 0 then metrics_status else exact_status
 
 let names_arg =
   let doc =
@@ -102,6 +123,24 @@ let fig_arg =
   Arg.(
     value & opt (some string) None & info [ "fig" ] ~docv:"EXPERIMENT" ~doc)
 
+let exact_arg =
+  let doc =
+    "Compute crash columns with the exact availability calculus instead \
+     of Monte-Carlo draws where an experiment supports it (fig3c, fig4c, \
+     recovery).  Exact outputs go to $(b,-exact)-suffixed CSV files; the \
+     sampled artifacts are never touched."
+  in
+  Arg.(value & flag & info [ "exact" ] ~doc)
+
+let check_exact_arg =
+  let doc =
+    "After the run, cross-validate the Monte-Carlo crash sampler against \
+     the exact availability calculus on pinned seeds (the convergence \
+     gate) and exit non-zero when the gap exceeds the tolerance.  \
+     Deterministic in $(b,--seed)."
+  in
+  Arg.(value & flag & info [ "check-exact" ] ~doc)
+
 let metrics_arg =
   let doc =
     "Enable the observability layer and write the collected counters, \
@@ -137,7 +176,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run_experiments $ names_arg $ fig_arg $ quick_arg $ seed_arg
-      $ jobs_arg $ out_arg $ metrics_arg $ metrics_text_arg
-      $ check_metrics_arg)
+      $ jobs_arg $ out_arg $ exact_arg $ metrics_arg $ metrics_text_arg
+      $ check_metrics_arg $ check_exact_arg)
 
 let () = exit (Cmd.eval' cmd)

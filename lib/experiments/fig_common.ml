@@ -4,6 +4,7 @@ type config = {
   eps : int;
   crashes : int;
   crash_draws : int;
+  exact : bool;
   spec : Paper_workload.spec;
   sched : Scheduler.options;
   granularities : float list;
@@ -16,6 +17,7 @@ let default ~eps ~crashes =
     eps;
     crashes;
     crash_draws = 3;
+    exact = false;
     spec = Paper_workload.default_spec;
     sched = Scheduler.(default |> with_mode Best_effort);
     granularities = Paper_workload.granularities;
@@ -81,9 +83,17 @@ let measure_algo config ~throughput ~rng outcome =
       let plan = Stage_latency.compile mapping in
       let sim = of_option (Stage_latency.latency_of_plan plan ~throughput) in
       (* The stats variant consumes the exact same draws as the plain
-         mean, so adding the defeat rate changes no measured value. *)
+         mean, so adding the defeat rate changes no measured value.  In
+         exact mode the same two columns come from the availability
+         calculus instead — no randomness consumed, no draws taken. *)
       let crash, defeat_rate =
         if config.crashes = 0 then (sim, nan)
+        else if config.exact then
+          let exact =
+            Stage_latency.exact_crash_latency_stats ~crashes:config.crashes
+              ~throughput mapping
+          in
+          (of_option exact.Crash.degraded_mean, exact.Crash.p_defeat)
         else
           let stats =
             Stage_latency.mean_crash_latency_stats_of_plan

@@ -16,6 +16,12 @@ type config = {
   eps : int;
   crashes : int;           (** c, the number of failed processors *)
   crash_draws : int;       (** crash samples averaged per graph *)
+  exact : bool;
+      (** replace the [crash_draws] Monte-Carlo estimates with the
+          {!Reliability} calculus: the [crash] and [defeat_rate] columns
+          become exact expectations over all [choose (m, c)] failure sets
+          and consume no randomness.  Default [false] — the sampled
+          outputs stay byte-identical. *)
   spec : Paper_workload.spec;
   sched : Scheduler.options;  (** options for LTF/R-LTF and the reference *)
   granularities : float list;

@@ -33,27 +33,36 @@ let defeat_series samples =
 let run ?(out_dir = "results") ?(jobs = 1) ~(config : Fig_common.config) () =
   let samples = Fig_common.collect ~jobs config in
   let curves = series samples in
+  (* Exact runs write to their own files: the Monte-Carlo artifacts stay
+     byte-identical whether or not anyone also runs the calculus. *)
+  let suffix = if config.Fig_common.exact then "-exact" else "" in
+  let mode = if config.Fig_common.exact then "exact" else "sampled" in
   let title =
     Printf.sprintf
       "Fault-tolerance overhead (%%) vs granularity (eps=%d, c=%d, %d \
-       graphs/point)"
+       graphs/point, %s)"
       config.Fig_common.eps config.Fig_common.crashes
-      config.Fig_common.graphs_per_point
+      config.Fig_common.graphs_per_point mode
   in
   Ascii_plot.print ~title ~x_label:"granularity" ~y_label:"overhead %" curves;
   Fig_latency.table_of_series curves;
   Fig_latency.csv_of_series
     (Filename.concat out_dir
-       (Printf.sprintf "fig-overhead-eps%d.csv" config.Fig_common.eps))
+       (Printf.sprintf "fig-overhead-eps%d%s.csv" config.Fig_common.eps suffix))
     curves;
   if config.Fig_common.crashes > 0 then begin
     let defeats = defeat_series samples in
-    Printf.printf "Defeated crash draws (c=%d, %% of draws):\n"
-      config.Fig_common.crashes;
+    (if config.Fig_common.exact then
+       Printf.printf "Exact defeat probability (c=%d, %%):\n"
+         config.Fig_common.crashes
+     else
+       Printf.printf "Defeated crash draws (c=%d, %% of draws):\n"
+         config.Fig_common.crashes);
     Fig_latency.table_of_series defeats;
     Fig_latency.csv_of_series
       (Filename.concat out_dir
-         (Printf.sprintf "fig-overhead-defeats-eps%d.csv" config.Fig_common.eps))
+         (Printf.sprintf "fig-overhead-defeats-eps%d%s.csv"
+            config.Fig_common.eps suffix))
       defeats
   end;
   curves

@@ -18,5 +18,7 @@ val run :
 (** Prints the plot and table and writes [fig-overhead-epsE.csv];
     when [crashes > 0] also prints the defeat-rate table and writes it to
     the separate [fig-overhead-defeats-epsE.csv] (the overhead CSV itself
-    is unchanged).  [jobs] worker domains (default 1 = sequential,
-    identical output). *)
+    is unchanged).  With [config.exact] the crash columns come from the
+    {!Reliability} calculus and both files gain an [-exact] suffix, so
+    the sampled artifacts never change.  [jobs] worker domains (default 1
+    = sequential, identical output). *)

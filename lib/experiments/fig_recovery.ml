@@ -11,6 +11,7 @@ type config = {
   horizon_items : int;
   reconfig_items : float;  (** downtime per recovery attempt, in items *)
   eps : int;  (** replication degree for LTF / R-LTF *)
+  exact : bool;  (** also emit the analytic no-recovery survival curve *)
   spec : Paper_workload.spec;
 }
 
@@ -32,6 +33,7 @@ let default =
     horizon_items = 200;
     reconfig_items = 2.0;
     eps = 1;
+    exact = false;
     spec;
   }
 
@@ -191,6 +193,61 @@ let csv path series_list =
           :: List.map (fun s -> s.Ascii_plot.label) series_list)
         rows
 
+(* Analytic no-recovery reference: each processor fails within the
+   horizon independently with q = 1 - exp(-lambda), lambda = hazard *
+   horizon / 1000 (the same Poisson process Failure_gen draws from), and
+   the calculus gives the exact probability that the static schedule is
+   never defeated.  Timelines with recovery must sit above this curve;
+   the gap is what recovery buys. *)
+let exact_survival_series config =
+  let algos = algorithms ~eps:config.eps in
+  (* Same seed derivation as [run_trial], so the analytic curve covers
+     exactly the graphs the timelines ran on. *)
+  let analyses =
+    List.init config.reps (fun rep ->
+        let rng = Rng.create ~seed:(config.seed + (7919 * rep)) in
+        let inst =
+          Paper_workload.instance ~spec:config.spec ~rng ~granularity:1.0 ()
+        in
+        List.map
+          (fun algo ->
+            let throughput = Paper_workload.throughput ~eps:algo.algo_eps in
+            let prob =
+              Types.problem ~dag:inst.Paper_workload.dag
+                ~platform:inst.Paper_workload.plat ~eps:algo.algo_eps
+                ~throughput
+            in
+            match algo.schedule prob with
+            | Error _ -> (algo.label, None)
+            | Ok mapping -> (algo.label, Some (Reliability.analyze mapping)))
+          algos)
+  in
+  List.map
+    (fun algo ->
+      let points =
+        List.map
+          (fun hazard ->
+            let lambda =
+              hazard *. float_of_int config.horizon_items /. 1000.0
+            in
+            let q = 1.0 -. exp (-.lambda) in
+            let survivals =
+              List.filter_map
+                (fun per_algo ->
+                  match List.assoc algo.label per_algo with
+                  | None -> None
+                  | Some t ->
+                      Some
+                        (Reliability.survival_probability t
+                           (Reliability.Independent (fun _ -> q))))
+                analyses
+            in
+            (hazard, mean Fun.id survivals))
+          config.hazards
+      in
+      { Ascii_plot.label = algo.label; points })
+    algos
+
 let run ?(out_dir = "results") ?(jobs = 1) ~(config : config) () =
   let trials =
     List.concat_map
@@ -222,4 +279,13 @@ let run ?(out_dir = "results") ?(jobs = 1) ~(config : config) () =
   csv (Filename.concat out_dir "fig-recovery-availability.csv") availability;
   csv (Filename.concat out_dir "fig-recovery-latency.csv") latency;
   csv (Filename.concat out_dir "fig-recovery-outages.csv") outages;
+  if config.exact then begin
+    let survival = exact_survival_series config in
+    Ascii_plot.print
+      ~title:
+        "Exact no-recovery survival probability (analytic, same instances)"
+      ~x_label:"crashes/proc/1000 items" ~y_label:"P(never defeated)" survival;
+    Fig_latency.table_of_series survival;
+    csv (Filename.concat out_dir "fig-recovery-exact-survival.csv") survival
+  end;
   (availability, latency)

@@ -23,6 +23,10 @@ type config = {
   horizon_items : int;
   reconfig_items : float;  (** downtime per recovery attempt, in items *)
   eps : int;  (** replication degree for LTF / R-LTF *)
+  exact : bool;
+      (** also compute the analytic no-recovery survival curve with the
+          {!Reliability} calculus (default [false]); purely additive —
+          the sampled artifacts never change *)
   spec : Paper_workload.spec;
 }
 
@@ -48,6 +52,16 @@ val run_trial : config -> trial -> (string * point option) list
     [None] marks an algorithm that failed to schedule.  Pure function of
     its arguments (exposed for the regression tests). *)
 
+val exact_survival_series : config -> Ascii_plot.series list
+(** Analytic no-recovery reference: the exact probability (from
+    {!Reliability}) that each algorithm's static schedule is never
+    defeated within the horizon, with each processor failing
+    independently with [q = 1 - exp (-. hazard *. horizon /. 1000.)] —
+    the same Poisson process the timelines draw from.  Averaged over the
+    same instances [run_trial] generates (same seed derivation), so the
+    recovery timelines must sit above this curve: the gap is what
+    recovery buys. *)
+
 val run :
   ?out_dir:string ->
   ?jobs:int ->
@@ -57,5 +71,7 @@ val run :
 (** Prints the availability and degraded-latency plots/tables plus the
     outage-rate table, writes [fig-recovery-availability.csv],
     [fig-recovery-latency.csv] and [fig-recovery-outages.csv], and
-    returns the (availability, latency) series.  [jobs] worker domains
+    returns the (availability, latency) series.  With [config.exact] it
+    additionally prints the {!exact_survival_series} plot/table and
+    writes [fig-recovery-exact-survival.csv].  [jobs] worker domains
     (default 1 = sequential, identical output for every value). *)

@@ -25,11 +25,18 @@ let required_counters =
     "ops.recovery.restored.relaxed";
     "ops.recovery.restored.reduced_eps";
     "ops.recovery.restored.best_effort";
+    "rel.analyses";
     "exp.trials";
   ]
 
 let required_histograms =
-  [ "core.chunk_size"; "sim.heap_size"; "sim.epoch.items"; "ops.recovery.downtime" ]
+  [
+    "core.chunk_size";
+    "sim.heap_size";
+    "sim.epoch.items";
+    "ops.recovery.downtime";
+    "rel.defeat_cuts";
+  ]
 
 let required_spans =
   [
@@ -41,6 +48,7 @@ let required_spans =
     "sim.crash.sample";
     "ops.recovery.timeline";
     "ops.recovery.epoch";
+    "rel.analyze";
     "exp.trial";
   ]
 

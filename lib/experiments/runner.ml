@@ -1,7 +1,8 @@
 type experiment = {
   name : string;
   description : string;
-  run : quick:bool -> seed:int -> jobs:int -> out_dir:string -> unit;
+  run :
+    quick:bool -> seed:int -> jobs:int -> exact:bool -> out_dir:string -> unit;
 }
 
 let latency_fig name ~eps ~mode ~crashes description =
@@ -9,7 +10,7 @@ let latency_fig name ~eps ~mode ~crashes description =
     name;
     description;
     run =
-      (fun ~quick ~seed ~jobs ~out_dir ->
+      (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
         let config =
           if quick then Fig_common.quick ~eps ~crashes
           else Fig_common.default ~eps ~crashes
@@ -23,12 +24,12 @@ let overhead_fig name ~eps ~crashes description =
     name;
     description;
     run =
-      (fun ~quick ~seed ~jobs ~out_dir ->
+      (fun ~quick ~seed ~jobs ~exact ~out_dir ->
         let config =
           if quick then Fig_common.quick ~eps ~crashes
           else Fig_common.default ~eps ~crashes
         in
-        let config = { config with Fig_common.seed } in
+        let config = { config with Fig_common.seed; exact } in
         ignore (Fig_overhead.run ~out_dir ~jobs ~config ()));
   }
 
@@ -49,13 +50,13 @@ let all =
     {
       name = "examples";
       description = "Figs. 1-2: the paper's worked examples, replayed";
-      run = (fun ~quick:_ ~seed:_ ~jobs:_ ~out_dir:_ -> Paper_examples.print ());
+      run = (fun ~quick:_ ~seed:_ ~jobs:_ ~exact:_ ~out_dir:_ -> Paper_examples.print ());
     };
     {
       name = "baselines";
       description = "Extension A: Section 3 heuristics on the paper workload";
       run =
-        (fun ~quick ~seed ~jobs ~out_dir ->
+        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
           ignore
             (Fig_baselines.run ~out_dir ~seed ~jobs
                ~graphs:(if quick then 6 else 30) ()));
@@ -64,7 +65,7 @@ let all =
       name = "complexity";
       description = "Theorem 1: empirical LTF runtime scaling";
       run =
-        (fun ~quick ~seed ~jobs:_ ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_complexity.run ~out_dir ~seed
                ~repetitions:(if quick then 1 else 3)
@@ -74,7 +75,7 @@ let all =
       name = "symmetric";
       description = "Extension B: Section 6 symmetric problems";
       run =
-        (fun ~quick ~seed ~jobs:_ ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_symmetric.run ~out_dir ~seed ~graphs:(if quick then 3 else 10) ()));
     };
@@ -82,7 +83,7 @@ let all =
       name = "ablation";
       description = "Extension C: ablation of the implementation's mechanisms";
       run =
-        (fun ~quick ~seed ~jobs ~out_dir ->
+        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
           ignore
             (Fig_ablation.run ~out_dir ~seed ~jobs
                ~graphs:(if quick then 5 else 20) ()));
@@ -91,7 +92,7 @@ let all =
       name = "pipeline";
       description = "Extension D: event-driven validation of the throughput";
       run =
-        (fun ~quick ~seed ~jobs:_ ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_pipeline.run ~out_dir ~seed ~graphs:(if quick then 3 else 10) ()));
     };
@@ -99,7 +100,7 @@ let all =
       name = "optgap";
       description = "Extension F: optimality gap vs exact branch-and-bound";
       run =
-        (fun ~quick ~seed ~jobs:_ ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_optgap.run ~out_dir ~seed ~graphs:(if quick then 5 else 15) ()));
     };
@@ -107,7 +108,7 @@ let all =
       name = "families";
       description = "Extension H: robustness across graph families";
       run =
-        (fun ~quick ~seed ~jobs:_ ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_families.run ~out_dir ~seed ~graphs:(if quick then 4 else 12) ()));
     };
@@ -115,7 +116,7 @@ let all =
       name = "topology";
       description = "Extension G: sensitivity to the platform topology";
       run =
-        (fun ~quick ~seed ~jobs:_ ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_topology.run ~out_dir ~seed ~graphs:(if quick then 4 else 12) ()));
     };
@@ -123,7 +124,7 @@ let all =
       name = "cost";
       description = "Extension E: platform rental-cost minimization (Section 6)";
       run =
-        (fun ~quick ~seed ~jobs:_ ~out_dir ->
+        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore (Fig_cost.run ~out_dir ~seed ~graphs:(if quick then 2 else 8) ()));
     };
     {
@@ -131,12 +132,24 @@ let all =
       description =
         "Extension I: availability and degraded latency under live failures";
       run =
-        (fun ~quick ~seed ~jobs ~out_dir ->
+        (fun ~quick ~seed ~jobs ~exact ~out_dir ->
           let config =
             if quick then Fig_recovery.quick else Fig_recovery.default
           in
-          let config = { config with Fig_recovery.seed } in
+          let config = { config with Fig_recovery.seed; exact } in
           ignore (Fig_recovery.run ~out_dir ~jobs ~config ()));
+    };
+    {
+      name = "convergence";
+      description =
+        "Extension J: Monte-Carlo crash estimates vs the exact calculus";
+      run =
+        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+          let config =
+            if quick then Fig_convergence.quick else Fig_convergence.default
+          in
+          let config = { config with Fig_convergence.seed } in
+          ignore (Fig_convergence.run ~out_dir ~jobs ~config ()));
     };
     {
       name = "latency";
@@ -144,7 +157,7 @@ let all =
         "Profile: the fig3a sweep plus an event-driven replay of R-LTF \
          mappings (touches every instrumented layer)";
       run =
-        (fun ~quick ~seed ~jobs ~out_dir ->
+        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
           let config =
             if quick then Fig_common.quick ~eps:1 ~crashes:0
             else Fig_common.default ~eps:1 ~crashes:0
@@ -194,9 +207,9 @@ let all =
       {
         e with
         run =
-          (fun ~quick ~seed ~jobs ~out_dir ->
+          (fun ~quick ~seed ~jobs ~exact ~out_dir ->
             Obs.with_span ("exp.fig." ^ e.name) (fun () ->
-                e.run ~quick ~seed ~jobs ~out_dir));
+                e.run ~quick ~seed ~jobs ~exact ~out_dir));
       })
     all
 

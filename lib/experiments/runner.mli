@@ -4,19 +4,25 @@
 type experiment = {
   name : string;        (** CLI name, e.g. "fig3a" *)
   description : string;
-  run : quick:bool -> seed:int -> jobs:int -> out_dir:string -> unit;
+  run :
+    quick:bool -> seed:int -> jobs:int -> exact:bool -> out_dir:string -> unit;
       (** [quick] shrinks the per-point replication for smoke runs;
           [jobs] is the worker-domain count for the sample sweeps (1 =
-          sequential; the output never depends on it) *)
+          sequential; the output never depends on it); [exact] switches
+          the crash columns of fig3c/fig4c to the {!Reliability}
+          calculus and adds the analytic survival curve to "recovery"
+          (experiments without an exact mode ignore it) *)
 }
 
 val all : experiment list
 (** fig3a fig3b fig3c fig4a fig4b fig4c examples baselines complexity
     symmetric ablation pipeline optgap families topology cost recovery
-    latency — in that order.  Every experiment runs under an [exp.fig.<name>] span
-    when {!Obs.enabled} is on; ["latency"] combines the fig3a sweep with
-    an event-driven replay so one profiling run exercises the scheduler,
-    the simulator and the sweep machinery together. *)
+    convergence latency — in that order.  Every experiment runs under an
+    [exp.fig.<name>] span when {!Obs.enabled} is on; ["latency"]
+    combines the fig3a sweep with an event-driven replay so one
+    profiling run exercises the scheduler, the simulator and the sweep
+    machinery together, and ["convergence"] cross-validates the crash
+    sampler against the exact calculus. *)
 
 val find : string -> experiment option
 

@@ -10,6 +10,12 @@ type stats = {
   defeated_draws : int;
 }
 
+type exact = {
+  p_defeat : float;
+  degraded_mean : float option;
+  evaluations : int;
+}
+
 let defeat_rate s =
   if s.draws = 0 then nan
   else float_of_int s.defeated_draws /. float_of_int s.draws
@@ -46,6 +52,7 @@ let sample_compiled ~rand_int ~crashes p =
 let sample ~rand_int ~crashes m = sample_compiled ~rand_int ~crashes (Engine.compile m)
 
 let mean_latency_stats_compiled ~rand_int ~crashes ~runs p =
+  if runs < 0 then invalid_arg "Crash.mean_latency_stats: negative run count";
   let rec loop i total count defeated =
     if i >= runs then
       {
@@ -68,3 +75,64 @@ let mean_latency_stats ~rand_int ~crashes ~runs m =
 
 let mean_latency ~rand_int ~crashes ~runs m =
   (mean_latency_stats ~rand_int ~crashes ~runs m).mean
+
+(* ---- exact siblings: the availability calculus instead of draws ------- *)
+
+let exact_defeat_rate ~crashes m =
+  if crashes < 0 || crashes > Platform.size (Mapping.platform m) then
+    invalid_arg "Crash.exact_defeat_rate: crash count outside [0, m]";
+  let t = Reliability.analyze ~max_cut_card:crashes m in
+  Reliability.defeat_probability t (Reliability.Uniform_crashes crashes)
+
+let exact_defeat_rate_compiled ~crashes p =
+  exact_defeat_rate ~crashes (Engine.program_mapping p)
+
+let int_binom n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let r = ref 1 in
+    for i = 1 to k do
+      r := !r * (n - k + i) / i
+    done;
+    !r
+  end
+
+(* Every one of the choose (m, c) failure sets replayed through the
+   engine: the exact analogue of [mean_latency_stats_compiled] under the
+   engine's own latency semantics, with the enumeration count as the only
+   cost knob. *)
+let exact_latency_stats_compiled ?(max_evaluations = 1_000_000) ~crashes p =
+  Obs.with_span "sim.crash.exact" (fun () ->
+      let n_procs = Platform.size (Mapping.platform (Engine.program_mapping p)) in
+      if crashes < 0 || crashes > n_procs then
+        invalid_arg "Crash.exact_latency_stats: crash count outside [0, m]";
+      let total = int_binom n_procs crashes in
+      if total > max_evaluations then
+        invalid_arg "Crash.exact_latency_stats: enumeration over budget";
+      let sum = ref 0.0 and survivors = ref 0 and defeated = ref 0 in
+      (* next processor to pick >= [from]; [chosen] in decreasing order *)
+      let rec enumerate chosen from remaining =
+        if remaining = 0 then begin
+          match (with_failures_compiled p ~failed:(List.rev chosen)).latency with
+          | Some l ->
+              sum := !sum +. l;
+              incr survivors
+          | None -> incr defeated
+        end
+        else
+          for u = from to n_procs - remaining do
+            enumerate (u :: chosen) (u + 1) (remaining - 1)
+          done
+      in
+      enumerate [] 0 crashes;
+      {
+        p_defeat = float_of_int !defeated /. float_of_int total;
+        degraded_mean =
+          (if !survivors = 0 then None
+           else Some (!sum /. float_of_int !survivors));
+        evaluations = total;
+      })
+
+let exact_latency_stats ?max_evaluations ~crashes m =
+  exact_latency_stats_compiled ?max_evaluations ~crashes (Engine.compile m)

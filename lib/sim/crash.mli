@@ -26,8 +26,27 @@ type stats = {
   defeated_draws : int;  (** draws excluded from the mean *)
 }
 
+(** Exact (draw-free) counterpart of {!stats}, computed either by full
+    enumeration of the failure sets or by the {!Reliability} calculus. *)
+type exact = {
+  p_defeat : float;  (** probability that the failure set defeats the schedule *)
+  degraded_mean : float option;
+      (** mean latency conditioned on survival; [None] when every failure
+          set defeats the schedule *)
+  evaluations : int;
+      (** failure sets actually replayed ([0] on the purely analytic
+          paths) *)
+}
+
 val defeat_rate : stats -> float
-(** [defeated_draws / draws]; [nan] when no draw was taken. *)
+(** [defeated_draws / draws].
+
+    NaN policy: with [draws = 0] there is no estimate, and this returns
+    [nan] rather than [0.0] — a zero would silently read as "never
+    defeated".  [nan] propagates through downstream means and plots as a
+    gap instead of a lie; callers that need a total value must check
+    [draws] first.  The all-defeated case is well-defined and returns
+    [1.0] (with [stats.mean = None]). *)
 
 val with_failures : Mapping.t -> failed:Platform.proc list -> outcome
 (** Deterministic single run. *)
@@ -64,7 +83,9 @@ val mean_latency_stats :
   stats
 (** {!sample} latency averaged over [runs] draws, with the defeated draws
     counted rather than silently excluded.  Compiles the mapping once and
-    replays the program per draw. *)
+    replays the program per draw.  [runs = 0] yields the empty statistic
+    ([mean = None], [draws = 0] — and a [nan] {!defeat_rate}).
+    @raise Invalid_argument if [runs < 0]. *)
 
 val mean_latency_stats_compiled :
   rand_int:(int -> int) ->
@@ -83,3 +104,32 @@ val mean_latency :
 (** [(mean_latency_stats ...).mean] — kept for callers that only need the
     mean.  Draws that defeat the schedule are excluded (with
     [crashes <= ε] none should be). *)
+
+(** {2 Exact evaluation}
+
+    The same questions answered without sampling: the defeat probability
+    from the {!Reliability} cut-set calculus, and — when the platform is
+    small enough — the engine-exact mean over every failure set. *)
+
+val exact_defeat_rate : crashes:int -> Mapping.t -> float
+(** Exact probability that [crashes] uniformly chosen distinct dead
+    processors defeat the schedule; the analytic value that
+    [defeat_rate (mean_latency_stats ~runs ...)] estimates.  Consumes no
+    randomness.
+    @raise Invalid_argument if [crashes] is outside [0, m]. *)
+
+val exact_defeat_rate_compiled : crashes:int -> Engine.program -> float
+(** {!exact_defeat_rate} of the program's mapping. *)
+
+val exact_latency_stats :
+  ?max_evaluations:int -> crashes:int -> Mapping.t -> exact
+(** Replay all [choose (m, crashes)] failure sets through the engine:
+    exact defeat probability and exact mean degraded latency under the
+    engine's own semantics.  Compiles once and replays per set.
+    [max_evaluations] (default 1_000_000) bounds the enumeration.
+    @raise Invalid_argument if [crashes] is outside [0, m] or the
+    enumeration exceeds [max_evaluations]. *)
+
+val exact_latency_stats_compiled :
+  ?max_evaluations:int -> crashes:int -> Engine.program -> exact
+(** {!exact_latency_stats} against an already-compiled program. *)

@@ -158,6 +158,8 @@ let mean_crash_latency_stats_of_plan ~rand_int ~crashes ~runs ~throughput pl =
   let n_procs = pl.l_procs in
   if crashes > n_procs then
     invalid_arg "Stage_latency.mean_crash_latency: more crashes than processors";
+  if runs < 0 then
+    invalid_arg "Stage_latency.mean_crash_latency: negative run count";
   let draw () =
     let rec pick chosen remaining =
       if remaining = 0 then chosen
@@ -192,3 +194,18 @@ let mean_crash_latency_stats ~rand_int ~crashes ~runs ~throughput m =
 
 let mean_crash_latency ~rand_int ~crashes ~runs ~throughput m =
   (mean_crash_latency_stats ~rand_int ~crashes ~runs ~throughput m).Crash.mean
+
+(* Fully analytic: the cut-set calculus answers both the defeat
+   probability and the conditional mean of (2 S_eff - 1)/T, with the cut
+   horizon pinned to the crash count so families stay small. *)
+let exact_crash_latency_stats ~crashes ~throughput m =
+  let n_procs = Platform.size (Mapping.platform m) in
+  if crashes < 0 || crashes > n_procs then
+    invalid_arg "Stage_latency.exact_crash_latency_stats: crashes outside [0, m]";
+  let t = Reliability.analyze ~max_cut_card:crashes m in
+  let model = Reliability.Uniform_crashes crashes in
+  {
+    Crash.p_defeat = Reliability.defeat_probability t model;
+    degraded_mean = Reliability.expected_latency t ~throughput model;
+    evaluations = 0;
+  }

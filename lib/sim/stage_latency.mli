@@ -71,3 +71,12 @@ val mean_crash_latency :
   float option
 (** The mean of {!mean_crash_latency_stats}; draws that defeat the
     schedule are excluded.  [None] if every draw did. *)
+
+val exact_crash_latency_stats :
+  crashes:int -> throughput:float -> Mapping.t -> Crash.exact
+(** The exact values {!mean_crash_latency_stats} estimates, from the
+    {!Reliability} calculus: defeat probability and mean degraded latency
+    conditioned on survival, for [crashes] uniformly chosen distinct dead
+    processors.  Consumes no randomness and replays nothing
+    ([evaluations = 0]).
+    @raise Invalid_argument if [crashes] is outside [0, m]. *)

@@ -98,6 +98,36 @@ let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 
+let complement ~universe s =
+  if universe < 0 then invalid_arg "Bitset.complement: negative universe";
+  if universe = 0 then empty
+  else begin
+    let words = ((universe - 1) / word_bits) + 1 in
+    let r = Array.make words 0 in
+    for i = 0 to words - 1 do
+      let full =
+        if i = words - 1 && universe mod word_bits <> 0 then
+          (1 lsl (universe mod word_bits)) - 1
+        else -1
+      in
+      let have = if i < Array.length s then s.(i) else 0 in
+      r.(i) <- full land lnot have
+    done;
+    normalize r
+  end
+
+let min_elt s =
+  let n = Array.length s in
+  let rec scan i =
+    if i >= n then None
+    else if s.(i) = 0 then scan (i + 1)
+    else begin
+      let lsb = s.(i) land - s.(i) in
+      Some ((i * word_bits) + popcount (lsb - 1))
+    end
+  in
+  scan 0
+
 let fold f s init =
   let acc = ref init in
   Array.iteri

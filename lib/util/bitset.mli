@@ -45,6 +45,18 @@ val cardinal : t -> int
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val complement : universe:int -> t -> t
+(** [complement ~universe s] is [{0 .. universe-1} \ s]: the elements of
+    the dense universe not in [s].  Elements of [s] at or above
+    [universe] are ignored.  The inclusion–exclusion sweeps of the
+    reliability calculus use this to split a kill-set support from the
+    untouched processors.
+    @raise Invalid_argument on a negative universe. *)
+
+val min_elt : t -> elt option
+(** Smallest element, or [None] on the empty set — the pivot choice of
+    the Shannon-decomposition evaluator. *)
+
 val elements : t -> elt list
 (** In increasing order, as [Set.Make (Int)] returns them. *)
 

@@ -233,7 +233,8 @@ let fig_tests =
           (fun name -> check_true name (Runner.find name <> None))
           [ "fig3a"; "fig3b"; "fig3c"; "fig4a"; "fig4b"; "fig4c";
             "examples"; "baselines"; "complexity"; "symmetric";
-            "ablation"; "pipeline"; "optgap"; "families"; "topology"; "cost" ];
+            "ablation"; "pipeline"; "optgap"; "families"; "topology"; "cost";
+            "recovery"; "convergence"; "latency" ];
         check_true "unknown name" (Runner.find "fig9z" = None));
     slow_case "pipeline validation sustains the desired throughput" (fun () ->
         let rows =

@@ -300,20 +300,27 @@ let report_tests =
               (List.length missing));
     case "validate_string rejects invalid JSON" (fun () ->
         check_true "rejected" (Result.is_error (Obs_report.validate_string "{")));
-    slow_case "a latency+recovery profile run satisfies --check-metrics"
+    slow_case "a latency+recovery+convergence run satisfies --check-metrics"
       (fun () ->
         with_obs (fun () ->
-            (* The documented key set spans both profiles: the latency
-               experiment covers the scheduler/simulator/sweep keys, the
-               recovery experiment the ops.recovery.* family — the same
-               pair CI profiles for --check-metrics. *)
+            (* The documented key set spans all three profiles: the
+               latency experiment covers the scheduler/simulator/sweep
+               keys, the recovery experiment the ops.recovery.* family,
+               and the convergence + exact-recovery runs the rel.*
+               calculus keys — the same set CI profiles for
+               --check-metrics.  [exact:true] matters: the recovery
+               survival curve analyses under the [Independent] model,
+               the only caller guaranteed to take the antichain
+               evaluator and record the rel.defeat_cuts histogram
+               (small uniform analyses dispatch to subset enumeration,
+               which never builds the defeat cut family). *)
             let out_dir = Filename.temp_file "obs" ".d" in
             Sys.remove out_dir;
             List.iter
               (fun name ->
                 let e = Option.get (Runner.find name) in
-                e.Runner.run ~quick:true ~seed:7 ~jobs:2 ~out_dir)
-              [ "latency"; "recovery" ];
+                e.Runner.run ~quick:true ~seed:7 ~jobs:2 ~exact:true ~out_dir)
+              [ "latency"; "recovery"; "convergence" ];
             let json = Obs.Registry.to_json (Obs.snapshot ()) in
             match Obs_report.validate_string json with
             | Ok () -> ()

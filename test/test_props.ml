@@ -127,6 +127,69 @@ let prop_heap_matches_model =
       drain [] = model)
 
 (* ------------------------------------------------------------------ *)
+(* Bitsets vs the Set.Make (Int) reference                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The packed bitset replaced [Set.Make (Int)] in the kill-set hot path;
+   every operation must keep agreeing with the balanced-tree reference on
+   the same element lists. *)
+module IntSet = Set.Make (Int)
+
+let universe = 63
+
+let elems_of_seed ?(salt = 0) seed =
+  let rng = Rng.create ~seed:(seed + salt) in
+  List.init (Rng.int rng 40) (fun _ -> Rng.int rng universe)
+
+let prop_bitset_matches_reference =
+  QCheck.Test.make
+    ~name:"bitset algebra agrees with the Set.Make (Int) reference" ~count:200
+    seed_arb (fun seed ->
+      let xs = elems_of_seed seed and ys = elems_of_seed ~salt:7919 seed in
+      let a = Bitset.of_list xs and b = Bitset.of_list ys in
+      let ra = IntSet.of_list xs and rb = IntSet.of_list ys in
+      let agrees op rop =
+        Bitset.elements (op a b) = IntSet.elements (rop ra rb)
+      in
+      agrees Bitset.union IntSet.union
+      && agrees Bitset.inter IntSet.inter
+      && agrees Bitset.diff IntSet.diff
+      && Bitset.subset a b = IntSet.subset ra rb
+      && Bitset.disjoint a b = IntSet.disjoint ra rb
+      && Bitset.cardinal a = IntSet.cardinal ra
+      && Bitset.equal a b = IntSet.equal ra rb
+      && Bitset.min_elt a = IntSet.min_elt_opt ra
+      && Bitset.elements a = IntSet.elements ra
+      && Bitset.fold List.cons a [] = IntSet.fold List.cons ra [])
+
+let prop_bitset_complement_reference =
+  QCheck.Test.make
+    ~name:"complement matches the dense-universe set difference" ~count:200
+    seed_arb (fun seed ->
+      let xs = elems_of_seed seed in
+      let full = List.init universe Fun.id in
+      Bitset.elements (Bitset.complement ~universe (Bitset.of_list xs))
+      = IntSet.elements (IntSet.diff (IntSet.of_list full) (IntSet.of_list xs)))
+
+let prop_bitset_complement_involution =
+  QCheck.Test.make ~name:"complement is an involution on the universe"
+    ~count:200 seed_arb (fun seed ->
+      let s = Bitset.of_list (elems_of_seed seed) in
+      let cc = Bitset.complement ~universe (Bitset.complement ~universe s) in
+      Bitset.equal cc s
+      && Bitset.cardinal (Bitset.complement ~universe s)
+         = universe - Bitset.cardinal s)
+
+let prop_bitset_inclusion_exclusion =
+  QCheck.Test.make ~name:"|A union B| = |A| + |B| - |A inter B|" ~count:200
+    seed_arb (fun seed ->
+      let a = Bitset.of_list (elems_of_seed seed)
+      and b = Bitset.of_list (elems_of_seed ~salt:104729 seed) in
+      Bitset.cardinal (Bitset.union a b)
+      = Bitset.cardinal a + Bitset.cardinal b
+        - Bitset.cardinal (Bitset.inter a b))
+
+(* ------------------------------------------------------------------ *)
 (* Calibration properties                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -474,6 +537,14 @@ let () =
         List.map to_alcotest
           [ prop_timeline_no_overlap; prop_timeline_busy_sum; prop_heap_matches_model ]
       );
+      ( "bitsets",
+        List.map to_alcotest
+          [
+            prop_bitset_matches_reference;
+            prop_bitset_complement_reference;
+            prop_bitset_complement_involution;
+            prop_bitset_inclusion_exclusion;
+          ] );
       ( "workload",
         List.map to_alcotest
           [ prop_calibration_exact; prop_rng_int_bounds; prop_workflow_io_roundtrip ] );

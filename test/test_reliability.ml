@@ -1,0 +1,580 @@
+open Test_support
+
+(* The exact availability calculus against ground truth: exhaustive
+   enumeration of every failure pattern on small platforms (p <= 8), the
+   Monte-Carlo estimators it is meant to replace, and pinned values for
+   the seed workloads. *)
+
+let case = Fixtures.case
+let to_alcotest = QCheck_alcotest.to_alcotest
+let seed_arb = QCheck.int_range 0 100_000
+
+(* Small problems on at most 8 processors, so 2^m enumeration stays cheap. *)
+let small_problem_of_seed seed =
+  let rng = Rng.create ~seed in
+  let tasks = 4 + Rng.int rng 16 in
+  let dag = Random_dag.layered ~rng ~tasks () in
+  let m = 4 + Rng.int rng 5 in
+  let plat = Fixtures.uniform m in
+  let eps = Rng.int rng (min 2 (m - 1) + 1) in
+  let throughput =
+    1.0 /. (4.0 *. float_of_int (eps + 1) *. float_of_int tasks /. float_of_int m)
+  in
+  Types.problem ~dag ~platform:plat ~eps ~throughput
+
+let schedule_of_seed seed =
+  let prob = small_problem_of_seed seed in
+  match Ltf.schedule ~opts:Scheduler.(default |> with_mode Best_effort) prob with
+  | Error _ -> None
+  | Ok m -> Some (prob, m)
+
+let subset_of_mask ~m mask =
+  List.filter (fun p -> mask land (1 lsl p) <> 0) (List.init m Fun.id)
+
+let popcount mask =
+  let rec go mask acc = if mask = 0 then acc else go (mask land (mask - 1)) (acc + 1) in
+  go mask 0
+
+let float_binom n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let k = min k (n - k) in
+    let r = ref 1.0 in
+    for i = 1 to k do
+      r := !r *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive oracles: every failure pattern on p <= 8                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The cut families ARE the defeat predicate: a pattern defeats the
+   schedule iff it contains a minimal cut.  Checked against the calculus
+   oracle sweep, the stage model and the discrete-event engine, for all
+   2^m patterns. *)
+let prop_cut_sets_match_enumeration =
+  QCheck.Test.make ~name:"defeat cuts reproduce every failure pattern"
+    ~count:25 seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let cuts = Reliability.defeat_cut_sets t in
+          let program = Engine.compile m in
+          let n_procs = Platform.size prob.Types.platform in
+          let ok = ref true in
+          for mask = 0 to (1 lsl n_procs) - 1 do
+            let failed = subset_of_mask ~m:n_procs mask in
+            let failed_set = Bitset.of_list failed in
+            let by_cuts = List.exists (fun c -> Bitset.subset c failed_set) cuts in
+            let by_oracle = Reliability.defeated_by t ~failed in
+            let by_stage = Stage_latency.effective_depth ~failed m = None in
+            let by_engine = Engine.latency_compiled ~failed program = None in
+            if not (by_cuts = by_oracle && by_oracle = by_stage && by_stage = by_engine)
+            then ok := false
+          done;
+          !ok)
+
+(* The oracle depth sweep agrees with the stage model on every pattern,
+   and the calculus depth distribution matches the enumeration counts for
+   every crash count c. *)
+let prop_depth_distribution_exhaustive =
+  QCheck.Test.make ~name:"depth distribution matches exhaustive enumeration"
+    ~count:15 seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let n_procs = Platform.size prob.Types.platform in
+          let ok = ref true in
+          (* per crash count: depth histogram over all masks of that size *)
+          let histo = Array.make (n_procs + 1) [] in
+          for mask = 0 to (1 lsl n_procs) - 1 do
+            let failed = subset_of_mask ~m:n_procs mask in
+            let d = Reliability.depth_with t ~failed in
+            if d <> Stage_latency.effective_depth ~failed m then ok := false;
+            let c = popcount mask in
+            histo.(c) <- d :: histo.(c)
+          done;
+          for c = 0 to n_procs do
+            let total = float_binom n_procs c in
+            (* both evaluation strategies — subset enumeration and the
+               antichain telescoping — must match the mask histogram *)
+            List.iter
+              (fun dist ->
+                (* every listed mass equals its enumeration frequency *)
+                List.iter
+                  (fun (d, p) ->
+                    let count =
+                      List.length (List.filter (fun x -> x = Some d) histo.(c))
+                    in
+                    if Float.abs (p -. (float_of_int count /. total)) > 1e-9
+                    then ok := false)
+                  dist;
+                (* and the masses cover every surviving pattern *)
+                let survivors =
+                  List.length (List.filter (fun x -> x <> None) histo.(c))
+                in
+                let mass =
+                  List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dist
+                in
+                if Float.abs (mass -. (float_of_int survivors /. total)) > 1e-9
+                then ok := false)
+              [
+                Reliability.depth_distribution t (Reliability.Uniform_crashes c);
+                Reliability.depth_distribution ~enumerate_below:0 t
+                  (Reliability.Uniform_crashes c);
+              ]
+          done;
+          !ok)
+
+let prop_uniform_probability_exhaustive =
+  QCheck.Test.make ~name:"uniform defeat probability matches enumeration"
+    ~count:20 seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let n_procs = Platform.size prob.Types.platform in
+          List.for_all
+            (fun c ->
+              let defeated = ref 0 in
+              for mask = 0 to (1 lsl n_procs) - 1 do
+                if popcount mask = c then
+                  if
+                    Reliability.defeated_by t
+                      ~failed:(subset_of_mask ~m:n_procs mask)
+                  then incr defeated
+              done;
+              let brute = float_of_int !defeated /. float_binom n_procs c in
+              let by_enum =
+                Reliability.defeat_probability t (Reliability.Uniform_crashes c)
+              in
+              let by_cuts =
+                Reliability.defeat_probability ~enumerate_below:0 t
+                  (Reliability.Uniform_crashes c)
+              in
+              Float.abs (brute -. by_enum) <= 1e-9
+              && Float.abs (brute -. by_cuts) <= 1e-9)
+            (List.init (n_procs + 1) Fun.id))
+
+let prop_independent_probability_exhaustive =
+  QCheck.Test.make ~name:"independent defeat probability matches enumeration"
+    ~count:20 seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let n_procs = Platform.size prob.Types.platform in
+          let rng = Rng.create ~seed:(seed + 13) in
+          let hazard = Array.init n_procs (fun _ -> Rng.float rng 0.9) in
+          let brute = ref 0.0 in
+          for mask = 0 to (1 lsl n_procs) - 1 do
+            let failed = subset_of_mask ~m:n_procs mask in
+            if Reliability.defeated_by t ~failed then begin
+              let w = ref 1.0 in
+              for u = 0 to n_procs - 1 do
+                w :=
+                  !w
+                  *.
+                  if mask land (1 lsl u) <> 0 then hazard.(u)
+                  else 1.0 -. hazard.(u)
+              done;
+              brute := !brute +. !w
+            end
+          done;
+          let exact =
+            Reliability.defeat_probability t
+              (Reliability.Independent (fun u -> hazard.(u)))
+          in
+          ignore prob;
+          Float.abs (!brute -. exact) <= 1e-9)
+
+(* Expected degraded latency conditioned on survival, against the same
+   enumeration. *)
+let prop_expected_latency_exhaustive =
+  QCheck.Test.make ~name:"expected degraded latency matches enumeration"
+    ~count:15 seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let throughput = prob.Types.throughput in
+          let n_procs = Platform.size prob.Types.platform in
+          List.for_all
+            (fun c ->
+              let total = ref 0.0 and survivors = ref 0 in
+              for mask = 0 to (1 lsl n_procs) - 1 do
+                if popcount mask = c then
+                  match
+                    Reliability.depth_with t
+                      ~failed:(subset_of_mask ~m:n_procs mask)
+                  with
+                  | None -> ()
+                  | Some d ->
+                      incr survivors;
+                      total :=
+                        !total
+                        +. (float_of_int ((2 * d) - 1) /. throughput)
+              done;
+              let brute =
+                if !survivors = 0 then None
+                else Some (!total /. float_of_int !survivors)
+              in
+              List.for_all
+                (fun exact ->
+                  match (brute, exact) with
+                  | None, None -> true
+                  | Some b, Some e ->
+                      Float.abs (b -. e) <= 1e-9 *. Float.max 1.0 (Float.abs b)
+                  | _ -> false)
+                [
+                  Reliability.expected_latency t ~throughput
+                    (Reliability.Uniform_crashes c);
+                  Reliability.expected_latency ~enumerate_below:0 t ~throughput
+                    (Reliability.Uniform_crashes c);
+                ])
+            (List.init (n_procs + 1) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties of the calculus                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_probability_in_unit_interval =
+  QCheck.Test.make ~name:"defeat probabilities live in [0, 1]" ~count:30
+    (QCheck.pair seed_arb (QCheck.int_range 0 8))
+    (fun (seed, c) ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let n_procs = Platform.size prob.Types.platform in
+          let c = min c n_procs in
+          let pu = Reliability.defeat_probability t (Reliability.Uniform_crashes c) in
+          let q = 0.001 *. float_of_int (1 + (seed mod 900)) in
+          let pi = Reliability.defeat_probability t (Reliability.Independent (fun _ -> q)) in
+          pu >= 0.0 && pu <= 1.0 && pi >= 0.0 && pi <= 1.0)
+
+let prop_monotone_in_hazard =
+  QCheck.Test.make ~name:"defeat probability is monotone in the hazard"
+    ~count:30
+    (QCheck.triple seed_arb (QCheck.float_range 0.0 1.0) (QCheck.float_range 0.0 1.0))
+    (fun (seed, q1, q2) ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (_, m) ->
+          let t = Reliability.analyze m in
+          let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+          let p_lo = Reliability.defeat_probability t (Reliability.Independent (fun _ -> lo)) in
+          let p_hi = Reliability.defeat_probability t (Reliability.Independent (fun _ -> hi)) in
+          p_lo <= p_hi +. 1e-12)
+
+let prop_monotone_in_crashes =
+  QCheck.Test.make ~name:"defeat probability is monotone in the crash count"
+    ~count:30 seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let n_procs = Platform.size prob.Types.platform in
+          let p c = Reliability.defeat_probability t (Reliability.Uniform_crashes c) in
+          let rec mono c prev =
+            c > n_procs
+            ||
+            let here = p c in
+            here >= prev -. 1e-12 && mono (c + 1) here
+          in
+          mono 0 0.0)
+
+(* eps-tolerance restated analytically: with at most eps crashes the
+   schedule never loses (the validator's guarantee, via the calculus). *)
+let prop_tolerance_within_eps =
+  QCheck.Test.make ~name:"defeat probability is 0 for c <= eps" ~count:30
+    seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          List.for_all
+            (fun c ->
+              Reliability.defeat_probability t (Reliability.Uniform_crashes c)
+              = 0.0)
+            (List.init (prob.Types.eps + 1) Fun.id))
+
+(* Pruning at the crash-count horizon is invisible to the uniform model. *)
+let prop_pruned_analysis_agrees =
+  QCheck.Test.make ~name:"cut-cardinality pruning preserves uniform answers"
+    ~count:20
+    (QCheck.pair seed_arb (QCheck.int_range 0 4))
+    (fun (seed, c) ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let c = min c (Platform.size prob.Types.platform) in
+          let full = Reliability.analyze m in
+          let pruned = Reliability.analyze ~max_cut_card:c m in
+          let model = Reliability.Uniform_crashes c in
+          (* force the antichain evaluator: pruning lives in the families *)
+          Float.abs
+            (Reliability.defeat_probability ~enumerate_below:0 full model
+            -. Reliability.defeat_probability ~enumerate_below:0 pruned model)
+          <= 1e-12)
+
+(* Unreplicated chains always admit the closed-form product; it must agree
+   with the Shannon evaluator. *)
+let prop_closed_form_agrees =
+  QCheck.Test.make ~name:"closed-form product agrees with the general evaluator"
+    ~count:40 seed_arb (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 2 + Rng.int rng 7 in
+      let dag = Classic.chain ~n ~exec:1.0 ~volume:1.0 in
+      let m_procs = 2 + Rng.int rng 7 in
+      let plat = Fixtures.uniform m_procs in
+      let placement = Array.init n (fun _ -> Rng.int rng m_procs) in
+      let m =
+        Source_derivation.derive ~dag ~platform:plat ~eps:0
+          ~proc_of:(fun task _copy -> placement.(task))
+          ()
+      in
+      let t = Reliability.analyze m in
+      let hazard = Array.init m_procs (fun _ -> Rng.float rng 0.9) in
+      let pfail u = hazard.(u) in
+      match Reliability.closed_form_defeat t ~pfail with
+      | None -> false
+      | Some p ->
+          Float.abs (p -. Reliability.defeat_probability t (Reliability.Independent pfail))
+          <= 1e-12)
+
+(* The three exact surfaces agree: Crash's engine enumeration, the
+   analytic stage-model stats, and the raw calculus. *)
+let prop_exact_siblings_agree =
+  QCheck.Test.make ~name:"Crash and Stage_latency exact siblings agree"
+    ~count:20
+    (QCheck.pair seed_arb (QCheck.int_range 0 3))
+    (fun (seed, c) ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let c = min c (Platform.size prob.Types.platform) in
+          let engine = Crash.exact_latency_stats ~crashes:c m in
+          let stage =
+            Stage_latency.exact_crash_latency_stats ~crashes:c
+              ~throughput:prob.Types.throughput m
+          in
+          let calculus = Crash.exact_defeat_rate ~crashes:c m in
+          Float.abs (engine.Crash.p_defeat -. stage.Crash.p_defeat) <= 1e-9
+          && Float.abs (engine.Crash.p_defeat -. calculus) <= 1e-9
+          && (stage.Crash.degraded_mean = None) = (engine.Crash.degraded_mean = None))
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo convergence: the estimator approaches the exact value    *)
+(* ------------------------------------------------------------------ *)
+
+(* For growing draw counts the defeat-rate estimate must fall within a
+   z-score band around the analytic value; the band narrows as 1/sqrt(n).
+   z = 5 keeps the statistical false-failure rate around 6e-7 per
+   check. *)
+let prop_mc_converges_to_exact =
+  QCheck.Test.make ~name:"Monte-Carlo defeat rates converge to the calculus"
+    ~count:15
+    (QCheck.pair seed_arb (QCheck.int_range 1 3))
+    (fun (seed, c) ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let n_procs = Platform.size prob.Types.platform in
+          let c = min c n_procs in
+          let t = Reliability.analyze ~max_cut_card:c m in
+          let exact =
+            Reliability.defeat_probability t (Reliability.Uniform_crashes c)
+          in
+          let program = Engine.compile m in
+          ignore prob;
+          List.for_all
+            (fun runs ->
+              let rng = Rng.create ~seed:(seed + (7 * runs)) in
+              let stats =
+                Crash.mean_latency_stats_compiled
+                  ~rand_int:(fun n -> Rng.int rng n)
+                  ~crashes:c ~runs program
+              in
+              let est = Crash.defeat_rate stats in
+              let sigma =
+                Float.sqrt (Float.max (exact *. (1.0 -. exact)) 1e-6 /. float_of_int runs)
+              in
+              Float.abs (est -. exact) <= 5.0 *. sigma)
+            [ 100; 400; 1600 ])
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checkable unit cases and pinned seed workloads                  *)
+(* ------------------------------------------------------------------ *)
+
+let place m task copy proc sources =
+  Mapping.assign m { Replica.id = { Replica.task; copy }; proc; sources }
+
+(* chain3 on 3 processors, eps = 0, one replica per processor: the
+   schedule dies iff any of the three processors dies. *)
+let unreplicated_chain () =
+  let m =
+    Mapping.create ~dag:Fixtures.chain3 ~platform:(Fixtures.uniform 3) ~eps:0
+  in
+  place m 0 0 0 [];
+  place m 1 0 1 [ (0, [ { Replica.task = 0; copy = 0 } ]) ];
+  place m 2 0 2 [ (1, [ { Replica.task = 1; copy = 0 } ]) ];
+  m
+
+let chain_cut_sets () =
+  let t = Reliability.analyze (unreplicated_chain ()) in
+  let cuts = Reliability.defeat_cut_sets t in
+  Alcotest.(check int) "three singleton cuts" 3 (List.length cuts);
+  List.iter
+    (fun c -> Alcotest.(check int) "singleton" 1 (Bitset.cardinal c))
+    cuts;
+  Fixtures.check_float "uniform c=1"
+    1.0
+    (Reliability.defeat_probability t (Reliability.Uniform_crashes 1));
+  Fixtures.check_float "uniform c=1 (antichain)" 1.0
+    (Reliability.defeat_probability ~enumerate_below:0 t
+       (Reliability.Uniform_crashes 1));
+  let q = 0.1 in
+  let expected = 1.0 -. ((1.0 -. q) ** 3.0) in
+  Fixtures.check_float "independent q=0.1" expected
+    (Reliability.defeat_probability t (Reliability.Independent (fun _ -> q)));
+  match Reliability.closed_form_defeat t ~pfail:(fun _ -> q) with
+  | None -> Alcotest.fail "chain should admit the closed form"
+  | Some p -> Fixtures.check_float "closed form" expected p
+
+(* chain3 mirrored on two processors, eps = 1, fully cross-wired: every
+   stage survives one crash; both processors must die to defeat it. *)
+let mirrored_chain () =
+  let m =
+    Mapping.create ~dag:Fixtures.chain3 ~platform:(Fixtures.uniform 2) ~eps:1
+  in
+  let both task = [ { Replica.task; copy = 0 }; { Replica.task; copy = 1 } ] in
+  place m 0 0 0 [];
+  place m 0 1 1 [];
+  place m 1 0 0 [ (0, both 0) ];
+  place m 1 1 1 [ (0, both 0) ];
+  place m 2 0 0 [ (1, both 1) ];
+  place m 2 1 1 [ (1, both 1) ];
+  m
+
+let mirrored_cut_sets () =
+  let t = Reliability.analyze (mirrored_chain ()) in
+  (match Reliability.defeat_cut_sets t with
+  | [ c ] ->
+      Alcotest.(check (list int)) "both procs" [ 0; 1 ] (Bitset.elements c)
+  | cuts ->
+      Alcotest.failf "expected one cut, got %d" (List.length cuts));
+  Fixtures.check_float "survives one crash" 0.0
+    (Reliability.defeat_probability t (Reliability.Uniform_crashes 1));
+  Fixtures.check_float "defeated by two" 1.0
+    (Reliability.defeat_probability t (Reliability.Uniform_crashes 2));
+  Fixtures.check_float "survives one crash (antichain)" 0.0
+    (Reliability.defeat_probability ~enumerate_below:0 t
+       (Reliability.Uniform_crashes 1));
+  Fixtures.check_float "defeated by two (antichain)" 1.0
+    (Reliability.defeat_probability ~enumerate_below:0 t
+       (Reliability.Uniform_crashes 2));
+  let q = 0.25 in
+  Fixtures.check_float "independent" (q *. q)
+    (Reliability.defeat_probability t (Reliability.Independent (fun _ -> q)))
+
+let validation_errors () =
+  let incomplete =
+    Mapping.create ~dag:Fixtures.chain3 ~platform:(Fixtures.uniform 3) ~eps:0
+  in
+  Alcotest.check_raises "incomplete mapping"
+    (Invalid_argument "Reliability.analyze: mapping is not complete")
+    (fun () -> ignore (Reliability.analyze incomplete));
+  let t = Reliability.analyze (unreplicated_chain ()) in
+  Alcotest.check_raises "crash count out of range"
+    (Invalid_argument "Reliability: crash count outside [0, m]")
+    (fun () ->
+      ignore (Reliability.defeat_probability t (Reliability.Uniform_crashes 4)));
+  let pruned = Reliability.analyze ~max_cut_card:1 (unreplicated_chain ()) in
+  Alcotest.check_raises "past the pruning horizon"
+    (Invalid_argument "Reliability: crash count exceeds the analysis cut horizon")
+    (fun () ->
+      ignore (Reliability.defeat_probability pruned (Reliability.Uniform_crashes 2)));
+  Alcotest.check_raises "independent needs the unpruned analysis"
+    (Invalid_argument "Reliability: Independent model needs an unpruned analysis")
+    (fun () ->
+      ignore
+        (Reliability.defeat_probability pruned (Reliability.Independent (fun _ -> 0.1))))
+
+(* Pinned analytic defeat probabilities for the deterministic seed
+   workload (Rng seed 42, R-LTF best-effort).  These are ground truth for
+   future reliability changes: any drift here is a semantic change to the
+   scheduler or the calculus, not noise. *)
+let pinned_defeat_rates : (int * float) list =
+  [
+    (2, 0.53157894736842104);
+    (3, 0.85175438596491226);
+    (4, 0.96780185758513937);
+  ]
+
+let pinned_paper_workload () =
+  let inst = Fixtures.paper_instance () in
+  let eps = 1 in
+  let prob =
+    Types.problem ~dag:inst.Paper_workload.dag ~platform:inst.Paper_workload.plat
+      ~eps ~throughput:(Paper_workload.throughput ~eps)
+  in
+  let m = Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf prob in
+  let t = Reliability.analyze ~max_cut_card:4 m in
+  let p c = Reliability.defeat_probability t (Reliability.Uniform_crashes c) in
+  let p_cuts c =
+    Reliability.defeat_probability ~enumerate_below:0 t
+      (Reliability.Uniform_crashes c)
+  in
+  List.iter
+    (fun c ->
+      Fixtures.check_float (Printf.sprintf "defeat within eps, c=%d" c) 0.0 (p c))
+    (List.init (eps + 1) Fun.id);
+  (* values computed by this calculus and cross-checked against the
+     exhaustive oracle machinery above; pinned to catch drift *)
+  List.iter
+    (fun (c, expected) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "pinned defeat rate, c=%d" c)
+        expected (p c);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "pinned defeat rate via antichain, c=%d" c)
+        expected (p_cuts c))
+    pinned_defeat_rates
+
+let () =
+  Alcotest.run "reliability"
+    [
+      ( "exhaustive",
+        List.map to_alcotest
+          [
+            prop_cut_sets_match_enumeration;
+            prop_depth_distribution_exhaustive;
+            prop_uniform_probability_exhaustive;
+            prop_independent_probability_exhaustive;
+            prop_expected_latency_exhaustive;
+          ] );
+      ( "properties",
+        List.map to_alcotest
+          [
+            prop_probability_in_unit_interval;
+            prop_monotone_in_hazard;
+            prop_monotone_in_crashes;
+            prop_tolerance_within_eps;
+            prop_pruned_analysis_agrees;
+            prop_closed_form_agrees;
+            prop_exact_siblings_agree;
+          ] );
+      ("convergence", List.map to_alcotest [ prop_mc_converges_to_exact ]);
+      ( "units",
+        [
+          case "unreplicated chain cut sets" chain_cut_sets;
+          case "mirrored chain cut sets" mirrored_cut_sets;
+          case "validation errors" validation_errors;
+          case "pinned paper workload" pinned_paper_workload;
+        ] );
+    ]

@@ -505,6 +505,81 @@ let crash_tests =
             ~crashes:1 ~runs:10 (lanes ())
         in
         check_float "all draws survive at 3.0" 3.0 (Option.get mean));
+    case "zero draws yield an empty stat and a nan defeat rate" (fun () ->
+        let empty =
+          Crash.mean_latency_stats
+            ~rand_int:(fun _ -> Alcotest.fail "no draw should be taken")
+            ~crashes:1 ~runs:0 (lanes ())
+        in
+        check_int "no draws" 0 empty.Crash.draws;
+        check_int "no defeats" 0 empty.Crash.defeated_draws;
+        check_true "no mean" (empty.Crash.mean = None);
+        check_true "nan, not zero" (Float.is_nan (Crash.defeat_rate empty)));
+    case "negative run counts are rejected" (fun () ->
+        List.iter
+          (fun thunk ->
+            Alcotest.check_raises "runs < 0" (Invalid_argument "") (fun () ->
+                try ignore (thunk ()) with Invalid_argument _ ->
+                  raise (Invalid_argument "")))
+          [
+            (fun () ->
+              Crash.mean_latency_stats
+                ~rand_int:(fun _ -> 0)
+                ~crashes:1 ~runs:(-1) (lanes ()));
+            (fun () ->
+              Stage_latency.mean_crash_latency_stats
+                ~rand_int:(fun _ -> 0)
+                ~crashes:1 ~runs:(-1) ~throughput:0.1 (lanes ()));
+          ]);
+    case "all-defeated runs keep a defined defeat rate" (fun () ->
+        (* an unreplicated chain using every processor: any single crash
+           defeats it, so the rate is exactly 1 and the mean is None *)
+        let m =
+          Mapping.create ~dag:Fixtures.chain3 ~platform:(Fixtures.uniform 3)
+            ~eps:0
+        in
+        place m 0 0 0 [];
+        place m 1 0 1 [ (0, [ id 0 0 ]) ];
+        place m 2 0 2 [ (1, [ id 1 0 ]) ];
+        let rng = Rng.create ~seed:5 in
+        let stats =
+          Crash.mean_latency_stats
+            ~rand_int:(fun b -> Rng.int rng b)
+            ~crashes:1 ~runs:8 m
+        in
+        check_int "all defeated" 8 stats.Crash.defeated_draws;
+        check_true "no mean" (stats.Crash.mean = None);
+        check_float "rate one" 1.0 (Crash.defeat_rate stats));
+    case "exact defeat rates match the hand count" (fun () ->
+        (* lanes: defeat iff {0, 1} is contained in the failure set *)
+        check_float "c = 1" 0.0 (Crash.exact_defeat_rate ~crashes:1 (lanes ()));
+        check_float "c = 2 is 1/6" (1.0 /. 6.0)
+          (Crash.exact_defeat_rate ~crashes:2 (lanes ()));
+        check_float "c = 3 is 1/2" 0.5
+          (Crash.exact_defeat_rate ~crashes:3 (lanes ())));
+    case "exact enumeration agrees with the calculus and the engine" (fun () ->
+        let exact = Crash.exact_latency_stats ~crashes:2 (lanes ()) in
+        check_int "all six pairs replayed" 6 exact.Crash.evaluations;
+        check_float "same defeat probability"
+          (Crash.exact_defeat_rate ~crashes:2 (lanes ()))
+          exact.Crash.p_defeat;
+        check_float "survivors all deliver 3.0" 3.0
+          (Option.get exact.Crash.degraded_mean);
+        let stage =
+          Stage_latency.exact_crash_latency_stats ~crashes:2 ~throughput:0.1
+            (lanes ())
+        in
+        check_float "stage model agrees on defeat" exact.Crash.p_defeat
+          stage.Crash.p_defeat;
+        check_float "one stage at period 10" 10.0
+          (Option.get stage.Crash.degraded_mean));
+    case "exact enumeration respects its budget" (fun () ->
+        Alcotest.check_raises "over budget" (Invalid_argument "") (fun () ->
+            try
+              ignore
+                (Crash.exact_latency_stats ~max_evaluations:3 ~crashes:2
+                   (lanes ()))
+            with Invalid_argument _ -> raise (Invalid_argument "")));
     case "with_failures marks defeated draws" (fun () ->
         let alive = Crash.with_failures (lanes ()) ~failed:[ 1 ] in
         check_true "survivor not defeated" (not alive.Crash.defeated);
