@@ -343,22 +343,22 @@ let sim_large_prog = Engine.compile sim_large
 
 let crash_draws_per_mapping = 20
 
-(* Legacy shape: every draw recompiles (Crash.sample compiles per call,
-   exactly what the pre-split engine paid per Engine.run). *)
+(* Legacy shape: every draw recompiles (an Of_mapping source compiles per
+   call, exactly what the pre-split engine paid per Engine.run). *)
 let crash_draws_legacy () =
   let rng = Rng.create ~seed:47 in
   for _ = 1 to crash_draws_per_mapping do
-    ignore (Crash.sample ~rand_int:(fun b -> Rng.int rng b) ~crashes:1 sim_medium)
+    ignore
+      (Crash.estimate ~source:(Crash.Of_mapping sim_medium)
+         ~method_:(Crash.Sampled { crashes = 1; draws = 1; rng }))
   done
 
 let crash_draws_compiled () =
   let rng = Rng.create ~seed:47 in
-  for _ = 1 to crash_draws_per_mapping do
-    ignore
-      (Crash.sample_compiled
-         ~rand_int:(fun b -> Rng.int rng b)
-         ~crashes:1 sim_medium_prog)
-  done
+  ignore
+    (Crash.estimate ~source:(Crash.Of_program sim_medium_prog)
+       ~method_:
+         (Crash.Sampled { crashes = 1; draws = crash_draws_per_mapping; rng }))
 
 let epochs_per_mapping = 8
 
@@ -392,7 +392,9 @@ let defeat_rate_mc () =
   Crash.defeat_rate stats
 
 let defeat_rate_exact () =
-  Crash.exact_defeat_rate ~crashes:reliability_crashes sim_medium
+  let t = Reliability.analyze ~max_cut_card:reliability_crashes sim_medium in
+  Reliability.defeat_probability t
+    (Reliability.Uniform_crashes reliability_crashes)
 
 let degraded_stats_mc () =
   let rng = Rng.create ~seed:59 in
@@ -441,6 +443,47 @@ let sim_pairs : (string * (unit -> unit) * (unit -> unit)) list =
     ( "degraded latency stats (1000 MC draws vs calculus)",
       opaque degraded_stats_mc,
       opaque degraded_stats_exact );
+  ]
+
+(* Open-system overhead: the same scenarios through the closed path and
+   through the open-system machinery.  These are NOT before/after pairs —
+   the open path does strictly more bookkeeping (occupancy accounting,
+   admission control), so the gate is a bounded overhead ratio
+   (open_ns / closed_ns <= 1.3), not a speedup >= 1. *)
+let overhead_items = 20
+
+let overhead_closed () =
+  Engine.run_compiled ~n_items:overhead_items sim_medium_prog
+
+(* The degenerate point: identical event sequence, so the ratio isolates
+   the cost of the queue/admission machinery itself. *)
+let overhead_open_degenerate () =
+  Engine.simulate
+    ~config:
+      (Engine.Run.open_ ~n_items:overhead_items
+         (Arrival.Deterministic
+            { period = Engine.program_period sim_medium_prog }))
+    sim_medium_prog
+
+(* A realistic open run: Poisson arrivals at the sustainable rate through
+   a bounded queue (slightly different event sequence, same item count). *)
+let overhead_open_bounded () =
+  Engine.simulate
+    ~config:
+      (Engine.Run.open_ ~queue_bound:4 ~rng:(Rng.create ~seed:61)
+         ~n_items:overhead_items
+         (Arrival.Poisson
+            { rate = 1.0 /. Engine.program_period sim_medium_prog }))
+    sim_medium_prog
+
+let overhead_pairs : (string * (unit -> unit) * (unit -> unit)) list =
+  [
+    ( "open-system degenerate run (medium, 20 items)",
+      opaque overhead_closed,
+      opaque overhead_open_degenerate );
+    ( "open-system bounded Poisson run (medium, 20 items)",
+      opaque overhead_closed,
+      opaque overhead_open_bounded );
   ]
 
 let sim_tests =
@@ -608,6 +651,22 @@ let sim_json path =
     | _ -> nan
   in
   let pairs = measure_pairs cfg sim_pairs in
+  let overheads =
+    List.map
+      (fun (name, closed, opened) ->
+        let closed_ns = measure (name ^ " [closed]") closed in
+        let open_ns = measure (name ^ " [open]") opened in
+        Printf.printf "%-48s %12.0f -> %10.0f ns/run (%5.2fx overhead)\n%!"
+          name closed_ns open_ns (open_ns /. closed_ns);
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str name);
+            ("closed_ns", Obs.Json.Num closed_ns);
+            ("open_ns", Obs.Json.Num open_ns);
+            ("ratio", Obs.Json.Num (open_ns /. closed_ns));
+          ])
+      overhead_pairs
+  in
   let trajectory =
     List.map
       (fun (key, thunk) ->
@@ -628,14 +687,20 @@ let sim_json path =
       [
         ("schema", Obs.Json.Str "streamsched-bench-sim/1");
         ("pairs", Obs.Json.Arr pairs);
+        ("overheads", Obs.Json.Arr overheads);
         ("trajectory", Obs.Json.Obj trajectory);
       ]
   in
   write_json path doc
 
+(* The open-system machinery may cost something, but not much: fail when
+   a recorded closed-vs-open ratio exceeds this. *)
+let max_open_overhead = 1.3
+
 (* --check-sim-json PATH: regression guard over a committed trajectory
    file — fail the build when any recorded before/after pair has
-   regressed below break-even. *)
+   regressed below break-even, or any open-system overhead ratio exceeds
+   {!max_open_overhead}. *)
 let check_sim_json path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -671,12 +736,37 @@ let check_sim_json path =
               Printf.printf "FAIL %-48s missing speedup\n" name;
               incr bad)
         pairs;
+      (* Tolerate files recorded before the overheads section existed. *)
+      let overheads =
+        match Obs.Json.member "overheads" doc with
+        | Some (Obs.Json.Arr entries) -> entries
+        | _ -> []
+      in
+      List.iter
+        (fun entry ->
+          let name =
+            match Obs.Json.member "name" entry with
+            | Some (Obs.Json.Str s) -> s
+            | _ -> "<unnamed>"
+          in
+          match Obs.Json.member "ratio" entry with
+          | Some (Obs.Json.Num r) when r <= max_open_overhead ->
+              Printf.printf "ok   %-48s %5.2fx overhead\n" name r
+          | Some (Obs.Json.Num r) ->
+              Printf.printf "FAIL %-48s %5.2fx overhead > %.1fx\n" name r
+                max_open_overhead;
+              incr bad
+          | _ ->
+              Printf.printf "FAIL %-48s missing overhead ratio\n" name;
+              incr bad)
+        overheads;
       if !bad > 0 then begin
-        Printf.eprintf "%s: %d pair(s) regressed below 1.0x\n" path !bad;
+        Printf.eprintf "%s: %d entry(ies) out of bounds\n" path !bad;
         exit 1
       end;
-      Printf.printf "%s: %d pair(s), all at or above break-even\n" path
-        (List.length pairs)
+      Printf.printf
+        "%s: %d pair(s) at or above break-even, %d overhead(s) within %.1fx\n"
+        path (List.length pairs) (List.length overheads) max_open_overhead
 
 let () =
   match Array.to_list Sys.argv with

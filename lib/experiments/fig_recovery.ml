@@ -101,6 +101,7 @@ let measure config ~hazard_per_kitem ~rng algo inst =
           max_attempts = None;
           reconfig_delay = config.reconfig_items *. p;
           max_items_per_epoch = config.horizon_items + 8;
+          overload = None;
         }
       in
       let report = Stream_ops.run ~config:ops_config ~rng ~throughput mapping in

@@ -17,6 +17,9 @@ let required_counters =
     "sim.crash.draws";
     "sim.crash.defeats";
     "sim.epoch.resumes";
+    "sim.drops";
+    "sim.queue.enqueued";
+    "sim.queue.blocked";
     "ops.recovery.crashes";
     "ops.recovery.epochs";
     "ops.recovery.attempts";
@@ -34,6 +37,7 @@ let required_histograms =
     "core.chunk_size";
     "sim.heap_size";
     "sim.epoch.items";
+    "sim.queue.occupancy";
     "ops.recovery.downtime";
     "rel.defeat_cuts";
   ]

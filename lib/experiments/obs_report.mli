@@ -3,10 +3,11 @@
 
     A profiling run of the ["latency"] experiment (the fig3a sweep plus an
     event-driven replay) followed by the ["recovery"] experiment (the
-    operations timelines) must produce every key listed here; CI
-    validates one such dump, so renaming or dropping an instrumentation
-    point breaks the build instead of downstream dashboards.  The lists
-    are the single source of truth that EXPERIMENTS.md documents. *)
+    operations timelines) and the ["traffic"] experiment (open-system
+    queue metrics) must produce every key listed here; CI validates one
+    such dump, so renaming or dropping an instrumentation point breaks
+    the build instead of downstream dashboards.  The lists are the
+    single source of truth that EXPERIMENTS.md documents. *)
 
 val required_counters : string list
 (** [core.placement_probes] (one per {!State.evaluate}),
@@ -16,7 +17,10 @@ val required_counters : string list
     [sim.runs], [sim.failures_injected], [sim.crash.draws],
     [sim.crash.defeats] (draws that killed every replica of an exit
     task), [sim.epoch.resumes] (engine runs resumed from a non-boot
-    snapshot), the recovery-engine family — [ops.recovery.crashes],
+    snapshot), the open-system family — [sim.drops] (items shed under
+    [Drop_newest]), [sim.queue.enqueued] (queue-slot charges) and
+    [sim.queue.blocked] (admissions and local hand-offs that found a
+    full queue) — the recovery-engine family — [ops.recovery.crashes],
     [ops.recovery.epochs], [ops.recovery.attempts],
     [ops.recovery.outages] and one [ops.recovery.restored.<level>] per
     degradation level — and [exp.trials]. *)
@@ -25,7 +29,9 @@ val required_histograms : string list
 (** [core.chunk_size] (tasks per chunk β), [sim.heap_size] (event-heap
     occupancy after every push — its [max] is the high-water mark),
     [sim.epoch.items] (items injected per engine run under the epoch
-    API) and [ops.recovery.downtime] (reconfiguration pause per epoch,
+    API), [sim.queue.occupancy] (per-replica input-queue depth sampled
+    at every charge of an open-system run — its [max] is the high-water
+    mark) and [ops.recovery.downtime] (reconfiguration pause per epoch,
     observed as 0 for clean epochs). *)
 
 val required_spans : string list

@@ -140,6 +140,17 @@ let all =
           ignore (Fig_recovery.run ~out_dir ~jobs ~config ()));
     };
     {
+      name = "traffic";
+      description =
+        "Extension K: open-system traffic — tail latency, queues and drops \
+         vs offered load and burstiness";
+      run =
+        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+          let config = if quick then Fig_traffic.quick else Fig_traffic.default in
+          let config = { config with Fig_traffic.seed } in
+          ignore (Fig_traffic.run ~out_dir ~jobs ~config ()));
+    };
+    {
       name = "convergence";
       description =
         "Extension J: Monte-Carlo crash estimates vs the exact calculus";
@@ -189,9 +200,8 @@ let all =
                   let prog = Engine.compile mapping in
                   ignore (Engine.run_compiled ~n_items:4 prog);
                   ignore
-                    (Crash.sample_compiled
-                       ~rand_int:(fun bound -> Rng.int rng bound)
-                       ~crashes:1 prog);
+                    (Crash.estimate ~source:(Crash.Of_program prog)
+                       ~method_:(Crash.Sampled { crashes = 1; draws = 1; rng }));
                   incr replayed)
             (List.init graphs Fun.id);
           Printf.printf "event-driven replay: %d/%d instances simulated\n"

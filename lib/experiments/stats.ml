@@ -49,5 +49,46 @@ let median values =
       if n mod 2 = 1 then nth (n / 2)
       else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
 
+(* Nan-on-empty policy (the Crash.defeat_rate discipline): an empty
+   sample has no percentile, and [nan] propagates through downstream
+   means and plots as a gap instead of silently reading as a value. *)
+let percentile_sorted p a =
+  if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p outside [0, 100]";
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    (* Linear interpolation between closest ranks (the R-7 / NumPy
+       default): rank h = p/100 · (n - 1). *)
+    let h = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    a.(lo) +. ((h -. float_of_int lo) *. (a.(hi) -. a.(lo)))
+  end
+
+let percentile p values =
+  let a = Array.of_list values in
+  Array.sort compare a;
+  percentile_sorted p a
+
+type quantiles = {
+  q_n : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+}
+
+let quantiles values =
+  let a = Array.of_list values in
+  Array.sort compare a;
+  {
+    q_n = Array.length a;
+    p50 = percentile_sorted 50.0 a;
+    p95 = percentile_sorted 95.0 a;
+    p99 = percentile_sorted 99.0 a;
+    p999 = percentile_sorted 99.9 a;
+  }
+
 let pp_summary ppf s =
   Format.fprintf ppf "%.2f ± %.2f (n=%d)" s.mean s.stderr s.n

@@ -16,7 +16,35 @@ val summarize_opt : float list -> summary option
 (** [None] on an empty list. *)
 
 val mean : float list -> float
+(** @raise Invalid_argument on an empty list (use {!mean_by} or
+    {!percentile} for the nan-on-empty discipline). *)
+
 val median : float list -> float
+(** @raise Invalid_argument on an empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p values]: the [p]-th percentile ([0 <= p <= 100]) with
+    linear interpolation between closest ranks (the R-7 / NumPy
+    default); the list need not be sorted.
+
+    NaN policy (mirrors [Crash.defeat_rate]): an empty sample returns
+    [nan], never [0.0] — a zero would silently read as "no latency".
+    [nan] propagates through downstream means and renders as a gap in
+    CSV/plots; callers that need a total value must check the sample
+    size first.
+    @raise Invalid_argument when [p] is outside [0, 100]. *)
+
+type quantiles = {
+  q_n : int;  (** sample size; [0] means every quantile below is [nan] *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;  (** the 99.9th percentile *)
+}
+
+val quantiles : float list -> quantiles
+(** The tail-latency summary of one sample in a single sort: {!percentile}
+    at 50 / 95 / 99 / 99.9, with the same nan-on-empty policy. *)
 
 val mean_by : ('a -> float) -> 'a list -> float
 (** Mean of the projection over the items, skipping [nan] projections;

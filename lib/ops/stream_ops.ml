@@ -1,9 +1,17 @@
+type overload = {
+  queue_bound : int;
+  policy : Engine.Run.drop_policy;
+  burst_factor : float;
+  burst_window : float;
+}
+
 type config = {
   horizon : float;
   hazard : Failure_gen.hazard;
   max_attempts : int option;
   reconfig_delay : float;
   max_items_per_epoch : int;
+  overload : overload option;
 }
 
 let default_config =
@@ -13,6 +21,7 @@ let default_config =
     max_attempts = None;
     reconfig_delay = 5.0;
     max_items_per_epoch = 256;
+    overload = None;
   }
 
 type decision =
@@ -47,6 +56,7 @@ type report = {
   crashes : int;
   injected : int;
   delivered : int;
+  dropped : int;
   availability : float;
   mean_latency : float;
   degraded_mean_latency : float;
@@ -82,6 +92,15 @@ let run ?(config = default_config) ~rng ~throughput m0 =
   if config.max_items_per_epoch < 1 then
     invalid_arg "Stream_ops.run: max_items_per_epoch < 1";
   if throughput <= 0.0 then invalid_arg "Stream_ops.run: throughput <= 0";
+  (match config.overload with
+  | None -> ()
+  | Some o ->
+      if o.queue_bound < 1 then
+        invalid_arg "Stream_ops.run: overload queue_bound < 1";
+      if not (Float.is_finite o.burst_factor) || o.burst_factor < 1.0 then
+        invalid_arg "Stream_ops.run: overload burst_factor < 1";
+      if not (Float.is_finite o.burst_window) || o.burst_window < 0.0 then
+        invalid_arg "Stream_ops.run: negative overload burst_window");
   Obs.with_span "ops.recovery.timeline" @@ fun () ->
   touch ();
   let plat0 = Mapping.platform m0 in
@@ -175,26 +194,75 @@ let run ?(config = default_config) ~rng ~throughput m0 =
     incr n_epochs;
     epochs := ep :: !epochs
   in
+  (* Overload state: after a restoration the upstream backlog flushes, so
+     arrivals run at [burst_factor ×] the nominal rate until
+     [burst_until] — through a bounded queue that sheds or blocks. *)
+  let burst_until = ref neg_infinity in
+  let total_dropped = ref 0 in
   (* Run the stream from the surviving-state snapshot at [!clock] until
      [t_end], injecting at the current period, with an optional fail-stop
      crash during the window. *)
   let play ~t_end ~crash_now =
     let p = period () in
-    let wanted = slots ~period:p !clock t_end in
-    let n_items = min wanted config.max_items_per_epoch in
-    let capped = wanted - n_items in
-    let run_result =
-      if n_items = 0 then None
-      else
-        Some
-          (Engine.run_compiled
-             ~snapshot:{ Engine.clock = !clock; down = !down }
-             ~n_items ~period:p
-             ~timed_failures:
-               (match crash_now with None -> [] | Some c -> [ c ])
-             !compiled)
+    let timed_failures =
+      match crash_now with None -> [] | Some c -> [ c ]
     in
-    (n_items, capped, run_result)
+    match config.overload with
+    | None ->
+        let wanted = slots ~period:p !clock t_end in
+        let n_items = min wanted config.max_items_per_epoch in
+        let capped = wanted - n_items in
+        let run_result =
+          if n_items = 0 then None
+          else
+            Some
+              (Engine.run_compiled
+                 ~snapshot:{ Engine.clock = !clock; down = !down }
+                 ~n_items ~period:p ~timed_failures !compiled)
+        in
+        (n_items, capped, run_result)
+    | Some o ->
+        (* The arrival grid mixes two deterministic rates: the burst
+           period inside the post-recovery window, the nominal one
+           after.  Offsets are relative to the epoch snapshot. *)
+        let fast = p /. o.burst_factor in
+        let rec collect acc n t =
+          if t >= t_end then (List.rev acc, n)
+          else
+            let step = if t < !burst_until then fast else p in
+            collect ((t -. !clock) :: acc) (n + 1) (t +. step)
+        in
+        let all_offsets, wanted = collect [] 0 !clock in
+        let n_items = min wanted config.max_items_per_epoch in
+        let capped = wanted - n_items in
+        let offsets = List.filteri (fun i _ -> i < n_items) all_offsets in
+        let run_result =
+          if n_items = 0 then None
+          else
+            Some
+              (Engine.simulate
+                 ~config:
+                   {
+                     Engine.Run.traffic =
+                       Engine.Run.Open
+                         {
+                           arrival = Arrival.Trace offsets;
+                           n_items;
+                           rng = None;
+                           queue_bound = Some o.queue_bound;
+                           policy = o.policy;
+                         };
+                     snapshot = Some { Engine.clock = !clock; down = !down };
+                     failed = [];
+                     timed_failures;
+                     metrics = true;
+                   }
+                 !compiled)
+        in
+        (match run_result with
+        | Some r -> total_dropped := !total_dropped + r.Engine.dropped
+        | None -> ());
+        (n_items, capped, run_result)
   in
   (* Current platform index of an original processor, or [-1] when the
      processor is absent from the current (possibly restricted) platform. *)
@@ -268,6 +336,12 @@ let run ?(config = default_config) ~rng ~throughput m0 =
             (* The new mapping lives on the surviving sub-platform: every
                processor of the restricted platform is alive. *)
             down := []);
+        (match config.overload with
+        | Some ov ->
+            (* The backlog accumulated during the outage flushes as a
+               burst once the stream resumes. *)
+            burst_until := t_end +. ov.burst_window
+        | None -> ());
         clock := t_end
     | Recovery_policy.Outage { attempts } ->
         let downtime = float_of_int attempts *. config.reconfig_delay in
@@ -290,6 +364,7 @@ let run ?(config = default_config) ~rng ~throughput m0 =
     crashes = !crashes;
     injected = !injected;
     delivered = !delivered;
+    dropped = !total_dropped;
     availability;
     mean_latency = (if !lat_n = 0 then nan else !lat_sum /. float_of_int !lat_n);
     degraded_mean_latency =

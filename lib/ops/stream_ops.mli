@@ -20,6 +20,20 @@
     [sim.epoch.*] keys), all pre-registered so metric dumps expose them
     deterministically. *)
 
+(** Burst-during-failure scenario: the open-system traffic knobs of the
+    timeline.  With an [overload] the epochs run the engine in open mode
+    — each replica owns a [queue_bound]-deep input queue with the given
+    overflow [policy] — and after every restoration the upstream backlog
+    flushes: arrivals run at [burst_factor ×] the nominal rate for
+    [burst_window] time units before settling back.  Items shed by
+    [Drop_newest] count as lost (and in {!report.dropped}). *)
+type overload = {
+  queue_bound : int;  (** per-replica input-queue capacity, ≥ 1 *)
+  policy : Engine.Run.drop_policy;  (** full-queue behavior *)
+  burst_factor : float;  (** post-recovery arrival-rate multiplier, ≥ 1 *)
+  burst_window : float;  (** burst length after a restoration (time units) *)
+}
+
 type config = {
   horizon : float;  (** simulated operation time (time units) *)
   hazard : Failure_gen.hazard;  (** crash arrival law *)
@@ -31,11 +45,14 @@ type config = {
   max_items_per_epoch : int;
       (** cap on items simulated per epoch; slots beyond the cap are
           reported as [capped], not silently dropped *)
+  overload : overload option;
+      (** [None] (the default) runs the legacy closed-system epochs,
+          bit-identical to the pre-overload API *)
 }
 
 val default_config : config
 (** 400 time units, uniform λ = 10⁻³, policy-default retries, delay 5,
-    at most 256 items per epoch. *)
+    at most 256 items per epoch, no overload. *)
 
 type decision =
   | Ran_clean  (** no crash in the epoch *)
@@ -70,6 +87,9 @@ type report = {
   crashes : int;  (** crashes that hit live processors *)
   injected : int;
   delivered : int;
+  dropped : int;
+      (** items shed by the overload drop policy over the whole horizon
+          (a subset of the lost items); [0] without an [overload] *)
   availability : float;
       (** [delivered / injected]; [1.0] when nothing was injected *)
   mean_latency : float;  (** over all delivered items; [nan] if none *)
@@ -94,4 +114,6 @@ val run :
     Deterministic for a given [rng] state.
     @raise Invalid_argument if [m] is incomplete, [throughput ≤ 0], or
     the config has a non-positive/non-finite horizon, a negative
-    reconfiguration delay, or a per-epoch item cap below 1. *)
+    reconfiguration delay, a per-epoch item cap below 1, or an overload
+    with [queue_bound < 1], [burst_factor < 1] or a negative
+    [burst_window]. *)

@@ -33,8 +33,9 @@
     and processor-level; the two supported distributions are the paper's
     uniform choice of exactly [c] distinct crashed processors and the
     independent per-processor fail-stop model.  These match what
-    [Crash.sample] and [Failure_gen] draw from, which is what makes the
-    calculus a ground truth for the Monte-Carlo estimators. *)
+    [Crash.estimate]'s sampler and [Failure_gen] draw from, which is
+    what makes the calculus a ground truth for the Monte-Carlo
+    estimators. *)
 
 type t
 (** The compiled analysis of one complete mapping: replica tables plus the

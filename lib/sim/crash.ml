@@ -20,11 +20,11 @@ let defeat_rate s =
   if s.draws = 0 then nan
   else float_of_int s.defeated_draws /. float_of_int s.draws
 
-let with_failures_compiled p ~failed =
+(* ---- shared internals: every public shape is a view over these -------- *)
+
+let replay p ~failed =
   let latency = Engine.latency_compiled ~failed p in
   { failed; latency; defeated = latency = None }
-
-let with_failures m ~failed = with_failures_compiled (Engine.compile m) ~failed
 
 let draw_distinct ~rand_int ~count ~bound =
   let rec pick chosen remaining =
@@ -37,7 +37,7 @@ let draw_distinct ~rand_int ~count ~bound =
   in
   pick [] count
 
-let sample_compiled ~rand_int ~crashes p =
+let sample_impl ~rand_int ~crashes p =
   Obs.with_span "sim.crash.sample" (fun () ->
       Obs.incr "sim.crash.draws";
       Obs.touch "sim.crash.defeats";
@@ -45,47 +45,40 @@ let sample_compiled ~rand_int ~crashes p =
       if crashes > n_procs then
         invalid_arg "Crash.sample: more crashes than processors";
       let failed = draw_distinct ~rand_int ~count:crashes ~bound:n_procs in
-      let outcome = with_failures_compiled p ~failed in
+      let outcome = replay p ~failed in
       if outcome.defeated then Obs.incr "sim.crash.defeats";
       outcome)
 
-let sample ~rand_int ~crashes m = sample_compiled ~rand_int ~crashes (Engine.compile m)
-
-let mean_latency_stats_compiled ~rand_int ~crashes ~runs p =
+(* The sampling loop, parameterized over an accumulator so the stats
+   wrapper and [estimate] (which also keeps the last failure set) consume
+   exactly the same draws. *)
+let sampled_fold ~rand_int ~crashes ~runs p ~init ~f =
   if runs < 0 then invalid_arg "Crash.mean_latency_stats: negative run count";
-  let rec loop i total count defeated =
-    if i >= runs then
-      {
-        mean = (if count = 0 then None else Some (total /. float_of_int count));
-        draws = runs;
-        defeated_draws = defeated;
-      }
-    else begin
-      match (sample_compiled ~rand_int ~crashes p).latency with
-      | Some l -> loop (i + 1) (total +. l) (count + 1) defeated
-      | None -> loop (i + 1) total count (defeated + 1)
-    end
+  let rec loop i acc =
+    if i >= runs then acc
+    else loop (i + 1) (f acc (sample_impl ~rand_int ~crashes p))
   in
-  loop 0 0.0 0 0
+  loop 0 init
 
-(* Compile once, replay per draw: the program carries every per-mapping
-   table, so the draw loop only pays the event simulation itself. *)
-let mean_latency_stats ~rand_int ~crashes ~runs m =
-  mean_latency_stats_compiled ~rand_int ~crashes ~runs (Engine.compile m)
+let stats_impl ~rand_int ~crashes ~runs p =
+  let total, count, defeated =
+    sampled_fold ~rand_int ~crashes ~runs p ~init:(0.0, 0, 0)
+      ~f:(fun (total, count, defeated) o ->
+        match o.latency with
+        | Some l -> (total +. l, count + 1, defeated)
+        | None -> (total, count, defeated + 1))
+  in
+  {
+    mean = (if count = 0 then None else Some (total /. float_of_int count));
+    draws = runs;
+    defeated_draws = defeated;
+  }
 
-let mean_latency ~rand_int ~crashes ~runs m =
-  (mean_latency_stats ~rand_int ~crashes ~runs m).mean
-
-(* ---- exact siblings: the availability calculus instead of draws ------- *)
-
-let exact_defeat_rate ~crashes m =
+let exact_rate_impl ~crashes m =
   if crashes < 0 || crashes > Platform.size (Mapping.platform m) then
     invalid_arg "Crash.exact_defeat_rate: crash count outside [0, m]";
   let t = Reliability.analyze ~max_cut_card:crashes m in
   Reliability.defeat_probability t (Reliability.Uniform_crashes crashes)
-
-let exact_defeat_rate_compiled ~crashes p =
-  exact_defeat_rate ~crashes (Engine.program_mapping p)
 
 let int_binom n k =
   if k < 0 || k > n then 0
@@ -99,10 +92,9 @@ let int_binom n k =
   end
 
 (* Every one of the choose (m, c) failure sets replayed through the
-   engine: the exact analogue of [mean_latency_stats_compiled] under the
-   engine's own latency semantics, with the enumeration count as the only
-   cost knob. *)
-let exact_latency_stats_compiled ?(max_evaluations = 1_000_000) ~crashes p =
+   engine: the exact analogue of the sampled mean under the engine's own
+   latency semantics, with the enumeration count as the only cost knob. *)
+let exact_stats_impl ?(max_evaluations = 1_000_000) ~crashes p =
   Obs.with_span "sim.crash.exact" (fun () ->
       let n_procs = Platform.size (Mapping.platform (Engine.program_mapping p)) in
       if crashes < 0 || crashes > n_procs then
@@ -114,7 +106,7 @@ let exact_latency_stats_compiled ?(max_evaluations = 1_000_000) ~crashes p =
       (* next processor to pick >= [from]; [chosen] in decreasing order *)
       let rec enumerate chosen from remaining =
         if remaining = 0 then begin
-          match (with_failures_compiled p ~failed:(List.rev chosen)).latency with
+          match (replay p ~failed:(List.rev chosen)).latency with
           | Some l ->
               sum := !sum +. l;
               incr survivors
@@ -134,5 +126,103 @@ let exact_latency_stats_compiled ?(max_evaluations = 1_000_000) ~crashes p =
         evaluations = total;
       })
 
+(* ---- the one entry point ---------------------------------------------- *)
+
+type source = Of_mapping of Mapping.t | Of_program of Engine.program
+
+type method_ =
+  | Fixed of Platform.proc list
+  | Sampled of { crashes : int; draws : int; rng : Rng.t }
+  | Exact of { crashes : int; max_evaluations : int option }
+
+type estimate = {
+  est_crashes : int;
+  est_draws : int;
+  est_evaluations : int;
+  est_defeated : int;
+  est_p_defeat : float;
+  est_mean : float option;
+  est_failed : Platform.proc list;
+}
+
+let program_of = function
+  | Of_mapping m -> Engine.compile m
+  | Of_program p -> p
+
+let estimate ~source ~method_ =
+  let p = program_of source in
+  match method_ with
+  | Fixed failed ->
+      let o = replay p ~failed in
+      {
+        est_crashes = List.length failed;
+        est_draws = 0;
+        est_evaluations = 1;
+        est_defeated = (if o.defeated then 1 else 0);
+        est_p_defeat = (if o.defeated then 1.0 else 0.0);
+        est_mean = o.latency;
+        est_failed = failed;
+      }
+  | Sampled { crashes; draws; rng } ->
+      let rand_int bound = Rng.int rng bound in
+      let total, count, defeated, last =
+        sampled_fold ~rand_int ~crashes ~runs:draws p ~init:(0.0, 0, 0, [])
+          ~f:(fun (total, count, defeated, _) o ->
+            match o.latency with
+            | Some l -> (total +. l, count + 1, defeated, o.failed)
+            | None -> (total, count, defeated + 1, o.failed))
+      in
+      {
+        est_crashes = crashes;
+        est_draws = draws;
+        est_evaluations = draws;
+        est_defeated = defeated;
+        est_p_defeat =
+          (if draws = 0 then nan
+           else float_of_int defeated /. float_of_int draws);
+        est_mean =
+          (if count = 0 then None else Some (total /. float_of_int count));
+        est_failed = last;
+      }
+  | Exact { crashes; max_evaluations } ->
+      let e = exact_stats_impl ?max_evaluations ~crashes p in
+      {
+        est_crashes = crashes;
+        est_draws = 0;
+        est_evaluations = e.evaluations;
+        est_defeated =
+          int_of_float
+            (Float.round (e.p_defeat *. float_of_int e.evaluations));
+        est_p_defeat = e.p_defeat;
+        est_mean = e.degraded_mean;
+        est_failed = [];
+      }
+
+(* ---- deprecated wrappers: thin views over the same internals ---------- *)
+
+let with_failures_compiled p ~failed = replay p ~failed
+let with_failures m ~failed = replay (Engine.compile m) ~failed
+let sample_compiled ~rand_int ~crashes p = sample_impl ~rand_int ~crashes p
+let sample ~rand_int ~crashes m = sample_impl ~rand_int ~crashes (Engine.compile m)
+
+let mean_latency_stats_compiled ~rand_int ~crashes ~runs p =
+  stats_impl ~rand_int ~crashes ~runs p
+
+(* Compile once, replay per draw: the program carries every per-mapping
+   table, so the draw loop only pays the event simulation itself. *)
+let mean_latency_stats ~rand_int ~crashes ~runs m =
+  stats_impl ~rand_int ~crashes ~runs (Engine.compile m)
+
+let mean_latency ~rand_int ~crashes ~runs m =
+  (mean_latency_stats ~rand_int ~crashes ~runs m).mean
+
+let exact_defeat_rate ~crashes m = exact_rate_impl ~crashes m
+
+let exact_defeat_rate_compiled ~crashes p =
+  exact_rate_impl ~crashes (Engine.program_mapping p)
+
+let exact_latency_stats_compiled ?max_evaluations ~crashes p =
+  exact_stats_impl ?max_evaluations ~crashes p
+
 let exact_latency_stats ?max_evaluations ~crashes m =
-  exact_latency_stats_compiled ?max_evaluations ~crashes (Engine.compile m)
+  exact_stats_impl ?max_evaluations ~crashes (Engine.compile m)

@@ -2,9 +2,13 @@
 
     The paper evaluates each schedule by "computing the real execution time
     for a given schedule rather than just bounds", with the failing
-    processors "chosen uniformly from the range [1, 20]".  This module draws
-    failure sets with a caller-supplied random source and replays the
-    schedule through {!Engine}. *)
+    processors "chosen uniformly from the range [1, 20]".  This module
+    replays failure scenarios through {!Engine} behind one entry point:
+    {!estimate} evaluates a {!source} (a mapping, or a program already
+    compiled) under a {!method_} — a fixed failure set, Monte-Carlo
+    sampling, or exact enumeration.  The legacy per-shape functions
+    ([sample], [mean_latency_stats], [exact_latency_stats], …) survive one
+    release as deprecated wrappers with bit-identical behavior. *)
 
 type outcome = {
   failed : Platform.proc list;  (** the processors that were failed *)
@@ -48,32 +52,84 @@ val defeat_rate : stats -> float
     [draws] first.  The all-defeated case is well-defined and returns
     [1.0] (with [stats.mean = None]). *)
 
+(** {2 The one estimation entry point} *)
+
+(** What to evaluate: a mapping (compiled internally, once) or a program
+    the caller already compiled — the compile-once-replay-per-draw
+    discipline made explicit instead of doubling every function into a
+    [_compiled] sibling. *)
+type source = Of_mapping of Mapping.t | Of_program of Engine.program
+
+(** How to evaluate it. *)
+type method_ =
+  | Fixed of Platform.proc list
+      (** one deterministic replay with exactly these processors failed *)
+  | Sampled of { crashes : int; draws : int; rng : Rng.t }
+      (** [draws] independent uniform draws of [crashes] distinct
+          processors, replayed through the engine ([rng] is consumed;
+          pass a {!Rng.split} child to keep sweeps CRN-aligned).  Each
+          draw records the [sim.crash.draws] / [sim.crash.defeats]
+          counters under a [sim.crash.sample] span, exactly like the
+          deprecated [sample]. *)
+  | Exact of { crashes : int; max_evaluations : int option }
+      (** every one of the [choose (m, crashes)] failure sets replayed
+          through the engine under a [sim.crash.exact] span;
+          [max_evaluations] (default 1_000_000) bounds the enumeration *)
+
+type estimate = {
+  est_crashes : int;  (** failure-set cardinality of the method *)
+  est_draws : int;
+      (** random draws consumed: [Sampled] draws; [0] for [Fixed] /
+          [Exact] (deterministic) *)
+  est_evaluations : int;  (** engine replays performed *)
+  est_defeated : int;  (** evaluations that defeated the schedule *)
+  est_p_defeat : float;
+      (** defeat probability: exact under [Exact], the Monte-Carlo
+          estimate [est_defeated / est_draws] under [Sampled] (with the
+          {!defeat_rate} NaN-on-zero-draws policy), and 0 or 1 under
+          [Fixed] *)
+  est_mean : float option;
+      (** mean latency over the surviving evaluations; [None] when every
+          evaluation was defeated (or none ran) *)
+  est_failed : Platform.proc list;
+      (** the failure set of the last evaluation — the [Fixed] set, the
+          last [Sampled] draw, or [[]] under [Exact] (no single set) *)
+}
+
+val estimate : source:source -> method_:method_ -> estimate
+(** Evaluate [source] under [method_].  [Of_mapping] compiles exactly
+    once; pass [Of_program] to amortize the compile across calls.
+    @raise Invalid_argument if the mapping is incomplete, [crashes] is
+    outside [0, m], [draws < 0], or an [Exact] enumeration exceeds its
+    [max_evaluations] budget. *)
+
+(** {2 Deprecated wrappers}
+
+    The pre-[estimate] API: ten shape-specific entry points, kept one
+    release for out-of-tree callers.  Each is a thin wrapper around the
+    same internals {!estimate} uses, so results (including every random
+    draw and recorded metric) are bit-identical to the old functions. *)
+
 val with_failures : Mapping.t -> failed:Platform.proc list -> outcome
-(** Deterministic single run. *)
+[@@deprecated "use Crash.estimate ~source:(Of_mapping m) ~method_:(Fixed failed)"]
 
 val with_failures_compiled :
   Engine.program -> failed:Platform.proc list -> outcome
-(** {!with_failures} against a compiled program (compile once, replay per
-    failure set). *)
+[@@deprecated "use Crash.estimate ~source:(Of_program p) ~method_:(Fixed failed)"]
 
 val sample :
   rand_int:(int -> int) ->
   crashes:int ->
   Mapping.t ->
   outcome
-(** Fail [crashes] distinct processors drawn uniformly with [rand_int]
-    (where [rand_int n] returns a value in [0 .. n-1]) and replay.
-    Records a [sim.crash.defeats] counter tick when the draw defeats the
-    schedule.
-    @raise Invalid_argument if [crashes] exceeds the processor count. *)
+[@@deprecated "use Crash.estimate with Sampled {draws = 1; _}"]
 
 val sample_compiled :
   rand_int:(int -> int) ->
   crashes:int ->
   Engine.program ->
   outcome
-(** {!sample} against a compiled program; consumes [rand_int] and records
-    metrics exactly as {!sample}. *)
+[@@deprecated "use Crash.estimate with Sampled {draws = 1; _}"]
 
 val mean_latency_stats :
   rand_int:(int -> int) ->
@@ -81,11 +137,7 @@ val mean_latency_stats :
   runs:int ->
   Mapping.t ->
   stats
-(** {!sample} latency averaged over [runs] draws, with the defeated draws
-    counted rather than silently excluded.  Compiles the mapping once and
-    replays the program per draw.  [runs = 0] yields the empty statistic
-    ([mean = None], [draws = 0] — and a [nan] {!defeat_rate}).
-    @raise Invalid_argument if [runs < 0]. *)
+[@@deprecated "use Crash.estimate with Sampled {draws = runs; _}"]
 
 val mean_latency_stats_compiled :
   rand_int:(int -> int) ->
@@ -93,7 +145,7 @@ val mean_latency_stats_compiled :
   runs:int ->
   Engine.program ->
   stats
-(** {!mean_latency_stats} against an already-compiled program. *)
+[@@deprecated "use Crash.estimate with Sampled {draws = runs; _}"]
 
 val mean_latency :
   rand_int:(int -> int) ->
@@ -101,35 +153,20 @@ val mean_latency :
   runs:int ->
   Mapping.t ->
   float option
-(** [(mean_latency_stats ...).mean] — kept for callers that only need the
-    mean.  Draws that defeat the schedule are excluded (with
-    [crashes <= ε] none should be). *)
-
-(** {2 Exact evaluation}
-
-    The same questions answered without sampling: the defeat probability
-    from the {!Reliability} cut-set calculus, and — when the platform is
-    small enough — the engine-exact mean over every failure set. *)
+[@@deprecated "use (Crash.estimate with Sampled _).est_mean"]
 
 val exact_defeat_rate : crashes:int -> Mapping.t -> float
-(** Exact probability that [crashes] uniformly chosen distinct dead
-    processors defeat the schedule; the analytic value that
-    [defeat_rate (mean_latency_stats ~runs ...)] estimates.  Consumes no
-    randomness.
-    @raise Invalid_argument if [crashes] is outside [0, m]. *)
+[@@deprecated
+  "use Reliability.defeat_probability (analytic) or Crash.estimate with Exact _"]
 
 val exact_defeat_rate_compiled : crashes:int -> Engine.program -> float
-(** {!exact_defeat_rate} of the program's mapping. *)
+[@@deprecated
+  "use Reliability.defeat_probability (analytic) or Crash.estimate with Exact _"]
 
 val exact_latency_stats :
   ?max_evaluations:int -> crashes:int -> Mapping.t -> exact
-(** Replay all [choose (m, crashes)] failure sets through the engine:
-    exact defeat probability and exact mean degraded latency under the
-    engine's own semantics.  Compiles once and replays per set.
-    [max_evaluations] (default 1_000_000) bounds the enumeration.
-    @raise Invalid_argument if [crashes] is outside [0, m] or the
-    enumeration exceeds [max_evaluations]. *)
+[@@deprecated "use Crash.estimate with Exact _"]
 
 val exact_latency_stats_compiled :
   ?max_evaluations:int -> crashes:int -> Engine.program -> exact
-(** {!exact_latency_stats} against an already-compiled program. *)
+[@@deprecated "use Crash.estimate with Exact _"]

@@ -18,6 +18,12 @@ type result = {
   period : float;
   makespan : float;
   messages : message list;
+  arrivals : float array;
+  injections : float array;
+  dropped : int;
+  stalled : int;
+  peak_queue : int;
+  stall_time : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -31,7 +37,7 @@ type result = {
    order is exactly the lexicographic ((item, task, copy)) order the
    legacy engine used for tie-breaks.  Everything in the record is
    immutable after [compile], so a program can be shared freely; per-run
-   state lives entirely inside [run_compiled]. *)
+   state lives entirely inside [simulate]. *)
 type program = {
   p_mapping : Mapping.t;
   p_tasks : int;
@@ -210,6 +216,50 @@ let compile m =
   }
 
 (* ------------------------------------------------------------------ *)
+(* The run-scenario record                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Run = struct
+  type drop_policy = Block | Drop_newest
+
+  type traffic =
+    | Closed of { n_items : int; period : float option }
+    | Open of {
+        arrival : Arrival.t;
+        n_items : int;
+        rng : Rng.t option;
+        queue_bound : int option;
+        policy : drop_policy;
+      }
+
+  type config = {
+    traffic : traffic;
+    snapshot : snapshot option;
+    failed : Platform.proc list;
+    timed_failures : (Platform.proc * float) list;
+    metrics : bool;
+  }
+
+  let closed ?(n_items = 1) ?period () =
+    {
+      traffic = Closed { n_items; period };
+      snapshot = None;
+      failed = [];
+      timed_failures = [];
+      metrics = true;
+    }
+
+  let open_ ?queue_bound ?(policy = Block) ?rng ~n_items arrival =
+    {
+      traffic = Open { arrival; n_items; rng; queue_bound; policy };
+      snapshot = None;
+      failed = [];
+      timed_failures = [];
+      metrics = true;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
 (* The event engine over a compiled program                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -231,6 +281,7 @@ type pmsg = {
 
 type event =
   | Inject of int  (* an entry instance (iidx) becomes ready *)
+  | Arrive of int  (* open mode: an item reaches the source *)
   | Finish of int
   | Arrival of pmsg * float  (* commit-time start *)
   | Port_free
@@ -238,7 +289,20 @@ type event =
          transfer never arrives, but other pending messages must get a
          chance to claim the port *)
 
-let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
+(* The resolved traffic of one run: [ot_offsets] is empty for a closed
+   run and carries the materialized arrival offsets of an open one. *)
+type traffic_plan = {
+  ot_open : bool;
+  ot_offsets : float array;
+  ot_bound : int;  (* max_int = unbounded *)
+  ot_drop : bool;  (* Drop_newest *)
+}
+
+let closed_plan =
+  { ot_open = false; ot_offsets = [||]; ot_bound = max_int; ot_drop = false }
+
+let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
+    ~traffic ~metrics p =
   if n_items < 1 then invalid_arg "Engine.run: n_items < 1";
   let clock = snapshot.clock in
   if clock < 0.0 || not (Float.is_finite clock) then
@@ -248,6 +312,8 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
     | Some q -> if q < 0.0 then invalid_arg "Engine.run: negative period" else q
     | None -> p.p_period
   in
+  let open_mode = traffic.ot_open in
+  let bound = traffic.ot_bound and shed = traffic.ot_drop in
   let copies = p.p_copies in
   let n_rids = p.p_rids and n_procs = p.p_procs in
   let prio = p.p_prio and proc_of = p.p_proc in
@@ -312,8 +378,9 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
   let send_free = Array.make n_procs 0.0 and recv_free = Array.make n_procs 0.0 in
   let events : event Event_heap.t = Event_heap.create () in
   (* The metrics gate is hoisted out of the hot loop: when recording is
-     off the run pays exactly one flag read. *)
-  let obs = Obs.enabled () in
+     off (globally, or for this run) the run pays exactly one flag
+     read. *)
+  let obs = metrics && Obs.enabled () in
   let observe_heap () =
     if obs then Obs.observe "sim.heap_size" (float_of_int (Event_heap.size events))
   in
@@ -433,6 +500,125 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
       if unsatisfied.(iidx) = 0 then ready_push proc_of.(rid) iidx
     end
   in
+  (* ---- open-system state: queues, source backlog, shedding ---------- *)
+  (* An instance occupies its replica's bounded input queue from the
+     moment data is first committed toward it (for an entry task: from
+     admission) until it finishes executing.  [opened] marks the charge;
+     the charge is skipped when the replica's processor is already dead
+     at charge time (no queue survives a crash), and an instance that
+     finishes always had a live-processor charge, so the Finish-side
+     release below never underflows. *)
+  let arr_abs =
+    if open_mode then Array.map (fun o -> clock +. o) traffic.ot_offsets
+    else [||]
+  in
+  let occ = if open_mode then Array.make n_rids 0 else [||] in
+  let opened = if open_mode then Bytes.make total '\000' else Bytes.empty in
+  let injections = Array.make n_items nan in
+  let dropped = ref 0 in
+  let stall_time = ref 0.0 in
+  let peak_queue = ref 0 in
+  let next_admit = ref 0 in
+  let arrived = ref 0 in
+  let charge now iidx =
+    if Bytes.get opened iidx = '\000' then begin
+      Bytes.set opened iidx '\001';
+      let rid = iidx mod n_rids in
+      if fail_time.(proc_of.(rid)) > now then begin
+        let o = occ.(rid) + 1 in
+        occ.(rid) <- o;
+        if o > !peak_queue then peak_queue := o;
+        if obs then begin
+          Obs.incr "sim.queue.enqueued";
+          Obs.observe "sim.queue.occupancy" (float_of_int o)
+        end
+      end
+    end
+  in
+  let has_room now rid =
+    fail_time.(proc_of.(rid)) <= now || occ.(rid) < bound
+  in
+  (* Deferred local deliveries: a finished instance's same-processor
+     hand-off that found the destination queue full waits here, oldest
+     first, and is retried whenever occupancy may have freed. *)
+  let dl_dst = ref (Array.make 0 0) in
+  let dl_pos = ref (Array.make 0 0) in
+  let dl_len = ref 0 in
+  let dl_push dst pos =
+    if !dl_len = Array.length !dl_dst then begin
+      let n = max 8 (2 * !dl_len) in
+      let d = Array.make n 0 and q = Array.make n 0 in
+      Array.blit !dl_dst 0 d 0 !dl_len;
+      Array.blit !dl_pos 0 q 0 !dl_len;
+      dl_dst := d;
+      dl_pos := q
+    end;
+    !dl_dst.(!dl_len) <- dst;
+    !dl_pos.(!dl_len) <- pos;
+    incr dl_len;
+    if obs then Obs.incr "sim.queue.blocked"
+  in
+  let dispatch_local now =
+    if !dl_len > 0 then begin
+      let w = ref 0 in
+      for i = 0 to !dl_len - 1 do
+        let dst = !dl_dst.(i) and pos = !dl_pos.(i) in
+        if Bytes.get opened dst = '\001' || has_room now (dst mod n_rids)
+        then begin
+          charge now dst;
+          satisfy dst pos
+        end
+        else begin
+          !dl_dst.(!w) <- dst;
+          !dl_pos.(!w) <- pos;
+          incr w
+        end
+      done;
+      dl_len := !w
+    end
+  in
+  (* Admission: every live entry replica must have queue room; a dead or
+     crashed one imposes nothing (its shard is gone).  Admitting makes
+     the item's entry instances ready, exactly as a closed-mode Inject
+     batch does. *)
+  let entry_room now =
+    bound = max_int
+    ||
+    let ok = ref true in
+    Array.iter
+      (fun task ->
+        for copy = 0 to copies - 1 do
+          let rid = (task * copies) + copy in
+          if (not dead.(rid)) && not (has_room now rid) then ok := false
+        done)
+      p.p_entries;
+    !ok
+  in
+  let admit now item =
+    injections.(item) <- now;
+    stall_time := !stall_time +. (now -. arr_abs.(item));
+    Array.iter
+      (fun task ->
+        for copy = 0 to copies - 1 do
+          let rid = (task * copies) + copy in
+          if not dead.(rid) then begin
+            let iidx = (item * n_rids) + rid in
+            charge now iidx;
+            ready_push proc_of.(rid) iidx
+          end
+        done)
+      p.p_entries
+  in
+  (* Admit as many backlogged items as fit, FIFO: the head of the line
+     blocks the line (that is what backpressure means at the source). *)
+  let rec dispatch_source now =
+    if !next_admit < !arrived && entry_room now then begin
+      let item = !next_admit in
+      incr next_admit;
+      admit now item;
+      dispatch_source now
+    end
+  in
   (* Start the best ready instance on every idle processor. *)
   let dispatch_procs now =
     for u = 0 to n_procs - 1 do
@@ -454,6 +640,16 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
       end
     done
   in
+  (* Whether a pending transfer may claim the destination's queue: a
+     dead destination has no queue, an already-queued instance must keep
+     receiving (or the pipeline would deadlock on its own bound), and
+     otherwise the queue needs room. *)
+  let msg_room now msg =
+    (not msg.pm_dst_alive)
+    || fail_time.(msg.pm_dp) <= now
+    || Bytes.get opened msg.pm_dst = '\001'
+    || occ.(msg.pm_dst_rid) < bound
+  in
   (* Greedily commit every transfer whose data and both ports are free.
      The candidate order is the legacy one: highest destination priority,
      then smallest destination instance, then (on full ties) the most
@@ -467,7 +663,9 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
         then
           for i = 0 to pend_len.(u) - 1 do
             let msg = pend_data.(u).(i) in
-            if fail_time.(msg.pm_dp) <= now || recv_free.(msg.pm_dp) <= now
+            if
+              (fail_time.(msg.pm_dp) <= now || recv_free.(msg.pm_dp) <= now)
+              && ((not open_mode) || bound = max_int || msg_room now msg)
             then begin
               let beats =
                 match !best with
@@ -498,7 +696,12 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
           if
             now +. msg.pm_dur <= fail_time.(sp)
             && now +. msg.pm_dur <= fail_time.(dp)
-          then Event_heap.add events (now +. msg.pm_dur) (Arrival (msg, now))
+          then begin
+            (* The transfer will arrive: reserve the destination's queue
+               slot now, so concurrent senders see the occupancy. *)
+            if open_mode && msg.pm_dst_alive then charge now msg.pm_dst;
+            Event_heap.add events (now +. msg.pm_dur) (Arrival (msg, now))
+          end
           else
             (* the crash loses the transfer in flight, but the ports still
                free up and waiting messages must be woken *)
@@ -507,40 +710,80 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
           dispatch_msgs now
     end
   in
-  (* Seed: entry instances of every item at their injection times. *)
-  for item = 0 to n_items - 1 do
-    Array.iter
-      (fun task ->
-        for copy = 0 to copies - 1 do
-          let rid = (task * copies) + copy in
-          if not dead.(rid) then begin
-            Event_heap.add events
-              (clock +. (float_of_int item *. period))
-              (Inject ((item * n_rids) + rid));
-            observe_heap ()
-          end
-        done)
-      p.p_entries
-  done;
+  (* Seed the source.  Closed: entry instances of every item at their
+     injection times.  Open: one Arrive per item at its arrival offset —
+     admission happens when the event pops (and, under backpressure,
+     when room frees). *)
+  if open_mode then
+    for item = 0 to n_items - 1 do
+      Event_heap.add events arr_abs.(item) (Arrive item);
+      observe_heap ()
+    done
+  else
+    for item = 0 to n_items - 1 do
+      Array.iter
+        (fun task ->
+          for copy = 0 to copies - 1 do
+            let rid = (task * copies) + copy in
+            if not dead.(rid) then begin
+              Event_heap.add events
+                (clock +. (float_of_int item *. period))
+                (Inject ((item * n_rids) + rid));
+              observe_heap ()
+            end
+          done)
+        p.p_entries
+    done;
   let decode iidx =
     let item = iidx / n_rids and rid = iidx mod n_rids in
     { item; rep = { Replica.task = rid / copies; copy = rid mod copies } }
   in
   let handle now = function
     | Inject iidx -> ready_push proc_of.(iidx mod n_rids) iidx
+    | Arrive item ->
+        arrived := !arrived + 1;
+        if shed then begin
+          (* Load shedding decides at the arrival instant: admit or
+             drop, never defer — the backlog stays empty. *)
+          if entry_room now then begin
+            incr next_admit;
+            admit now item
+          end
+          else begin
+            incr next_admit;
+            incr dropped;
+            if obs then Obs.incr "sim.drops"
+          end
+        end
+        else begin
+          let before = !next_admit in
+          dispatch_source now;
+          if !next_admit = before && obs then Obs.incr "sim.queue.blocked"
+        end
     | Finish iidx ->
         let rid = iidx mod n_rids and item = iidx / n_rids in
         let u = proc_of.(rid) in
         finishes.(iidx) <- now;
         running.(u) <- false;
         makespan := Float.max !makespan now;
+        if open_mode && Bytes.get opened iidx = '\001' then
+          occ.(rid) <- occ.(rid) - 1;
         for k = p.p_cons_off.(rid) to p.p_cons_off.(rid + 1) - 1 do
           let dst_rid = p.p_cons_dst.(k) in
           let dp = proc_of.(dst_rid) in
           let dst_alive = not dead.(dst_rid) in
           let dst_iidx = (item * n_rids) + dst_rid in
           if dp = u then begin
-            if dst_alive then satisfy dst_iidx p.p_cons_pos.(k)
+            if dst_alive then
+              if
+                (not open_mode) || bound = max_int
+                || Bytes.get opened dst_iidx = '\001'
+                || has_room now dst_rid
+              then begin
+                if open_mode then charge now dst_iidx;
+                satisfy dst_iidx p.p_cons_pos.(k)
+              end
+              else dl_push dst_iidx p.p_cons_pos.(k)
           end
           else begin
             let seq = !next_seq in
@@ -589,7 +832,12 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
           | _ -> ()
         in
         drain ();
+        (* When room frees, in-pipeline data beats new source admissions:
+           deferred local hand-offs first, then transfers, then the
+           backlog — that priority order is the backpressure. *)
+        if open_mode then dispatch_local now;
         dispatch_msgs now;
+        if open_mode && not shed then dispatch_source now;
         dispatch_procs now;
         loop ()
   in
@@ -601,9 +849,14 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
       if Float.is_nan v then None else Some v
     end
   in
+  let arrivals =
+    if open_mode then arr_abs
+    else Array.init n_items (fun item -> clock +. (float_of_int item *. period))
+  in
+  if not open_mode then Array.blit arrivals 0 injections 0 n_items;
   let item_latency =
     Array.init n_items (fun item ->
-        let injection = clock +. (float_of_int item *. period) in
+        let arrival = arrivals.(item) in
         Array.fold_left
           (fun acc exit_task ->
             match acc with
@@ -628,7 +881,7 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
                 in
                 (match best_finish with
                 | None -> None
-                | Some f -> Some (Float.max worst (f -. injection))))
+                | Some f -> Some (Float.max worst (f -. arrival))))
           (Some 0.0) p.p_exits)
   in
   let messages =
@@ -647,27 +900,74 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p =
     period;
     makespan = !makespan;
     messages;
+    arrivals;
+    injections;
+    dropped = !dropped;
+    stalled = (if open_mode then n_items - !next_admit else 0);
+    peak_queue = !peak_queue;
+    stall_time = !stall_time;
   }
+
+let simulate ~(config : Run.config) p =
+  let snapshot = config.Run.snapshot in
+  let failed = config.Run.failed and timed_failures = config.Run.timed_failures in
+  let n_items, period, traffic =
+    match config.Run.traffic with
+    | Run.Closed { n_items; period } -> (n_items, period, closed_plan)
+    | Run.Open { arrival; n_items; rng; queue_bound; policy } ->
+        if n_items < 1 then invalid_arg "Engine.simulate: n_items < 1";
+        (match queue_bound with
+        | Some b when b < 1 -> invalid_arg "Engine.simulate: queue_bound < 1"
+        | _ -> ());
+        let offsets = Arrival.times ?rng ~n:n_items arrival in
+        ( n_items,
+          None,
+          {
+            ot_open = true;
+            ot_offsets = offsets;
+            ot_bound = Option.value queue_bound ~default:max_int;
+            ot_drop = (policy = Run.Drop_newest);
+          } )
+  in
+  let go () =
+    let snapshot = Option.value snapshot ~default:boot in
+    run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
+      ~traffic ~metrics:config.Run.metrics p
+  in
+  if not config.Run.metrics then go ()
+  else
+    Obs.with_span "sim.engine.run" (fun () ->
+        Obs.incr "sim.runs";
+        Obs.touch "sim.events_popped";
+        Obs.touch "sim.compiles";
+        Obs.touch "sim.drops";
+        Obs.touch "sim.queue.enqueued";
+        Obs.touch "sim.queue.blocked";
+        Obs.incr
+          ~by:(List.length failed + List.length timed_failures)
+          "sim.failures_injected";
+        (match snapshot with
+        | None -> ()
+        | Some s ->
+            (* Epoch bookkeeping: a run that picks the stream up from a
+               surviving-state snapshot rather than time 0 is a resume. *)
+            Obs.touch "sim.epoch.resumes";
+            if s.clock > 0.0 then Obs.incr "sim.epoch.resumes";
+            Obs.observe "sim.epoch.items" (float_of_int n_items));
+        go ())
 
 let run_compiled ?snapshot ?(n_items = 1) ?period ?(failed = [])
     ?(timed_failures = []) p =
-  Obs.with_span "sim.engine.run" (fun () ->
-      Obs.incr "sim.runs";
-      Obs.touch "sim.events_popped";
-      Obs.touch "sim.compiles";
-      Obs.incr
-        ~by:(List.length failed + List.length timed_failures)
-        "sim.failures_injected";
-      (match snapshot with
-      | None -> ()
-      | Some s ->
-          (* Epoch bookkeeping: a run that picks the stream up from a
-             surviving-state snapshot rather than time 0 is a resume. *)
-          Obs.touch "sim.epoch.resumes";
-          if s.clock > 0.0 then Obs.incr "sim.epoch.resumes";
-          Obs.observe "sim.epoch.items" (float_of_int n_items));
-      let snapshot = Option.value snapshot ~default:boot in
-      run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures p)
+  simulate
+    ~config:
+      {
+        Run.traffic = Run.Closed { n_items; period };
+        snapshot;
+        failed;
+        timed_failures;
+        metrics = true;
+      }
+    p
 
 let run ?snapshot ?n_items ?period ?failed ?timed_failures m =
   run_compiled ?snapshot ?n_items ?period ?failed ?timed_failures (compile m)
@@ -678,12 +978,14 @@ let latency_compiled ?failed p =
 
 let latency ?failed m = latency_compiled ?failed (compile m)
 
+let sojourns r =
+  Array.to_list r.item_latency |> List.filter_map Fun.id
+
 let sustained_throughput r =
   (* Absolute exit-availability instants of the items that completed. *)
   let completions =
     Array.to_list r.item_latency
-    |> List.mapi (fun item l ->
-           Option.map (fun lat -> (float_of_int item *. r.period) +. lat) l)
+    |> List.mapi (fun item l -> Option.map (fun lat -> r.arrivals.(item) +. lat) l)
     |> List.filter_map Fun.id
   in
   match completions with

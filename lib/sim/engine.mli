@@ -1,11 +1,14 @@
 (** Discrete-event execution of a replicated mapping under the
     bi-directional one-port model.
 
-    The engine plays the streaming execution of [n_items] consecutive data
-    items through a complete mapping, with optional fail-silent processor
+    The engine plays the streaming execution of consecutive data items
+    through a complete mapping, with optional fail-silent processor
     failures effective from time 0.  Semantics:
 
-    - item [k] enters the system at time [k · period];
+    - in the {e closed-system} mode, item [k] enters the system at time
+      [k · period]; in the {e open-system} mode items arrive when an
+      {!Arrival} process says they do, each replica owns a bounded FIFO
+      input queue, and a full queue exerts backpressure (see {!Run});
     - a replica instance (item, task, copy) is {e dead} when its processor
       failed or when, for some predecessor task, every replica in its source
       set is dead; dead instances never execute nor send;
@@ -31,20 +34,22 @@
     {!compile} flattens the mapping + DAG into dense int-indexed tables
     (dense replica ids, CSR consumer and source-set arrays, precomputed
     execution and transfer durations, task priorities, the achieved
-    period) built once per mapping; {!run_compiled} plays any number of
-    scenarios — crash draws, resumed epochs — against the same program.
-    [run_compiled] reproduces the legacy event order exactly (same
-    (key, seqno) heap discipline, same destination-priority tie-breaks),
-    so results are bit-identical to {!run}, which is now a thin
-    compile-then-run wrapper. *)
+    period) built once per mapping; {!simulate} plays any number of
+    scenarios — crash draws, resumed epochs, traffic profiles — against
+    the same program.  Every scenario knob lives in one {!Run.config}
+    record; {!run} and {!run_compiled} are thin closed-system defaults
+    of the same entry point and reproduce the legacy event order exactly
+    (same (key, seqno) heap discipline, same destination-priority
+    tie-breaks), so their results are bit-identical to the pre-config
+    API. *)
 
 (** Surviving-state snapshot an epoch resumes from (the operations layer
     drives one {!run} per epoch instead of replaying from time 0):
     [clock] is the absolute time the epoch starts — item [k] of the run is
-    injected at [clock + k · period] and every failure instant is
-    interpreted on the same absolute axis — and [down] lists the
-    processors that already crashed in earlier epochs (statically dead,
-    exactly like [failed]). *)
+    injected at [clock + k · period] (closed) or [clock + offset k] (open)
+    and every failure instant is interpreted on the same absolute axis —
+    and [down] lists the processors that already crashed in earlier epochs
+    (statically dead, exactly like [failed]). *)
 type snapshot = { clock : float; down : Platform.proc list }
 
 val boot : snapshot
@@ -66,16 +71,37 @@ type result = {
   finish_time : (int -> Replica.id -> float option);
   item_latency : float option array;
       (** per item: availability time of the last exit task minus the item's
-          injection time; [None] when some exit task lost all replicas *)
-  period : float;  (** injection period the run used *)
+          arrival time (sojourn — in the open mode it includes any wait in
+          the source backlog); [None] when some exit task lost all replicas,
+          the item was shed, or it was still stalled at the source when the
+          run drained *)
+  period : float;
+      (** injection period of a closed run; the program's achieved period
+          in the open mode (where arrivals, not a period, pace the run) *)
   makespan : float;  (** time the last event completed *)
   messages : message list;  (** completed transfers, by start time *)
+  arrivals : float array;
+      (** absolute arrival instant of each item (closed mode: the
+          injection grid [clock + k · period]) *)
+  injections : float array;
+      (** absolute instant each item was admitted into the pipeline;
+          [nan] when it was shed or still stalled.  Closed mode: equals
+          [arrivals]. *)
+  dropped : int;  (** items shed by [Drop_newest]; [0] in closed mode *)
+  stalled : int;
+      (** items still blocked at the source when the run drained
+          (a [Block]ed source wedged by a crashed shard); [0] closed *)
+  peak_queue : int;
+      (** high-water per-replica input-queue occupancy; [0] closed *)
+  stall_time : float;
+      (** total backpressure wait [Σ (injection - arrival)] over the
+          admitted items; [0.] closed *)
 }
 
 type program
 (** A mapping compiled for repeated simulation: immutable dense tables
     shared by every run.  Compile once per mapping, then call
-    {!run_compiled} per crash draw or epoch. *)
+    {!simulate} per crash draw, epoch or traffic profile. *)
 
 val compile : Mapping.t -> program
 (** Flatten the mapping into a {!program}.  Performs all per-mapping work:
@@ -91,6 +117,94 @@ val program_period : program -> float
 (** The mapping's achieved period, cached at compile time; equals
     [Metrics.period (program_mapping p)]. *)
 
+(** The one run-scenario record: traffic (closed or open), failures,
+    epoch snapshot and metrics gate for a single {!simulate} call. *)
+module Run : sig
+  (** What happens when an item arrives and an entry replica's input
+      queue is full. *)
+  type drop_policy =
+    | Block
+        (** the source blocks (backpressure): the item waits in a FIFO
+            backlog and is admitted when every live entry replica has
+            room; its sojourn keeps growing while it waits *)
+    | Drop_newest
+        (** the arriving item is shed immediately (load shedding);
+            counted in {!result.dropped} and in the [sim.drops]
+            counter *)
+
+  type traffic =
+    | Closed of { n_items : int; period : float option }
+        (** the legacy steady-state source: item [k] injected at
+            [clock + k · period] ([period] defaults to the program's
+            achieved period), no queue bound, no backpressure *)
+    | Open of {
+        arrival : Arrival.t;
+        n_items : int;
+        rng : Rng.t option;
+            (** consumed by randomized arrival processes; may be [None]
+                for [Deterministic] / [Trace] *)
+        queue_bound : int option;
+            (** per-replica input-queue capacity; [None] = unbounded.
+                An instance occupies its replica's queue from the moment
+                data is first committed toward it (or, for an entry
+                task, from admission) until it finishes executing.
+                Transfers towards a full replica wait — occupying their
+                sender's attention and eventually the source — unless
+                the destination instance is already in the queue (its
+                remaining inputs must flow or the pipeline would
+                deadlock). *)
+        policy : drop_policy;
+      }
+        (** the open-system source: items arrive per [arrival], are
+            admitted FIFO when every live entry replica has queue room,
+            and otherwise block or shed per [policy] *)
+
+  type config = {
+    traffic : traffic;
+    snapshot : snapshot option;  (** [None] = {!boot} *)
+    failed : Platform.proc list;  (** fail-silent from time 0 *)
+    timed_failures : (Platform.proc * float) list;  (** fail-stop *)
+    metrics : bool;
+        (** per-run metrics gate: [false] skips every [sim.*] counter,
+            histogram and span of this run even when {!Obs.enabled} —
+            for probe runs that must not pollute a profile *)
+  }
+
+  val closed : ?n_items:int -> ?period:float -> unit -> config
+  (** A closed-system config with no failures, the {!boot} snapshot and
+      metrics on — exactly what {!run} passes.  [n_items] defaults
+      to 1. *)
+
+  val open_ :
+    ?queue_bound:int ->
+    ?policy:drop_policy ->
+    ?rng:Rng.t ->
+    n_items:int ->
+    Arrival.t ->
+    config
+  (** An open-system config with no failures, the {!boot} snapshot and
+      metrics on.  [queue_bound] defaults to unbounded and [policy] to
+      {!Block} — the degenerate point where a [Deterministic] arrival
+      process reproduces the closed system bit-identically. *)
+end
+
+val simulate : config:Run.config -> program -> result
+(** Play one scenario against a compiled program.  A program holds no
+    per-run state, so it may be reused across any number of calls.
+
+    Closed traffic reproduces the legacy engine bit-identically.  Open
+    traffic materializes the arrival process ({!Arrival.times}), admits
+    items FIFO against the per-replica queue bound, and accounts
+    backpressure ({!result.stall_time}), load shedding
+    ({!result.dropped}) and queue occupancy ({!result.peak_queue});
+    when a queue frees, waiting in-pipeline data beats new source
+    admissions.  Open runs record [sim.queue.enqueued],
+    [sim.queue.blocked], [sim.drops] and the [sim.queue.occupancy]
+    histogram.
+    @raise Invalid_argument as {!run}; additionally if an open config
+    has [n_items < 1], [queue_bound < 1], or an arrival process that
+    needs randomness with [rng = None]. *)
+
 val run_compiled :
   ?snapshot:snapshot ->
   ?n_items:int ->
@@ -99,12 +213,9 @@ val run_compiled :
   ?timed_failures:(Platform.proc * float) list ->
   program ->
   result
-(** Play one scenario against a compiled program.  Arguments and recorded
-    metrics are exactly those of {!run}; the result is bit-identical to
-    [run (program_mapping p)] with the same arguments.  A program holds no
-    per-run state, so it may be reused across any number of calls.
-    @raise Invalid_argument as {!run}, except the incomplete-mapping case
-    which {!compile} raises. *)
+(** {!simulate} with closed-system traffic — the optional-argument
+    default the pre-open-system API exposed; results are bit-identical
+    to it.  Arguments and recorded metrics are exactly those of {!run}. *)
 
 val run :
   ?snapshot:snapshot ->
@@ -139,7 +250,13 @@ val latency : ?failed:Platform.proc list -> Mapping.t -> float option
 val latency_compiled : ?failed:Platform.proc list -> program -> float option
 (** {!latency} against a compiled program. *)
 
+val sojourns : result -> float list
+(** The delivered items' sojourn latencies in item order — the sample
+    the percentile summaries ({!Stats} in the experiment layer) are
+    computed over.  Shed, stalled and defeated items are absent. *)
+
 val sustained_throughput : result -> float option
 (** [(n - 1) / (t_last - t_first)] over the items that completed, using
-    exit-availability times; [None] when fewer than two items completed.
-    Measures the throughput the pipeline actually sustains. *)
+    exit-availability times ([arrival + sojourn]); [None] when fewer
+    than two items completed.  Measures the throughput the pipeline
+    actually sustains. *)

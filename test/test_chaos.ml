@@ -43,7 +43,7 @@ let mapping_of seed =
        ~platform:inst.Paper_workload.plat ~eps
        ~throughput:(Paper_workload.throughput ~eps))
 
-let operate ~seed ~pressure mapping =
+let operate ?(overload = None) ~seed ~pressure mapping =
   let throughput = Paper_workload.throughput ~eps in
   let p = Float.max (1.0 /. throughput) (Metrics.period mapping) in
   let config =
@@ -53,6 +53,7 @@ let operate ~seed ~pressure mapping =
       max_attempts = None;
       reconfig_delay = 2.0 *. p;
       max_items_per_epoch = horizon_items + 8;
+      overload;
     }
   in
   (* The operations RNG depends on the seed only, never on the pressure:
@@ -157,6 +158,72 @@ let chaos_tests =
           (List.length report.Stream_ops.epochs);
         check_true "full availability" (report.Stream_ops.availability = 1.0);
         check_true "no outage" (not report.Stream_ops.outage));
+    case "a post-recovery burst through a tight queue sheds items" (fun () ->
+        (* Burst-during-failure scenario: after every restoration the
+           backlog flushes at 8x the nominal rate through a depth-1 queue
+           that drops on overflow.  The window is effectively unbounded so
+           any restoration at all guarantees overload pressure. *)
+        let overload =
+          Some
+            {
+              Stream_ops.queue_bound = 1;
+              policy = Engine.Run.Drop_newest;
+              burst_factor = 8.0;
+              burst_window = 1e9;
+            }
+        in
+        let seed = 11 and pressure = 10.0 in
+        let mapping = mapping_of seed in
+        let report = operate ~overload ~seed ~pressure mapping in
+        check_true "at least one restoration happened"
+          (List.exists
+             (fun ep ->
+               match ep.Stream_ops.decision with
+               | Stream_ops.Restored _ -> true
+               | _ -> false)
+             report.Stream_ops.epochs);
+        check_true
+          (Printf.sprintf "the burst sheds items (%d dropped)"
+             report.Stream_ops.dropped)
+          (report.Stream_ops.dropped > 0);
+        check_true "drops are a subset of the lost items"
+          (report.Stream_ops.dropped
+          <= report.Stream_ops.injected - report.Stream_ops.delivered);
+        let again = operate ~overload ~seed ~pressure mapping in
+        Fixtures.check_int "deterministic drop count"
+          report.Stream_ops.dropped again.Stream_ops.dropped;
+        check_true "deterministic availability bits"
+          (Int64.bits_of_float report.Stream_ops.availability
+          = Int64.bits_of_float again.Stream_ops.availability));
+    case "backpressure never sheds; a quiet overload run delivers all"
+      (fun () ->
+        (* Block = upstream backpressure: the queue stalls the source
+           instead of dropping, so [dropped] stays 0 under the same
+           pressure that sheds under Drop_newest... *)
+        let block =
+          Some
+            {
+              Stream_ops.queue_bound = 1;
+              policy = Engine.Run.Block;
+              burst_factor = 8.0;
+              burst_window = 1e9;
+            }
+        in
+        let mapping = mapping_of 11 in
+        let report = operate ~overload:block ~seed:11 ~pressure:10.0 mapping in
+        Fixtures.check_int "backpressure drops nothing" 0
+          report.Stream_ops.dropped;
+        (* ... and with no crash there is never a burst, so the open-mode
+           timeline matches the legacy closed one on the dashboard. *)
+        let quiet = operate ~overload:block ~seed:11 ~pressure:0.0 mapping in
+        let legacy = operate ~seed:11 ~pressure:0.0 mapping in
+        Fixtures.check_int "no crashes" 0 quiet.Stream_ops.crashes;
+        Fixtures.check_int "nothing dropped" 0 quiet.Stream_ops.dropped;
+        check_true "full availability" (quiet.Stream_ops.availability = 1.0);
+        Fixtures.check_int "same injections as the closed path"
+          legacy.Stream_ops.injected quiet.Stream_ops.injected;
+        Fixtures.check_int "same deliveries as the closed path"
+          legacy.Stream_ops.delivered quiet.Stream_ops.delivered);
   ]
 
 let () = Alcotest.run "chaos" [ ("recovery-engine", chaos_tests) ]

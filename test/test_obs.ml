@@ -300,14 +300,17 @@ let report_tests =
               (List.length missing));
     case "validate_string rejects invalid JSON" (fun () ->
         check_true "rejected" (Result.is_error (Obs_report.validate_string "{")));
-    slow_case "a latency+recovery+convergence run satisfies --check-metrics"
+    slow_case
+      "a latency+recovery+convergence+traffic run satisfies --check-metrics"
       (fun () ->
         with_obs (fun () ->
-            (* The documented key set spans all three profiles: the
+            (* The documented key set spans all four profiles: the
                latency experiment covers the scheduler/simulator/sweep
                keys, the recovery experiment the ops.recovery.* family,
-               and the convergence + exact-recovery runs the rel.*
-               calculus keys — the same set CI profiles for
+               the traffic experiment the sim.queue.* / sim.drops
+               open-system keys (only open runs record the occupancy
+               histogram), and the convergence + exact-recovery runs the
+               rel.* calculus keys — the same set CI profiles for
                --check-metrics.  [exact:true] matters: the recovery
                survival curve analyses under the [Independent] model,
                the only caller guaranteed to take the antichain
@@ -320,7 +323,7 @@ let report_tests =
               (fun name ->
                 let e = Option.get (Runner.find name) in
                 e.Runner.run ~quick:true ~seed:7 ~jobs:2 ~exact:true ~out_dir)
-              [ "latency"; "recovery"; "convergence" ];
+              [ "latency"; "recovery"; "convergence"; "traffic" ];
             let json = Obs.Registry.to_json (Obs.snapshot ()) in
             match Obs_report.validate_string json with
             | Ok () -> ()

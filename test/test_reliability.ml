@@ -358,15 +358,21 @@ let prop_exact_siblings_agree =
       | None -> QCheck.assume_fail ()
       | Some (prob, m) ->
           let c = min c (Platform.size prob.Types.platform) in
-          let engine = Crash.exact_latency_stats ~crashes:c m in
+          let engine =
+            Crash.estimate ~source:(Crash.Of_mapping m)
+              ~method_:(Crash.Exact { crashes = c; max_evaluations = None })
+          in
           let stage =
             Stage_latency.exact_crash_latency_stats ~crashes:c
               ~throughput:prob.Types.throughput m
           in
-          let calculus = Crash.exact_defeat_rate ~crashes:c m in
-          Float.abs (engine.Crash.p_defeat -. stage.Crash.p_defeat) <= 1e-9
-          && Float.abs (engine.Crash.p_defeat -. calculus) <= 1e-9
-          && (stage.Crash.degraded_mean = None) = (engine.Crash.degraded_mean = None))
+          let calculus =
+            let t = Reliability.analyze ~max_cut_card:c m in
+            Reliability.defeat_probability t (Reliability.Uniform_crashes c)
+          in
+          Float.abs (engine.Crash.est_p_defeat -. stage.Crash.p_defeat) <= 1e-9
+          && Float.abs (engine.Crash.est_p_defeat -. calculus) <= 1e-9
+          && (stage.Crash.degraded_mean = None) = (engine.Crash.est_mean = None))
 
 (* ------------------------------------------------------------------ *)
 (* Monte-Carlo convergence: the estimator approaches the exact value    *)
@@ -395,12 +401,11 @@ let prop_mc_converges_to_exact =
           List.for_all
             (fun runs ->
               let rng = Rng.create ~seed:(seed + (7 * runs)) in
-              let stats =
-                Crash.mean_latency_stats_compiled
-                  ~rand_int:(fun n -> Rng.int rng n)
-                  ~crashes:c ~runs program
+              let e =
+                Crash.estimate ~source:(Crash.Of_program program)
+                  ~method_:(Crash.Sampled { crashes = c; draws = runs; rng })
               in
-              let est = Crash.defeat_rate stats in
+              let est = e.Crash.est_p_defeat in
               let sigma =
                 Float.sqrt (Float.max (exact *. (1.0 -. exact)) 1e-6 /. float_of_int runs)
               in

@@ -476,45 +476,54 @@ let stage_latency_tests =
 (* Crash sampling                                                      *)
 (* ------------------------------------------------------------------ *)
 
+let estimate_on m method_ = Crash.estimate ~source:(Crash.Of_mapping m) ~method_
+
 let crash_tests =
   [
-    case "with_failures is deterministic" (fun () ->
-        let o = Crash.with_failures (lanes ()) ~failed:[ 1 ] in
-        check_float "latency" 3.0 (Option.get o.Crash.latency);
-        Alcotest.(check (list int)) "failed set" [ 1 ] o.Crash.failed);
-    case "sample draws distinct processors" (fun () ->
+    case "a fixed failure set is deterministic" (fun () ->
+        let e = estimate_on (lanes ()) (Crash.Fixed [ 1 ]) in
+        check_float "latency" 3.0 (Option.get e.Crash.est_mean);
+        Alcotest.(check (list int)) "failed set" [ 1 ] e.Crash.est_failed;
+        check_float "survivor defeat probability" 0.0 e.Crash.est_p_defeat;
+        check_int "one replay, no draws" 1 e.Crash.est_evaluations;
+        check_int "no randomness" 0 e.Crash.est_draws);
+    case "sampling draws distinct processors" (fun () ->
         let rng = Rng.create ~seed:9 in
         for _ = 1 to 32 do
-          let o =
-            Crash.sample ~rand_int:(fun b -> Rng.int rng b) ~crashes:3 (lanes ())
+          let e =
+            estimate_on (lanes ()) (Crash.Sampled { crashes = 3; draws = 1; rng })
           in
           check_int "three distinct" 3
-            (List.length (List.sort_uniq compare o.Crash.failed))
+            (List.length (List.sort_uniq compare e.Crash.est_failed))
         done);
-    case "sample rejects too many crashes" (fun () ->
+    case "sampling rejects too many crashes" (fun () ->
         Alcotest.check_raises "too many" (Invalid_argument "") (fun () ->
             try
               ignore
-                (Crash.sample ~rand_int:(fun _ -> 0) ~crashes:5 (lanes ()))
+                (estimate_on (lanes ())
+                   (Crash.Sampled
+                      { crashes = 5; draws = 1; rng = Rng.create ~seed:1 }))
             with Invalid_argument _ -> raise (Invalid_argument "")));
     case "mean over surviving draws" (fun () ->
         let rng = Rng.create ~seed:4 in
-        let mean =
-          Crash.mean_latency
-            ~rand_int:(fun b -> Rng.int rng b)
-            ~crashes:1 ~runs:10 (lanes ())
+        let e =
+          estimate_on (lanes ()) (Crash.Sampled { crashes = 1; draws = 10; rng })
         in
-        check_float "all draws survive at 3.0" 3.0 (Option.get mean));
-    case "zero draws yield an empty stat and a nan defeat rate" (fun () ->
-        let empty =
-          Crash.mean_latency_stats
-            ~rand_int:(fun _ -> Alcotest.fail "no draw should be taken")
-            ~crashes:1 ~runs:0 (lanes ())
+        check_float "all draws survive at 3.0" 3.0 (Option.get e.Crash.est_mean));
+    case "zero draws yield an empty estimate and a nan defeat rate" (fun () ->
+        let e =
+          estimate_on (lanes ())
+            (Crash.Sampled { crashes = 1; draws = 0; rng = Rng.create ~seed:3 })
         in
-        check_int "no draws" 0 empty.Crash.draws;
-        check_int "no defeats" 0 empty.Crash.defeated_draws;
-        check_true "no mean" (empty.Crash.mean = None);
-        check_true "nan, not zero" (Float.is_nan (Crash.defeat_rate empty)));
+        check_int "no draws" 0 e.Crash.est_draws;
+        check_int "no defeats" 0 e.Crash.est_defeated;
+        check_true "no mean" (e.Crash.est_mean = None);
+        check_true "nan, not zero" (Float.is_nan e.Crash.est_p_defeat);
+        (* the stats-record helper keeps the same policy *)
+        check_true "defeat_rate nan on empty stats"
+          (Float.is_nan
+             (Crash.defeat_rate
+                { Crash.mean = None; draws = 0; defeated_draws = 0 })));
     case "negative run counts are rejected" (fun () ->
         List.iter
           (fun thunk ->
@@ -523,13 +532,15 @@ let crash_tests =
                   raise (Invalid_argument "")))
           [
             (fun () ->
-              Crash.mean_latency_stats
-                ~rand_int:(fun _ -> 0)
-                ~crashes:1 ~runs:(-1) (lanes ()));
+              ignore
+                (estimate_on (lanes ())
+                   (Crash.Sampled
+                      { crashes = 1; draws = -1; rng = Rng.create ~seed:1 })));
             (fun () ->
-              Stage_latency.mean_crash_latency_stats
-                ~rand_int:(fun _ -> 0)
-                ~crashes:1 ~runs:(-1) ~throughput:0.1 (lanes ()));
+              ignore
+                (Stage_latency.mean_crash_latency_stats
+                   ~rand_int:(fun _ -> 0)
+                   ~crashes:1 ~runs:(-1) ~throughput:0.1 (lanes ())));
           ]);
     case "all-defeated runs keep a defined defeat rate" (fun () ->
         (* an unreplicated chain using every processor: any single crash
@@ -542,34 +553,39 @@ let crash_tests =
         place m 1 0 1 [ (0, [ id 0 0 ]) ];
         place m 2 0 2 [ (1, [ id 1 0 ]) ];
         let rng = Rng.create ~seed:5 in
-        let stats =
-          Crash.mean_latency_stats
-            ~rand_int:(fun b -> Rng.int rng b)
-            ~crashes:1 ~runs:8 m
-        in
-        check_int "all defeated" 8 stats.Crash.defeated_draws;
-        check_true "no mean" (stats.Crash.mean = None);
-        check_float "rate one" 1.0 (Crash.defeat_rate stats));
+        let e = estimate_on m (Crash.Sampled { crashes = 1; draws = 8; rng }) in
+        check_int "all defeated" 8 e.Crash.est_defeated;
+        check_true "no mean" (e.Crash.est_mean = None);
+        check_float "rate one" 1.0 e.Crash.est_p_defeat);
     case "exact defeat rates match the hand count" (fun () ->
         (* lanes: defeat iff {0, 1} is contained in the failure set *)
-        check_float "c = 1" 0.0 (Crash.exact_defeat_rate ~crashes:1 (lanes ()));
-        check_float "c = 2 is 1/6" (1.0 /. 6.0)
-          (Crash.exact_defeat_rate ~crashes:2 (lanes ()));
-        check_float "c = 3 is 1/2" 0.5
-          (Crash.exact_defeat_rate ~crashes:3 (lanes ())));
+        let exact c =
+          (estimate_on (lanes ())
+             (Crash.Exact { crashes = c; max_evaluations = None }))
+            .Crash.est_p_defeat
+        in
+        check_float "c = 1" 0.0 (exact 1);
+        check_float "c = 2 is 1/6" (1.0 /. 6.0) (exact 2);
+        check_float "c = 3 is 1/2" 0.5 (exact 3));
     case "exact enumeration agrees with the calculus and the engine" (fun () ->
-        let exact = Crash.exact_latency_stats ~crashes:2 (lanes ()) in
-        check_int "all six pairs replayed" 6 exact.Crash.evaluations;
-        check_float "same defeat probability"
-          (Crash.exact_defeat_rate ~crashes:2 (lanes ()))
-          exact.Crash.p_defeat;
+        let e =
+          estimate_on (lanes ())
+            (Crash.Exact { crashes = 2; max_evaluations = None })
+        in
+        check_int "all six pairs replayed" 6 e.Crash.est_evaluations;
+        check_int "exactly one defeated pair" 1 e.Crash.est_defeated;
         check_float "survivors all deliver 3.0" 3.0
-          (Option.get exact.Crash.degraded_mean);
+          (Option.get e.Crash.est_mean);
+        (* the analytic calculus agrees with the enumeration *)
+        let t = Reliability.analyze ~max_cut_card:2 (lanes ()) in
+        check_float "calculus agrees"
+          (Reliability.defeat_probability t (Reliability.Uniform_crashes 2))
+          e.Crash.est_p_defeat;
         let stage =
           Stage_latency.exact_crash_latency_stats ~crashes:2 ~throughput:0.1
             (lanes ())
         in
-        check_float "stage model agrees on defeat" exact.Crash.p_defeat
+        check_float "stage model agrees on defeat" e.Crash.est_p_defeat
           stage.Crash.p_defeat;
         check_float "one stage at period 10" 10.0
           (Option.get stage.Crash.degraded_mean));
@@ -577,48 +593,40 @@ let crash_tests =
         Alcotest.check_raises "over budget" (Invalid_argument "") (fun () ->
             try
               ignore
-                (Crash.exact_latency_stats ~max_evaluations:3 ~crashes:2
-                   (lanes ()))
+                (estimate_on (lanes ())
+                   (Crash.Exact { crashes = 2; max_evaluations = Some 3 }))
             with Invalid_argument _ -> raise (Invalid_argument "")));
-    case "with_failures marks defeated draws" (fun () ->
-        let alive = Crash.with_failures (lanes ()) ~failed:[ 1 ] in
-        check_true "survivor not defeated" (not alive.Crash.defeated);
-        let dead = Crash.with_failures (lanes ()) ~failed:[ 0; 1 ] in
-        check_true "no latency" (dead.Crash.latency = None);
-        check_true "defeated" dead.Crash.defeated);
-    case "stats count defeated draws" (fun () ->
+    case "fixed sets mark defeat" (fun () ->
+        let alive = estimate_on (lanes ()) (Crash.Fixed [ 1 ]) in
+        check_int "survivor not defeated" 0 alive.Crash.est_defeated;
+        let dead = estimate_on (lanes ()) (Crash.Fixed [ 0; 1 ]) in
+        check_true "no latency" (dead.Crash.est_mean = None);
+        check_int "defeated" 1 dead.Crash.est_defeated;
+        check_float "certain defeat" 1.0 dead.Crash.est_p_defeat);
+    case "sampled estimates count defeated draws" (fun () ->
         (* two crashes on the four-processor lanes: only the {0,1} pair
            (1 of 6) kills both lanes, so a long run sees some but not
            only defeats *)
         let rng = Rng.create ~seed:11 in
-        let stats =
-          Crash.mean_latency_stats
-            ~rand_int:(fun b -> Rng.int rng b)
-            ~crashes:2 ~runs:48 (lanes ())
+        let e =
+          estimate_on (lanes ()) (Crash.Sampled { crashes = 2; draws = 48; rng })
         in
-        check_int "every draw counted" 48 stats.Crash.draws;
-        check_true "some defeats" (stats.Crash.defeated_draws > 0);
-        check_true "not all defeats" (stats.Crash.defeated_draws < 48);
+        check_int "every draw counted" 48 e.Crash.est_draws;
+        check_true "some defeats" (e.Crash.est_defeated > 0);
+        check_true "not all defeats" (e.Crash.est_defeated < 48);
         check_float "defeat rate"
-          (float_of_int stats.Crash.defeated_draws /. 48.0)
-          (Crash.defeat_rate stats);
+          (float_of_int e.Crash.est_defeated /. 48.0)
+          e.Crash.est_p_defeat;
         check_float "surviving draws still deliver 3.0" 3.0
-          (Option.get stats.Crash.mean));
-    case "mean_latency agrees with the stats mean" (fun () ->
-        let draws seed =
-          let rng = Rng.create ~seed in
-          fun b -> Rng.int rng b
+          (Option.get e.Crash.est_mean));
+    case "equal seeds give equal estimates" (fun () ->
+        let run () =
+          estimate_on (lanes ())
+            (Crash.Sampled
+               { crashes = 2; draws = 16; rng = Rng.create ~seed:21 })
         in
-        let plain =
-          Crash.mean_latency ~rand_int:(draws 21) ~crashes:2 ~runs:16
-            (lanes ())
-        in
-        let stats =
-          Crash.mean_latency_stats ~rand_int:(draws 21) ~crashes:2 ~runs:16
-            (lanes ())
-        in
-        (* the stats variant consumes the exact same draw sequence *)
-        check_true "same option shape" (plain = stats.Crash.mean));
+        (* the estimate is a pure function of the seed (CRN discipline) *)
+        check_true "bit-identical" (run () = run ()));
     case "stage-latency stats expose the defeat rate" (fun () ->
         let rng = Rng.create ~seed:5 in
         let stats =
@@ -809,18 +817,16 @@ let compiled_tests =
     case "crash sampling over a program matches the mapping path" (fun () ->
         let m = lanes () in
         let prog = Engine.compile m in
-        let draws seed =
-          let rng = Rng.create ~seed in
-          fun b -> Rng.int rng b
+        let method_ seed =
+          Crash.Sampled { crashes = 2; draws = 24; rng = Rng.create ~seed }
         in
         let plain =
-          Crash.mean_latency_stats ~rand_int:(draws 17) ~crashes:2 ~runs:24 m
+          Crash.estimate ~source:(Crash.Of_mapping m) ~method_:(method_ 17)
         in
         let compiled =
-          Crash.mean_latency_stats_compiled ~rand_int:(draws 17) ~crashes:2
-            ~runs:24 prog
+          Crash.estimate ~source:(Crash.Of_program prog) ~method_:(method_ 17)
         in
-        check_true "same stats" (plain = compiled));
+        check_true "same estimate" (plain = compiled));
   ]
 
 let () =
