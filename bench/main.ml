@@ -14,7 +14,7 @@ open Toolkit
 
 let instance ~seed ~granularity =
   let rng = Rng.create ~seed in
-  Paper_workload.instance ~rng ~granularity ()
+  Spec.generate Spec.default ~rng ~granularity ()
 
 let inst_g1 = instance ~seed:1 ~granularity:1.0
 
@@ -320,7 +320,7 @@ let sched_tests =
 let sim_instance ~seed ~tasks =
   let rng = Rng.create ~seed in
   let spec = { Paper_workload.default_spec with tasks_range = (tasks, tasks) } in
-  Paper_workload.instance ~spec ~rng ~granularity:1.0 ()
+  Spec.generate (Spec.paper spec) ~rng ~granularity:1.0 ()
 
 let sim_mapping ~seed ~tasks ~eps =
   let inst = sim_instance ~seed ~tasks in
@@ -592,6 +592,140 @@ let measure_pairs cfg pairs =
         ])
     pairs
 
+(* ------------------------------------------------------------------ *)
+(* Large-instance scale points                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The huge-family scale points (up to v = 10⁶ tasks on p = 10³
+   processors) are hours of compute, so they are not re-measured here:
+   the scaling experiment (`experiments.exe scaling`) writes them to
+   results/fig-scaling.csv, and the JSON emitters embed that file as a
+   "scale" section when it is present.  The check gates then validate
+   the committed points without re-running anything heavy. *)
+let default_scale_csv = "results/fig-scaling.csv"
+
+let scale_rows path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       ignore (input_line ic) (* header *);
+       while true do
+         match String.split_on_char ',' (input_line ic) with
+         | v :: m :: eps :: algo :: sched_s :: sim_s :: _ ->
+             rows :=
+               Obs.Json.Obj
+                 [
+                   ("v", Obs.Json.Num (float_of_string v));
+                   ("m", Obs.Json.Num (float_of_string m));
+                   ("eps", Obs.Json.Num (float_of_string eps));
+                   ("algo", Obs.Json.Str algo);
+                   ("sched_ns", Obs.Json.Num (1e9 *. float_of_string sched_s));
+                   ("sim_ns", Obs.Json.Num (1e9 *. float_of_string sim_s));
+                 ]
+               :: !rows
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows
+  end
+
+let scale_section csv =
+  match scale_rows csv with
+  | [] ->
+      Printf.printf "no scale points (%s not found); \"scale\" omitted\n%!" csv;
+      []
+  | rows ->
+      Printf.printf "embedded %d scale point(s) from %s\n%!" (List.length rows)
+        csv;
+      [ ("scale", Obs.Json.Arr rows) ]
+
+let num_member key json =
+  match Obs.Json.member key json with
+  | Some (Obs.Json.Num n) -> Some n
+  | _ -> None
+
+let str_member key json =
+  match Obs.Json.member key json with
+  | Some (Obs.Json.Str s) -> Some s
+  | _ -> None
+
+(* Sanity ceilings for the committed scale points, in ns per task: an
+   order of magnitude above the recorded runs, so the gate catches a
+   gross regression (or a garbage file) without tripping on hardware
+   variance. *)
+let scale_ceilings_ns_per_task =
+  [ ("LTF", ("sched_ns", 3e7)); ("C-LTF", ("sched_ns", 3e6)) ]
+
+let sim_ceiling_ns_per_task = 1e7
+
+(* Validate a "scale" array: the acceptance point (v = 10⁶, m = 10³) must
+   be present for both flat LTF and clustered C-LTF, with finite
+   measurements under the ceilings.  [required] toggles between the sched
+   gate (points mandatory) and the sim gate (validated when present). *)
+let check_scale ~required ~path doc =
+  let entries =
+    match Obs.Json.member "scale" doc with
+    | Some (Obs.Json.Arr entries) -> entries
+    | _ -> []
+  in
+  let bad = ref 0 in
+  if entries = [] then begin
+    if required then begin
+      Printf.printf "FAIL %s: no \"scale\" section (v=10^6 points required)\n"
+        path;
+      incr bad
+    end
+  end
+  else begin
+    List.iter
+      (fun (algo, (key, ceiling)) ->
+        let found =
+          List.find_opt
+            (fun e ->
+              str_member "algo" e = Some algo
+              && num_member "v" e = Some 1_000_000.0
+              && num_member "m" e = Some 1_000.0)
+            entries
+        in
+        match found with
+        | None ->
+            if required then begin
+              Printf.printf "FAIL scale point %s v=10^6 m=10^3 missing\n" algo;
+              incr bad
+            end
+        | Some e -> (
+            match num_member key e with
+            | Some ns
+              when Float.is_finite ns && ns > 0.0
+                   && ns /. 1e6 <= ceiling ->
+                Printf.printf "ok   scale %-6s v=10^6 m=10^3 %s %.3g ns/task\n"
+                  algo key (ns /. 1e6)
+            | Some ns ->
+                Printf.printf
+                  "FAIL scale %-6s v=10^6 m=10^3 %s %.3g ns/task > %.3g\n" algo
+                  key (ns /. 1e6) ceiling;
+                incr bad
+            | None ->
+                Printf.printf "FAIL scale %-6s v=10^6 m=10^3: no %s\n" algo key;
+                incr bad))
+      scale_ceilings_ns_per_task;
+    (* Every committed simulate measurement stays under the per-task
+       ceiling, whichever algorithm produced the mapping. *)
+    List.iter
+      (fun e ->
+        match (num_member "v" e, num_member "sim_ns" e) with
+        | Some v, Some ns when Float.is_finite ns && ns /. v > sim_ceiling_ns_per_task ->
+            Printf.printf "FAIL scale sim point %.3g ns/task > %.3g\n" (ns /. v)
+              sim_ceiling_ns_per_task;
+            incr bad
+        | _ -> ())
+      entries
+  end;
+  !bad
+
 let write_json path doc =
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
@@ -632,11 +766,12 @@ let sched_json path =
   in
   let doc =
     Obs.Json.Obj
-      [
-        ("schema", Obs.Json.Str "streamsched-bench-sched/1");
-        ("pairs", Obs.Json.Arr pairs);
-        ("trajectory", Obs.Json.Obj trajectory);
-      ]
+      ([
+         ("schema", Obs.Json.Str "streamsched-bench-sched/1");
+         ("pairs", Obs.Json.Arr pairs);
+         ("trajectory", Obs.Json.Obj trajectory);
+       ]
+      @ scale_section default_scale_csv)
   in
   write_json path doc
 
@@ -684,12 +819,13 @@ let sim_json path =
   in
   let doc =
     Obs.Json.Obj
-      [
-        ("schema", Obs.Json.Str "streamsched-bench-sim/1");
-        ("pairs", Obs.Json.Arr pairs);
-        ("overheads", Obs.Json.Arr overheads);
-        ("trajectory", Obs.Json.Obj trajectory);
-      ]
+      ([
+         ("schema", Obs.Json.Str "streamsched-bench-sim/1");
+         ("pairs", Obs.Json.Arr pairs);
+         ("overheads", Obs.Json.Arr overheads);
+         ("trajectory", Obs.Json.Obj trajectory);
+       ]
+      @ scale_section default_scale_csv)
   in
   write_json path doc
 
@@ -697,11 +833,7 @@ let sim_json path =
    a recorded closed-vs-open ratio exceeds this. *)
 let max_open_overhead = 1.3
 
-(* --check-sim-json PATH: regression guard over a committed trajectory
-   file — fail the build when any recorded before/after pair has
-   regressed below break-even, or any open-system overhead ratio exceeds
-   {!max_open_overhead}. *)
-let check_sim_json path =
+let load_json path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let body = really_input_string ic len in
@@ -710,69 +842,97 @@ let check_sim_json path =
   | Error msg ->
       Printf.eprintf "%s: unparseable: %s\n" path msg;
       exit 1
-  | Ok doc ->
-      let pairs =
-        match Obs.Json.member "pairs" doc with
-        | Some (Obs.Json.Arr pairs) -> pairs
-        | _ ->
-            Printf.eprintf "%s: no \"pairs\" array\n" path;
-            exit 1
-      in
-      let bad = ref 0 in
-      List.iter
-        (fun pair ->
-          let name =
-            match Obs.Json.member "name" pair with
-            | Some (Obs.Json.Str s) -> s
-            | _ -> "<unnamed>"
-          in
-          match Obs.Json.member "speedup" pair with
-          | Some (Obs.Json.Num s) when s >= 1.0 ->
-              Printf.printf "ok   %-48s %5.1fx\n" name s
-          | Some (Obs.Json.Num s) ->
-              Printf.printf "FAIL %-48s %5.2fx < 1.0\n" name s;
-              incr bad
-          | _ ->
-              Printf.printf "FAIL %-48s missing speedup\n" name;
-              incr bad)
-        pairs;
-      (* Tolerate files recorded before the overheads section existed. *)
-      let overheads =
-        match Obs.Json.member "overheads" doc with
-        | Some (Obs.Json.Arr entries) -> entries
-        | _ -> []
-      in
-      List.iter
-        (fun entry ->
-          let name =
-            match Obs.Json.member "name" entry with
-            | Some (Obs.Json.Str s) -> s
-            | _ -> "<unnamed>"
-          in
-          match Obs.Json.member "ratio" entry with
-          | Some (Obs.Json.Num r) when r <= max_open_overhead ->
-              Printf.printf "ok   %-48s %5.2fx overhead\n" name r
-          | Some (Obs.Json.Num r) ->
-              Printf.printf "FAIL %-48s %5.2fx overhead > %.1fx\n" name r
-                max_open_overhead;
-              incr bad
-          | _ ->
-              Printf.printf "FAIL %-48s missing overhead ratio\n" name;
-              incr bad)
-        overheads;
-      if !bad > 0 then begin
-        Printf.eprintf "%s: %d entry(ies) out of bounds\n" path !bad;
+  | Ok doc -> doc
+
+(* Returns the number of out-of-bounds pairs; shared by both check
+   gates. *)
+let check_pairs ~path doc =
+  let pairs =
+    match Obs.Json.member "pairs" doc with
+    | Some (Obs.Json.Arr pairs) -> pairs
+    | _ ->
+        Printf.eprintf "%s: no \"pairs\" array\n" path;
         exit 1
-      end;
-      Printf.printf
-        "%s: %d pair(s) at or above break-even, %d overhead(s) within %.1fx\n"
-        path (List.length pairs) (List.length overheads) max_open_overhead
+  in
+  let bad = ref 0 in
+  List.iter
+    (fun pair ->
+      let name =
+        match str_member "name" pair with Some s -> s | None -> "<unnamed>"
+      in
+      match num_member "speedup" pair with
+      | Some s when s >= 1.0 -> Printf.printf "ok   %-48s %5.1fx\n" name s
+      | Some s ->
+          Printf.printf "FAIL %-48s %5.2fx < 1.0\n" name s;
+          incr bad
+      | None ->
+          Printf.printf "FAIL %-48s missing speedup\n" name;
+          incr bad)
+    pairs;
+  (List.length pairs, !bad)
+
+(* --check-sim-json PATH: regression guard over a committed trajectory
+   file — fail the build when any recorded before/after pair has
+   regressed below break-even, or any open-system overhead ratio exceeds
+   {!max_open_overhead}.  When the file carries large-instance scale
+   points, their simulate cost must stay under the per-task ceiling. *)
+let check_sim_json path =
+  let doc = load_json path in
+  let n_pairs, pair_bad = check_pairs ~path doc in
+  let bad = ref pair_bad in
+  (* Tolerate files recorded before the overheads section existed. *)
+  let overheads =
+    match Obs.Json.member "overheads" doc with
+    | Some (Obs.Json.Arr entries) -> entries
+    | _ -> []
+  in
+  List.iter
+    (fun entry ->
+      let name =
+        match str_member "name" entry with Some s -> s | None -> "<unnamed>"
+      in
+      match num_member "ratio" entry with
+      | Some r when r <= max_open_overhead ->
+          Printf.printf "ok   %-48s %5.2fx overhead\n" name r
+      | Some r ->
+          Printf.printf "FAIL %-48s %5.2fx overhead > %.1fx\n" name r
+            max_open_overhead;
+          incr bad
+      | None ->
+          Printf.printf "FAIL %-48s missing overhead ratio\n" name;
+          incr bad)
+    overheads;
+  bad := !bad + check_scale ~required:false ~path doc;
+  if !bad > 0 then begin
+    Printf.eprintf "%s: %d entry(ies) out of bounds\n" path !bad;
+    exit 1
+  end;
+  Printf.printf
+    "%s: %d pair(s) at or above break-even, %d overhead(s) within %.1fx\n" path
+    n_pairs (List.length overheads) max_open_overhead
+
+(* --check-sched-json PATH: regression guard over the committed scheduler
+   trajectory — break-even pairs as above, plus the million-task
+   acceptance points: the file must carry v=10⁶, m=10³ scale entries for
+   both LTF and C-LTF with per-task costs under the ceilings. *)
+let check_sched_json path =
+  let doc = load_json path in
+  let n_pairs, pair_bad = check_pairs ~path doc in
+  let bad = ref pair_bad in
+  bad := !bad + check_scale ~required:true ~path doc;
+  if !bad > 0 then begin
+    Printf.eprintf "%s: %d entry(ies) out of bounds\n" path !bad;
+    exit 1
+  end;
+  Printf.printf "%s: %d pair(s) at or above break-even, scale points ok\n" path
+    n_pairs
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--sched-json" :: path :: _ -> sched_json path
   | _ :: "--sim-json" :: path :: _ -> sim_json path
   | _ :: "--check-sim-json" :: path :: _ -> check_sim_json path
+  | _ :: "--check-sched-json" :: path :: _ -> check_sched_json path
   | _ ->
       print_endline "Benchmarks (Bechamel, monotonic clock, OLS ns/run)";
       print_endline "===================================================";

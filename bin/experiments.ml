@@ -28,7 +28,7 @@ let report_metrics ~metrics ~metrics_text ~check_metrics =
           problems;
         1
 
-let run_experiments names fig quick seed jobs out_dir exact metrics
+let run_experiments names fig workload quick seed jobs out_dir exact metrics
     metrics_text check_metrics check_exact =
   let names = match fig with Some f -> [ f ] | None -> names in
   let targets =
@@ -57,7 +57,7 @@ let run_experiments names fig quick seed jobs out_dir exact metrics
       List.iter
         (fun (e : Runner.experiment) ->
           Printf.printf "=== %s: %s ===\n%!" e.Runner.name e.Runner.description;
-          e.Runner.run ~quick ~seed ~jobs ~exact ~out_dir;
+          e.Runner.run ~workload ~quick ~seed ~jobs ~exact ~out_dir;
           print_newline ())
         targets;
       let metrics_status =
@@ -123,6 +123,16 @@ let fig_arg =
   Arg.(
     value & opt (some string) None & info [ "fig" ] ~docv:"EXPERIMENT" ~doc)
 
+let workload_arg =
+  let doc =
+    "Run the sweep experiments on a named workload spec instead of their \
+     default, e.g. $(b,paper-fan-in-out) or $(b,huge:v=5000:m=50) \
+     (':'-separated overrides; $(b,v) pins the task count, $(b,m) the \
+     processor count).  Experiments with a fixed workload ignore it."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "workload" ] ~docv:"SPEC" ~doc)
+
 let exact_arg =
   let doc =
     "Compute crash columns with the exact availability calculus instead \
@@ -175,8 +185,8 @@ let cmd =
   let info = Cmd.info "experiments" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
-      const run_experiments $ names_arg $ fig_arg $ quick_arg $ seed_arg
-      $ jobs_arg $ out_arg $ exact_arg $ metrics_arg $ metrics_text_arg
-      $ check_metrics_arg $ check_exact_arg)
+      const run_experiments $ names_arg $ fig_arg $ workload_arg $ quick_arg
+      $ seed_arg $ jobs_arg $ out_arg $ exact_arg $ metrics_arg
+      $ metrics_text_arg $ check_metrics_arg $ check_exact_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,30 +23,42 @@ let build_graph name tasks seed =
       Random_dag.layered ~rng ~tasks ()
   | other -> failwith (Printf.sprintf "unknown graph family %S" other)
 
-let main graph_name algo tasks m eps period seed crash workflow_file
-    platform_file svg_out trace_out save_mapping load_mapping =
+let main graph_name algo tasks m eps period seed crash spec_string
+    workflow_file platform_file svg_out trace_out save_mapping load_mapping =
   try
+    let spec_instance =
+      match spec_string with
+      | None -> None
+      | Some str -> (
+          match Workflow_io.instance_of_spec ~seed str with
+          | Ok inst -> Some inst
+          | Error e -> failwith (str ^ ": " ^ Workflow_io.error_to_string e))
+    in
     let dag =
-      match workflow_file with
-      | Some path -> (
+      match (spec_instance, workflow_file) with
+      | Some inst, _ -> inst.Paper_workload.dag
+      | None, Some path -> (
           match Workflow_io.load_workflow path with
           | Ok dag -> dag
           | Error e -> failwith (path ^ ": " ^ Workflow_io.error_to_string e))
-      | None -> build_graph graph_name tasks seed
+      | None, None -> build_graph graph_name tasks seed
     in
     let plat =
-      match platform_file with
-      | Some path -> (
+      match (spec_instance, platform_file) with
+      | Some inst, _ -> inst.Paper_workload.plat
+      | None, Some path -> (
           match Workflow_io.load_platform path with
           | Ok p -> p
           | Error e -> failwith (path ^ ": " ^ Workflow_io.error_to_string e))
-      | None ->
+      | None, None ->
           if graph_name = "fig1" && workflow_file = None then
             Classic.fig1_platform
           else Classic.fig2_platform ~m
     in
     let dag =
-      if (graph_name = "fig1" || graph_name = "fig2") && workflow_file = None
+      if
+        spec_instance <> None
+        || ((graph_name = "fig1" || graph_name = "fig2") && workflow_file = None)
       then dag
       else Calibrate.normalize_time dag plat
     in
@@ -140,6 +152,16 @@ let seed_arg =
 let crash_arg =
   Arg.(value & opt int 0 & info [ "crash" ] ~docv:"C" ~doc:"Fail the first C processors in the replay.")
 
+let spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spec" ] ~docv:"SPEC"
+        ~doc:
+          "Generate the workflow and platform from a workload spec string \
+           (e.g. paper-layered, huge-small:v=500:m=10); overrides GRAPH, \
+           --file and --platform-file.")
+
 let workflow_file_arg =
   Arg.(
     value
@@ -188,7 +210,7 @@ let cmd =
   Cmd.v (Cmd.info "schedviz" ~doc)
     Term.(
       const main $ graph_arg $ algo_arg $ tasks_arg $ m_arg $ eps_arg
-      $ period_arg $ seed_arg $ crash_arg $ workflow_file_arg
+      $ period_arg $ seed_arg $ crash_arg $ spec_arg $ workflow_file_arg
       $ platform_file_arg $ svg_arg $ trace_arg $ save_mapping_arg
       $ load_mapping_arg)
 

@@ -24,6 +24,10 @@ let all : (module Sched_api.Algo) list =
         Wmsh.mapping p.Types.dag p.Types.platform ~throughput:p.Types.throughput);
     wrap "Hoang-Rabaey [5]" (fun p ->
         Hoang.mapping ~iterations:20 p.Types.dag p.Types.platform);
+    (* Hierarchical cluster-then-place variants of the core pair; unlike
+       the §3 heuristics above they honor the options record. *)
+    Clustered.ltf;
+    Clustered.rltf;
   ]
 
 let find name =

@@ -1,0 +1,131 @@
+(* Hierarchical (cluster-then-place) variants of LTF and R-LTF.
+
+   A million-task DAG on a thousand-processor platform makes the direct
+   schedulers pay v · m placement probes.  The clustered variants first
+   contract communication-heavy chain edges (see {!Clustering.affinity};
+   every cluster is a linear path segment, so the quotient stays acyclic),
+   schedule the much smaller cluster DAG with the ordinary LTF/R-LTF
+   machinery, and then expand the cluster schedule back to task level.
+
+   The expansion mirrors the quotient schedule exactly:
+   - copy [k] of every member task runs on the processor of copy [k] of
+     its cluster (so sibling replicas inherit the quotient's
+     distinct-processor discipline),
+   - a within-cluster predecessor feeds copy [k] from its own copy [k]
+     (co-located, communication-free),
+   - a cross-cluster predecessor feeds copy [k] through the same replica
+     copies the quotient schedule chose for the cluster edge.
+
+   Fault tolerance carries over: the task-level kill set of copy [k] is
+   (contained in) the quotient kill set of its cluster's copy [k], and the
+   quotient scheduler keeps those pairwise disjoint per cluster, hence per
+   task.  Per-processor loads also carry over — cluster execution weights
+   are member sums and cluster edge volumes are cross-edge sums, so
+   condition (1) on the quotient is condition (1) on the expansion (up to
+   float association). *)
+
+let cluster_cap (prob : Types.problem) =
+  if prob.Types.throughput <= 0.0 then infinity
+  else begin
+    let plat = prob.Types.platform in
+    let min_speed =
+      List.fold_left
+        (fun acc p -> Float.min acc (Platform.speed plat p))
+        infinity
+        (Platform.procs plat)
+    in
+    (* No cluster may exceed a full period on the slowest processor, or
+       the quotient problem is infeasible by construction. *)
+    Types.period prob *. min_speed
+  end
+
+(* Chain order of a path-segment cluster: start from the member with no
+   predecessor inside the cluster and follow the unique within-cluster
+   successor. *)
+let chain_order dag cluster_of members_of_c c =
+  let inside t = cluster_of.(t) = c in
+  let head =
+    List.filter
+      (fun t -> not (List.exists (fun (p, _) -> inside p) (Dag.preds dag t)))
+      members_of_c
+  in
+  match (head, members_of_c) with
+  | [ h ], _ :: _ :: _ ->
+      let rec follow t acc =
+        match List.find_opt (fun (s, _) -> inside s) (Dag.succs dag t) with
+        | Some (s, _) -> follow s (s :: acc)
+        | None -> List.rev acc
+      in
+      follow h [ h ]
+  | _ -> members_of_c (* singleton, or not a path segment: id order *)
+
+let expand (prob : Types.problem) ~cluster_of ~groups (qmapping : Mapping.t) =
+  let dag = prob.Types.dag in
+  let qdag = Mapping.dag qmapping in
+  let copies = Mapping.n_copies qmapping in
+  let mapping =
+    Mapping.create ~dag ~platform:prob.Types.platform ~eps:prob.Types.eps
+  in
+  let order = Topo.order qdag in
+  Array.iter
+    (fun c ->
+      let chain = chain_order dag cluster_of groups.(c) c in
+      List.iter
+        (fun t ->
+          for k = 0 to copies - 1 do
+            let qr = Mapping.replica_exn qmapping c k in
+            let sources =
+              List.map
+                (fun (p, _) ->
+                  if cluster_of.(p) = c then
+                    (p, [ { Replica.task = p; copy = k } ])
+                  else
+                    ( p,
+                      List.map
+                        (fun (src : Replica.id) ->
+                          { Replica.task = p; copy = src.copy })
+                        (Replica.sources_for qr cluster_of.(p)) ))
+                (Dag.preds dag t)
+            in
+            Mapping.assign mapping
+              {
+                Replica.id = { Replica.task = t; copy = k };
+                proc = qr.Replica.proc;
+                sources;
+              }
+          done)
+        chain)
+    order;
+  mapping
+
+let quotient_problem (prob : Types.problem) qdag =
+  Types.problem ~dag:qdag ~platform:prob.Types.platform ~eps:prob.Types.eps
+    ~throughput:prob.Types.throughput
+
+let schedule ~base ?opts (prob : Types.problem) : Types.outcome =
+  Obs.with_span "baseline.clustered.run" (fun () ->
+      let clustering =
+        Clustering.affinity ~max_load:(cluster_cap prob) prob.Types.dag
+      in
+      let qdag, cluster_of, groups = Clustering.quotient clustering in
+      let qprob = quotient_problem prob qdag in
+      match base ?opts qprob with
+      | Error (Types.No_feasible_processor (c, copy))
+        when c >= 0 && c < Array.length groups ->
+          (* Report the failure at a representative member task. *)
+          Error (Types.No_feasible_processor (List.hd groups.(c), copy))
+      | Error e -> Error e
+      | Ok qmapping -> Ok (expand prob ~cluster_of ~groups qmapping))
+
+module Ltf_algo = struct
+  let name = "C-LTF"
+  let run ?opts prob = schedule ~base:Ltf.schedule ?opts prob
+end
+
+module Rltf_algo = struct
+  let name = "C-R-LTF"
+  let run ?opts prob = schedule ~base:Rltf.schedule ?opts prob
+end
+
+let ltf : (module Sched_api.Algo) = (module Ltf_algo)
+let rltf : (module Sched_api.Algo) = (module Rltf_algo)

@@ -67,6 +67,74 @@ let cut_volume t =
   Dag.fold_edges t.dag ~init:0.0 ~f:(fun acc src dst vol ->
       if same t src dst then acc else acc +. vol)
 
+(* Safe merges for hierarchical placement: an edge [u -> v] with
+   [out_degree u = 1] and [in_degree v = 1] admits no alternate path
+   between its endpoints, so contracting it (and, inductively, any set of
+   such contractions — every cluster stays a path segment whose interior
+   nodes have in/out degree 1) keeps the quotient graph acyclic.  This is
+   the linear-chain clustering the Hary–Özgüner baseline hints at, made a
+   reusable primitive. *)
+let chain_edge dag src dst =
+  Dag.out_degree dag src = 1 && Dag.in_degree dag dst = 1
+
+let chains ?(max_load = infinity) dag =
+  let t = create dag in
+  let csr = Dag.csr_succs dag in
+  for src = 0 to Dag.size dag - 1 do
+    if csr.Dag.row_ptr.(src + 1) - csr.Dag.row_ptr.(src) = 1 then begin
+      let dst = csr.Dag.cols.(csr.Dag.row_ptr.(src)) in
+      if Dag.in_degree dag dst = 1 then ignore (merge_if t ~max_load src dst)
+    end
+  done;
+  t
+
+let affinity ?(max_load = infinity) dag =
+  let t = create dag in
+  let edges =
+    Dag.fold_edges dag ~init:[] ~f:(fun acc src dst vol ->
+        if chain_edge dag src dst then (src, dst, vol) :: acc else acc)
+    |> List.sort (fun (sa, da, va) (sb, db, vb) ->
+           match compare vb va with
+           | 0 -> compare (sa, da) (sb, db)
+           | c -> c)
+  in
+  List.iter (fun (src, dst, _) -> ignore (merge_if t ~max_load src dst)) edges;
+  t
+
+(* The cluster DAG: one node per cluster (dense ids in [members] order),
+   execution weight the summed member weights, and one edge per pair of
+   clusters joined by at least one task edge, carrying the summed volume.
+   Merges restricted to [chain_edge] contractions guarantee acyclicity, so
+   [Dag.Builder.build]'s cycle check never fires for quotients built from
+   {!chains} or {!affinity}. *)
+let quotient t =
+  let groups = members t in
+  let k = Array.length groups in
+  let cluster_of = Array.make (Dag.size t.dag) 0 in
+  Array.iteri
+    (fun i tasks -> List.iter (fun task -> cluster_of.(task) <- i) tasks)
+    groups;
+  let b = Dag.Builder.create ~name:(Dag.name t.dag ^ "-quotient") k in
+  Array.iteri
+    (fun i tasks ->
+      Dag.Builder.set_exec b i
+        (List.fold_left (fun acc task -> acc +. Dag.exec t.dag task) 0.0 tasks);
+      Dag.Builder.set_label b i (Printf.sprintf "c%d" i))
+    groups;
+  let vols = Hashtbl.create (max 16 k) in
+  Dag.iter_edges t.dag (fun src dst vol ->
+      let cs = cluster_of.(src) and cd = cluster_of.(dst) in
+      if cs <> cd then begin
+        let key = (cs, cd) in
+        let prev = try Hashtbl.find vols key with Not_found -> 0.0 in
+        Hashtbl.replace vols key (prev +. vol)
+      end);
+  (* Insert in a deterministic order (hash tables iterate arbitrarily). *)
+  Hashtbl.fold (fun key vol acc -> (key, vol) :: acc) vols []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun ((cs, cd), vol) -> Dag.Builder.add_edge b ~volume:vol cs cd);
+  (Dag.Builder.build b, cluster_of, groups)
+
 let to_assignment t plat =
   let groups = members t in
   let group_load =

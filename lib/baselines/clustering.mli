@@ -34,6 +34,29 @@ val members : t -> Dag.task list array
 val cut_volume : t -> float
 (** Total volume of edges whose endpoints lie in different clusters. *)
 
+(** {1 Hierarchical placement primitives}
+
+    Cycle-safe clusterings for the cluster-then-place schedulers: only
+    edges [u -> v] with [out_degree u = 1] and [in_degree v = 1] are ever
+    contracted, so every cluster is a linear path segment and the quotient
+    graph is guaranteed acyclic. *)
+
+val chains : ?max_load:float -> Dag.t -> t
+(** Contract every chain edge in task order, capping each cluster's
+    execution weight at [max_load] (default unbounded). *)
+
+val affinity : ?max_load:float -> Dag.t -> t
+(** Contract chain edges in decreasing volume order (heaviest
+    communication first), capping cluster weight at [max_load]. *)
+
+val quotient : t -> Dag.t * int array * Dag.task list array
+(** [quotient t] is [(cluster_dag, cluster_of, members)]: the cluster DAG
+    with summed execution weights and summed inter-cluster volumes, the
+    task -> cluster-id map, and the member lists (cluster ids match
+    {!members} order).  Only valid for clusterings built from {!chains} /
+    {!affinity} (arbitrary merges may make the quotient cyclic, which
+    [Dag.Builder.build] rejects). *)
+
 val to_assignment :
   t -> Platform.t -> Assignment.t
 (** Map clusters to processors: clusters in decreasing load order, each

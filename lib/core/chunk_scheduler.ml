@@ -1,9 +1,29 @@
-type rank = State.t -> State.trial -> float * float
+(* A ranking is a score plus a cheap lower bound on that score.  The bound
+   receives, for the (task, copy) being placed, the earliest instant any
+   admissible source set can deliver data ([finish_lb] already includes the
+   candidate's execution time) and a floor on the pipeline stage; both are
+   valid for every source-set variant the placement branch may try, so a
+   candidate processor whose bound already loses to the incumbent can skip
+   the full timeline probe.  Soundness: each component of [bound] is ≤ the
+   corresponding component of [score] of any trial on that processor, so
+   [bound >lex incumbent] implies [score >lex incumbent]. *)
+type rank = {
+  score : State.t -> State.trial -> float * float;
+  bound : stage_lb:int -> finish_lb:float -> float * float;
+}
 
-let by_finish_time : rank = fun _ trial -> (trial.State.t_finish, 0.0)
+let by_finish_time : rank =
+  {
+    score = (fun _ trial -> (trial.State.t_finish, 0.0));
+    bound = (fun ~stage_lb:_ ~finish_lb -> (finish_lb, 0.0));
+  }
 
 let by_stage_then_finish : rank =
- fun _ trial -> (float_of_int trial.State.t_stage, trial.State.t_finish)
+  {
+    score =
+      (fun _ trial -> (float_of_int trial.State.t_stage, trial.State.t_finish));
+    bound = (fun ~stage_lb ~finish_lb -> (float_of_int stage_lb, finish_lb));
+  }
 
 (* Per-chunk-task working data.  [ct_claimed] is the union of the kill
    sets of the already-placed replicas of the task: the locking discipline
@@ -28,13 +48,14 @@ let record_placement state ct (trial : State.trial) =
       (State.support_of_sources state ~proc:trial.State.t_proc
          ~sources:trial.State.t_sources)
 
-let singleton_data state task =
+(* [count] is a caller-owned scratch array of length n_procs, zeroed on
+   entry and re-zeroed before returning: at a million tasks the per-task
+   O(m) allocation (and clearing) would dominate the whole chunk phase. *)
+let singleton_data state count task =
   let prob = State.problem state in
   let dag = prob.Types.dag in
   let mapping = State.mapping state in
   let preds = List.map fst (Dag.preds dag task) in
-  let n_procs = Platform.size prob.Types.platform in
-  let count = Array.make n_procs 0 in
   List.iter
     (fun pred ->
       List.iter
@@ -67,26 +88,86 @@ let singleton_data state task =
           (fun acc (_, ids) -> min acc (List.length !ids))
           max_int heads
   in
+  List.iter
+    (fun pred ->
+      List.iter
+        (fun (r : Replica.t) -> count.(r.proc) <- 0)
+        (Mapping.replicas_of_task mapping pred))
+    preds;
   { ct_task = task; ct_z = 0; ct_theta = theta; ct_claimed = State.Pset.empty;
     ct_heads = heads }
 
-let pick_best ~(mode : Sched_api.mode) ~rank state scored =
-  let score trial =
-    let penalty = match mode with Strict -> 0.0 | Best_effort -> State.overload state trial in
-    (penalty, rank state trial)
+(* Incremental form of the historical pick-best fold: [offer] feeds
+   admitted trials in their generation order (ascending processor, then
+   variant order), keeping the winner under (penalty, rank) with ties
+   broken by processor index — the same winner the materialize-then-fold
+   version selected. *)
+let offer ~(mode : Sched_api.mode) ~rank state best trial =
+  let penalty =
+    match mode with Strict -> 0.0 | Best_effort -> State.overload state trial
   in
-  List.fold_left
-    (fun acc trial ->
-      match acc with
-      | Some (best_key, best) ->
-          let key = score trial in
-          if key < best_key
-             || (key = best_key && trial.State.t_proc < best.State.t_proc)
-          then Some (key, trial)
-          else acc
-      | None -> Some (score trial, trial))
-    None scored
-  |> Option.map snd
+  let key = (penalty, rank.score state trial) in
+  match !best with
+  | Some (best_key, best_trial) ->
+      if
+        key < best_key
+        || (key = best_key && trial.State.t_proc < best_trial.State.t_proc)
+      then best := Some (key, trial)
+  | None -> best := Some (key, trial)
+
+(* A candidate processor can be skipped without probing when the incumbent
+   carries no overload penalty (so any candidate's penalty, ≥ 0, cannot
+   beat it) and the rank lower bound already loses: the bound is
+   component-wise ≤ the true score of every trial on that processor, so
+   bound >lex incumbent implies score >lex incumbent, and the strict
+   inequality also rules out the processor-index tie-break. *)
+let prune ~rank best ~stage_lb ~finish_lb =
+  match !best with
+  | Some ((penalty, best_rank), _) ->
+      penalty = 0.0 && rank.bound ~stage_lb ~finish_lb > best_rank
+  | None -> false
+
+(* The per-candidate floors feeding {!prune}.  [preds] holds, for each
+   predecessor, the transfer volume and the admissible source replicas as
+   (finish, stage, host) triples: every source set the placement branches
+   may try draws at least one of them per predecessor, so data readiness
+   is floored by the per-predecessor minimum arrival (finish plus the
+   transfer time, zero when co-located) and the stage by the minimum
+   stage (+1 when remote).  Adding the candidate's execution time floors
+   the finish. *)
+let candidate_bound plat ~preds ~work proc =
+  let fin = ref 0.0 and stg = ref 1 in
+  List.iter
+    (fun (vol, reps) ->
+      let f = ref infinity and s = ref max_int in
+      List.iter
+        (fun (rf, rs, rp) ->
+          if rp = proc then begin
+            if rf < !f then f := rf;
+            if rs < !s then s := rs
+          end
+          else begin
+            let arr = rf +. Platform.comm_time plat rp proc vol in
+            if arr < !f then f := arr;
+            if rs + 1 < !s then s := rs + 1
+          end)
+        reps;
+      if reps <> [] then begin
+        if !f > !fin then fin := !f;
+        if !s > !stg then stg := !s
+      end)
+    preds;
+  (!stg, !fin +. Platform.exec_time plat proc work)
+
+(* Hosts of the admissible sources, probed ahead of the main sweep: a
+   co-located placement pays no transfer, so it usually sets a strong
+   zero-penalty incumbent that lets the bound discard most of the
+   remaining sweep.  The selected trial is order-independent — the winner
+   is the minimum under ((penalty, rank), processor index), which no
+   traversal permutation changes. *)
+let source_hosts preds =
+  List.sort_uniq compare
+    (List.concat_map (fun (_, reps) -> List.map (fun (_, _, p) -> p) reps) preds)
 
 (* Condition-(1) admission shared by both placement branches: in strict
    mode an infeasible trial is rejected, in best-effort mode it survives
@@ -123,7 +204,7 @@ let lane_budget ~(opts : Sched_api.options) prob =
    kill set stays disjoint from the processors already claimed by sibling
    replicas and small enough to fit the lane budget; stale heads are
    dropped lazily. *)
-let one_to_one ~(opts : Sched_api.options) ~rank state ct ~copy =
+let one_to_one ~(opts : Sched_api.options) ~rank ~procs state ct ~copy =
   Obs.incr "core.one_to_one_calls";
   let mode = opts.mode in
   let prob = State.problem state in
@@ -138,23 +219,47 @@ let one_to_one ~(opts : Sched_api.options) ~rank state ct ~copy =
     let sources =
       List.map (fun (pred, ids) -> (pred, [ List.hd !ids ])) ct.ct_heads
     in
-    let trials =
-      List.filter_map
-        (fun proc ->
-          if State.Pset.mem proc ct.ct_claimed then None
-          else begin
-            let kill = State.support_of_sources state ~proc ~sources in
-            if State.Pset.cardinal kill > budget then None
-            else begin
-              let trial =
-                State.evaluate state ~task:ct.ct_task ~copy ~proc ~sources
-              in
-              admit ~mode state trial
-            end
-          end)
-        (Platform.procs prob.Types.platform)
+    let plat = prob.Types.platform and dag = prob.Types.dag in
+    let work = Dag.exec dag ct.ct_task in
+    (* The bound data for this fixed source set: exactly one admissible
+       replica per predecessor. *)
+    let preds =
+      List.map
+        (fun (pred, ids) ->
+          let src = List.hd ids in
+          ( Dag.volume dag pred ct.ct_task,
+            [
+              ( State.finish state src,
+                State.stage state src,
+                (Mapping.replica_exn (State.mapping state) src.Replica.task
+                   src.Replica.copy)
+                  .Replica.proc );
+            ] ))
+        sources
     in
-    match pick_best ~mode ~rank state trials with
+    let best = ref None in
+    let consider proc =
+      if not (State.Pset.mem proc ct.ct_claimed) then begin
+        let stage_lb, finish_lb = candidate_bound plat ~preds ~work proc in
+        if prune ~rank best ~stage_lb ~finish_lb then
+          Obs.incr "core.probe_prunes"
+        else begin
+          let kill = State.support_of_sources state ~proc ~sources in
+          if State.Pset.cardinal kill <= budget then begin
+            let trial =
+              State.evaluate state ~task:ct.ct_task ~copy ~proc ~sources
+            in
+            match admit ~mode state trial with
+            | Some trial -> offer ~mode ~rank state best trial
+            | None -> ()
+          end
+        end
+      end
+    in
+    let hosts = source_hosts preds in
+    List.iter consider hosts;
+    List.iter (fun p -> if not (List.mem p hosts) then consider p) procs;
+    match Option.map snd !best with
     | None -> None
     | Some trial ->
         State.commit state trial;
@@ -174,7 +279,7 @@ let one_to_one ~(opts : Sched_api.options) ~rank state ct ~copy =
    full groups keep them free.  A kill chain through the candidate
    processor itself is harmless (the replica dies with its host anyway)
    and is exempt from the disjointness requirement. *)
-let general ~(opts : Sched_api.options) ~rank state ct ~copy =
+let general ~(opts : Sched_api.options) ~rank ~procs state ct ~copy =
   Obs.incr "core.general_calls";
   let mode = opts.mode in
   let prob = State.problem state in
@@ -259,30 +364,48 @@ let general ~(opts : Sched_api.options) ~rank state ct ~copy =
     | Both_variants ->
         if greedy = conservative then [ greedy ] else [ greedy; conservative ]
   in
-  let trials =
-    List.concat_map
-      (fun proc ->
-        if State.Pset.mem proc ct.ct_claimed then []
-        else
-          List.filter_map
-            (fun sources ->
-              let kill_set = State.support_of_sources state ~proc ~sources in
-              if
-                not
-                  (State.Pset.disjoint
-                     (State.Pset.remove proc kill_set)
-                     ct.ct_claimed)
-              then None
-              else begin
-                let trial =
-                  State.evaluate state ~task:ct.ct_task ~copy ~proc ~sources
-                in
-                admit ~mode state trial
-              end)
-            (variants_on proc))
-      (Platform.procs prob.Types.platform)
+  (* Bound data valid for every source-set variant: each predecessor must
+     deliver from at least one of its replicas. *)
+  let preds =
+    List.map
+      (fun (_, vol, replicas) ->
+        ( vol,
+          List.map
+            (fun (r : Replica.t) ->
+              (State.finish state r.id, State.stage state r.id, r.proc))
+            replicas ))
+      pred_replicas
   in
-  match pick_best ~mode ~rank state trials with
+  let work = Dag.exec prob.Types.dag ct.ct_task in
+  let best = ref None in
+  let consider proc =
+    if not (State.Pset.mem proc ct.ct_claimed) then begin
+      let stage_lb, finish_lb = candidate_bound plat ~preds ~work proc in
+      if prune ~rank best ~stage_lb ~finish_lb then
+        Obs.incr "core.probe_prunes"
+      else
+        List.iter
+          (fun sources ->
+            let kill_set = State.support_of_sources state ~proc ~sources in
+            if
+              State.Pset.disjoint
+                (State.Pset.remove proc kill_set)
+                ct.ct_claimed
+            then begin
+              let trial =
+                State.evaluate state ~task:ct.ct_task ~copy ~proc ~sources
+              in
+              match admit ~mode state trial with
+              | Some trial -> offer ~mode ~rank state best trial
+              | None -> ()
+            end)
+          (variants_on proc)
+    end
+  in
+  let hosts = source_hosts preds in
+  List.iter consider hosts;
+  List.iter (fun p -> if not (List.mem p hosts) then consider p) procs;
+  match Option.map snd !best with
   | None ->
       if Sys.getenv_opt "STREAMSCHED_DEBUG" <> None then begin
         Printf.eprintf "general: no proc for t%d(%d); claimed={%s}\n"
@@ -298,7 +421,7 @@ let general ~(opts : Sched_api.options) ~rank state ct ~copy =
               (State.Pset.mem proc ct.ct_claimed)
               (State.sigma state proc) (State.c_in state proc)
               (State.c_out state proc) delta)
-          (Platform.procs prob.Types.platform)
+          procs
       end;
       None
   | Some trial ->
@@ -308,6 +431,7 @@ let general ~(opts : Sched_api.options) ~rank state ct ~copy =
 
 let schedule ?(opts = Sched_api.default) ~rank (prob : Types.problem) =
   Obs.touch "core.placement_probes";
+  Obs.touch "core.probe_prunes";
   Obs.touch "core.feasibility_rejections";
   Obs.touch "core.one_to_one_calls";
   Obs.touch "core.general_calls";
@@ -322,6 +446,8 @@ let schedule ?(opts = Sched_api.default) ~rank (prob : Types.problem) =
     }
   in
   let priority = Levels.priority dag weights in
+  let procs = Platform.procs plat in
+  let count_scratch = Array.make (Platform.size plat) 0 in
   let higher a b =
     if priority.(a) <> priority.(b) then compare priority.(b) priority.(a)
     else compare a b
@@ -348,7 +474,9 @@ let schedule ?(opts = Sched_api.default) ~rank (prob : Types.problem) =
             take (k - 1) (t :: acc)
           end
         in
-        let beta = take chunk_bound [] |> List.map (singleton_data state) in
+        let beta =
+          take chunk_bound [] |> List.map (singleton_data state count_scratch)
+        in
         Obs.incr "core.chunks";
         Obs.observe "core.chunk_size" (float_of_int (List.length beta));
         (* Copy-major placement, as in Algorithm 4.1. *)
@@ -359,14 +487,17 @@ let schedule ?(opts = Sched_api.default) ~rank (prob : Types.problem) =
                 if !failure = None then begin
                   let placed =
                     if opts.use_one_to_one && ct.ct_z < ct.ct_theta then begin
-                      match one_to_one ~opts ~rank state ct ~copy:n with
+                      match one_to_one ~opts ~rank ~procs state ct ~copy:n with
                       | Some _ ->
                           ct.ct_z <- ct.ct_z + 1;
                           true
                       | None ->
-                          Option.is_some (general ~opts ~rank state ct ~copy:n)
+                          Option.is_some
+                            (general ~opts ~rank ~procs state ct ~copy:n)
                     end
-                    else Option.is_some (general ~opts ~rank state ct ~copy:n)
+                    else
+                      Option.is_some
+                        (general ~opts ~rank ~procs state ct ~copy:n)
                   in
                   if not placed then
                     failure := Some (Types.No_feasible_processor (ct.ct_task, n))

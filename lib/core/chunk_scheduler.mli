@@ -39,15 +39,26 @@
     instrumentation is purely observational: results are bit-identical
     whether it is on or off. *)
 
-type rank = State.t -> State.trial -> float * float
-(** Smaller is better, compared lexicographically; ties broken by processor
-    index. *)
+type rank = {
+  score : State.t -> State.trial -> float * float;
+      (** Smaller is better, compared lexicographically; ties broken by
+          processor index. *)
+  bound : stage_lb:int -> finish_lb:float -> float * float;
+      (** A component-wise lower bound on [score] for any trial of the
+          (task, copy) being placed on a candidate processor, given a floor
+          on its pipeline stage and on its finish time (earliest source
+          data readiness plus the candidate's execution time).  Candidates
+          whose bound already loses lexicographically to a zero-overload
+          incumbent are skipped without probing the timelines — the
+          selected trial is identical, only the probe count changes. *)
+}
 
 val by_finish_time : rank
-(** LTF's policy: [(F, 0)]. *)
+(** LTF's policy: score [(F, 0)], bound [(finish_lb, 0)]. *)
 
 val by_stage_then_finish : rank
-(** R-LTF's Rule 1 policy: [(stage, F)]. *)
+(** R-LTF's Rule 1 policy: score [(stage, F)], bound
+    [(stage_lb, finish_lb)]. *)
 
 val schedule :
   ?opts:Sched_api.options ->

@@ -1,47 +1,59 @@
 module Pset = Bitset
 
+(* Per-replica attributes live in flat arrays indexed [task * (eps+1) +
+   copy] so a million-task schedule is a handful of contiguous slabs
+   rather than a forest of per-task records. *)
 type t = {
   prob : Types.problem;
   mapping : Mapping.t;
   delta : float;
+  copies : int;
   loads : Loads.t;
   proc_tl : Timeline.t array;
   send_tl : Timeline.t array;
   recv_tl : Timeline.t array;
-  finish_arr : float array array; (* [task].(copy); nan = unplaced *)
-  stage_arr : int array array;    (* [task].(copy); 0 = unplaced *)
-  support_arr : Pset.t array array; (* [task].(copy); kill sets *)
+  finish_arr : float array; (* [task * copies + copy]; nan = unplaced *)
+  stage_arr : int array;    (* [task * copies + copy]; 0 = unplaced *)
+  support_arr : Pset.t array; (* [task * copies + copy]; kill sets *)
+  scratch_out : (int, float) Hashtbl.t;
+      (* reusable per-source-proc accumulator for trial loads; reset (not
+         recreated) so the fold order matches a fresh 8-slot table and the
+         best-effort overload sums stay bit-identical *)
 }
 
 let create (prob : Types.problem) =
   let n_procs = Platform.size prob.platform in
   let copies = prob.eps + 1 in
+  let slots = Dag.size prob.dag * copies in
   {
     prob;
     mapping = Mapping.create ~dag:prob.dag ~platform:prob.platform ~eps:prob.eps;
     delta = Types.period prob;
+    copies;
     loads = Loads.create ~n_procs;
     proc_tl = Array.make n_procs Timeline.empty;
     send_tl = Array.make n_procs Timeline.empty;
     recv_tl = Array.make n_procs Timeline.empty;
-    finish_arr = Array.init (Dag.size prob.dag) (fun _ -> Array.make copies nan);
-    stage_arr = Array.init (Dag.size prob.dag) (fun _ -> Array.make copies 0);
-    support_arr =
-      Array.init (Dag.size prob.dag) (fun _ -> Array.make copies Pset.empty);
+    finish_arr = Array.make slots nan;
+    stage_arr = Array.make slots 0;
+    support_arr = Array.make slots Pset.empty;
+    scratch_out = Hashtbl.create 8;
   }
 
 let problem s = s.prob
 let mapping s = s.mapping
 
+let slot s (id : Replica.id) = (id.task * s.copies) + id.copy
+
 let finish s (id : Replica.id) =
-  let f = s.finish_arr.(id.task).(id.copy) in
+  let f = s.finish_arr.(slot s id) in
   if Float.is_nan f then
     invalid_arg
       (Printf.sprintf "State.finish: %s not placed" (Replica.id_to_string id));
   f
 
 let stage s (id : Replica.id) =
-  let st = s.stage_arr.(id.task).(id.copy) in
+  let st = s.stage_arr.(slot s id) in
   if st = 0 then
     invalid_arg
       (Printf.sprintf "State.stage: %s not placed" (Replica.id_to_string id));
@@ -52,7 +64,7 @@ let sigma s u = s.loads.Loads.sigma.(u)
 let c_in s u = s.loads.Loads.c_in.(u)
 let c_out s u = s.loads.Loads.c_out.(u)
 
-let support s (id : Replica.id) = s.support_arr.(id.task).(id.copy)
+let support s (id : Replica.id) = s.support_arr.(slot s id)
 
 (* The kill set of a replica given its placement and sources: the
    processors whose individual failure makes it unable to run.  A
@@ -128,11 +140,13 @@ let evaluate s ~task ~copy ~proc ~sources =
            | c -> c)
   in
   (* Place transfers sequentially on a private copy of the receive port and
-     the (shared, persistent) send ports of their sources. *)
+     the (shared, persistent) send ports of their sources.  The handful of
+     distinct source processors rides in an assoc list: probes run a
+     billion times at scale and must not allocate hash tables. *)
   let recv = ref s.recv_tl.(proc) in
-  let sends = Hashtbl.create 8 in
+  let sends = ref [] in
   let send_of p =
-    match Hashtbl.find_opt sends p with Some tl -> tl | None -> s.send_tl.(p)
+    match List.assq_opt p !sends with Some tl -> tl | None -> s.send_tl.(p)
   in
   let comms =
     List.map
@@ -140,7 +154,9 @@ let evaluate s ~task ~copy ~proc ~sources =
         let ready = finish s src in
         let start = joint_fit (send_of sp) !recv ~ready ~duration:dur in
         recv := Timeline.insert !recv ~start ~duration:dur;
-        Hashtbl.replace sends sp (Timeline.insert (send_of sp) ~start ~duration:dur);
+        sends :=
+          (sp, Timeline.insert (send_of sp) ~start ~duration:dur)
+          :: List.remove_assq sp !sends;
         (src, start, dur, start +. dur))
       remote
   in
@@ -168,7 +184,7 @@ let evaluate s ~task ~copy ~proc ~sources =
         List.fold_left
           (fun acc (src : Replica.id) ->
             let eta = if proc_of_replica s src = proc then 0 else 1 in
-            max acc (s.stage_arr.(src.task).(src.copy) + eta))
+            max acc (s.stage_arr.(slot s src) + eta))
           acc ids)
       1 sources
   in
@@ -183,13 +199,16 @@ let evaluate s ~task ~copy ~proc ~sources =
     t_comms = comms;
   }
 
+(* Fills [s.scratch_out] with the per-source-processor outgoing durations;
+   callers must consume it before the next trial_loads call. *)
 let trial_loads s trial =
   let plat = s.prob.platform and dag = s.prob.dag in
   let exec = Platform.exec_time plat trial.t_proc (Dag.exec dag trial.t_task) in
   let incoming =
     List.fold_left (fun acc (_, _, dur, _) -> acc +. dur) 0.0 trial.t_comms
   in
-  let outgoing = Hashtbl.create 8 in
+  let outgoing = s.scratch_out in
+  Hashtbl.reset outgoing;
   List.iter
     (fun ((src : Replica.id), _, dur, _) ->
       let sp = proc_of_replica s src in
@@ -234,14 +253,22 @@ let commit s trial =
     (fun ((src : Replica.id), start, dur, _) ->
       let sp = proc_of_replica s src in
       Loads.add_comm s.loads ~src:sp ~dst:trial.t_proc dur;
+      (* Store the committed timelines compacted: probes branch private
+         versions off these on every placement trial, and a committed
+         overlay sitting at the pack bound would make each such probe
+         re-pack the whole buffer only to discard it. *)
       s.recv_tl.(trial.t_proc) <-
-        Timeline.insert s.recv_tl.(trial.t_proc) ~start ~duration:dur;
-      s.send_tl.(sp) <- Timeline.insert s.send_tl.(sp) ~start ~duration:dur)
+        Timeline.compact
+          (Timeline.insert s.recv_tl.(trial.t_proc) ~start ~duration:dur);
+      s.send_tl.(sp) <-
+        Timeline.compact (Timeline.insert s.send_tl.(sp) ~start ~duration:dur))
     trial.t_comms;
   s.proc_tl.(trial.t_proc) <-
-    Timeline.insert s.proc_tl.(trial.t_proc) ~start:trial.t_start
-      ~duration:(trial.t_finish -. trial.t_start);
-  s.finish_arr.(trial.t_task).(trial.t_copy) <- trial.t_finish;
-  s.stage_arr.(trial.t_task).(trial.t_copy) <- trial.t_stage;
-  s.support_arr.(trial.t_task).(trial.t_copy) <-
+    Timeline.compact
+      (Timeline.insert s.proc_tl.(trial.t_proc) ~start:trial.t_start
+         ~duration:(trial.t_finish -. trial.t_start));
+  let k = (trial.t_task * s.copies) + trial.t_copy in
+  s.finish_arr.(k) <- trial.t_finish;
+  s.stage_arr.(k) <- trial.t_stage;
+  s.support_arr.(k) <-
     support_of_sources s ~proc:trial.t_proc ~sources:trial.t_sources

@@ -80,6 +80,21 @@ val volume : t -> task -> task -> float
 
 val has_edge : t -> task -> task -> bool
 
+(** {1 Flat views}
+
+    Compressed-row adjacency for allocation-free traversal at scale: the
+    neighbors of [t] are [cols.(row_ptr.(t)) .. cols.(row_ptr.(t+1) - 1)]
+    (ascending), with matching volumes in [vols].  Built on first demand
+    and cached; the arrays are shared — callers must not mutate them. *)
+type csr = {
+  row_ptr : int array; (* length v + 1 *)
+  cols : int array;    (* length e *)
+  vols : float array;  (* length e *)
+}
+
+val csr_succs : t -> csr
+val csr_preds : t -> csr
+
 val entries : t -> task list
 (** Tasks with no predecessor, in increasing order. *)
 

@@ -7,14 +7,24 @@ type series = {
   points : (float * float) list;  (** (x, y), NaN ys are skipped *)
 }
 
+val decimate : ?max_points:int -> series -> series
+(** An evenly-strided subset of at most [max_points] points (default
+    256), always retaining both endpoints; series at or under the cap
+    are returned unchanged.  The scaling experiment runs this before
+    plotting 10⁶-point series. *)
+
 val render :
   ?width:int -> ?height:int ->
   ?x_label:string -> ?y_label:string ->
+  ?max_points:int ->
   title:string -> series list -> string
 (** A [width × height] character canvas (default 64 × 20) with axes
-    labelled by the data ranges and a legend mapping glyphs to series. *)
+    labelled by the data ranges and a legend mapping glyphs to series.
+    Series longer than [max_points] (default 4096, far above anything a
+    canvas resolves) are {!decimate}d first. *)
 
 val print :
   ?width:int -> ?height:int ->
   ?x_label:string -> ?y_label:string ->
+  ?max_points:int ->
   title:string -> series list -> unit

@@ -30,7 +30,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 20)
            row is identical for every [jobs]. *)
         let measure rep =
           let rng = Rng.create ~seed:(seed + (7919 * rep)) in
-          let inst = Paper_workload.instance ~rng ~granularity () in
+          let inst = Spec.generate Spec.default ~rng ~granularity () in
           let prob =
             Types.problem ~dag:inst.Paper_workload.dag
               ~platform:inst.Paper_workload.plat ~eps ~throughput

@@ -31,7 +31,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 30)
      result identical for every [jobs]. *)
   let measure rep =
     let rng = Rng.create ~seed:(seed + (7919 * rep)) in
-    let inst = Paper_workload.instance ~rng ~granularity () in
+    let inst = Spec.generate Spec.default ~rng ~granularity () in
     let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
     List.filter_map
       (fun (name, algo) ->

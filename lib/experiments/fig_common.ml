@@ -5,7 +5,7 @@ type config = {
   crashes : int;
   crash_draws : int;
   exact : bool;
-  spec : Paper_workload.spec;
+  spec : Spec.t;
   sched : Scheduler.options;
   granularities : float list;
 }
@@ -18,7 +18,7 @@ let default ~eps ~crashes =
     crashes;
     crash_draws = 3;
     exact = false;
-    spec = Paper_workload.default_spec;
+    spec = Spec.default;
     sched = Scheduler.(default |> with_mode Best_effort);
     granularities = Paper_workload.granularities;
   }
@@ -120,10 +120,10 @@ let run_trial (t : trial) =
   Obs.with_span "exp.trial" (fun () ->
       Obs.incr "exp.trials";
       let config = t.config and granularity = t.granularity in
-      let throughput = Paper_workload.throughput ~eps:config.eps in
+      let throughput = Spec.throughput config.spec ~eps:config.eps in
       (* Independent, reproducible stream per (granularity, graph). *)
       let rng = Rng.create ~seed:(trial_seed t) in
-      let inst = Paper_workload.instance ~spec:config.spec ~rng ~granularity () in
+      let inst = Spec.generate config.spec ~rng ~granularity () in
       (* Each algorithm measures on its own child stream: R-LTF's crash
          draws must not depend on how many draws LTF consumed (or on
          whether LTF scheduled at all).  Both splits happen before any
@@ -144,7 +144,7 @@ let run_trial (t : trial) =
       in
       (* The fault-free reference is an ε = 0 schedule, so its desired
          throughput follows the same rule with ε = 0: T = 1/10. *)
-      let ff_throughput = Paper_workload.throughput ~eps:0 in
+      let ff_throughput = Spec.throughput config.spec ~eps:0 in
       let ff_sim =
         match
           Fault_free.run ~opts:config.sched ~dag:inst.Paper_workload.dag

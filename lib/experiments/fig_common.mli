@@ -22,7 +22,7 @@ type config = {
           become exact expectations over all [choose (m, c)] failure sets
           and consume no randomness.  Default [false] — the sampled
           outputs stay byte-identical. *)
-  spec : Paper_workload.spec;
+  spec : Spec.t;
   sched : Scheduler.options;  (** options for LTF/R-LTF and the reference *)
   granularities : float list;
 }

@@ -18,9 +18,10 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(repetitions = 3) () =
   let make_point ~tasks ~m ~eps rep_seed =
     let rng = Rng.create ~seed:rep_seed in
     let spec =
-      { Paper_workload.default_spec with Paper_workload.m; tasks_range = (tasks, tasks) }
+      Spec.paper
+        { Paper_workload.default_spec with Paper_workload.m; tasks_range = (tasks, tasks) }
     in
-    let inst = Paper_workload.instance ~spec ~rng ~granularity:1.0 () in
+    let inst = Spec.generate spec ~rng ~granularity:1.0 () in
     let throughput =
       (* keep per-processor pressure constant across sizes *)
       Paper_workload.throughput ~eps

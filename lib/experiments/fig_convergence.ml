@@ -10,7 +10,7 @@ type config = {
   crashes : int;
   eps : int;
   draw_counts : int list;
-  spec : Paper_workload.spec;
+  spec : Spec.t;
 }
 
 let default =
@@ -20,7 +20,7 @@ let default =
     crashes = 2;
     eps = 1;
     draw_counts = [ 10; 30; 100; 300; 1000 ];
-    spec = Paper_workload.default_spec;
+    spec = Spec.default;
   }
 
 let quick = { default with reps = 4; draw_counts = [ 10; 40; 160 ] }
@@ -40,7 +40,7 @@ type rep_errors = {
 let run_rep config rep =
   let rng = Rng.create ~seed:(config.seed + (7919 * rep)) in
   let inst =
-    Paper_workload.instance ~spec:config.spec ~rng ~granularity:1.0 ()
+    Spec.generate config.spec ~rng ~granularity:1.0 ()
   in
   let throughput = Paper_workload.throughput ~eps:config.eps in
   let prob =

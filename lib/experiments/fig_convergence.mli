@@ -19,7 +19,7 @@ type config = {
   crashes : int;  (** c, simultaneous fail-stop processors *)
   eps : int;  (** replication degree for R-LTF *)
   draw_counts : int list;  (** MC sample sizes to sweep *)
-  spec : Paper_workload.spec;
+  spec : Spec.t;
 }
 
 val default : config

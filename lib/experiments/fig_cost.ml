@@ -13,7 +13,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 8) ?(eps = 1)
         let kept = ref [] and fraction = ref [] in
         for rep = 0 to graphs - 1 do
           let rng = Rng.create ~seed:(seed + (3571 * rep)) in
-          let inst = Paper_workload.instance ~rng ~granularity () in
+          let inst = Spec.generate Spec.default ~rng ~granularity () in
           let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
           match Rltf.schedule (Types.problem ~dag ~platform:plat ~eps ~throughput) with
           | Error _ -> ()

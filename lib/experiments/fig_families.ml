@@ -20,7 +20,9 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 12) () =
   let rows = ref [] in
   List.iter
     (fun (family_name, family) ->
-      let spec = { Paper_workload.default_spec with Paper_workload.family } in
+      let spec =
+        Spec.paper { Paper_workload.default_spec with Paper_workload.family }
+      in
       let acc = Hashtbl.create 4 in
       let record algo stages latency meets_t =
         let s, l, meets =
@@ -31,7 +33,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 12) () =
       in
       for rep = 0 to graphs - 1 do
         let rng = Rng.create ~seed:(seed + (4409 * rep)) in
-        let inst = Paper_workload.instance ~spec ~rng ~granularity:1.0 () in
+        let inst = Spec.generate spec ~rng ~granularity:1.0 () in
         let prob =
           Types.problem ~dag:inst.Paper_workload.dag
             ~platform:inst.Paper_workload.plat ~eps ~throughput

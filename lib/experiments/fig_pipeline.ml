@@ -15,7 +15,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 10) ?(items = 30)
         let sustained = ref [] and steady = ref [] and model = ref [] in
         for rep = 0 to graphs - 1 do
           let rng = Rng.create ~seed:(seed + (6151 * rep)) in
-          let inst = Paper_workload.instance ~rng ~granularity () in
+          let inst = Spec.generate Spec.default ~rng ~granularity () in
           let prob =
             Types.problem ~dag:inst.Paper_workload.dag
               ~platform:inst.Paper_workload.plat ~eps ~throughput

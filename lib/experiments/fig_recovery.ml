@@ -12,18 +12,19 @@ type config = {
   reconfig_items : float;  (** downtime per recovery attempt, in items *)
   eps : int;  (** replication degree for LTF / R-LTF *)
   exact : bool;  (** also emit the analytic no-recovery survival curve *)
-  spec : Paper_workload.spec;
+  spec : Spec.t;
 }
 
 (* A deliberately smaller workload than the figure sweeps: an operations
    timeline replays hundreds of items through the event-driven engine,
    so the per-trial cost is a long horizon rather than a big graph. *)
 let spec =
-  {
-    Paper_workload.default_spec with
-    Paper_workload.tasks_range = (30, 60);
-    m = 12;
-  }
+  Spec.paper ~name:"paper-recovery" ~descr:"reduced scale for the event engine"
+    {
+      Paper_workload.default_spec with
+      Paper_workload.tasks_range = (30, 60);
+      m = 12;
+    }
 
 let default =
   {
@@ -121,7 +122,7 @@ type trial = { hazard_per_kitem : float; rep : int }
 let run_trial config t =
   let rng = Rng.create ~seed:(config.seed + (7919 * t.rep)) in
   let inst =
-    Paper_workload.instance ~spec:config.spec ~rng ~granularity:1.0 ()
+    Spec.generate config.spec ~rng ~granularity:1.0 ()
   in
   let algos = algorithms ~eps:config.eps in
   (* Every algorithm draws from its own child stream, split in fixed
@@ -208,7 +209,7 @@ let exact_survival_series config =
     List.init config.reps (fun rep ->
         let rng = Rng.create ~seed:(config.seed + (7919 * rep)) in
         let inst =
-          Paper_workload.instance ~spec:config.spec ~rng ~granularity:1.0 ()
+          Spec.generate config.spec ~rng ~granularity:1.0 ()
         in
         List.map
           (fun algo ->

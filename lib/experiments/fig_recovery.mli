@@ -27,7 +27,7 @@ type config = {
       (** also compute the analytic no-recovery survival curve with the
           {!Reliability} calculus (default [false]); purely additive —
           the sampled artifacts never change *)
-  spec : Paper_workload.spec;
+  spec : Spec.t;
 }
 
 val default : config

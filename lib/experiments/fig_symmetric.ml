@@ -12,7 +12,7 @@ let run ?(out_dir = "results") ?(seed = 2009) ?(graphs = 10)
         let throughputs = ref [] and epss = ref [] in
         for rep = 0 to graphs - 1 do
           let rng = Rng.create ~seed:(seed + (104729 * rep)) in
-          let inst = Paper_workload.instance ~rng ~granularity () in
+          let inst = Spec.generate Spec.default ~rng ~granularity () in
           let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
           let t1 = Paper_workload.throughput ~eps:1 in
           match Rltf.schedule (Types.problem ~dag ~platform:plat ~eps:1 ~throughput:t1) with

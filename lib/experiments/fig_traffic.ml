@@ -17,17 +17,18 @@ type config = {
   n_items : int;  (** arrivals simulated per run *)
   queue_bound : int;  (** per-replica queue bound of the shedding run *)
   eps : int;  (** replication degree for LTF / R-LTF *)
-  spec : Paper_workload.spec;
+  spec : Spec.t;
 }
 
 (* Same reduced scale as the recovery timelines: the cost of a trial is
    the number of items through the event engine, not the graph size. *)
 let spec =
-  {
-    Paper_workload.default_spec with
-    Paper_workload.tasks_range = (30, 60);
-    m = 12;
-  }
+  Spec.paper ~name:"paper-traffic" ~descr:"reduced scale for the event engine"
+    {
+      Paper_workload.default_spec with
+      Paper_workload.tasks_range = (30, 60);
+      m = 12;
+    }
 
 let default =
   {
@@ -157,7 +158,7 @@ type trial = { load : float; rep : int }
 let run_trial config profile t =
   let rng = Rng.create ~seed:(config.seed + (7919 * t.rep)) in
   let inst =
-    Paper_workload.instance ~spec:config.spec ~rng ~granularity:1.0 ()
+    Spec.generate config.spec ~rng ~granularity:1.0 ()
   in
   let algos = algorithms ~eps:config.eps in
   (* A child stream per algorithm, split in fixed order before any

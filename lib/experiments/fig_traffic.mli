@@ -18,7 +18,7 @@ type config = {
   n_items : int;  (** arrivals simulated per run *)
   queue_bound : int;  (** per-replica queue bound of the shedding run *)
   eps : int;  (** replication degree for LTF / R-LTF *)
-  spec : Paper_workload.spec;
+  spec : Spec.t;
 }
 
 val default : config

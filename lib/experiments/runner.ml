@@ -2,20 +2,41 @@ type experiment = {
   name : string;
   description : string;
   run :
-    quick:bool -> seed:int -> jobs:int -> exact:bool -> out_dir:string -> unit;
+    workload:string option ->
+    quick:bool ->
+    seed:int ->
+    jobs:int ->
+    exact:bool ->
+    out_dir:string ->
+    unit;
 }
+
+(* Experiments that sweep a Fig_common config accept a workload spec
+   string ("paper-fan-in-out", "huge:v=5000:m=50", …); everything else
+   runs its fixed workload and ignores the flag. *)
+let resolve_workload = function
+  | None -> None
+  | Some str -> (
+      match Spec.of_string str with
+      | Ok spec -> Some spec
+      | Error msg -> failwith ("--workload: " ^ msg))
 
 let latency_fig name ~eps ~mode ~crashes description =
   {
     name;
     description;
     run =
-      (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+      (fun ~workload ~quick ~seed ~jobs ~exact:_ ~out_dir ->
         let config =
           if quick then Fig_common.quick ~eps ~crashes
           else Fig_common.default ~eps ~crashes
         in
         let config = { config with Fig_common.seed } in
+        let config =
+          match resolve_workload workload with
+          | None -> config
+          | Some spec -> { config with Fig_common.spec }
+        in
         ignore (Fig_latency.run ~out_dir ~jobs ~config ~mode ()));
   }
 
@@ -24,12 +45,17 @@ let overhead_fig name ~eps ~crashes description =
     name;
     description;
     run =
-      (fun ~quick ~seed ~jobs ~exact ~out_dir ->
+      (fun ~workload ~quick ~seed ~jobs ~exact ~out_dir ->
         let config =
           if quick then Fig_common.quick ~eps ~crashes
           else Fig_common.default ~eps ~crashes
         in
         let config = { config with Fig_common.seed; exact } in
+        let config =
+          match resolve_workload workload with
+          | None -> config
+          | Some spec -> { config with Fig_common.spec }
+        in
         ignore (Fig_overhead.run ~out_dir ~jobs ~config ()));
   }
 
@@ -50,13 +76,13 @@ let all =
     {
       name = "examples";
       description = "Figs. 1-2: the paper's worked examples, replayed";
-      run = (fun ~quick:_ ~seed:_ ~jobs:_ ~exact:_ ~out_dir:_ -> Paper_examples.print ());
+      run = (fun ~workload:_ ~quick:_ ~seed:_ ~jobs:_ ~exact:_ ~out_dir:_ -> Paper_examples.print ());
     };
     {
       name = "baselines";
       description = "Extension A: Section 3 heuristics on the paper workload";
       run =
-        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs ~exact:_ ~out_dir ->
           ignore
             (Fig_baselines.run ~out_dir ~seed ~jobs
                ~graphs:(if quick then 6 else 30) ()));
@@ -65,7 +91,7 @@ let all =
       name = "complexity";
       description = "Theorem 1: empirical LTF runtime scaling";
       run =
-        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_complexity.run ~out_dir ~seed
                ~repetitions:(if quick then 1 else 3)
@@ -75,7 +101,7 @@ let all =
       name = "symmetric";
       description = "Extension B: Section 6 symmetric problems";
       run =
-        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_symmetric.run ~out_dir ~seed ~graphs:(if quick then 3 else 10) ()));
     };
@@ -83,7 +109,7 @@ let all =
       name = "ablation";
       description = "Extension C: ablation of the implementation's mechanisms";
       run =
-        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs ~exact:_ ~out_dir ->
           ignore
             (Fig_ablation.run ~out_dir ~seed ~jobs
                ~graphs:(if quick then 5 else 20) ()));
@@ -92,7 +118,7 @@ let all =
       name = "pipeline";
       description = "Extension D: event-driven validation of the throughput";
       run =
-        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_pipeline.run ~out_dir ~seed ~graphs:(if quick then 3 else 10) ()));
     };
@@ -100,7 +126,7 @@ let all =
       name = "optgap";
       description = "Extension F: optimality gap vs exact branch-and-bound";
       run =
-        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_optgap.run ~out_dir ~seed ~graphs:(if quick then 5 else 15) ()));
     };
@@ -108,7 +134,7 @@ let all =
       name = "families";
       description = "Extension H: robustness across graph families";
       run =
-        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_families.run ~out_dir ~seed ~graphs:(if quick then 4 else 12) ()));
     };
@@ -116,7 +142,7 @@ let all =
       name = "topology";
       description = "Extension G: sensitivity to the platform topology";
       run =
-        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore
             (Fig_topology.run ~out_dir ~seed ~graphs:(if quick then 4 else 12) ()));
     };
@@ -124,7 +150,7 @@ let all =
       name = "cost";
       description = "Extension E: platform rental-cost minimization (Section 6)";
       run =
-        (fun ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
           ignore (Fig_cost.run ~out_dir ~seed ~graphs:(if quick then 2 else 8) ()));
     };
     {
@@ -132,7 +158,7 @@ let all =
       description =
         "Extension I: availability and degraded latency under live failures";
       run =
-        (fun ~quick ~seed ~jobs ~exact ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs ~exact ~out_dir ->
           let config =
             if quick then Fig_recovery.quick else Fig_recovery.default
           in
@@ -145,7 +171,7 @@ let all =
         "Extension K: open-system traffic — tail latency, queues and drops \
          vs offered load and burstiness";
       run =
-        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs ~exact:_ ~out_dir ->
           let config = if quick then Fig_traffic.quick else Fig_traffic.default in
           let config = { config with Fig_traffic.seed } in
           ignore (Fig_traffic.run ~out_dir ~jobs ~config ()));
@@ -155,7 +181,7 @@ let all =
       description =
         "Extension J: Monte-Carlo crash estimates vs the exact calculus";
       run =
-        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs ~exact:_ ~out_dir ->
           let config =
             if quick then Fig_convergence.quick else Fig_convergence.default
           in
@@ -163,12 +189,26 @@ let all =
           ignore (Fig_convergence.run ~out_dir ~jobs ~config ()));
     };
     {
+      name = "scaling";
+      description =
+        "Extension L: schedule/simulate wall-clock scaling on the huge \
+         family (flat LTF vs clustered C-LTF)";
+      run =
+        (fun ~workload:_ ~quick ~seed ~jobs:_ ~exact:_ ~out_dir ->
+          let v_sweep =
+            if quick then [ 1_000; 4_000 ]
+            else [ 1_000; 10_000; 100_000; 1_000_000 ]
+          in
+          let m_sweep = if quick then [ 100 ] else [ 100; 1_000 ] in
+          ignore (Fig_scaling.run ~out_dir ~seed ~v_sweep ~m_sweep ()));
+    };
+    {
       name = "latency";
       description =
         "Profile: the fig3a sweep plus an event-driven replay of R-LTF \
          mappings (touches every instrumented layer)";
       run =
-        (fun ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+        (fun ~workload:_ ~quick ~seed ~jobs ~exact:_ ~out_dir ->
           let config =
             if quick then Fig_common.quick ~eps:1 ~crashes:0
             else Fig_common.default ~eps:1 ~crashes:0
@@ -185,7 +225,7 @@ let all =
           List.iter
             (fun rep ->
               let rng = Rng.create ~seed:(seed + (7919 * rep)) in
-              let inst = Paper_workload.instance ~rng ~granularity:1.0 () in
+              let inst = Spec.generate Spec.default ~rng ~granularity:1.0 () in
               let prob =
                 Types.problem ~dag:inst.Paper_workload.dag
                   ~platform:inst.Paper_workload.plat ~eps:1 ~throughput
@@ -217,9 +257,9 @@ let all =
       {
         e with
         run =
-          (fun ~quick ~seed ~jobs ~exact ~out_dir ->
+          (fun ~workload ~quick ~seed ~jobs ~exact ~out_dir ->
             Obs.with_span ("exp.fig." ^ e.name) (fun () ->
-                e.run ~quick ~seed ~jobs ~exact ~out_dir));
+                e.run ~workload ~quick ~seed ~jobs ~exact ~out_dir));
       })
     all
 

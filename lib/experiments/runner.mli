@@ -5,13 +5,23 @@ type experiment = {
   name : string;        (** CLI name, e.g. "fig3a" *)
   description : string;
   run :
-    quick:bool -> seed:int -> jobs:int -> exact:bool -> out_dir:string -> unit;
-      (** [quick] shrinks the per-point replication for smoke runs;
-          [jobs] is the worker-domain count for the sample sweeps (1 =
-          sequential; the output never depends on it); [exact] switches
-          the crash columns of fig3c/fig4c to the {!Reliability}
-          calculus and adds the analytic survival curve to "recovery"
-          (experiments without an exact mode ignore it) *)
+    workload:string option ->
+    quick:bool ->
+    seed:int ->
+    jobs:int ->
+    exact:bool ->
+    out_dir:string ->
+    unit;
+      (** [workload] names a {!Spec} by spec string (e.g.
+          ["paper-fan-in-out"], ["huge:v=5000:m=50"]) for the
+          experiments that sweep a {!Fig_common.config}; the others run
+          their fixed workload and ignore it.  [quick] shrinks the
+          per-point replication for smoke runs; [jobs] is the
+          worker-domain count for the sample sweeps (1 = sequential; the
+          output never depends on it); [exact] switches the crash
+          columns of fig3c/fig4c to the {!Reliability} calculus and adds
+          the analytic survival curve to "recovery" (experiments without
+          an exact mode ignore it) *)
 }
 
 val all : experiment list

@@ -90,5 +90,102 @@ let quantiles values =
     p999 = percentile_sorted 99.9 a;
   }
 
+(* Expected-O(n) selection with three-way (Dutch-flag) partitioning and
+   median-of-three pivots, so heavy duplicate runs — e.g. the latencies
+   of a synchronous schedule, where thousands of items share one value —
+   don't degrade to quadratic like Lomuto would.  Permutes [a]. *)
+let nth_in_place a k =
+  let swap i j =
+    if i <> j then begin
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    end
+  in
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  while !lo < !hi do
+    let l = !lo and h = !hi in
+    let mid = l + ((h - l) / 2) in
+    if a.(mid) < a.(l) then swap mid l;
+    if a.(h) < a.(l) then swap h l;
+    if a.(h) < a.(mid) then swap h mid;
+    let pivot = a.(mid) in
+    let lt = ref l and gt = ref h and i = ref l in
+    while !i <= !gt do
+      if a.(!i) < pivot then begin
+        swap !i !lt;
+        incr lt;
+        incr i
+      end
+      else if a.(!i) > pivot then begin
+        swap !i !gt;
+        decr gt
+      end
+      else incr i
+    done;
+    if k < !lt then hi := !lt - 1
+    else if k > !gt then lo := !gt + 1
+    else begin
+      lo := k;
+      hi := k
+    end
+  done;
+  a.(k)
+
+let percentile_in_place p a =
+  if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p outside [0, 100]";
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    let h = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    let vlo = nth_in_place a lo in
+    let vhi = if hi = lo then vlo else nth_in_place a hi in
+    vlo +. ((h -. float_of_int lo) *. (vhi -. vlo))
+  end
+
+let quantiles_in_place a =
+  {
+    q_n = Array.length a;
+    p50 = percentile_in_place 50.0 a;
+    p95 = percentile_in_place 95.0 a;
+    p99 = percentile_in_place 99.0 a;
+    p999 = percentile_in_place 99.9 a;
+  }
+
+type reservoir = {
+  r_buf : float array;
+  r_rand_int : int -> int;
+  mutable r_seen : int;
+}
+
+let reservoir_create ~cap ~rand_int =
+  if cap < 1 then invalid_arg "Stats.reservoir_create: cap < 1";
+  { r_buf = Array.make cap 0.0; r_rand_int = rand_int; r_seen = 0 }
+
+(* Algorithm R: once full, item i replaces a random slot with probability
+   cap/i, so every item seen so far is in the buffer equiprobably. *)
+let reservoir_add r x =
+  if not (Float.is_nan x) then begin
+    let cap = Array.length r.r_buf in
+    r.r_seen <- r.r_seen + 1;
+    if r.r_seen <= cap then r.r_buf.(r.r_seen - 1) <- x
+    else begin
+      let j = r.r_rand_int r.r_seen in
+      if j < cap then r.r_buf.(j) <- x
+    end
+  end
+
+let reservoir_count r = r.r_seen
+
+let reservoir_quantiles r =
+  let kept = min r.r_seen (Array.length r.r_buf) in
+  let q = quantiles_in_place (Array.sub r.r_buf 0 kept) in
+  (* Report the true sample size: the quantiles are estimates over the
+     retained subsample, but q_n = 0 must keep meaning "no data". *)
+  { q with q_n = r.r_seen }
+
 let pp_summary ppf s =
   Format.fprintf ppf "%.2f ± %.2f (n=%d)" s.mean s.stderr s.n

@@ -46,6 +46,38 @@ val quantiles : float list -> quantiles
 (** The tail-latency summary of one sample in a single sort: {!percentile}
     at 50 / 95 / 99 / 99.9, with the same nan-on-empty policy. *)
 
+val percentile_in_place : float -> float array -> float
+(** {!percentile} over an array by expected-O(n) selection (three-way
+    quickselect) instead of a full sort — the path the scaling
+    experiment takes for 10⁶-point samples.  Permutes the array; the
+    values must be NaN-free (use {!reservoir_add}, which skips NaN).
+    Same value and NaN-on-empty policy as {!percentile}.
+    @raise Invalid_argument when [p] is outside [0, 100]. *)
+
+val quantiles_in_place : float array -> quantiles
+(** {!quantiles} by repeated selection, O(n) expected and no sorted
+    copy.  Permutes the array. *)
+
+type reservoir
+(** Bounded-memory uniform subsample of a stream (Vitter's algorithm R),
+    for quantile summaries of samples too large to materialize. *)
+
+val reservoir_create : cap:int -> rand_int:(int -> int) -> reservoir
+(** [rand_int bound] must be uniform in [0 .. bound - 1] (pass the
+    experiment's seeded stream, keeping runs deterministic).
+    @raise Invalid_argument when [cap < 1]. *)
+
+val reservoir_add : reservoir -> float -> unit
+(** Offer one value; NaN is skipped (the {!mean_by} discipline). *)
+
+val reservoir_count : reservoir -> int
+(** Values offered (and not NaN) so far. *)
+
+val reservoir_quantiles : reservoir -> quantiles
+(** Quantiles of the retained subsample — exact while at most [cap]
+    values were offered, an unbiased estimate beyond that.  [q_n] is the
+    true stream count, so the [q_n = 0] ⇒ all-NaN contract survives. *)
+
 val mean_by : ('a -> float) -> 'a list -> float
 (** Mean of the projection over the items, skipping [nan] projections;
     [nan] when nothing measurable remains.  This is how the figures

@@ -67,9 +67,21 @@ let charge l m (r : Replica.t) =
         ids)
     r.sources
 
+(* A removal can only lower the cached maximum if one of the processors it
+   touches could have been the argmax: a touched processor strictly below
+   the cached value before its first decrement stays below it, so the
+   maximum is still attained at some untouched processor and the cache
+   remains exact.  Only when a touched processor sits at the cached value
+   do we fall back to the dirty flag (lazy O(p) recompute on next read) —
+   rollback-heavy probes at large v then skip the full rescan entirely. *)
 let discharge l m (r : Replica.t) =
   let plat = Mapping.platform m in
   let dag = Mapping.dag m in
+  let could_be_argmax = ref (not l.max_valid) in
+  let check u =
+    if l.max_valid && cycle_time l u >= l.max_cache then could_be_argmax := true
+  in
+  check r.proc;
   l.sigma.(r.proc) <-
     l.sigma.(r.proc) -. Platform.exec_time plat r.proc (Dag.exec dag r.id.task);
   List.iter
@@ -80,12 +92,13 @@ let discharge l m (r : Replica.t) =
           let src_r = Mapping.replica_exn m src.task src.copy in
           if src_r.proc <> r.proc then begin
             let time = Platform.comm_time plat src_r.proc r.proc vol in
+            check src_r.proc;
             l.c_in.(r.proc) <- l.c_in.(r.proc) -. time;
             l.c_out.(src_r.proc) <- l.c_out.(src_r.proc) -. time
           end)
         ids)
     r.sources;
-  l.max_valid <- false
+  if !could_be_argmax then l.max_valid <- false
 
 let add_replica l m r =
   Obs.incr "sched.loads.incremental_updates";

@@ -25,5 +25,14 @@ val busy_until : t -> float
 val total_busy : t -> float
 (** Sum of busy durations. *)
 
+val compact : t -> t
+(** The same timeline re-packed into a flat buffer once its overlay of
+    recent out-of-order inserts has grown to the compaction threshold;
+    below it, the value is returned unchanged.  Queries are unaffected —
+    only the representation changes.  Long-lived timelines (the
+    scheduler's committed per-resource state) should be stored compacted
+    so the trial versions branched off them during processor selection
+    keep cheap overlay headroom instead of re-packing on every probe. *)
+
 val intervals : t -> (float * float) list
 (** Busy intervals in increasing order (for tests and rendering). *)

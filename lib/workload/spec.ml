@@ -1,0 +1,146 @@
+[@@@alert "-deprecated"]
+(* This module is the one non-deprecated front door to the generators it
+   wraps; the internal calls below are the sanctioned ones. *)
+
+type impl =
+  | Paper of Paper_workload.spec
+  | Classic_fig1
+  | Classic_fig2 of int
+  | Huge of Huge.spec
+
+type t = {
+  name : string;
+  descr : string;
+  impl : impl;
+}
+
+let name s = s.name
+let descr s = s.descr
+
+let paper ?(name = "paper-custom") ?(descr = "custom paper-style workload")
+    pspec =
+  { name; descr; impl = Paper pspec }
+
+let huge ?(name = "huge-custom") ?(descr = "custom huge workload") hspec =
+  { name; descr; impl = Huge hspec }
+
+let default =
+  {
+    name = "paper-layered";
+    descr = "the paper's §5 workload: random layered DAGs, v∈[50,150], m=20";
+    impl = Paper Paper_workload.default_spec;
+  }
+
+let all =
+  [
+    default;
+    {
+      name = "paper-fan-in-out";
+      descr = "§5 parameters on bounded-degree random-growth graphs";
+      impl =
+        Paper
+          { Paper_workload.default_spec with
+            Paper_workload.family = Paper_workload.Fan_in_out };
+    };
+    {
+      name = "paper-series-parallel";
+      descr = "§5 parameters on random series-parallel graphs";
+      impl =
+        Paper
+          { Paper_workload.default_spec with
+            Paper_workload.family = Paper_workload.Series_parallel };
+    };
+    {
+      name = "paper-stream-chain";
+      descr = "§5 parameters on split/join pipelines (StreamIt-like)";
+      impl =
+        Paper
+          { Paper_workload.default_spec with
+            Paper_workload.family = Paper_workload.Stream_chain };
+    };
+    {
+      name = "classic-fig1";
+      descr = "the paper's Fig. 1 worked example (fixed graph and platform)";
+      impl = Classic_fig1;
+    };
+    {
+      name = "classic-fig2";
+      descr = "the paper's Fig. 2 worked example on m=4 processors";
+      impl = Classic_fig2 4;
+    };
+    {
+      name = "huge";
+      descr = "million-task layered pipeline on a thousand processors";
+      impl = Huge Huge.default_spec;
+    };
+    {
+      name = "huge-small";
+      descr = "the huge family at test size: v=2000 on m=50";
+      impl = Huge { Huge.default_spec with Huge.tasks = 2000; m = 50 };
+    };
+  ]
+
+let find n = List.find_opt (fun s -> s.name = n) all
+
+(* Spec strings: a registry name optionally followed by ':'-separated
+   size overrides, e.g. "huge:v=100000:m=200" or "paper-layered:v=80".
+   [v] pins the task count, [m] the processor count. *)
+let of_string str =
+  match String.split_on_char ':' str with
+  | [] -> Error "empty spec string"
+  | base :: overrides -> (
+      match find base with
+      | None -> Error (Printf.sprintf "unknown workload spec %S" base)
+      | Some s ->
+          let apply acc kv =
+            match (acc, String.index_opt kv '=') with
+            | Error _, _ -> acc
+            | Ok _, None ->
+                Error (Printf.sprintf "malformed override %S (want k=v)" kv)
+            | Ok s, Some i -> (
+                let key = String.sub kv 0 i in
+                let value = String.sub kv (i + 1) (String.length kv - i - 1) in
+                match (key, int_of_string_opt value) with
+                | _, None ->
+                    Error (Printf.sprintf "non-integer override %S" kv)
+                | "v", Some v when v > 0 -> (
+                    match s.impl with
+                    | Paper p ->
+                        Ok
+                          { s with
+                            impl = Paper { p with Paper_workload.tasks_range = (v, v) } }
+                    | Huge h -> Ok { s with impl = Huge { h with Huge.tasks = v } }
+                    | Classic_fig1 | Classic_fig2 _ ->
+                        Error "classic specs have a fixed size")
+                | "m", Some m when m > 0 -> (
+                    match s.impl with
+                    | Paper p ->
+                        Ok { s with impl = Paper { p with Paper_workload.m } }
+                    | Huge h -> Ok { s with impl = Huge { h with Huge.m } }
+                    | Classic_fig2 _ -> Ok { s with impl = Classic_fig2 m }
+                    | Classic_fig1 -> Error "classic-fig1 has a fixed platform")
+                | _ -> Error (Printf.sprintf "unknown override key %S" key))
+          in
+          List.fold_left apply (Ok s) overrides)
+
+let throughput s ~eps =
+  match s.impl with
+  | Paper _ | Classic_fig1 | Classic_fig2 _ -> Paper_workload.throughput ~eps
+  | Huge h -> Huge.throughput ~spec:h ~eps ()
+
+let generate s ~rng ?(granularity = 1.0) () =
+  match s.impl with
+  | Paper pspec -> Paper_workload.instance ~spec:pspec ~rng ~granularity ()
+  | Classic_fig1 ->
+      {
+        Paper_workload.dag = Classic.fig1_graph;
+        plat = Classic.fig1_platform;
+        granularity;
+      }
+  | Classic_fig2 m ->
+      {
+        Paper_workload.dag = Classic.fig2_graph;
+        plat = Classic.fig2_platform ~m;
+        granularity;
+      }
+  | Huge hspec -> Huge.instance ~spec:hspec ~rng ~granularity ()

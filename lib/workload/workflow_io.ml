@@ -240,3 +240,14 @@ let print_platform p =
   Buffer.contents buf
 
 let save_platform path p = write_file path (print_platform p)
+
+(* ------------------------------------------------------------------ *)
+(* Workload specs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let instance_of_spec ?(granularity = 1.0) ~seed str =
+  match Spec.of_string str with
+  | Error message -> Error { line = 0; message }
+  | Ok spec ->
+      let rng = Rng.create ~seed in
+      Ok (Spec.generate spec ~rng ~granularity ())

@@ -46,3 +46,18 @@ val parse_platform : string -> (Platform.t, error) result
 val load_platform : string -> (Platform.t, error) result
 val print_platform : Platform.t -> string
 val save_platform : string -> Platform.t -> unit
+
+(** {1 Workload specs}
+
+    Besides explicit workflow/platform files, a workload can be named by
+    a registry spec string (see {!Spec.of_string}), so CLIs and
+    experiment configs say ["huge:v=5000:m=50"] instead of wiring up a
+    builder. *)
+
+val instance_of_spec :
+  ?granularity:float ->
+  seed:int ->
+  string ->
+  (Paper_workload.instance, error) result
+(** Generate a full instance (graph and platform) from a spec string.
+    Deterministic in [seed]; parse errors are reported on line 0. *)

@@ -33,7 +33,7 @@ let hetero4 =
 (* Deterministic paper-workload instance for integration tests. *)
 let paper_instance ?(seed = 42) ?(granularity = 1.0) () =
   let rng = Rng.create ~seed in
-  Paper_workload.instance ~rng ~granularity ()
+  Spec.generate Spec.default ~rng ~granularity ()
 
 (* Schedule helpers. *)
 let must_schedule ?mode algo prob =

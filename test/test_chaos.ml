@@ -37,7 +37,7 @@ let eps = 1
 
 let mapping_of seed =
   let rng = Rng.create ~seed in
-  let inst = Paper_workload.instance ~spec ~rng ~granularity:1.0 () in
+  let inst = Spec.generate (Spec.paper spec) ~rng ~granularity:1.0 () in
   Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf
     (Types.problem ~dag:inst.Paper_workload.dag
        ~platform:inst.Paper_workload.plat ~eps

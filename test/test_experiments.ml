@@ -38,6 +38,49 @@ let stats_tests =
     case "median of odd and even samples" (fun () ->
         check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
         check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]));
+    case "quantiles_in_place matches the sorting path" (fun () ->
+        let rng = Rng.create ~seed:33 in
+        let xs = List.init 1000 (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:100.0) in
+        let a = Stats.quantiles xs in
+        let b = Stats.quantiles_in_place (Array.of_list xs) in
+        check_int "n" a.Stats.q_n b.Stats.q_n;
+        check_float "p50" a.Stats.p50 b.Stats.p50;
+        check_float "p95" a.Stats.p95 b.Stats.p95;
+        check_float "p99" a.Stats.p99 b.Stats.p99;
+        check_float "p999" a.Stats.p999 b.Stats.p999);
+    case "quantiles_in_place on an empty array is all-nan" (fun () ->
+        let q = Stats.quantiles_in_place [||] in
+        check_int "n" 0 q.Stats.q_n;
+        check_true "nan" (Float.is_nan q.Stats.p50));
+    case "reservoir is exact below its capacity" (fun () ->
+        let rng = Rng.create ~seed:34 in
+        let r =
+          Stats.reservoir_create ~cap:256 ~rand_int:(fun b -> Rng.int rng b)
+        in
+        let xs = List.init 200 (fun i -> float_of_int ((i * 37) mod 200)) in
+        List.iter (Stats.reservoir_add r) xs;
+        Stats.reservoir_add r nan;
+        check_int "nan skipped" 200 (Stats.reservoir_count r);
+        let a = Stats.quantiles xs and b = Stats.reservoir_quantiles r in
+        check_int "n" a.Stats.q_n b.Stats.q_n;
+        check_float "p50" a.Stats.p50 b.Stats.p50;
+        check_float "p95" a.Stats.p95 b.Stats.p95;
+        check_float "p999" a.Stats.p999 b.Stats.p999);
+    case "reservoir beyond capacity keeps the true count and sane bounds"
+      (fun () ->
+        let rng = Rng.create ~seed:35 in
+        let r =
+          Stats.reservoir_create ~cap:64 ~rand_int:(fun b -> Rng.int rng b)
+        in
+        for i = 1 to 10_000 do
+          Stats.reservoir_add r (float_of_int i)
+        done;
+        check_int "count" 10_000 (Stats.reservoir_count r);
+        let q = Stats.reservoir_quantiles r in
+        check_int "n is the stream count" 10_000 q.Stats.q_n;
+        check_true "p50 within range" (q.Stats.p50 >= 1.0 && q.Stats.p50 <= 10_000.0);
+        check_true "quantiles ordered"
+          (q.Stats.p50 <= q.Stats.p95 && q.Stats.p95 <= q.Stats.p999));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -140,6 +140,94 @@ let prop_tentative_matches_committed =
                      = Loads.max_cycle_time committed)))
 
 (* ------------------------------------------------------------------ *)
+(* Flat State arrays vs a from-mapping reference                       *)
+(* ------------------------------------------------------------------ *)
+
+module Rset = Set.Make (Int)
+
+(* The committed stage/support values live in flat arrays indexed by
+   [task * copies + copy]; recompute both from the mapping's source lists
+   alone (memoized recursion over Set.Make(Int) for the kill sets) and
+   check the arrays agree replica by replica. *)
+let prop_flat_state_matches_reference =
+  QCheck.Test.make
+    ~name:"flat stage/support arrays match a from-mapping reference"
+    ~count:40 seed_arb (fun seed ->
+      let rng = Rng.create ~seed in
+      let tasks = 2 + Rng.int rng 19 in
+      let dag = Random_dag.layered ~rng ~tasks () in
+      let prob =
+        Types.problem ~dag ~platform:(Fixtures.uniform 6) ~eps:1
+          ~throughput:0.01
+      in
+      match
+        Ltf.schedule_state
+          ~opts:Scheduler.(default |> with_mode Best_effort)
+          prob
+      with
+      | Error _ -> true
+      | Ok st ->
+          let m = State.mapping st in
+          let proc_of (id : Replica.id) =
+            (Mapping.replica_exn m id.Replica.task id.Replica.copy).Replica.proc
+          in
+          let stage_memo = Hashtbl.create 64 in
+          let supp_memo = Hashtbl.create 64 in
+          let rec ref_stage (id : Replica.id) =
+            match Hashtbl.find_opt stage_memo id with
+            | Some v -> v
+            | None ->
+                let r = Mapping.replica_exn m id.Replica.task id.Replica.copy in
+                let v =
+                  List.fold_left
+                    (fun acc (_, ids) ->
+                      List.fold_left
+                        (fun acc (src : Replica.id) ->
+                          let eta =
+                            if proc_of src = r.Replica.proc then 0 else 1
+                          in
+                          max acc (ref_stage src + eta))
+                        acc ids)
+                    1 r.Replica.sources
+                in
+                Hashtbl.add stage_memo id v;
+                v
+          in
+          let rec ref_supp (id : Replica.id) =
+            match Hashtbl.find_opt supp_memo id with
+            | Some v -> v
+            | None ->
+                let r = Mapping.replica_exn m id.Replica.task id.Replica.copy in
+                let v =
+                  List.fold_left
+                    (fun acc (_, ids) ->
+                      match ids with
+                      | [] -> acc
+                      | [ src ] -> Rset.union acc (ref_supp src)
+                      | first :: rest ->
+                          if List.length ids = Mapping.n_copies m then acc
+                          else
+                            Rset.union acc
+                              (List.fold_left
+                                 (fun i src -> Rset.inter i (ref_supp src))
+                                 (ref_supp first) rest))
+                    (Rset.singleton r.Replica.proc)
+                    r.Replica.sources
+                in
+                Hashtbl.add supp_memo id v;
+                v
+          in
+          let ok = ref true in
+          Mapping.iter m (fun r ->
+              let id = r.Replica.id in
+              if State.stage st id <> ref_stage id then ok := false;
+              if Rset.elements (ref_supp id)
+                 <> Bitset.elements (State.support st id)
+              then ok := false;
+              if Float.is_nan (State.finish st id) then ok := false);
+          !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Bitset vs Set.Make (Int)                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -227,6 +315,12 @@ let pinned_samples =
 let pinned_ltf_digest = "3451d182152d61149471dcfa142c5e32"
 let pinned_rltf_digest = "3444c193041d492b90169cd79973f9e8"
 
+(* The registry's [huge-small] point (v=2000, m=50); guards the whole
+   scaling path — Huge generation through Spec, flat placement, and the
+   clustered C-LTF expansion — against silent drift. *)
+let pinned_huge_ltf_digest = "a2bdbcb8820260d28eaabcc3086b5a4f"
+let pinned_huge_cltf_digest = "42a874c0cd0230bdc50bbd5eab61c27c"
+
 let fingerprint mapping =
   let parts = ref [] in
   Mapping.iter mapping (fun r ->
@@ -260,7 +354,7 @@ let regression_tests =
       (fun () ->
         let inst =
           let rng = Rng.create ~seed:11 in
-          Paper_workload.instance ~rng ~granularity:1.0 ()
+          Spec.generate Spec.default ~rng ~granularity:1.0 ()
         in
         let prob =
           Types.problem ~dag:inst.Paper_workload.dag
@@ -281,6 +375,33 @@ let regression_tests =
               (Digest.to_hex (Digest.string (fingerprint m)))
         | Error f ->
             Alcotest.failf "R-LTF failed: %s" (Types.failure_to_string f));
+    case "huge-small schedules are bit-identical to the pinned run" (fun () ->
+        let spec =
+          match Spec.find "huge-small" with
+          | Some s -> s
+          | None -> Alcotest.fail "huge-small not registered"
+        in
+        let opts = Scheduler.(default |> with_mode Best_effort) in
+        let schedule_with (module A : Sched_api.Algo) =
+          let rng = Rng.create ~seed:42 in
+          let inst = Spec.generate spec ~rng ~granularity:1.0 () in
+          let prob =
+            Types.problem ~dag:inst.Paper_workload.dag
+              ~platform:inst.Paper_workload.plat ~eps:1
+              ~throughput:(Spec.throughput spec ~eps:1)
+          in
+          match A.run ~opts prob with
+          | Ok m -> Digest.to_hex (Digest.string (fingerprint m))
+          | Error f ->
+              Alcotest.failf "%s failed: %s" A.name (Types.failure_to_string f)
+        in
+        Alcotest.(check string) "LTF" pinned_huge_ltf_digest
+          (schedule_with Ltf.algo);
+        match Baseline_registry.find "C-LTF" with
+        | None -> Alcotest.fail "C-LTF not registered"
+        | Some a ->
+            Alcotest.(check string) "C-LTF" pinned_huge_cltf_digest
+              (schedule_with a));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -293,6 +414,7 @@ let () =
           to_alcotest prop_incremental_equals_scratch;
           to_alcotest prop_tentative_matches_committed;
         ] );
+      ("state", [ to_alcotest prop_flat_state_matches_reference ]);
       ( "bitset",
         bitset_tests
         @ [ to_alcotest prop_bitset_matches_set;

@@ -322,7 +322,7 @@ let report_tests =
             List.iter
               (fun name ->
                 let e = Option.get (Runner.find name) in
-                e.Runner.run ~quick:true ~seed:7 ~jobs:2 ~exact:true ~out_dir)
+                e.Runner.run ~workload:None ~quick:true ~seed:7 ~jobs:2 ~exact:true ~out_dir)
               [ "latency"; "recovery"; "convergence"; "traffic" ];
             let json = Obs.Registry.to_json (Obs.snapshot ()) in
             match Obs_report.validate_string json with
@@ -366,8 +366,11 @@ let registry_api_tests =
           (direct (Rltf.schedule ~opts prob))
           (via_registry "R-LTF"));
     case "baseline registry covers the Section 3 heuristics" (fun () ->
-        check_int "eight heuristics" 8 (List.length Baseline_registry.all);
-        check_true "HEFT" (Baseline_registry.find "HEFT [9]" <> None));
+        check_int "eight heuristics plus the clustered pair" 10
+          (List.length Baseline_registry.all);
+        check_true "HEFT" (Baseline_registry.find "HEFT [9]" <> None);
+        check_true "C-LTF" (Baseline_registry.find "C-LTF" <> None);
+        check_true "C-R-LTF" (Baseline_registry.find "C-R-LTF" <> None));
     case "builders and record syntax build the same options" (fun () ->
         let prob = paper_problem () in
         let built = Scheduler.(default |> with_mode Best_effort) in

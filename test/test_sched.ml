@@ -166,6 +166,30 @@ let timeline_tests =
         let base = Timeline.insert Timeline.empty ~start:0.0 ~duration:1.0 in
         let _branch = Timeline.insert base ~start:2.0 ~duration:1.0 in
         check_int "base untouched" 1 (List.length (Timeline.intervals base)));
+    case "compact preserves every query" (fun () ->
+        (* out-of-order inserts grow the overlay past the compaction
+           threshold before the representations are compared *)
+        let t =
+          List.fold_left
+            (fun t s -> Timeline.insert t ~start:s ~duration:0.5)
+            Timeline.empty
+            [ 10.0; 2.0; 8.0; 4.0; 0.0; 6.0; 12.0; 3.0; 14.0; 16.0; 18.0; 20.0 ]
+        in
+        let c = Timeline.compact t in
+        Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+          "intervals" (Timeline.intervals t) (Timeline.intervals c);
+        check_float "busy until" (Timeline.busy_until t) (Timeline.busy_until c);
+        check_float "total busy" (Timeline.total_busy t) (Timeline.total_busy c);
+        List.iter
+          (fun ready ->
+            check_float "earliest fit"
+              (Timeline.earliest_fit t ~ready ~duration:0.75)
+              (Timeline.earliest_fit c ~ready ~duration:0.75))
+          [ 0.0; 1.0; 2.25; 5.0; 11.0; 30.0 ]);
+    case "compact below the threshold is the identity" (fun () ->
+        let t = Timeline.insert Timeline.empty ~start:1.0 ~duration:1.0 in
+        check_true "same value" (Timeline.compact t == t);
+        check_true "empty too" (Timeline.compact Timeline.empty == Timeline.empty));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -752,7 +752,7 @@ let compiled_tests =
           Digest.to_hex (Digest.string (Buffer.contents buf))
         in
         let rng = Rng.create ~seed:2009 in
-        let inst = Paper_workload.instance ~rng ~granularity:1.0 () in
+        let inst = Spec.generate Spec.default ~rng ~granularity:1.0 () in
         let throughput = Paper_workload.throughput ~eps:1 in
         let m =
           Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf

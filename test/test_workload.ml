@@ -1,3 +1,7 @@
+(* This file unit-tests the per-family generators themselves, so it is
+   the one test allowed to call the deprecated direct constructors. *)
+[@@@alert "-deprecated"]
+
 open Test_support
 
 let case = Fixtures.case
@@ -244,6 +248,71 @@ let paper_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Workload spec registry                                              *)
+(* ------------------------------------------------------------------ *)
+
+let instance_fingerprint (inst : Paper_workload.instance) =
+  let b = Buffer.create 4096 in
+  let dag = inst.Paper_workload.dag and plat = inst.Paper_workload.plat in
+  Dag.iter_tasks dag (fun t -> Buffer.add_string b (Printf.sprintf "t%d=%.17g;" t (Dag.exec dag t)));
+  Dag.iter_edges dag (fun s d v ->
+      Buffer.add_string b (Printf.sprintf "e%d-%d=%.17g;" s d v));
+  List.iter
+    (fun u ->
+      Buffer.add_string b (Printf.sprintf "p%d=%.17g;" u (Platform.speed plat u)))
+    (Platform.procs plat);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let spec_tests =
+  [
+    case "every registry entry round-trips through its name" (fun () ->
+        check_true "registry is non-empty" (Spec.all <> []);
+        List.iter
+          (fun s ->
+            match Spec.find (Spec.name s) with
+            | Some s' -> check_true (Spec.name s) (s' = s)
+            | None -> Alcotest.failf "%s not in the registry" (Spec.name s))
+          Spec.all);
+    case "registry names are unique" (fun () ->
+        let names = List.map Spec.name Spec.all in
+        check_int "no duplicates"
+          (List.length names)
+          (List.length (List.sort_uniq compare names)));
+    case "of_string resolves plain registry names" (fun () ->
+        List.iter
+          (fun s ->
+            match Spec.of_string (Spec.name s) with
+            | Ok s' -> check_true (Spec.name s) (s' = s)
+            | Error e -> Alcotest.fail e)
+          Spec.all);
+    case "of_string applies size overrides" (fun () ->
+        match Spec.of_string "huge:v=4000:m=40" with
+        | Error e -> Alcotest.fail e
+        | Ok s ->
+            let rng = Rng.create ~seed:21 in
+            let inst = Spec.generate s ~rng () in
+            check_int "tasks" 4000 (Dag.size inst.Paper_workload.dag);
+            check_int "procs" 40 (Platform.size inst.Paper_workload.plat));
+    case "of_string rejects unknown names and bad overrides" (fun () ->
+        check_true "unknown name"
+          (Result.is_error (Spec.of_string "no-such-workload"));
+        check_true "bad override key"
+          (Result.is_error (Spec.of_string "huge:zz=3")));
+    case "generate is deterministic under the seed" (fun () ->
+        List.iter
+          (fun name ->
+            match Spec.of_string name with
+            | Error e -> Alcotest.fail e
+            | Ok s ->
+                let draw () =
+                  let rng = Rng.create ~seed:99 in
+                  instance_fingerprint (Spec.generate s ~rng ())
+                in
+                Alcotest.(check string) name (draw ()) (draw ()))
+          [ "paper-layered"; "huge:v=3000:m=30" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Classic graph families                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -296,5 +365,6 @@ let () =
       ("generators", generator_tests);
       ("calibration", calibration_tests);
       ("paper", paper_tests);
+      ("spec", spec_tests);
       ("classic", classic_tests);
     ]
