@@ -476,14 +476,46 @@ let overhead_open_bounded () =
             { rate = 1.0 /. Engine.program_period sim_medium_prog }))
     sim_medium_prog
 
-let overhead_pairs : (string * (unit -> unit) * (unit -> unit)) list =
+(* The fault machinery armed but inert: a transient window in the far
+   future forces the instrumented dispatch path (per-attempt window and
+   hash checks, attempt bookkeeping) while no fault ever fires, so the
+   event sequence is identical to the closed baseline.  This is the
+   price of carrying the fault model when it does nothing — gated at
+   1.05x, much tighter than the open-system machinery's 1.3x. *)
+let overhead_faults_inert () =
+  Engine.simulate
+    ~config:
+      (Engine.Run.with_faults
+         {
+           Faults.none with
+           Faults.transient =
+             {
+               Faults.Transient.none with
+               Faults.Transient.exec_windows = [ (0, 1e12, 1e12 +. 1.0) ];
+             };
+         }
+         (Engine.Run.closed ~n_items:overhead_items ()))
+    sim_medium_prog
+
+let fault_overhead_gate = 1.05
+
+(* (name, gate, closed thunk, open/instrumented thunk): [gate] is the
+   per-entry ratio ceiling recorded next to the measurement and enforced
+   by [--check-sim-json]. *)
+let overhead_pairs : (string * float * (unit -> unit) * (unit -> unit)) list =
   [
     ( "open-system degenerate run (medium, 20 items)",
+      1.3,
       opaque overhead_closed,
       opaque overhead_open_degenerate );
     ( "open-system bounded Poisson run (medium, 20 items)",
+      1.3,
       opaque overhead_closed,
       opaque overhead_open_bounded );
+    ( "fault machinery armed, no faults (medium, 20 items)",
+      fault_overhead_gate,
+      opaque overhead_closed,
+      opaque overhead_faults_inert );
   ]
 
 let sim_tests =
@@ -788,17 +820,19 @@ let sim_json path =
   let pairs = measure_pairs cfg sim_pairs in
   let overheads =
     List.map
-      (fun (name, closed, opened) ->
+      (fun (name, gate, closed, opened) ->
         let closed_ns = measure (name ^ " [closed]") closed in
         let open_ns = measure (name ^ " [open]") opened in
-        Printf.printf "%-48s %12.0f -> %10.0f ns/run (%5.2fx overhead)\n%!"
-          name closed_ns open_ns (open_ns /. closed_ns);
+        Printf.printf
+          "%-48s %12.0f -> %10.0f ns/run (%5.2fx overhead, gate %.2fx)\n%!"
+          name closed_ns open_ns (open_ns /. closed_ns) gate;
         Obs.Json.Obj
           [
             ("name", Obs.Json.Str name);
             ("closed_ns", Obs.Json.Num closed_ns);
             ("open_ns", Obs.Json.Num open_ns);
             ("ratio", Obs.Json.Num (open_ns /. closed_ns));
+            ("gate", Obs.Json.Num gate);
           ])
       overhead_pairs
   in
@@ -830,7 +864,10 @@ let sim_json path =
   write_json path doc
 
 (* The open-system machinery may cost something, but not much: fail when
-   a recorded closed-vs-open ratio exceeds this. *)
+   a recorded closed-vs-open ratio exceeds this.  An entry can carry its
+   own tighter ceiling in a "gate" member (the fault-machinery pair is
+   recorded at 1.05x); this global is the default for entries without
+   one, including files recorded before gates existed. *)
 let max_open_overhead = 1.3
 
 let load_json path =
@@ -891,12 +928,16 @@ let check_sim_json path =
       let name =
         match str_member "name" entry with Some s -> s | None -> "<unnamed>"
       in
+      let gate =
+        match num_member "gate" entry with
+        | Some g -> g
+        | None -> max_open_overhead
+      in
       match num_member "ratio" entry with
-      | Some r when r <= max_open_overhead ->
-          Printf.printf "ok   %-48s %5.2fx overhead\n" name r
+      | Some r when r <= gate ->
+          Printf.printf "ok   %-48s %5.2fx overhead (gate %.2fx)\n" name r gate
       | Some r ->
-          Printf.printf "FAIL %-48s %5.2fx overhead > %.1fx\n" name r
-            max_open_overhead;
+          Printf.printf "FAIL %-48s %5.2fx overhead > %.2fx\n" name r gate;
           incr bad
       | None ->
           Printf.printf "FAIL %-48s missing overhead ratio\n" name;
@@ -908,8 +949,9 @@ let check_sim_json path =
     exit 1
   end;
   Printf.printf
-    "%s: %d pair(s) at or above break-even, %d overhead(s) within %.1fx\n" path
-    n_pairs (List.length overheads) max_open_overhead
+    "%s: %d pair(s) at or above break-even, %d overhead(s) within their \
+     gates\n"
+    path n_pairs (List.length overheads)
 
 (* --check-sched-json PATH: regression guard over the committed scheduler
    trajectory — break-even pairs as above, plus the million-task

@@ -103,6 +103,7 @@ let measure config ~hazard_per_kitem ~rng algo inst =
           reconfig_delay = config.reconfig_items *. p;
           max_items_per_epoch = config.horizon_items + 8;
           overload = None;
+          faults = None;
         }
       in
       let report = Stream_ops.run ~config:ops_config ~rng ~throughput mapping in

@@ -20,6 +20,12 @@ let required_counters =
     "sim.drops";
     "sim.queue.enqueued";
     "sim.queue.blocked";
+    "sim.retries";
+    "sim.gray.slowdowns";
+    "sim.gray.degradations";
+    "sim.faults.transient";
+    "sim.faults.exhausted";
+    "ops.evictions";
     "ops.recovery.crashes";
     "ops.recovery.epochs";
     "ops.recovery.attempts";
@@ -38,6 +44,7 @@ let required_histograms =
     "sim.heap_size";
     "sim.epoch.items";
     "sim.queue.occupancy";
+    "sim.retry_backoff_time";
     "ops.recovery.downtime";
     "rel.defeat_cuts";
   ]

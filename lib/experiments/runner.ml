@@ -177,6 +177,17 @@ let all =
           ignore (Fig_traffic.run ~out_dir ~jobs ~config ()));
     };
     {
+      name = "faults";
+      description =
+        "Extension M: fault injection — retry/backoff vs transient fault \
+         rate, gray stragglers, correlated failure domains, eviction";
+      run =
+        (fun ~workload:_ ~quick ~seed ~jobs ~exact:_ ~out_dir ->
+          let config = if quick then Fig_faults.quick else Fig_faults.default in
+          let config = { config with Fig_faults.seed } in
+          ignore (Fig_faults.run ~out_dir ~jobs ~config ()));
+    };
+    {
       name = "convergence";
       description =
         "Extension J: Monte-Carlo crash estimates vs the exact calculus";

@@ -32,3 +32,28 @@ val lifetimes :
     horizon grows monotonically with [λ] (common random numbers, the
     property the chaos suite's availability-monotonicity assertion leans
     on). *)
+
+(** Correlated crash draws: processors grouped into failure domains
+    (racks, power feeds) share a Marshall–Olkin common shock. *)
+type correlation = {
+  domains : Faults.Domains.t;  (** the partition into failure domains *)
+  shock_lambda : float;
+      (** rate of each domain's common-shock exponential; [0] =
+          independent crashes (exactly {!lifetimes}) *)
+}
+
+val correlated_lifetimes :
+  rng:Rng.t -> hazard -> correlation -> Platform.t -> (Platform.proc * float) list
+(** Common-shock crash draws: processor [u] crashes at
+    [min(own_u, shock_{dom(u)})] where [own_u] is its {!lifetimes}
+    exponential and each domain's shock is exponential with rate
+    [shock_lambda] — every member of a shocked domain dies at the same
+    instant (same [t], distinct processors).  Per-processor quanta are
+    drawn first, in processor order — the exact stream prefix
+    {!lifetimes} consumes — then one shock quantum per domain, in domain
+    order; hence [shock_lambda = 0] reproduces the independent timeline
+    bit-identically, and along the [shock_lambda] axis crash sets are
+    nested (common random numbers), mirroring the λ-monotonicity of
+    {!lifetimes}.
+    @raise Invalid_argument if [λ < 0], [shock_lambda < 0], or the
+    domains partition a different number of processors. *)

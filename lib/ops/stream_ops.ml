@@ -5,6 +5,12 @@ type overload = {
   burst_window : float;
 }
 
+type fault_injection = {
+  engine_faults : Faults.t;
+  eviction_threshold : int;
+  review_window : float;
+}
+
 type config = {
   horizon : float;
   hazard : Failure_gen.hazard;
@@ -12,6 +18,7 @@ type config = {
   reconfig_delay : float;
   max_items_per_epoch : int;
   overload : overload option;
+  faults : fault_injection option;
 }
 
 let default_config =
@@ -22,6 +29,7 @@ let default_config =
     reconfig_delay = 5.0;
     max_items_per_epoch = 256;
     overload = None;
+    faults = None;
   }
 
 type decision =
@@ -54,6 +62,7 @@ type epoch = {
 type report = {
   epochs : epoch list;
   crashes : int;
+  evictions : int;
   injected : int;
   delivered : int;
   dropped : int;
@@ -73,6 +82,7 @@ let touch () =
       "ops.recovery.epochs";
       "ops.recovery.items_lost";
       "ops.recovery.items_capped";
+      "ops.evictions";
       "sim.epoch.resumes";
     ]
 
@@ -101,6 +111,16 @@ let run ?(config = default_config) ~rng ~throughput m0 =
         invalid_arg "Stream_ops.run: overload burst_factor < 1";
       if not (Float.is_finite o.burst_window) || o.burst_window < 0.0 then
         invalid_arg "Stream_ops.run: negative overload burst_window");
+  (match config.faults with
+  | None -> ()
+  | Some fi ->
+      Faults.validate
+        ~procs:(Platform.size (Mapping.platform m0))
+        fi.engine_faults;
+      if fi.eviction_threshold < 1 then
+        invalid_arg "Stream_ops.run: eviction_threshold < 1";
+      if not (Float.is_finite fi.review_window) || fi.review_window <= 0.0 then
+        invalid_arg "Stream_ops.run: review_window must be positive and finite");
   Obs.with_span "ops.recovery.timeline" @@ fun () ->
   touch ();
   let plat0 = Mapping.platform m0 in
@@ -199,6 +219,88 @@ let run ?(config = default_config) ~rng ~throughput m0 =
      [burst_until] — through a bounded queue that sheds or blocks. *)
   let burst_until = ref neg_infinity in
   let total_dropped = ref 0 in
+  (* Current platform index of an original processor, or [-1] when the
+     processor is absent from the current (possibly restricted) platform. *)
+  let index_of orig_p =
+    let found = ref (-1) in
+    Array.iteri (fun i op -> if op = orig_p then found := i) !procs;
+    !found
+  in
+  (* Transient/gray operation state.  The scenario names original
+     processors; each epoch runs on the current platform, so the engine
+     faults are reindexed per epoch (entries whose processor has left the
+     deployment are dropped — probabilistic rates are unaffected).
+     [exh_counts] accumulates per-original-processor retry exhaustions
+     across epochs; crossing the eviction threshold escalates to a
+     fail-stop eviction through the normal recovery chain. *)
+  let exh_counts = Array.make (Platform.size plat0) 0 in
+  let evictions = ref 0 in
+  let current_faults () =
+    match config.faults with
+    | None -> Faults.none
+    | Some fi ->
+        let f = fi.engine_faults in
+        let tw ws =
+          List.filter_map
+            (fun (u, t0, t1) ->
+              let i = index_of u in
+              if i >= 0 then Some (i, t0, t1) else None)
+            ws
+        in
+        let t = f.Faults.transient in
+        let transient =
+          {
+            t with
+            Faults.Transient.exec_windows = tw t.Faults.Transient.exec_windows;
+            comm_windows = tw t.Faults.Transient.comm_windows;
+          }
+        in
+        let g = f.Faults.gray in
+        let gray =
+          {
+            Faults.Gray.stragglers =
+              List.filter_map
+                (fun (u, w) ->
+                  let i = index_of u in
+                  if i >= 0 then Some (i, w) else None)
+                g.Faults.Gray.stragglers;
+            links =
+              List.filter_map
+                (fun ((s, d), w) ->
+                  let i = index_of s and j = index_of d in
+                  if i >= 0 && j >= 0 then Some ((i, j), w) else None)
+                g.Faults.Gray.links;
+          }
+        in
+        { f with Faults.transient; gray }
+  in
+  let absorb_exhaustions run_result =
+    match (config.faults, run_result) with
+    | Some _, Some r ->
+        Array.iteri
+          (fun i c ->
+            if c > 0 then begin
+              let orig = !procs.(i) in
+              exh_counts.(orig) <- exh_counts.(orig) + c
+            end)
+          r.Engine.faults.Engine.exhausted_on
+    | _ -> ()
+  in
+  let eviction_candidate () =
+    match config.faults with
+    | None -> None
+    | Some fi ->
+        let found = ref None in
+        Array.iteri
+          (fun orig c ->
+            if !found = None && c >= fi.eviction_threshold then begin
+              let cur = index_of orig in
+              if cur >= 0 && not (List.mem cur !down) then
+                found := Some (orig, cur)
+            end)
+          exh_counts;
+        !found
+  in
   (* Run the stream from the surviving-state snapshot at [!clock] until
      [t_end], injecting at the current period, with an optional fail-stop
      crash during the window. *)
@@ -216,10 +318,20 @@ let run ?(config = default_config) ~rng ~throughput m0 =
           if n_items = 0 then None
           else
             Some
-              (Engine.run_compiled
-                 ~snapshot:{ Engine.clock = !clock; down = !down }
-                 ~n_items ~period:p ~timed_failures !compiled)
+              (Engine.simulate
+                 ~config:
+                   {
+                     Engine.Run.traffic =
+                       Engine.Run.Closed { n_items; period = Some p };
+                     snapshot = Some { Engine.clock = !clock; down = !down };
+                     failed = [];
+                     timed_failures;
+                     metrics = true;
+                     faults = current_faults ();
+                   }
+                 !compiled)
         in
+        absorb_exhaustions run_result;
         (n_items, capped, run_result)
     | Some o ->
         (* The arrival grid mixes two deterministic rates: the burst
@@ -256,35 +368,62 @@ let run ?(config = default_config) ~rng ~throughput m0 =
                      failed = [];
                      timed_failures;
                      metrics = true;
+                     faults = current_faults ();
                    }
                  !compiled)
         in
         (match run_result with
         | Some r -> total_dropped := !total_dropped + r.Engine.dropped
         | None -> ());
+        absorb_exhaustions run_result;
         (n_items, capped, run_result)
-  in
-  (* Current platform index of an original processor, or [-1] when the
-     processor is absent from the current (possibly restricted) platform. *)
-  let index_of orig_p =
-    let found = ref (-1) in
-    Array.iteri (fun i op -> if op = orig_p then found := i) !procs;
-    !found
   in
   let rec loop timeline =
     if !clock >= config.horizon then ()
     else
       match timeline with
-      | [] ->
-          (* Quiet tail: run out to the horizon and stop. *)
-          let t_start = !clock in
-          let n_items, capped, run_result =
-            play ~t_end:config.horizon ~crash_now:None
-          in
-          clock := config.horizon;
-          record_epoch ~t_start ~t_end:config.horizon ~crash:None
-            ~downtime:0.0 ~decision:Ran_clean ~run_result ~n_items ~capped
-            ~extra_lost:0
+      | [] -> (
+          match config.faults with
+          | None ->
+              (* Quiet tail: run out to the horizon and stop. *)
+              let t_start = !clock in
+              let n_items, capped, run_result =
+                play ~t_end:config.horizon ~crash_now:None
+              in
+              clock := config.horizon;
+              record_epoch ~t_start ~t_end:config.horizon ~crash:None
+                ~downtime:0.0 ~decision:Ran_clean ~run_result ~n_items ~capped
+                ~extra_lost:0
+          | Some fi ->
+              (* Faulty quiet tail: chunk into review windows so the
+                 escalation policy gets a periodic look at the exhaustion
+                 ledger.  A processor that crossed the eviction threshold
+                 is evicted — a synthetic fail-stop driven through the
+                 normal recovery chain at the review instant. *)
+              let rec quiet () =
+                if !clock < config.horizon then begin
+                  let t_start = !clock in
+                  let t_end =
+                    Float.min config.horizon (!clock +. fi.review_window)
+                  in
+                  let n_items, capped, run_result =
+                    play ~t_end ~crash_now:None
+                  in
+                  clock := t_end;
+                  record_epoch ~t_start ~t_end ~crash:None ~downtime:0.0
+                    ~decision:Ran_clean ~run_result ~n_items ~capped
+                    ~extra_lost:0;
+                  (match eviction_candidate () with
+                  | Some (orig_p, cur) ->
+                      incr evictions;
+                      Obs.incr "ops.evictions";
+                      Obs.with_span "ops.recovery.epoch" (fun () ->
+                          handle_crash ~orig_p ~t_c:!clock ~cur)
+                  | None -> ());
+                  quiet ()
+                end
+              in
+              quiet ())
       | (orig_p, t_c) :: rest ->
           let cur = index_of orig_p in
           if cur < 0 || List.mem cur !down then
@@ -362,6 +501,7 @@ let run ?(config = default_config) ~rng ~throughput m0 =
   {
     epochs = List.rev !epochs;
     crashes = !crashes;
+    evictions = !evictions;
     injected = !injected;
     delivered = !delivered;
     dropped = !total_dropped;

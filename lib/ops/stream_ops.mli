@@ -34,6 +34,29 @@ type overload = {
   burst_window : float;  (** burst length after a restoration (time units) *)
 }
 
+(** Transient/gray fault operation: the engine-level scenario plus the
+    escalation policy that turns repeated retry exhaustion into an
+    eviction.  [engine_faults] names {e original} processors; each epoch
+    reindexes it onto the current (possibly restricted) platform,
+    dropping entries whose processor has left the deployment.  When a
+    processor accumulates [eviction_threshold] retry exhaustions
+    ({!Engine.fault_stats}[.exhausted_on]) across epochs, it is evicted:
+    a synthetic fail-stop driven through {!Recovery_policy.react}, with
+    the same downtime, service-level degradation and epoch record as a
+    real crash (counted in {!report.evictions}, not
+    {!report.crashes}).  Quiet stretches are chunked into
+    [review_window]-long epochs so the ledger is reviewed periodically;
+    crash-bounded epochs are reviewed only at the crash. *)
+type fault_injection = {
+  engine_faults : Faults.t;  (** transient + retry + gray scenario *)
+  eviction_threshold : int;
+      (** cumulative retry exhaustions on one processor that trigger
+          its eviction, ≥ 1 *)
+  review_window : float;
+      (** how often the quiet-tail epochs review the exhaustion
+          ledger (time units), > 0 *)
+}
+
 type config = {
   horizon : float;  (** simulated operation time (time units) *)
   hazard : Failure_gen.hazard;  (** crash arrival law *)
@@ -48,11 +71,14 @@ type config = {
   overload : overload option;
       (** [None] (the default) runs the legacy closed-system epochs,
           bit-identical to the pre-overload API *)
+  faults : fault_injection option;
+      (** [None] (the default) runs fault-free epochs, bit-identical to
+          the pre-faults API *)
 }
 
 val default_config : config
 (** 400 time units, uniform λ = 10⁻³, policy-default retries, delay 5,
-    at most 256 items per epoch, no overload. *)
+    at most 256 items per epoch, no overload, no fault injection. *)
 
 type decision =
   | Ran_clean  (** no crash in the epoch *)
@@ -85,6 +111,9 @@ type epoch = {
 type report = {
   epochs : epoch list;  (** in time order *)
   crashes : int;  (** crashes that hit live processors *)
+  evictions : int;
+      (** processors evicted after crossing the retry-exhaustion
+          threshold; [0] without fault injection *)
   injected : int;
   delivered : int;
   dropped : int;
@@ -114,6 +143,8 @@ val run :
     Deterministic for a given [rng] state.
     @raise Invalid_argument if [m] is incomplete, [throughput ≤ 0], or
     the config has a non-positive/non-finite horizon, a negative
-    reconfiguration delay, a per-epoch item cap below 1, or an overload
+    reconfiguration delay, a per-epoch item cap below 1, an overload
     with [queue_bound < 1], [burst_factor < 1] or a negative
-    [burst_window]. *)
+    [burst_window], or a fault injection whose scenario fails
+    {!Faults.validate}, whose [eviction_threshold < 1], or whose
+    [review_window] is not positive and finite. *)

@@ -21,6 +21,11 @@
 type model =
   | Uniform_crashes of int
   | Independent of (Platform.proc -> float)
+  | Correlated of {
+      domains : Faults.Domains.t;
+      p_shock : int -> float;
+      p_fail : Platform.proc -> float;
+    }
 
 type t = {
   t_mapping : Mapping.t;
@@ -373,6 +378,45 @@ let independent_probability ~pfail cuts =
   in
   go cuts
 
+(* Marshall–Olkin evaluation: condition on the set of shocked domains.
+   Given the shock pattern, processors are independent again — members of
+   a shocked domain are dead with probability 1, everyone else with its
+   idiosyncratic [p_fail] — so each of the [2^D] terms is one
+   [independent_probability] call weighted by the pattern's probability.
+   Exact, and exponential only in the domain count, which the cap keeps
+   honest. *)
+let max_correlated_domains = 20
+
+let correlated_probability t ~domains ~p_shock ~p_fail cuts =
+  if Faults.Domains.procs domains <> t.t_procs then
+    invalid_arg "Reliability: Correlated domains partition a different platform";
+  let n_domains = Faults.Domains.count domains in
+  if n_domains > max_correlated_domains then
+    invalid_arg "Reliability: Correlated model limited to 20 domains";
+  let ps =
+    Array.init n_domains (fun d ->
+        let q = p_shock d in
+        if not (q >= 0.0 && q <= 1.0) then
+          invalid_arg "Reliability: Correlated shock probability outside [0, 1]";
+        q)
+  in
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl n_domains) - 1 do
+    let weight = ref 1.0 in
+    for d = 0 to n_domains - 1 do
+      weight :=
+        !weight *. (if mask land (1 lsl d) <> 0 then ps.(d) else 1.0 -. ps.(d))
+    done;
+    if !weight > 0.0 then begin
+      let pfail u =
+        if mask land (1 lsl (Faults.Domains.domain_of domains u)) <> 0 then 1.0
+        else check_pfail ~pfail:p_fail u
+      in
+      total := !total +. (!weight *. independent_probability ~pfail cuts)
+    end
+  done;
+  !total
+
 let check_uniform t c =
   if c < 0 || c > t.t_procs then
     invalid_arg "Reliability: crash count outside [0, m]";
@@ -387,6 +431,10 @@ let probability t cuts = function
       if t.t_max_card <> max_int then
         invalid_arg "Reliability: Independent model needs an unpruned analysis";
       independent_probability ~pfail cuts
+  | Correlated { domains; p_shock; p_fail } ->
+      if t.t_max_card <> max_int then
+        invalid_arg "Reliability: Correlated model needs an unpruned analysis";
+      correlated_probability t ~domains ~p_shock ~p_fail cuts
 
 (* ---- uniform enumeration fast path ------------------------------------- *)
 
@@ -428,7 +476,7 @@ let uniform_enumeration t ~crashes =
   (!defeated /. total, dist)
 
 let enumerable t ~budget = function
-  | Independent _ -> None
+  | Independent _ | Correlated _ -> None
   | Uniform_crashes c ->
       check_uniform t c;
       if binom t.t_procs c <= float_of_int budget then Some c else None

@@ -49,6 +49,25 @@ type model =
   | Independent of (Platform.proc -> float)
       (** Each processor [u] dead independently with probability
           [f u] (the fail-stop model of {!Failure_gen}-style hazards). *)
+  | Correlated of {
+      domains : Faults.Domains.t;
+          (** partition of the processors into failure domains (racks);
+              must cover exactly the analysis' platform *)
+      p_shock : int -> float;
+          (** probability the domain's common shock fires, killing every
+              member; indexed by domain *)
+      p_fail : Platform.proc -> float;
+          (** idiosyncratic failure probability of a processor whose
+              domain was not shocked *)
+    }
+      (** Marshall–Olkin dependence: a processor is dead iff its own
+          independent failure fires {e or} its domain's common shock
+          does — the static counterpart of
+          [Failure_gen.correlated_lifetimes].  [p_shock d = 0]
+          everywhere degenerates to [Independent p_fail] exactly.
+          Evaluated by conditioning on the [2^D] shock patterns (each
+          conditional is an independent-model Shannon sum), so the
+          domain count is capped at 20. *)
 
 val analyze : ?max_cut_card:int -> Mapping.t -> t
 (** Build the calculus for a complete mapping.  [max_cut_card] (default:
@@ -84,9 +103,11 @@ val defeat_probability : ?enumerate_below:int -> t -> model -> float
     two equal); the knob never changes the result, only the work.
 
     @raise Invalid_argument if the model is out of range ([c < 0] or
-    [c > m]), if [c] exceeds the pruning horizon, or if [Independent] is
-    asked of a pruned analysis (or returns a probability outside
-    [0, 1]). *)
+    [c > m]), if [c] exceeds the pruning horizon, if [Independent] or
+    [Correlated] is asked of a pruned analysis (or returns a
+    probability outside [0, 1]), or if a [Correlated] model has more
+    than 20 domains or domains that partition a different platform
+    size. *)
 
 val survival_probability : ?enumerate_below:int -> t -> model -> float
 (** [1 - defeat_probability]. *)

@@ -60,26 +60,6 @@ let sampled_fold ~rand_int ~crashes ~runs p ~init ~f =
   in
   loop 0 init
 
-let stats_impl ~rand_int ~crashes ~runs p =
-  let total, count, defeated =
-    sampled_fold ~rand_int ~crashes ~runs p ~init:(0.0, 0, 0)
-      ~f:(fun (total, count, defeated) o ->
-        match o.latency with
-        | Some l -> (total +. l, count + 1, defeated)
-        | None -> (total, count, defeated + 1))
-  in
-  {
-    mean = (if count = 0 then None else Some (total /. float_of_int count));
-    draws = runs;
-    defeated_draws = defeated;
-  }
-
-let exact_rate_impl ~crashes m =
-  if crashes < 0 || crashes > Platform.size (Mapping.platform m) then
-    invalid_arg "Crash.exact_defeat_rate: crash count outside [0, m]";
-  let t = Reliability.analyze ~max_cut_card:crashes m in
-  Reliability.defeat_probability t (Reliability.Uniform_crashes crashes)
-
 let int_binom n k =
   if k < 0 || k > n then 0
   else begin
@@ -197,32 +177,3 @@ let estimate ~source ~method_ =
         est_mean = e.degraded_mean;
         est_failed = [];
       }
-
-(* ---- deprecated wrappers: thin views over the same internals ---------- *)
-
-let with_failures_compiled p ~failed = replay p ~failed
-let with_failures m ~failed = replay (Engine.compile m) ~failed
-let sample_compiled ~rand_int ~crashes p = sample_impl ~rand_int ~crashes p
-let sample ~rand_int ~crashes m = sample_impl ~rand_int ~crashes (Engine.compile m)
-
-let mean_latency_stats_compiled ~rand_int ~crashes ~runs p =
-  stats_impl ~rand_int ~crashes ~runs p
-
-(* Compile once, replay per draw: the program carries every per-mapping
-   table, so the draw loop only pays the event simulation itself. *)
-let mean_latency_stats ~rand_int ~crashes ~runs m =
-  stats_impl ~rand_int ~crashes ~runs (Engine.compile m)
-
-let mean_latency ~rand_int ~crashes ~runs m =
-  (mean_latency_stats ~rand_int ~crashes ~runs m).mean
-
-let exact_defeat_rate ~crashes m = exact_rate_impl ~crashes m
-
-let exact_defeat_rate_compiled ~crashes p =
-  exact_rate_impl ~crashes (Engine.program_mapping p)
-
-let exact_latency_stats_compiled ?max_evaluations ~crashes p =
-  exact_stats_impl ?max_evaluations ~crashes p
-
-let exact_latency_stats ?max_evaluations ~crashes m =
-  exact_stats_impl ?max_evaluations ~crashes (Engine.compile m)

@@ -6,9 +6,9 @@
     replays failure scenarios through {!Engine} behind one entry point:
     {!estimate} evaluates a {!source} (a mapping, or a program already
     compiled) under a {!method_} — a fixed failure set, Monte-Carlo
-    sampling, or exact enumeration.  The legacy per-shape functions
-    ([sample], [mean_latency_stats], [exact_latency_stats], …) survive one
-    release as deprecated wrappers with bit-identical behavior. *)
+    sampling, or exact enumeration.  (The pre-[estimate] per-shape
+    functions lived one release as deprecated wrappers and are gone;
+    the CI grep guard keeps them from coming back.) *)
 
 type outcome = {
   failed : Platform.proc list;  (** the processors that were failed *)
@@ -102,71 +102,3 @@ val estimate : source:source -> method_:method_ -> estimate
     @raise Invalid_argument if the mapping is incomplete, [crashes] is
     outside [0, m], [draws < 0], or an [Exact] enumeration exceeds its
     [max_evaluations] budget. *)
-
-(** {2 Deprecated wrappers}
-
-    The pre-[estimate] API: ten shape-specific entry points, kept one
-    release for out-of-tree callers.  Each is a thin wrapper around the
-    same internals {!estimate} uses, so results (including every random
-    draw and recorded metric) are bit-identical to the old functions. *)
-
-val with_failures : Mapping.t -> failed:Platform.proc list -> outcome
-[@@deprecated "use Crash.estimate ~source:(Of_mapping m) ~method_:(Fixed failed)"]
-
-val with_failures_compiled :
-  Engine.program -> failed:Platform.proc list -> outcome
-[@@deprecated "use Crash.estimate ~source:(Of_program p) ~method_:(Fixed failed)"]
-
-val sample :
-  rand_int:(int -> int) ->
-  crashes:int ->
-  Mapping.t ->
-  outcome
-[@@deprecated "use Crash.estimate with Sampled {draws = 1; _}"]
-
-val sample_compiled :
-  rand_int:(int -> int) ->
-  crashes:int ->
-  Engine.program ->
-  outcome
-[@@deprecated "use Crash.estimate with Sampled {draws = 1; _}"]
-
-val mean_latency_stats :
-  rand_int:(int -> int) ->
-  crashes:int ->
-  runs:int ->
-  Mapping.t ->
-  stats
-[@@deprecated "use Crash.estimate with Sampled {draws = runs; _}"]
-
-val mean_latency_stats_compiled :
-  rand_int:(int -> int) ->
-  crashes:int ->
-  runs:int ->
-  Engine.program ->
-  stats
-[@@deprecated "use Crash.estimate with Sampled {draws = runs; _}"]
-
-val mean_latency :
-  rand_int:(int -> int) ->
-  crashes:int ->
-  runs:int ->
-  Mapping.t ->
-  float option
-[@@deprecated "use (Crash.estimate with Sampled _).est_mean"]
-
-val exact_defeat_rate : crashes:int -> Mapping.t -> float
-[@@deprecated
-  "use Reliability.defeat_probability (analytic) or Crash.estimate with Exact _"]
-
-val exact_defeat_rate_compiled : crashes:int -> Engine.program -> float
-[@@deprecated
-  "use Reliability.defeat_probability (analytic) or Crash.estimate with Exact _"]
-
-val exact_latency_stats :
-  ?max_evaluations:int -> crashes:int -> Mapping.t -> exact
-[@@deprecated "use Crash.estimate with Exact _"]
-
-val exact_latency_stats_compiled :
-  ?max_evaluations:int -> crashes:int -> Engine.program -> exact
-[@@deprecated "use Crash.estimate with Exact _"]

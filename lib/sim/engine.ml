@@ -11,6 +11,31 @@ type message = {
   msg_finish : float;
 }
 
+(* What the fault machinery did during one run; [no_faults] when the
+   scenario was Faults.none (the fast path records nothing). *)
+type fault_stats = {
+  retries : int;
+  backoff_time : float;
+  exec_faults : int;
+  comm_faults : int;
+  exhausted : int;
+  exhausted_on : int array;
+  slowed_attempts : int;
+  degraded_transfers : int;
+}
+
+let no_faults =
+  {
+    retries = 0;
+    backoff_time = 0.0;
+    exec_faults = 0;
+    comm_faults = 0;
+    exhausted = 0;
+    exhausted_on = [||];
+    slowed_attempts = 0;
+    degraded_transfers = 0;
+  }
+
 type result = {
   start_time : int -> Replica.id -> float option;
   finish_time : int -> Replica.id -> float option;
@@ -24,6 +49,7 @@ type result = {
   stalled : int;
   peak_queue : int;
   stall_time : float;
+  faults : fault_stats;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -238,6 +264,7 @@ module Run = struct
     failed : Platform.proc list;
     timed_failures : (Platform.proc * float) list;
     metrics : bool;
+    faults : Faults.t;
   }
 
   let closed ?(n_items = 1) ?period () =
@@ -247,6 +274,7 @@ module Run = struct
       failed = [];
       timed_failures = [];
       metrics = true;
+      faults = Faults.none;
     }
 
   let open_ ?queue_bound ?(policy = Block) ?rng ~n_items arrival =
@@ -256,7 +284,10 @@ module Run = struct
       failed = [];
       timed_failures = [];
       metrics = true;
+      faults = Faults.none;
     }
+
+  let with_faults faults config = { config with faults }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -277,6 +308,7 @@ type pmsg = {
   pm_pos : int;  (* predecessor position in the destination's sat slab *)
   pm_dst_alive : bool;
   pm_seq : int;
+  pm_attempt : int;  (* 1-based transfer attempt, for the retry draws *)
 }
 
 type event =
@@ -288,6 +320,14 @@ type event =
       (* wake-up when a crash-lost transfer releases its ports: the
          transfer never arrives, but other pending messages must get a
          chance to claim the port *)
+  | Exec_failed of int
+      (* a transient execution fault surfaces after the full attempt
+         duration (the timeout): the processor frees, the instance is
+         re-driven after the backoff or abandoned *)
+  | Comm_failed of pmsg
+      (* a transient transfer fault surfaces at the transfer's end: both
+         ports were held for the whole failed attempt *)
+  | Requeue of pmsg  (* a backed-off transfer re-enters the pending set *)
 
 (* The resolved traffic of one run: [ot_offsets] is empty for a closed
    run and carries the materialized arrival offsets of an open one. *)
@@ -302,7 +342,7 @@ let closed_plan =
   { ot_open = false; ot_offsets = [||]; ot_bound = max_int; ot_drop = false }
 
 let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
-    ~traffic ~metrics p =
+    ~traffic ~metrics ~faults p =
   if n_items < 1 then invalid_arg "Engine.run: n_items < 1";
   let clock = snapshot.clock in
   if clock < 0.0 || not (Float.is_finite clock) then
@@ -317,6 +357,15 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
   let copies = p.p_copies in
   let n_rids = p.p_rids and n_procs = p.p_procs in
   let prio = p.p_prio and proc_of = p.p_proc in
+  (* Fault scenario.  [fz] guards every fault-model touch point: when the
+     scenario is Faults.none the run takes exactly the legacy code path —
+     no draws, no factor multiplies, no extra allocations — and stays
+     bit-identical to the pre-faults engine. *)
+  let fz = Faults.is_none faults in
+  if not fz then Faults.validate ~procs:n_procs faults;
+  let transient = faults.Faults.transient
+  and retry = faults.Faults.retry
+  and gray = faults.Faults.gray in
   (* fail_time.(u) is when the processor crashes (fail-stop): work and
      transfers completing strictly later are lost.  A crash at or before
      the snapshot clock is the paper's fail-silent-from-the-start case and
@@ -361,6 +410,14 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
     p.p_topo;
   (* Per-instance state: iidx = item * n_rids + rid. *)
   let total = n_items * n_rids in
+  (* Fault ledger: execution attempt counters per instance, exhaustion
+     counts per processor, and the run-wide tallies of the result's
+     [fault_stats].  Allocated only when the scenario is live. *)
+  let attempts = if fz then [||] else Array.make total 0 in
+  let exhausted_on = if fz then [||] else Array.make n_procs 0 in
+  let f_retries = ref 0 and f_backoff = ref 0.0 in
+  let f_exec = ref 0 and f_comm = ref 0 and f_exhausted = ref 0 in
+  let f_slowed = ref 0 and f_degraded = ref 0 in
   let starts = Array.make total nan and finishes = Array.make total nan in
   let unsatisfied = Array.make total 0 in
   (* Which predecessor positions are already satisfied, one byte per
@@ -476,7 +533,7 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
       let d =
         Array.make (max 4 (2 * len))
           { pm_src = 0; pm_dst = 0; pm_dst_rid = 0; pm_dp = 0; pm_dur = 0.0;
-            pm_pos = 0; pm_dst_alive = false; pm_seq = 0 }
+            pm_pos = 0; pm_dst_alive = false; pm_seq = 0; pm_attempt = 1 }
       in
       Array.blit pend_data.(u) 0 d 0 len;
       pend_data.(u) <- d
@@ -628,11 +685,38 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
       then begin
         let iidx = ready_pop u in
         let dur = p.p_exec_dur.(iidx mod n_rids) in
+        (* Gray straggler: the factor active at the attempt's start
+           stretches the whole attempt. *)
+        let dur =
+          if fz then dur
+          else begin
+            let f = Faults.Gray.exec_factor gray ~proc:u ~at:now in
+            if f = 1.0 then dur
+            else begin
+              incr f_slowed;
+              if obs then Obs.incr "sim.gray.slowdowns";
+              dur *. f
+            end
+          end
+        in
         starts.(iidx) <- now;
         running.(u) <- true;
         busy_until.(u) <- now +. dur;
         if now +. dur <= fail_time.(u) then begin
-          Event_heap.add events (now +. dur) (Finish iidx);
+          (* Transient execution fault: decided at dispatch, surfaced
+             only when the full attempt duration has elapsed (the
+             timeout) — the processor is busy for the whole attempt
+             either way. *)
+          let failing =
+            (not fz)
+            && begin
+                 attempts.(iidx) <- attempts.(iidx) + 1;
+                 Faults.Transient.exec_fails transient ~proc:u ~key:iidx
+                   ~attempt:attempts.(iidx) ~at:now
+               end
+          in
+          Event_heap.add events (now +. dur)
+            (if failing then Exec_failed iidx else Finish iidx);
           observe_heap ()
         end
         (* else: the crash interrupts this execution; the processor
@@ -691,21 +775,45 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
       | Some msg ->
           pend_remove !best_u !best_i;
           let sp = !best_u and dp = msg.pm_dp in
-          send_free.(sp) <- now +. msg.pm_dur;
-          if fail_time.(dp) > now then recv_free.(dp) <- now +. msg.pm_dur;
-          if
-            now +. msg.pm_dur <= fail_time.(sp)
-            && now +. msg.pm_dur <= fail_time.(dp)
+          (* Gray link degradation: the factor active at commit time
+             stretches the whole transfer on both ports. *)
+          let dur =
+            if fz then msg.pm_dur
+            else begin
+              let f = Faults.Gray.comm_factor gray ~src:sp ~dst:dp ~at:now in
+              if f = 1.0 then msg.pm_dur
+              else begin
+                incr f_degraded;
+                if obs then Obs.incr "sim.gray.degradations";
+                msg.pm_dur *. f
+              end
+            end
+          in
+          send_free.(sp) <- now +. dur;
+          if fail_time.(dp) > now then recv_free.(dp) <- now +. dur;
+          if now +. dur <= fail_time.(sp) && now +. dur <= fail_time.(dp)
           then begin
-            (* The transfer will arrive: reserve the destination's queue
-               slot now, so concurrent senders see the occupancy. *)
-            if open_mode && msg.pm_dst_alive then charge now msg.pm_dst;
-            Event_heap.add events (now +. msg.pm_dur) (Arrival (msg, now))
+            (* Transient transfer fault: decided at commit, surfaced when
+               the full transfer duration has elapsed (the timeout) — the
+               ports are held for the whole attempt either way. *)
+            let failing =
+              (not fz)
+              && Faults.Transient.comm_fails transient ~src:sp ~key:msg.pm_seq
+                   ~attempt:msg.pm_attempt ~at:now
+            in
+            if failing then
+              Event_heap.add events (now +. dur) (Comm_failed msg)
+            else begin
+              (* The transfer will arrive: reserve the destination's queue
+                 slot now, so concurrent senders see the occupancy. *)
+              if open_mode && msg.pm_dst_alive then charge now msg.pm_dst;
+              Event_heap.add events (now +. dur) (Arrival (msg, now))
+            end
           end
           else
             (* the crash loses the transfer in flight, but the ports still
                free up and waiting messages must be woken *)
-            Event_heap.add events (now +. msg.pm_dur) Port_free;
+            Event_heap.add events (now +. dur) Port_free;
           observe_heap ();
           dispatch_msgs now
     end
@@ -798,6 +906,7 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
                 pm_pos = p.p_cons_pos.(k);
                 pm_dst_alive = dst_alive;
                 pm_seq = seq;
+                pm_attempt = 1;
               }
           end
         done
@@ -812,6 +921,59 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
           };
         if msg.pm_dst_alive then satisfy msg.pm_dst msg.pm_pos
     | Port_free -> makespan := Float.max !makespan now
+    | Exec_failed iidx ->
+        (* The attempt timed out: the processor was busy for the whole
+           attempt and only now learns it produced nothing. *)
+        let u = proc_of.(iidx mod n_rids) in
+        running.(u) <- false;
+        makespan := Float.max !makespan now;
+        incr f_exec;
+        if obs then Obs.incr "sim.faults.transient";
+        if attempts.(iidx) <= retry.Faults.Backoff.max_retries then begin
+          let d = Faults.Backoff.delay retry ~attempt:attempts.(iidx) in
+          incr f_retries;
+          f_backoff := !f_backoff +. d;
+          if obs then begin
+            Obs.incr "sim.retries";
+            Obs.observe "sim.retry_backoff_time" d
+          end;
+          Event_heap.add events (now +. d) (Inject iidx);
+          observe_heap ()
+        end
+        else begin
+          (* Retry budget exhausted: the instance is abandoned and its
+             consumers starve — the gap escalation policies react to. *)
+          incr f_exhausted;
+          exhausted_on.(u) <- exhausted_on.(u) + 1;
+          if obs then Obs.incr "sim.faults.exhausted"
+        end
+    | Comm_failed msg ->
+        makespan := Float.max !makespan now;
+        incr f_comm;
+        if obs then Obs.incr "sim.faults.transient";
+        if msg.pm_attempt <= retry.Faults.Backoff.max_retries then begin
+          let d = Faults.Backoff.delay retry ~attempt:msg.pm_attempt in
+          incr f_retries;
+          f_backoff := !f_backoff +. d;
+          if obs then begin
+            Obs.incr "sim.retries";
+            Obs.observe "sim.retry_backoff_time" d
+          end;
+          Event_heap.add events (now +. d)
+            (Requeue { msg with pm_attempt = msg.pm_attempt + 1 });
+          observe_heap ()
+        end
+        else begin
+          (* Exhaustion is charged to the sender's port — it did all the
+             (re)work — mirroring exec attribution to the executor. *)
+          incr f_exhausted;
+          let sp = proc_of.(msg.pm_src mod n_rids) in
+          exhausted_on.(sp) <- exhausted_on.(sp) + 1;
+          if obs then Obs.incr "sim.faults.exhausted"
+        end
+    | Requeue msg ->
+        makespan := Float.max !makespan now;
+        pend_push proc_of.(msg.pm_src mod n_rids) msg
   in
   let rec loop () =
     match Event_heap.pop_min events with
@@ -906,6 +1068,19 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
     stalled = (if open_mode then n_items - !next_admit else 0);
     peak_queue = !peak_queue;
     stall_time = !stall_time;
+    faults =
+      (if fz then no_faults
+       else
+         {
+           retries = !f_retries;
+           backoff_time = !f_backoff;
+           exec_faults = !f_exec;
+           comm_faults = !f_comm;
+           exhausted = !f_exhausted;
+           exhausted_on;
+           slowed_attempts = !f_slowed;
+           degraded_transfers = !f_degraded;
+         });
   }
 
 let simulate ~(config : Run.config) p =
@@ -932,7 +1107,7 @@ let simulate ~(config : Run.config) p =
   let go () =
     let snapshot = Option.value snapshot ~default:boot in
     run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
-      ~traffic ~metrics:config.Run.metrics p
+      ~traffic ~metrics:config.Run.metrics ~faults:config.Run.faults p
   in
   if not config.Run.metrics then go ()
   else
@@ -943,6 +1118,11 @@ let simulate ~(config : Run.config) p =
         Obs.touch "sim.drops";
         Obs.touch "sim.queue.enqueued";
         Obs.touch "sim.queue.blocked";
+        Obs.touch "sim.retries";
+        Obs.touch "sim.gray.slowdowns";
+        Obs.touch "sim.gray.degradations";
+        Obs.touch "sim.faults.transient";
+        Obs.touch "sim.faults.exhausted";
         Obs.incr
           ~by:(List.length failed + List.length timed_failures)
           "sim.failures_injected";
@@ -966,6 +1146,7 @@ let run_compiled ?snapshot ?(n_items = 1) ?period ?(failed = [])
         failed;
         timed_failures;
         metrics = true;
+        faults = Faults.none;
       }
     p
 

@@ -65,6 +65,27 @@ type message = {
   msg_finish : float;
 }
 
+(** Fault-model accounting of one run: what the transient / gray fault
+    machinery actually did.  All zeros (and an empty [exhausted_on])
+    when the run's {!Faults.t} is {!Faults.none} — the fault-free fast
+    path does not allocate the ledger. *)
+type fault_stats = {
+  retries : int;  (** re-driven attempts (execution + transfer) *)
+  backoff_time : float;  (** total backoff delay inserted before retries *)
+  exec_faults : int;  (** transient execution faults suffered *)
+  comm_faults : int;  (** transient transfer faults suffered *)
+  exhausted : int;  (** work units abandoned after the retry budget *)
+  exhausted_on : int array;
+      (** per-processor exhaustion counts (executor for execution
+          faults, sender for transfer faults) — the signal the
+          operations layer's eviction policy reads *)
+  slowed_attempts : int;  (** executions stretched by a straggler window *)
+  degraded_transfers : int;  (** transfers stretched by a link window *)
+}
+
+val no_faults : fault_stats
+(** The all-zero ledger of a fault-free run. *)
+
 type result = {
   start_time : (int -> Replica.id -> float option);
       (** execution start of an instance; [None] when dead *)
@@ -96,6 +117,9 @@ type result = {
   stall_time : float;
       (** total backpressure wait [Σ (injection - arrival)] over the
           admitted items; [0.] closed *)
+  faults : fault_stats;
+      (** what the fault model did to this run; {!no_faults} when the
+          config's [faults] is {!Faults.none} *)
 }
 
 type program
@@ -168,6 +192,22 @@ module Run : sig
         (** per-run metrics gate: [false] skips every [sim.*] counter,
             histogram and span of this run even when {!Obs.enabled} —
             for probe runs that must not pollute a profile *)
+    faults : Faults.t;
+        (** transient faults, retry policy and gray failures applied to
+            the run.  {!Faults.none} (the builders' default) takes a
+            fast path that is bit-identical to the pre-faults engine.
+            Semantics: a transient execution fault consumes the whole
+            attempt duration on its processor before being detected (a
+            timeout), a transient transfer fault holds both ports for
+            the whole attempt; retries are re-driven after the backoff
+            delay and charged against the same one-port model, so
+            faults genuinely inflate latency.  A work unit that fails
+            [max_retries + 1] times is abandoned: the instance (and
+            everything downstream of it that has no other alive source)
+            never completes, and the exhaustion is counted against its
+            processor in {!result.faults}[.exhausted_on].  Gray
+            straggler / link windows multiply the duration of attempts
+            starting inside them. *)
   }
 
   val closed : ?n_items:int -> ?period:float -> unit -> config
@@ -186,6 +226,10 @@ module Run : sig
       metrics on.  [queue_bound] defaults to unbounded and [policy] to
       {!Block} — the degenerate point where a [Deterministic] arrival
       process reproduces the closed system bit-identically. *)
+
+  val with_faults : Faults.t -> config -> config
+  (** [{ config with faults }] — attach a fault scenario to any
+      config. *)
 end
 
 val simulate : config:Run.config -> program -> result

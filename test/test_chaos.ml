@@ -43,7 +43,7 @@ let mapping_of seed =
        ~platform:inst.Paper_workload.plat ~eps
        ~throughput:(Paper_workload.throughput ~eps))
 
-let operate ?(overload = None) ~seed ~pressure mapping =
+let operate ?(overload = None) ?(faults = None) ~seed ~pressure mapping =
   let throughput = Paper_workload.throughput ~eps in
   let p = Float.max (1.0 /. throughput) (Metrics.period mapping) in
   let config =
@@ -54,6 +54,7 @@ let operate ?(overload = None) ~seed ~pressure mapping =
       reconfig_delay = 2.0 *. p;
       max_items_per_epoch = horizon_items + 8;
       overload;
+      faults;
     }
   in
   (* The operations RNG depends on the seed only, never on the pressure:
@@ -224,6 +225,73 @@ let chaos_tests =
           legacy.Stream_ops.injected quiet.Stream_ops.injected;
         Fixtures.check_int "same deliveries as the closed path"
           legacy.Stream_ops.delivered quiet.Stream_ops.delivered);
+    case "retry exhaustion escalates to eviction through the recovery chain"
+      (fun () ->
+        (* No crashes at all: the only pressure is a processor stuck in a
+           permanent exec-fault window with a one-retry budget.  Every
+           instance dispatched to it times out twice and is abandoned;
+           the exhaustion ledger crosses the threshold at a review
+           instant and the machine is evicted — a synthetic fail-stop
+           that must flow through the same recovery chain as a crash. *)
+        let mapping = mapping_of 11 in
+        let victim =
+          (* a processor that actually executes work *)
+          let n = Platform.size (Mapping.platform mapping) in
+          let load = Array.make n 0 in
+          Mapping.iter mapping (fun r ->
+              load.(r.Replica.proc) <- load.(r.Replica.proc) + 1);
+          let best = ref 0 in
+          Array.iteri (fun u c -> if c > load.(!best) then best := u) load;
+          !best
+        in
+        let throughput = Paper_workload.throughput ~eps in
+        let p = Float.max (1.0 /. throughput) (Metrics.period mapping) in
+        let faults =
+          Some
+            {
+              Stream_ops.engine_faults =
+                {
+                  Faults.transient =
+                    {
+                      Faults.Transient.none with
+                      Faults.Transient.exec_windows = [ (victim, 0.0, 1e15) ];
+                    };
+                  retry = Faults.Backoff.make ~max_retries:1 ();
+                  gray = Faults.Gray.none;
+                };
+              eviction_threshold = 3;
+              review_window = float_of_int horizon_items *. p /. 8.0;
+            }
+        in
+        let report = operate ~faults ~seed:11 ~pressure:0.0 mapping in
+        check_true
+          (Printf.sprintf "the victim was evicted (%d evictions)"
+             report.Stream_ops.evictions)
+          (report.Stream_ops.evictions >= 1);
+        Fixtures.check_int "an eviction is not a crash" 0
+          report.Stream_ops.crashes;
+        check_true "the eviction went through the recovery chain"
+          (List.exists
+             (fun ep ->
+               match ep.Stream_ops.decision with
+               | Stream_ops.Restored _ -> true
+               | _ -> false)
+             report.Stream_ops.epochs);
+        check_true "the evicted processor closes its epoch"
+          (List.exists
+             (fun ep ->
+               match ep.Stream_ops.crash with
+               | Some (p, _) -> p = victim
+               | None -> false)
+             report.Stream_ops.epochs);
+        check_true "post-eviction epochs deliver again"
+          (report.Stream_ops.availability > 0.0);
+        let again = operate ~faults ~seed:11 ~pressure:0.0 mapping in
+        Fixtures.check_int "deterministic eviction count"
+          report.Stream_ops.evictions again.Stream_ops.evictions;
+        check_true "deterministic availability bits"
+          (Int64.bits_of_float report.Stream_ops.availability
+          = Int64.bits_of_float again.Stream_ops.availability));
   ]
 
 let () = Alcotest.run "chaos" [ ("recovery-engine", chaos_tests) ]

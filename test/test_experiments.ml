@@ -277,7 +277,7 @@ let fig_tests =
           [ "fig3a"; "fig3b"; "fig3c"; "fig4a"; "fig4b"; "fig4c";
             "examples"; "baselines"; "complexity"; "symmetric";
             "ablation"; "pipeline"; "optgap"; "families"; "topology"; "cost";
-            "recovery"; "convergence"; "latency" ];
+            "recovery"; "convergence"; "latency"; "faults" ];
         check_true "unknown name" (Runner.find "fig9z" = None));
     slow_case "pipeline validation sustains the desired throughput" (fun () ->
         let rows =

@@ -301,17 +301,21 @@ let report_tests =
     case "validate_string rejects invalid JSON" (fun () ->
         check_true "rejected" (Result.is_error (Obs_report.validate_string "{")));
     slow_case
-      "a latency+recovery+convergence+traffic run satisfies --check-metrics"
+      "a latency+recovery+convergence+traffic+faults run satisfies \
+       --check-metrics"
       (fun () ->
         with_obs (fun () ->
-            (* The documented key set spans all four profiles: the
+            (* The documented key set spans all five profiles: the
                latency experiment covers the scheduler/simulator/sweep
                keys, the recovery experiment the ops.recovery.* family,
                the traffic experiment the sim.queue.* / sim.drops
                open-system keys (only open runs record the occupancy
-               histogram), and the convergence + exact-recovery runs the
-               rel.* calculus keys — the same set CI profiles for
-               --check-metrics.  [exact:true] matters: the recovery
+               histogram), the convergence + exact-recovery runs the
+               rel.* calculus keys, and the faults experiment the
+               sim.retries / sim.gray.* / sim.faults.* / ops.evictions
+               family (the sim.retry_backoff_time histogram only exists
+               once a retry actually fires) — the same set CI profiles
+               for --check-metrics.  [exact:true] matters: the recovery
                survival curve analyses under the [Independent] model,
                the only caller guaranteed to take the antichain
                evaluator and record the rel.defeat_cuts histogram
@@ -323,7 +327,7 @@ let report_tests =
               (fun name ->
                 let e = Option.get (Runner.find name) in
                 e.Runner.run ~workload:None ~quick:true ~seed:7 ~jobs:2 ~exact:true ~out_dir)
-              [ "latency"; "recovery"; "convergence"; "traffic" ];
+              [ "latency"; "recovery"; "convergence"; "traffic"; "faults" ];
             let json = Obs.Registry.to_json (Obs.snapshot ()) in
             match Obs_report.validate_string json with
             | Ok () -> ()

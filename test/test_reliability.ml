@@ -510,6 +510,170 @@ let validation_errors () =
       ignore
         (Reliability.defeat_probability pruned (Reliability.Independent (fun _ -> 0.1))))
 
+(* ------------------------------------------------------------------ *)
+(* Correlated failure domains (Marshall–Olkin common shocks)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Exhaustive ground truth: condition on every shock pattern, then sum
+   over every idiosyncratic pattern with the oracle as defeat predicate
+   — the definition the 2^D evaluation must reproduce. *)
+let brute_force_correlated t ~domains ~p_shock ~p_fail =
+  let m = Reliability.procs t in
+  let n_domains = Faults.Domains.count domains in
+  let total = ref 0.0 in
+  for shock_mask = 0 to (1 lsl n_domains) - 1 do
+    let weight = ref 1.0 in
+    for d = 0 to n_domains - 1 do
+      let p = p_shock d in
+      weight := !weight *. (if shock_mask land (1 lsl d) <> 0 then p else 1.0 -. p)
+    done;
+    if !weight > 0.0 then
+      for idio_mask = 0 to (1 lsl m) - 1 do
+        let prob = ref !weight in
+        let failed = ref [] in
+        for u = m - 1 downto 0 do
+          let shocked =
+            shock_mask land (1 lsl Faults.Domains.domain_of domains u) <> 0
+          in
+          let idio = idio_mask land (1 lsl u) <> 0 in
+          let q = p_fail u in
+          prob := !prob *. (if idio then q else 1.0 -. q);
+          if shocked || idio then failed := u :: !failed
+        done;
+        if !prob > 0.0 && Reliability.defeated_by t ~failed:!failed then
+          total := !total +. !prob
+      done
+  done;
+  !total
+
+let prop_correlated_matches_brute_force =
+  QCheck.Test.make ~name:"correlated evaluation equals exhaustive conditioning"
+    ~count:10 seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let procs = Platform.size prob.Types.platform in
+          let domains = Faults.Domains.racks ~size:3 ~procs in
+          let p_shock d = 0.02 +. (0.03 *. float_of_int d) in
+          let p_fail u = 0.05 +. (0.01 *. float_of_int u) in
+          let exact =
+            Reliability.defeat_probability t
+              (Reliability.Correlated { domains; p_shock; p_fail })
+          in
+          Float.abs
+            (exact -. brute_force_correlated t ~domains ~p_shock ~p_fail)
+          < 1e-9)
+
+let prop_zero_shock_degenerates_to_independent =
+  QCheck.Test.make ~name:"p_shock = 0 equals the Independent model exactly"
+    ~count:15 seed_arb (fun seed ->
+      match schedule_of_seed seed with
+      | None -> QCheck.assume_fail ()
+      | Some (prob, m) ->
+          let t = Reliability.analyze m in
+          let procs = Platform.size prob.Types.platform in
+          let domains = Faults.Domains.racks ~size:2 ~procs in
+          let p_fail u = 0.03 +. (0.02 *. float_of_int u) in
+          let correlated =
+            Reliability.defeat_probability t
+              (Reliability.Correlated
+                 { domains; p_shock = (fun _ -> 0.0); p_fail })
+          in
+          let independent =
+            Reliability.defeat_probability t (Reliability.Independent p_fail)
+          in
+          Float.abs (correlated -. independent) < 1e-12)
+
+(* The mirrored chain is defeated only when both processors die, so the
+   correlated probability is computable by hand: with both processors in
+   one domain of shock probability s and idiosyncratic probability q,
+   P(defeat) = s + (1 - s) q².  Splitting a total marginal p = 0.2 at
+   correlation 1/2 (s = 0.1, q = 1 - 0.8/0.9 = 1/9) gives exactly 1/9 —
+   nearly three times the independent p² = 0.04.  Pinned: any drift is a
+   semantic change to the calculus. *)
+let correlated_mirrored_chain () =
+  let t = Reliability.analyze (mirrored_chain ()) in
+  let domains = Faults.Domains.make ~procs:2 [ [ 0; 1 ] ] in
+  let evaluate ~s ~q =
+    Reliability.defeat_probability t
+      (Reliability.Correlated
+         { domains; p_shock = (fun _ -> s); p_fail = (fun _ -> q) })
+  in
+  Fixtures.check_float "correlated defeat (rho = 1/2)" (1.0 /. 9.0)
+    (evaluate ~s:0.1 ~q:(1.0 /. 9.0));
+  Fixtures.check_float "independent baseline" 0.04
+    (Reliability.defeat_probability t (Reliability.Independent (fun _ -> 0.2)));
+  Fixtures.check_float "pure shock (rho = 1)" 0.2 (evaluate ~s:0.2 ~q:0.0);
+  Fixtures.check_float "no shock (rho = 0)" 0.04 (evaluate ~s:0.0 ~q:0.2)
+
+(* Monte-Carlo cross-validation of the same model: draw the shock and
+   the idiosyncratic failures, replay the oracle.  Seed-pinned, so the
+   estimate is deterministic and the gate is a convergence bound, not a
+   flaky statistical test. *)
+let correlated_mc_cross_check () =
+  let t = Reliability.analyze (mirrored_chain ()) in
+  let domains = Faults.Domains.make ~procs:2 [ [ 0; 1 ] ] in
+  let s = 0.1 and q = 1.0 /. 9.0 in
+  let exact =
+    Reliability.defeat_probability t
+      (Reliability.Correlated
+         { domains; p_shock = (fun _ -> s); p_fail = (fun _ -> q) })
+  in
+  let rng = Rng.create ~seed:2009 in
+  let draws = 20_000 in
+  let defeated = ref 0 in
+  for _ = 1 to draws do
+    let shocked = Rng.bool rng s in
+    let failed = ref [] in
+    for u = 1 downto 0 do
+      if shocked || Rng.bool rng q then failed := u :: !failed
+    done;
+    if Reliability.defeated_by t ~failed:!failed then incr defeated
+  done;
+  let mc = float_of_int !defeated /. float_of_int draws in
+  Fixtures.check_float_eps 0.01 "MC within the convergence gate" exact mc
+
+let correlated_validation_errors () =
+  let t = Reliability.analyze (mirrored_chain ()) in
+  Alcotest.check_raises "mismatched platform"
+    (Invalid_argument
+       "Reliability: Correlated domains partition a different platform")
+    (fun () ->
+      ignore
+        (Reliability.defeat_probability t
+           (Reliability.Correlated
+              {
+                domains = Faults.Domains.racks ~size:2 ~procs:4;
+                p_shock = (fun _ -> 0.1);
+                p_fail = (fun _ -> 0.1);
+              })));
+  Alcotest.check_raises "shock probability out of range"
+    (Invalid_argument
+       "Reliability: Correlated shock probability outside [0, 1]")
+    (fun () ->
+      ignore
+        (Reliability.defeat_probability t
+           (Reliability.Correlated
+              {
+                domains = Faults.Domains.make ~procs:2 [ [ 0; 1 ] ];
+                p_shock = (fun _ -> 1.5);
+                p_fail = (fun _ -> 0.1);
+              })));
+  let pruned = Reliability.analyze ~max_cut_card:1 (unreplicated_chain ()) in
+  Alcotest.check_raises "needs the unpruned analysis"
+    (Invalid_argument
+       "Reliability: Correlated model needs an unpruned analysis")
+    (fun () ->
+      ignore
+        (Reliability.defeat_probability pruned
+           (Reliability.Correlated
+              {
+                domains = Faults.Domains.racks ~size:1 ~procs:3;
+                p_shock = (fun _ -> 0.1);
+                p_fail = (fun _ -> 0.1);
+              })))
+
 (* Pinned analytic defeat probabilities for the deterministic seed
    workload (Rng seed 42, R-LTF best-effort).  These are ground truth for
    future reliability changes: any drift here is a semantic change to the
@@ -575,6 +739,18 @@ let () =
             prop_exact_siblings_agree;
           ] );
       ("convergence", List.map to_alcotest [ prop_mc_converges_to_exact ]);
+      ( "correlated",
+        List.map to_alcotest
+          [
+            prop_correlated_matches_brute_force;
+            prop_zero_shock_degenerates_to_independent;
+          ]
+        @ [
+            case "pinned correlated vs independent defeat rates"
+              correlated_mirrored_chain;
+            case "Monte-Carlo cross-validation" correlated_mc_cross_check;
+            case "validation errors" correlated_validation_errors;
+          ] );
       ( "units",
         [
           case "unreplicated chain cut sets" chain_cut_sets;
