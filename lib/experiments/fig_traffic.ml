@@ -124,18 +124,27 @@ let measure config ~profile ~load ~rng algo inst =
           (arrival_process profile ~rate ~period:p)
       in
       let trace = Arrival.Trace (Array.to_list offsets) in
-      let prog = Engine.compile mapping in
+      let prog = Program_cache.program mapping in
+      (* One arena serves both runs of this sweep point (they execute
+         sequentially), and neither run records per-transfer messages —
+         the point only needs latency percentiles and queue counters. *)
+      let state = Engine.Run_state.create prog in
       let open_run =
-        Engine.simulate
-          ~config:(Engine.Run.open_ ~n_items:config.n_items trace)
+        Engine.simulate ~state
+          ~config:
+            (Engine.Run.without_messages
+               (Engine.Run.open_ ~n_items:config.n_items trace))
           prog
       in
-      let q = Stats.quantiles (Engine.sojourns open_run) in
+      let sojourn_buf = Array.make config.n_items 0.0 in
+      let delivered = Engine.sojourns_into open_run sojourn_buf in
+      let q = Stats.quantiles_slice sojourn_buf ~len:delivered in
       let shed_run =
-        Engine.simulate
+        Engine.simulate ~state
           ~config:
-            (Engine.Run.open_ ~queue_bound:config.queue_bound
-               ~policy:Engine.Run.Drop_newest ~n_items:config.n_items trace)
+            (Engine.Run.without_messages
+               (Engine.Run.open_ ~queue_bound:config.queue_bound
+                  ~policy:Engine.Run.Drop_newest ~n_items:config.n_items trace))
           prog
       in
       Some

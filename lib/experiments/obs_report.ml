@@ -25,6 +25,10 @@ let required_counters =
     "sim.gray.degradations";
     "sim.faults.transient";
     "sim.faults.exhausted";
+    "sim.cache.hits";
+    "sim.cache.misses";
+    "sim.arena.creates";
+    "sim.arena.reuses";
     "ops.evictions";
     "ops.recovery.crashes";
     "ops.recovery.epochs";

@@ -252,7 +252,8 @@ let all =
                   ignore (Engine.run_compiled ~n_items:4 prog);
                   ignore
                     (Crash.estimate ~source:(Crash.Of_program prog)
-                       ~method_:(Crash.Sampled { crashes = 1; draws = 1; rng }));
+                       ~method_:(Crash.Sampled { crashes = 1; draws = 1; rng })
+                       ());
                   incr replayed)
             (List.init graphs Fun.id);
           Printf.printf "event-driven replay: %d/%d instances simulated\n"

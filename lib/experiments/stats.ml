@@ -94,7 +94,7 @@ let quantiles values =
    median-of-three pivots, so heavy duplicate runs — e.g. the latencies
    of a synchronous schedule, where thousands of items share one value —
    don't degrade to quadratic like Lomuto would.  Permutes [a]. *)
-let nth_in_place a k =
+let nth_slice a ~len k =
   let swap i j =
     if i <> j then begin
       let t = a.(i) in
@@ -102,7 +102,7 @@ let nth_in_place a k =
       a.(j) <- t
     end
   in
-  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let lo = ref 0 and hi = ref (len - 1) in
   while !lo < !hi do
     let l = !lo and h = !hi in
     let mid = l + ((h - l) / 2) in
@@ -132,28 +132,33 @@ let nth_in_place a k =
   done;
   a.(k)
 
-let percentile_in_place p a =
+let percentile_slice p a ~len =
   if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
     invalid_arg "Stats.percentile: p outside [0, 100]";
-  let n = Array.length a in
-  if n = 0 then nan
+  if len < 0 || len > Array.length a then
+    invalid_arg "Stats.percentile_slice: len outside [0, length]";
+  if len = 0 then nan
   else begin
-    let h = p /. 100.0 *. float_of_int (n - 1) in
+    let h = p /. 100.0 *. float_of_int (len - 1) in
     let lo = int_of_float (Float.floor h) in
-    let hi = min (lo + 1) (n - 1) in
-    let vlo = nth_in_place a lo in
-    let vhi = if hi = lo then vlo else nth_in_place a hi in
+    let hi = min (lo + 1) (len - 1) in
+    let vlo = nth_slice a ~len lo in
+    let vhi = if hi = lo then vlo else nth_slice a ~len hi in
     vlo +. ((h -. float_of_int lo) *. (vhi -. vlo))
   end
 
-let quantiles_in_place a =
+let percentile_in_place p a = percentile_slice p a ~len:(Array.length a)
+
+let quantiles_slice a ~len =
   {
-    q_n = Array.length a;
-    p50 = percentile_in_place 50.0 a;
-    p95 = percentile_in_place 95.0 a;
-    p99 = percentile_in_place 99.0 a;
-    p999 = percentile_in_place 99.9 a;
+    q_n = len;
+    p50 = percentile_slice 50.0 a ~len;
+    p95 = percentile_slice 95.0 a ~len;
+    p99 = percentile_slice 99.0 a ~len;
+    p999 = percentile_slice 99.9 a ~len;
   }
+
+let quantiles_in_place a = quantiles_slice a ~len:(Array.length a)
 
 type reservoir = {
   r_buf : float array;
@@ -182,7 +187,9 @@ let reservoir_count r = r.r_seen
 
 let reservoir_quantiles r =
   let kept = min r.r_seen (Array.length r.r_buf) in
-  let q = quantiles_in_place (Array.sub r.r_buf 0 kept) in
+  (* Selecting over the prefix in place is safe: the reservoir is an
+     unordered multiset, so permuting retained slots changes nothing. *)
+  let q = quantiles_slice r.r_buf ~len:kept in
   (* Report the true sample size: the quantiles are estimates over the
      retained subsample, but q_n = 0 must keep meaning "no data". *)
   { q with q_n = r.r_seen }

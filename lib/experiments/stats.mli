@@ -58,6 +58,19 @@ val quantiles_in_place : float array -> quantiles
 (** {!quantiles} by repeated selection, O(n) expected and no sorted
     copy.  Permutes the array. *)
 
+val percentile_slice : float -> float array -> len:int -> float
+(** {!percentile_in_place} restricted to the prefix [a.(0 .. len - 1)];
+    slots at and past [len] are neither read nor moved.  The hot-path
+    variant for callers that reuse one preallocated buffer and fill a
+    varying prefix per iteration (e.g. {!Engine.sojourns_into}) — no
+    per-call [Array.sub] copy.  Permutes the prefix.
+    @raise Invalid_argument when [p] is outside [0, 100] or [len] is
+    outside [0, Array.length a]. *)
+
+val quantiles_slice : float array -> len:int -> quantiles
+(** {!quantiles_in_place} over the prefix [a.(0 .. len - 1)]; same
+    contract as {!percentile_slice}.  [q_n = len]. *)
+
 type reservoir
 (** Bounded-memory uniform subsample of a stream (Vitter's algorithm R),
     for quantile summaries of samples too large to materialize. *)

@@ -139,10 +139,15 @@ let run ?(config = default_config) ~rng ~throughput m0 =
      processors in current indices (their replicas were moved away by the
      in-place restorations, but the engine still prunes them). *)
   let mapping = ref m0 in
-  (* The engine program for the current mapping: compiled once here and
-     recompiled only when a restoration swaps the mapping, so every epoch
-     of a quiet stretch replays the same program. *)
-  let compiled = ref (Engine.compile m0) in
+  (* The engine program for the current mapping: fetched once here (from
+     the shared compiled-program cache, so a timeline replayed on a
+     mapping content seen before skips the compile) and refreshed only
+     when a restoration swaps the mapping, so every epoch of a quiet
+     stretch replays the same program.  [arena] holds the engine's run
+     state across epochs — recreated with the program, reused by every
+     epoch in between, so a quiet stretch allocates no slabs at all. *)
+  let compiled = ref (Program_cache.program m0) in
+  let arena = ref (Engine.Run_state.create !compiled) in
   let procs = ref (Array.init (Platform.size plat0) Fun.id) in
   let down = ref [] in
   let tolerance = ref (Mapping.eps m0) in
@@ -318,7 +323,7 @@ let run ?(config = default_config) ~rng ~throughput m0 =
           if n_items = 0 then None
           else
             Some
-              (Engine.simulate
+              (Engine.simulate ~state:!arena
                  ~config:
                    {
                      Engine.Run.traffic =
@@ -327,6 +332,9 @@ let run ?(config = default_config) ~rng ~throughput m0 =
                      failed = [];
                      timed_failures;
                      metrics = true;
+                     (* epochs read latencies and fault stats, never the
+                        per-transfer log *)
+                     record_messages = false;
                      faults = current_faults ();
                    }
                  !compiled)
@@ -352,7 +360,7 @@ let run ?(config = default_config) ~rng ~throughput m0 =
           if n_items = 0 then None
           else
             Some
-              (Engine.simulate
+              (Engine.simulate ~state:!arena
                  ~config:
                    {
                      Engine.Run.traffic =
@@ -368,6 +376,7 @@ let run ?(config = default_config) ~rng ~throughput m0 =
                      failed = [];
                      timed_failures;
                      metrics = true;
+                     record_messages = false;
                      faults = current_faults ();
                    }
                  !compiled)
@@ -466,7 +475,8 @@ let run ?(config = default_config) ~rng ~throughput m0 =
           ~decision:(Restored o.level) ~run_result ~n_items ~capped
           ~extra_lost:dt_lost;
         mapping := o.mapping;
-        compiled := Engine.compile o.mapping;
+        compiled := Program_cache.program o.mapping;
+        arena := Engine.Run_state.create !compiled;
         procs := Array.map (fun i -> !procs.(i)) o.procs;
         tolerance := o.tolerance;
         (match o.level with

@@ -22,8 +22,8 @@ let defeat_rate s =
 
 (* ---- shared internals: every public shape is a view over these -------- *)
 
-let replay p ~failed =
-  let latency = Engine.latency_compiled ~failed p in
+let replay ?state p ~failed =
+  let latency = Engine.latency_compiled ?state ~failed p in
   { failed; latency; defeated = latency = None }
 
 let draw_distinct ~rand_int ~count ~bound =
@@ -37,7 +37,7 @@ let draw_distinct ~rand_int ~count ~bound =
   in
   pick [] count
 
-let sample_impl ~rand_int ~crashes p =
+let sample_impl ?state ~rand_int ~crashes p =
   Obs.with_span "sim.crash.sample" (fun () ->
       Obs.incr "sim.crash.draws";
       Obs.touch "sim.crash.defeats";
@@ -45,20 +45,9 @@ let sample_impl ~rand_int ~crashes p =
       if crashes > n_procs then
         invalid_arg "Crash.sample: more crashes than processors";
       let failed = draw_distinct ~rand_int ~count:crashes ~bound:n_procs in
-      let outcome = replay p ~failed in
+      let outcome = replay ?state p ~failed in
       if outcome.defeated then Obs.incr "sim.crash.defeats";
       outcome)
-
-(* The sampling loop, parameterized over an accumulator so the stats
-   wrapper and [estimate] (which also keeps the last failure set) consume
-   exactly the same draws. *)
-let sampled_fold ~rand_int ~crashes ~runs p ~init ~f =
-  if runs < 0 then invalid_arg "Crash.mean_latency_stats: negative run count";
-  let rec loop i acc =
-    if i >= runs then acc
-    else loop (i + 1) (f acc (sample_impl ~rand_int ~crashes p))
-  in
-  loop 0 init
 
 let int_binom n k =
   if k < 0 || k > n then 0
@@ -82,11 +71,13 @@ let exact_stats_impl ?(max_evaluations = 1_000_000) ~crashes p =
       let total = int_binom n_procs crashes in
       if total > max_evaluations then
         invalid_arg "Crash.exact_latency_stats: enumeration over budget";
+      (* One arena for the whole enumeration. *)
+      let state = Engine.Run_state.create p in
       let sum = ref 0.0 and survivors = ref 0 and defeated = ref 0 in
       (* next processor to pick >= [from]; [chosen] in decreasing order *)
       let rec enumerate chosen from remaining =
         if remaining = 0 then begin
-          match (replay p ~failed:(List.rev chosen)).latency with
+          match (replay ~state p ~failed:(List.rev chosen)).latency with
           | Some l ->
               sum := !sum +. l;
               incr survivors
@@ -126,10 +117,17 @@ type estimate = {
 }
 
 let program_of = function
-  | Of_mapping m -> Engine.compile m
+  | Of_mapping m -> Program_cache.program m
   | Of_program p -> p
 
-let estimate ~source ~method_ =
+(* Draws are processed in fixed-size chunks whose partial sums are folded
+   in chunk-index order.  The chunking is a function of the draw count
+   alone — never of the worker count — so the float-addition order (and
+   therefore the estimate, bitwise) is the same at every [jobs], and
+   [jobs = 1] takes the very same fold. *)
+let chunk_size = 32
+
+let estimate ?pool ?(jobs = 1) ~source ~method_ () =
   let p = program_of source in
   match method_ with
   | Fixed failed ->
@@ -144,13 +142,41 @@ let estimate ~source ~method_ =
         est_failed = failed;
       }
   | Sampled { crashes; draws; rng } ->
-      let rand_int bound = Rng.int rng bound in
+      if draws < 0 then
+        invalid_arg "Crash.mean_latency_stats: negative run count";
+      (* One child generator per draw, split off up front: draw [i]'s
+         failure set depends only on the caller's seed and [i] (common
+         random numbers), so growing [draws] extends the draw sequence
+         without disturbing its prefix, and workers need no shared RNG. *)
+      let seeds = Array.init draws (fun _ -> Rng.split rng) in
+      let n_chunks = (draws + chunk_size - 1) / chunk_size in
+      let run_chunk ci =
+        let state = Engine.Run_state.create p in
+        let lo = ci * chunk_size in
+        let hi = min draws (lo + chunk_size) in
+        let total = ref 0.0 and count = ref 0 and defeated = ref 0 in
+        let last = ref [] in
+        for i = lo to hi - 1 do
+          let rng_i = seeds.(i) in
+          let o =
+            sample_impl ~state ~rand_int:(fun b -> Rng.int rng_i b) ~crashes p
+          in
+          (match o.latency with
+          | Some l ->
+              total := !total +. l;
+              incr count
+          | None -> incr defeated);
+          last := o.failed
+        done;
+        (!total, !count, !defeated, !last)
+      in
+      let partials =
+        Parallel.map_seeded ?pool ~jobs run_chunk (List.init n_chunks Fun.id)
+      in
       let total, count, defeated, last =
-        sampled_fold ~rand_int ~crashes ~runs:draws p ~init:(0.0, 0, 0, [])
-          ~f:(fun (total, count, defeated, _) o ->
-            match o.latency with
-            | Some l -> (total +. l, count + 1, defeated, o.failed)
-            | None -> (total, count, defeated + 1, o.failed))
+        List.fold_left
+          (fun (t, c, d, _) (t', c', d', l') -> (t +. t', c + c', d + d', l'))
+          (0.0, 0, 0, []) partials
       in
       {
         est_crashes = crashes;

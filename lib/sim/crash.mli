@@ -66,9 +66,12 @@ type method_ =
       (** one deterministic replay with exactly these processors failed *)
   | Sampled of { crashes : int; draws : int; rng : Rng.t }
       (** [draws] independent uniform draws of [crashes] distinct
-          processors, replayed through the engine ([rng] is consumed;
-          pass a {!Rng.split} child to keep sweeps CRN-aligned).  Each
-          draw records the [sim.crash.draws] / [sim.crash.defeats]
+          processors, replayed through the engine.  [rng] is consumed
+          only to {!Rng.split} one child generator per draw, up front:
+          draw [i] depends on the caller's seed and [i] alone (common
+          random numbers), so growing [draws] extends the sequence
+          without disturbing its prefix, and the draws parallelize.
+          Each draw records the [sim.crash.draws] / [sim.crash.defeats]
           counters under a [sim.crash.sample] span, exactly like the
           deprecated [sample]. *)
   | Exact of { crashes : int; max_evaluations : int option }
@@ -96,9 +99,27 @@ type estimate = {
           last [Sampled] draw, or [[]] under [Exact] (no single set) *)
 }
 
-val estimate : source:source -> method_:method_ -> estimate
-(** Evaluate [source] under [method_].  [Of_mapping] compiles exactly
-    once; pass [Of_program] to amortize the compile across calls.
+val estimate :
+  ?pool:Domain_pool.t ->
+  ?jobs:int ->
+  source:source ->
+  method_:method_ ->
+  unit ->
+  estimate
+(** Evaluate [source] under [method_].  [Of_mapping] compiles at most
+    once — through the shared {!Program_cache}, so repeated estimates on
+    the same mapping content skip even that; pass [Of_program] to hold
+    the program yourself.
+
+    [Sampled] draws run through one reusable {!Engine.Run_state} arena
+    per worker (zero per-draw slab allocation) and fan out across
+    domains: [?jobs] (default 1) spawns a {!Domain_pool} of that size
+    for the call, [?pool] reuses a caller-owned pool instead (taking
+    precedence over [jobs]).  The estimate is {e bit-identical} at every
+    worker count: draws use per-draw child seeds and the partial sums
+    merge in draw order, so parallelism changes wall-clock, never the
+    result.  [Fixed] and [Exact] ignore [jobs] (a [Fixed] replay is one
+    run; [Exact] enumerates sequentially through one arena).
     @raise Invalid_argument if the mapping is incomplete, [crashes] is
     outside [0, m], [draws < 0], or an [Exact] enumeration exceeds its
     [max_evaluations] budget. *)

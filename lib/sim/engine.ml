@@ -264,6 +264,7 @@ module Run = struct
     failed : Platform.proc list;
     timed_failures : (Platform.proc * float) list;
     metrics : bool;
+    record_messages : bool;
     faults : Faults.t;
   }
 
@@ -274,6 +275,7 @@ module Run = struct
       failed = [];
       timed_failures = [];
       metrics = true;
+      record_messages = true;
       faults = Faults.none;
     }
 
@@ -284,50 +286,56 @@ module Run = struct
       failed = [];
       timed_failures = [];
       metrics = true;
+      record_messages = true;
       faults = Faults.none;
     }
 
   let with_faults faults config = { config with faults }
+  let without_messages config = { config with record_messages = false }
 end
 
 (* ------------------------------------------------------------------ *)
 (* The event engine over a compiled program                             *)
 (* ------------------------------------------------------------------ *)
 
-(* A transfer waiting for its data and for both ports.  [pm_seq] is the
+(* A transfer waiting for its data and for both ports lives in the run
+   arena's message pool — parallel arrays (structure-of-arrays, so the
+   float fields are stored unboxed) indexed by a pool handle.  Handles
+   are issued in creation order, so the handle doubles as the legacy
    insertion sequence number: the legacy engine kept pending messages in
    a most-recent-first list and its fold kept the incumbent on full
    ties, so among equal (destination priority, destination instance)
-   candidates the most recently created message commits first. *)
-type pmsg = {
-  pm_src : int;  (* src iidx, for the log *)
-  pm_dst : int;  (* dst iidx *)
-  pm_dst_rid : int;
-  pm_dp : int;  (* destination processor *)
-  pm_dur : float;
-  pm_pos : int;  (* predecessor position in the destination's sat slab *)
-  pm_dst_alive : bool;
-  pm_seq : int;
-  pm_attempt : int;  (* 1-based transfer attempt, for the retry draws *)
-}
+   candidates the most recently created message — the highest handle —
+   commits first.
 
-type event =
-  | Inject of int  (* an entry instance (iidx) becomes ready *)
-  | Arrive of int  (* open mode: an item reaches the source *)
-  | Finish of int
-  | Arrival of pmsg * float  (* commit-time start *)
-  | Port_free
-      (* wake-up when a crash-lost transfer releases its ports: the
-         transfer never arrives, but other pending messages must get a
-         chance to claim the port *)
-  | Exec_failed of int
-      (* a transient execution fault surfaces after the full attempt
-         duration (the timeout): the processor frees, the instance is
-         re-driven after the backoff or abandoned *)
-  | Comm_failed of pmsg
-      (* a transient transfer fault surfaces at the transfer's end: both
-         ports were held for the whole failed attempt *)
-  | Requeue of pmsg  (* a backed-off transfer re-enters the pending set *)
+   Events are packed into one immediate int, [(arg lsl 3) lor kind], so
+   the event heap stores no pointers and the loop allocates nothing per
+   event. *)
+
+let ev_inject = 0 (* arg: iidx — an entry instance becomes ready *)
+let ev_arrive = 1 (* arg: item — open mode: an item reaches the source *)
+let ev_finish = 2 (* arg: iidx *)
+
+let ev_arrival = 3
+(* arg: message handle; the commit-time start is in [rs_pm_commit] *)
+
+let ev_port_free = 4
+(* wake-up when a crash-lost transfer releases its ports: the transfer
+   never arrives, but other pending messages must get a chance to claim
+   the port *)
+
+let ev_exec_failed = 5
+(* arg: iidx — a transient execution fault surfaces after the full
+   attempt duration (the timeout): the processor frees, the instance is
+   re-driven after the backoff or abandoned *)
+
+let ev_comm_failed = 6
+(* arg: message handle — a transient transfer fault surfaces at the
+   transfer's end: both ports were held for the whole failed attempt *)
+
+let ev_requeue = 7
+(* arg: message handle — a backed-off transfer re-enters the pending
+   set *)
 
 (* The resolved traffic of one run: [ot_offsets] is empty for a closed
    run and carries the materialized arrival offsets of an open one. *)
@@ -341,8 +349,143 @@ type traffic_plan = {
 let closed_plan =
   { ot_open = false; ot_offsets = [||]; ot_bound = max_int; ot_drop = false }
 
-let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
-    ~traffic ~metrics ~faults p =
+(* ------------------------------------------------------------------ *)
+(* The reusable run-state arena                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every array slab [run_compiled_impl] needs, owned by the caller so a
+   draw loop (crash sampling, epochs, traffic sweeps) allocates them once
+   and replays thousands of scenarios with zero per-draw slab allocation.
+   Per-processor and per-replica slabs are sized at [create]; the
+   per-(item, replica) slabs grow geometrically on demand, since the item
+   count varies run to run.  Each run fully re-initializes the ranges it
+   uses, so a reused arena is bit-identical to a fresh one. *)
+module Run_state = struct
+  type t = {
+    rs_rids : int;
+    rs_procs : int;
+    rs_total_preds : int;
+    (* per-processor slabs *)
+    rs_fail_time : float array;
+    rs_seen_timed : bool array;
+    rs_failed_procs : bool array;
+    rs_busy_until : float array;
+    rs_running : bool array;
+    rs_send_free : float array;
+    rs_recv_free : float array;
+    rs_ready_data : int array array;
+    rs_ready_len : int array;
+    rs_pend_data : int array array;
+    rs_pend_len : int array;
+    (* per-replica slabs *)
+    rs_dead : bool array;
+    rs_occ : int array;
+    (* message pool (structure-of-arrays), grown on demand; its length
+       counter is per-run, so no reset is needed — every run writes a
+       slot before reading it, and the slots hold no pointers *)
+    mutable rs_pm_src : int array;
+    mutable rs_pm_dst : int array;
+    mutable rs_pm_dst_rid : int array;
+    mutable rs_pm_dp : int array;
+    mutable rs_pm_dur : float array;
+    mutable rs_pm_pos : int array;
+    mutable rs_pm_alive : bool array;
+    mutable rs_pm_attempt : int array;
+    mutable rs_pm_commit : float array;
+    (* per-(item, replica) slabs, grown on demand *)
+    mutable rs_starts : float array;
+    mutable rs_finishes : float array;
+    mutable rs_unsatisfied : int array;
+    mutable rs_attempts : int array;
+    mutable rs_opened : Bytes.t;
+    mutable rs_sat : Bytes.t;
+    (* event queue, message log, deferred local deliveries *)
+    rs_events : int Event_heap.t;
+    mutable rs_log : message option array;
+    mutable rs_dl_dst : int array;
+    mutable rs_dl_pos : int array;
+  }
+
+  let create p =
+    Obs.incr "sim.arena.creates";
+    let procs = p.p_procs and rids = p.p_rids in
+    {
+      rs_rids = rids;
+      rs_procs = procs;
+      rs_total_preds = p.p_total_preds;
+      rs_fail_time = Array.make procs infinity;
+      rs_seen_timed = Array.make procs false;
+      rs_failed_procs = Array.make procs false;
+      rs_busy_until = Array.make procs 0.0;
+      rs_running = Array.make procs false;
+      rs_send_free = Array.make procs 0.0;
+      rs_recv_free = Array.make procs 0.0;
+      rs_ready_data = Array.make procs [||];
+      rs_ready_len = Array.make procs 0;
+      rs_pend_data = Array.make procs [||];
+      rs_pend_len = Array.make procs 0;
+      rs_dead = Array.make rids true;
+      rs_occ = Array.make rids 0;
+      rs_pm_src = [||];
+      rs_pm_dst = [||];
+      rs_pm_dst_rid = [||];
+      rs_pm_dp = [||];
+      rs_pm_dur = [||];
+      rs_pm_pos = [||];
+      rs_pm_alive = [||];
+      rs_pm_attempt = [||];
+      rs_pm_commit = [||];
+      rs_starts = Array.make (max 1 rids) nan;
+      rs_finishes = Array.make (max 1 rids) nan;
+      rs_unsatisfied = Array.make (max 1 rids) 0;
+      rs_attempts = Array.make (max 1 rids) 0;
+      rs_opened = Bytes.make (max 1 rids) '\000';
+      rs_sat = Bytes.make (max 1 p.p_total_preds) '\000';
+      rs_events = Event_heap.create ();
+      rs_log = Array.make 64 None;
+      rs_dl_dst = [||];
+      rs_dl_pos = [||];
+    }
+
+  (* Grow the item-dependent slabs to at least the run's needs.  New
+     arrays need no fill here: the run initializes the range it uses. *)
+  let ensure st ~total ~sat_len =
+    if Array.length st.rs_starts < total then begin
+      let cap = max total (2 * Array.length st.rs_starts) in
+      st.rs_starts <- Array.make cap nan;
+      st.rs_finishes <- Array.make cap nan;
+      st.rs_unsatisfied <- Array.make cap 0;
+      st.rs_attempts <- Array.make cap 0;
+      st.rs_opened <- Bytes.make cap '\000'
+    end;
+    if Bytes.length st.rs_sat < sat_len then
+      st.rs_sat <- Bytes.make (max sat_len (2 * Bytes.length st.rs_sat)) '\000'
+
+  let reset st =
+    Array.fill st.rs_fail_time 0 st.rs_procs infinity;
+    Array.fill st.rs_seen_timed 0 st.rs_procs false;
+    Array.fill st.rs_failed_procs 0 st.rs_procs false;
+    Array.fill st.rs_busy_until 0 st.rs_procs 0.0;
+    Array.fill st.rs_running 0 st.rs_procs false;
+    Array.fill st.rs_send_free 0 st.rs_procs 0.0;
+    Array.fill st.rs_recv_free 0 st.rs_procs 0.0;
+    Array.fill st.rs_ready_len 0 st.rs_procs 0;
+    Array.fill st.rs_pend_len 0 st.rs_procs 0;
+    Array.fill st.rs_dead 0 st.rs_rids true;
+    Array.fill st.rs_occ 0 st.rs_rids 0;
+    Array.fill st.rs_starts 0 (Array.length st.rs_starts) nan;
+    Array.fill st.rs_finishes 0 (Array.length st.rs_finishes) nan;
+    Array.fill st.rs_unsatisfied 0 (Array.length st.rs_unsatisfied) 0;
+    Array.fill st.rs_attempts 0 (Array.length st.rs_attempts) 0;
+    Bytes.fill st.rs_opened 0 (Bytes.length st.rs_opened) '\000';
+    Bytes.fill st.rs_sat 0 (Bytes.length st.rs_sat) '\000';
+    Event_heap.clear st.rs_events;
+    (* Release the message references the previous run's log retained. *)
+    Array.fill st.rs_log 0 (Array.length st.rs_log) None
+end
+
+let run_compiled_impl ~state ~snapshot ~n_items ~period ~failed
+    ~timed_failures ~traffic ~metrics ~record_messages ~faults p =
   if n_items < 1 then invalid_arg "Engine.run: n_items < 1";
   let clock = snapshot.clock in
   if clock < 0.0 || not (Float.is_finite clock) then
@@ -366,13 +509,16 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
   let transient = faults.Faults.transient
   and retry = faults.Faults.retry
   and gray = faults.Faults.gray in
+  let (st : Run_state.t) = state in
   (* fail_time.(u) is when the processor crashes (fail-stop): work and
      transfers completing strictly later are lost.  A crash at or before
      the snapshot clock is the paper's fail-silent-from-the-start case and
      also prunes replicas statically (they can never produce anything). *)
-  let fail_time = Array.make n_procs infinity in
+  let fail_time = st.rs_fail_time in
+  Array.fill fail_time 0 n_procs infinity;
   List.iter (fun u -> fail_time.(u) <- 0.0) (failed @ snapshot.down);
-  let seen_timed = Array.make n_procs false in
+  let seen_timed = st.rs_seen_timed in
+  Array.fill seen_timed 0 n_procs false;
   List.iter
     (fun (u, t) ->
       if t < 0.0 then invalid_arg "Engine.run: negative failure time";
@@ -381,10 +527,14 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
       seen_timed.(u) <- true;
       fail_time.(u) <- Float.min fail_time.(u) t)
     timed_failures;
-  let failed_procs = Array.init n_procs (fun u -> fail_time.(u) <= clock) in
+  let failed_procs = st.rs_failed_procs in
+  for u = 0 to n_procs - 1 do
+    failed_procs.(u) <- fail_time.(u) <= clock
+  done;
   (* Liveness sweep: a replica is dead when its processor failed
      statically or when, for some predecessor, every source is dead. *)
-  let dead = Array.make n_rids true in
+  let dead = st.rs_dead in
+  Array.fill dead 0 n_rids true;
   Array.iter
     (fun task ->
       for copy = 0 to copies - 1 do
@@ -410,19 +560,33 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
     p.p_topo;
   (* Per-instance state: iidx = item * n_rids + rid. *)
   let total = n_items * n_rids in
+  let sat_len = n_items * p.p_total_preds in
+  Run_state.ensure st ~total ~sat_len;
   (* Fault ledger: execution attempt counters per instance, exhaustion
      counts per processor, and the run-wide tallies of the result's
-     [fault_stats].  Allocated only when the scenario is live. *)
-  let attempts = if fz then [||] else Array.make total 0 in
+     [fault_stats].  Initialized only when the scenario is live.
+     [exhausted_on] stays a fresh allocation: it is returned in the
+     result and must survive the arena's next run. *)
+  let attempts =
+    if fz then [||]
+    else begin
+      Array.fill st.rs_attempts 0 total 0;
+      st.rs_attempts
+    end
+  in
   let exhausted_on = if fz then [||] else Array.make n_procs 0 in
   let f_retries = ref 0 and f_backoff = ref 0.0 in
   let f_exec = ref 0 and f_comm = ref 0 and f_exhausted = ref 0 in
   let f_slowed = ref 0 and f_degraded = ref 0 in
-  let starts = Array.make total nan and finishes = Array.make total nan in
-  let unsatisfied = Array.make total 0 in
+  let starts = st.rs_starts and finishes = st.rs_finishes in
+  Array.fill starts 0 total nan;
+  Array.fill finishes 0 total nan;
+  let unsatisfied = st.rs_unsatisfied in
+  Array.fill unsatisfied 0 total 0;
   (* Which predecessor positions are already satisfied, one byte per
      (item, task, position). *)
-  let sat = Bytes.make (n_items * p.p_total_preds) '\000' in
+  let sat = st.rs_sat in
+  Bytes.fill sat 0 sat_len '\000';
   for item = 0 to n_items - 1 do
     for rid = 0 to n_rids - 1 do
       if not dead.(rid) then
@@ -430,10 +594,24 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
     done
   done;
   (* Processor and port state. *)
-  let busy_until = Array.make n_procs 0.0 in
-  let running = Array.make n_procs false in
-  let send_free = Array.make n_procs 0.0 and recv_free = Array.make n_procs 0.0 in
-  let events : event Event_heap.t = Event_heap.create () in
+  let busy_until = st.rs_busy_until in
+  Array.fill busy_until 0 n_procs 0.0;
+  let running = st.rs_running in
+  Array.fill running 0 n_procs false;
+  let send_free = st.rs_send_free and recv_free = st.rs_recv_free in
+  Array.fill send_free 0 n_procs 0.0;
+  Array.fill recv_free 0 n_procs 0.0;
+  let events = st.rs_events in
+  Event_heap.clear events;
+  (* Scratch slot for [Event_heap.add_unboxed]: the scheduled time is
+     stored here (an unboxed float-array store) so the hot add sites
+     never box their key. *)
+  let ev_key = Array.make 1 0.0 in
+  (* The loop's current time, also unboxed: [loop] writes the popped
+     key here and [handle]/[drain]/the dispatchers read it back as a
+     float-array load, so on the fault-free closed-mode path an event
+     iteration materialises no boxed float at all. *)
+  let tnow = Array.make 1 0.0 in
   (* The metrics gate is hoisted out of the hot loop: when recording is
      off (globally, or for this run) the run pays exactly one flag
      read. *)
@@ -441,27 +619,31 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
   let observe_heap () =
     if obs then Obs.observe "sim.heap_size" (float_of_int (Event_heap.size events))
   in
-  (* Growable message-log buffer, chronological commit order. *)
-  let log = ref (Array.make 64 None) in
+  (* Growable message-log buffer, chronological commit order; skipped
+     entirely when the config turns message recording off (draw loops
+     that never read [result.messages] save the per-transfer records). *)
   let log_len = ref 0 in
   let log_push msg =
-    if !log_len = Array.length !log then begin
+    if !log_len = Array.length st.rs_log then begin
       let d = Array.make (2 * !log_len) None in
-      Array.blit !log 0 d 0 !log_len;
-      log := d
+      Array.blit st.rs_log 0 d 0 !log_len;
+      st.rs_log <- d
     end;
-    !log.(!log_len) <- Some msg;
+    st.rs_log.(!log_len) <- Some msg;
     incr log_len
   in
-  let makespan = ref clock in
+  (* A one-slot float array rather than a ref: stores into a float array
+     are unboxed, so the per-event makespan update allocates nothing. *)
+  let makespan = Array.make 1 clock in
   (* Ready instances, one binary heap per processor.  The heap order is
      the legacy [better] relation — item ascending, then task priority
      descending, then replica id ascending — which is a strict total
      order on any one processor's ready set (two instances there always
      differ in item or task), so popping the root picks exactly the
      instance the legacy list fold selected. *)
-  let ready_data = Array.make n_procs [||] in
-  let ready_len = Array.make n_procs 0 in
+  let ready_data = st.rs_ready_data in
+  let ready_len = st.rs_ready_len in
+  Array.fill ready_len 0 n_procs 0;
   let inst_before a b =
     let ia = a / n_rids and ib = b / n_rids in
     if ia <> ib then ia < ib
@@ -523,22 +705,52 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
   (* Pending transfers, bucketed by sending processor (the send port they
      wait on); index-based removal, so structurally identical messages
      are distinct entries. *)
-  let pend_data = Array.make n_procs [||] in
-  let pend_len = Array.make n_procs 0 in
+  let pend_data = st.rs_pend_data in
+  let pend_len = st.rs_pend_len in
+  Array.fill pend_len 0 n_procs 0;
   let pending_count = ref 0 in
-  let next_seq = ref 0 in
-  let pend_push u msg =
+  (* Message-pool cursor: handles are issued in creation order, which is
+     exactly the legacy [pm_seq] numbering (one message created per
+     cross-processor hand-off, and a requeued message keeps its
+     handle). *)
+  let pm_len = ref 0 in
+  let pm_ensure () =
+    if !pm_len = Array.length st.rs_pm_src then begin
+      let cap = max 16 (2 * Array.length st.rs_pm_src) in
+      let grow_int a =
+        let d = Array.make cap 0 in
+        Array.blit a 0 d 0 !pm_len;
+        d
+      in
+      let grow_float a =
+        let d = Array.make cap 0.0 in
+        Array.blit a 0 d 0 !pm_len;
+        d
+      in
+      let grow_bool a =
+        let d = Array.make cap false in
+        Array.blit a 0 d 0 !pm_len;
+        d
+      in
+      st.rs_pm_src <- grow_int st.rs_pm_src;
+      st.rs_pm_dst <- grow_int st.rs_pm_dst;
+      st.rs_pm_dst_rid <- grow_int st.rs_pm_dst_rid;
+      st.rs_pm_dp <- grow_int st.rs_pm_dp;
+      st.rs_pm_pos <- grow_int st.rs_pm_pos;
+      st.rs_pm_attempt <- grow_int st.rs_pm_attempt;
+      st.rs_pm_dur <- grow_float st.rs_pm_dur;
+      st.rs_pm_commit <- grow_float st.rs_pm_commit;
+      st.rs_pm_alive <- grow_bool st.rs_pm_alive
+    end
+  in
+  let pend_push u mi =
     let len = pend_len.(u) in
     if len = Array.length pend_data.(u) then begin
-      let d =
-        Array.make (max 4 (2 * len))
-          { pm_src = 0; pm_dst = 0; pm_dst_rid = 0; pm_dp = 0; pm_dur = 0.0;
-            pm_pos = 0; pm_dst_alive = false; pm_seq = 0; pm_attempt = 1 }
-      in
+      let d = Array.make (max 4 (2 * len)) 0 in
       Array.blit pend_data.(u) 0 d 0 len;
       pend_data.(u) <- d
     end;
-    pend_data.(u).(len) <- msg;
+    pend_data.(u).(len) <- mi;
     pend_len.(u) <- len + 1;
     incr pending_count
   in
@@ -569,8 +781,13 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
     if open_mode then Array.map (fun o -> clock +. o) traffic.ot_offsets
     else [||]
   in
-  let occ = if open_mode then Array.make n_rids 0 else [||] in
-  let opened = if open_mode then Bytes.make total '\000' else Bytes.empty in
+  (* Closed runs never read [occ] / [opened] (every touch point is
+     guarded by [open_mode]), so they are only re-initialized for open
+     ones. *)
+  let occ = st.rs_occ in
+  if open_mode then Array.fill occ 0 n_rids 0;
+  let opened = st.rs_opened in
+  if open_mode then Bytes.fill opened 0 total '\000';
   let injections = Array.make n_items nan in
   let dropped = ref 0 in
   let stall_time = ref 0.0 in
@@ -598,36 +815,36 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
   (* Deferred local deliveries: a finished instance's same-processor
      hand-off that found the destination queue full waits here, oldest
      first, and is retried whenever occupancy may have freed. *)
-  let dl_dst = ref (Array.make 0 0) in
-  let dl_pos = ref (Array.make 0 0) in
   let dl_len = ref 0 in
   let dl_push dst pos =
-    if !dl_len = Array.length !dl_dst then begin
+    if !dl_len = Array.length st.rs_dl_dst then begin
       let n = max 8 (2 * !dl_len) in
       let d = Array.make n 0 and q = Array.make n 0 in
-      Array.blit !dl_dst 0 d 0 !dl_len;
-      Array.blit !dl_pos 0 q 0 !dl_len;
-      dl_dst := d;
-      dl_pos := q
+      Array.blit st.rs_dl_dst 0 d 0 !dl_len;
+      Array.blit st.rs_dl_pos 0 q 0 !dl_len;
+      st.rs_dl_dst <- d;
+      st.rs_dl_pos <- q
     end;
-    !dl_dst.(!dl_len) <- dst;
-    !dl_pos.(!dl_len) <- pos;
+    st.rs_dl_dst.(!dl_len) <- dst;
+    st.rs_dl_pos.(!dl_len) <- pos;
     incr dl_len;
     if obs then Obs.incr "sim.queue.blocked"
   in
-  let dispatch_local now =
+  let dispatch_local () =
+    let now = tnow.(0) in
     if !dl_len > 0 then begin
+      let dl_dst = st.rs_dl_dst and dl_pos = st.rs_dl_pos in
       let w = ref 0 in
       for i = 0 to !dl_len - 1 do
-        let dst = !dl_dst.(i) and pos = !dl_pos.(i) in
+        let dst = dl_dst.(i) and pos = dl_pos.(i) in
         if Bytes.get opened dst = '\001' || has_room now (dst mod n_rids)
         then begin
           charge now dst;
           satisfy dst pos
         end
         else begin
-          !dl_dst.(!w) <- dst;
-          !dl_pos.(!w) <- pos;
+          dl_dst.(!w) <- dst;
+          dl_pos.(!w) <- pos;
           incr w
         end
       done;
@@ -668,16 +885,18 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
   in
   (* Admit as many backlogged items as fit, FIFO: the head of the line
      blocks the line (that is what backpressure means at the source). *)
-  let rec dispatch_source now =
+  let rec dispatch_source () =
+    let now = tnow.(0) in
     if !next_admit < !arrived && entry_room now then begin
       let item = !next_admit in
       incr next_admit;
       admit now item;
-      dispatch_source now
+      dispatch_source ()
     end
   in
   (* Start the best ready instance on every idle processor. *)
-  let dispatch_procs now =
+  let dispatch_procs () =
+    let now = tnow.(0) in
     for u = 0 to n_procs - 1 do
       if
         (not running.(u)) && busy_until.(u) <= now && ready_len.(u) > 0
@@ -715,8 +934,9 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
                    ~attempt:attempts.(iidx) ~at:now
                end
           in
-          Event_heap.add events (now +. dur)
-            (if failing then Exec_failed iidx else Finish iidx);
+          ev_key.(0) <- now +. dur;
+          Event_heap.add_unboxed events ev_key
+            ((iidx lsl 3) lor (if failing then ev_exec_failed else ev_finish));
           observe_heap ()
         end
         (* else: the crash interrupts this execution; the processor
@@ -728,94 +948,100 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
      dead destination has no queue, an already-queued instance must keep
      receiving (or the pipeline would deadlock on its own bound), and
      otherwise the queue needs room. *)
-  let msg_room now msg =
-    (not msg.pm_dst_alive)
-    || fail_time.(msg.pm_dp) <= now
-    || Bytes.get opened msg.pm_dst = '\001'
-    || occ.(msg.pm_dst_rid) < bound
+  let msg_room now mi =
+    (not st.rs_pm_alive.(mi))
+    || fail_time.(st.rs_pm_dp.(mi)) <= now
+    || Bytes.get opened st.rs_pm_dst.(mi) = '\001'
+    || occ.(st.rs_pm_dst_rid.(mi)) < bound
   in
   (* Greedily commit every transfer whose data and both ports are free.
      The candidate order is the legacy one: highest destination priority,
      then smallest destination instance, then (on full ties) the most
-     recently created message. *)
-  let rec dispatch_msgs now =
+     recently created message — the highest pool handle. *)
+  let rec dispatch_msgs () =
+    let now = tnow.(0) in
     if !pending_count > 0 then begin
-      let best = ref None in
+      let best = ref (-1) in
       let best_u = ref (-1) and best_i = ref (-1) in
       for u = 0 to n_procs - 1 do
         if pend_len.(u) > 0 && now < fail_time.(u) && send_free.(u) <= now
         then
           for i = 0 to pend_len.(u) - 1 do
-            let msg = pend_data.(u).(i) in
+            let mi = pend_data.(u).(i) in
+            let dp = st.rs_pm_dp.(mi) in
             if
-              (fail_time.(msg.pm_dp) <= now || recv_free.(msg.pm_dp) <= now)
-              && ((not open_mode) || bound = max_int || msg_room now msg)
+              (fail_time.(dp) <= now || recv_free.(dp) <= now)
+              && ((not open_mode) || bound = max_int || msg_room now mi)
             then begin
               let beats =
-                match !best with
-                | None -> true
-                | Some b ->
-                    let pm = prio.(msg.pm_dst_rid / copies)
-                    and pb = prio.(b.pm_dst_rid / copies) in
-                    pm > pb
-                    || (pm = pb
-                       && (msg.pm_dst < b.pm_dst
-                          || (msg.pm_dst = b.pm_dst && msg.pm_seq > b.pm_seq)))
+                let b = !best in
+                b < 0
+                ||
+                let pm = prio.(st.rs_pm_dst_rid.(mi) / copies)
+                and pb = prio.(st.rs_pm_dst_rid.(b) / copies) in
+                pm > pb
+                || (pm = pb
+                   && (st.rs_pm_dst.(mi) < st.rs_pm_dst.(b)
+                      || (st.rs_pm_dst.(mi) = st.rs_pm_dst.(b) && mi > b)))
               in
               if beats then begin
-                best := Some msg;
+                best := mi;
                 best_u := u;
                 best_i := i
               end
             end
           done
       done;
-      match !best with
-      | None -> ()
-      | Some msg ->
-          pend_remove !best_u !best_i;
-          let sp = !best_u and dp = msg.pm_dp in
-          (* Gray link degradation: the factor active at commit time
-             stretches the whole transfer on both ports. *)
-          let dur =
-            if fz then msg.pm_dur
+      let mi = !best in
+      if mi >= 0 then begin
+        pend_remove !best_u !best_i;
+        let sp = !best_u and dp = st.rs_pm_dp.(mi) in
+        (* Gray link degradation: the factor active at commit time
+           stretches the whole transfer on both ports. *)
+        let dur =
+          if fz then st.rs_pm_dur.(mi)
+          else begin
+            let f = Faults.Gray.comm_factor gray ~src:sp ~dst:dp ~at:now in
+            if f = 1.0 then st.rs_pm_dur.(mi)
             else begin
-              let f = Faults.Gray.comm_factor gray ~src:sp ~dst:dp ~at:now in
-              if f = 1.0 then msg.pm_dur
-              else begin
-                incr f_degraded;
-                if obs then Obs.incr "sim.gray.degradations";
-                msg.pm_dur *. f
-              end
-            end
-          in
-          send_free.(sp) <- now +. dur;
-          if fail_time.(dp) > now then recv_free.(dp) <- now +. dur;
-          if now +. dur <= fail_time.(sp) && now +. dur <= fail_time.(dp)
-          then begin
-            (* Transient transfer fault: decided at commit, surfaced when
-               the full transfer duration has elapsed (the timeout) — the
-               ports are held for the whole attempt either way. *)
-            let failing =
-              (not fz)
-              && Faults.Transient.comm_fails transient ~src:sp ~key:msg.pm_seq
-                   ~attempt:msg.pm_attempt ~at:now
-            in
-            if failing then
-              Event_heap.add events (now +. dur) (Comm_failed msg)
-            else begin
-              (* The transfer will arrive: reserve the destination's queue
-                 slot now, so concurrent senders see the occupancy. *)
-              if open_mode && msg.pm_dst_alive then charge now msg.pm_dst;
-              Event_heap.add events (now +. dur) (Arrival (msg, now))
+              incr f_degraded;
+              if obs then Obs.incr "sim.gray.degradations";
+              st.rs_pm_dur.(mi) *. f
             end
           end
-          else
-            (* the crash loses the transfer in flight, but the ports still
-               free up and waiting messages must be woken *)
-            Event_heap.add events (now +. dur) Port_free;
-          observe_heap ();
-          dispatch_msgs now
+        in
+        send_free.(sp) <- now +. dur;
+        if fail_time.(dp) > now then recv_free.(dp) <- now +. dur;
+        if now +. dur <= fail_time.(sp) && now +. dur <= fail_time.(dp)
+        then begin
+          (* Transient transfer fault: decided at commit, surfaced when
+             the full transfer duration has elapsed (the timeout) — the
+             ports are held for the whole attempt either way. *)
+          let failing =
+            (not fz)
+            && Faults.Transient.comm_fails transient ~src:sp ~key:mi
+                 ~attempt:st.rs_pm_attempt.(mi) ~at:now
+          in
+          ev_key.(0) <- now +. dur;
+          if failing then
+            Event_heap.add_unboxed events ev_key ((mi lsl 3) lor ev_comm_failed)
+          else begin
+            (* The transfer will arrive: reserve the destination's queue
+               slot now, so concurrent senders see the occupancy. *)
+            if open_mode && st.rs_pm_alive.(mi) then charge now st.rs_pm_dst.(mi);
+            st.rs_pm_commit.(mi) <- now;
+            Event_heap.add_unboxed events ev_key ((mi lsl 3) lor ev_arrival)
+          end
+        end
+        else begin
+          (* the crash loses the transfer in flight, but the ports still
+             free up and waiting messages must be woken *)
+          ev_key.(0) <- now +. dur;
+          Event_heap.add_unboxed events ev_key ev_port_free
+        end;
+        observe_heap ();
+        dispatch_msgs ()
+      end
     end
   in
   (* Seed the source.  Closed: entry instances of every item at their
@@ -824,7 +1050,7 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
      when room frees). *)
   if open_mode then
     for item = 0 to n_items - 1 do
-      Event_heap.add events arr_abs.(item) (Arrive item);
+      Event_heap.add events arr_abs.(item) ((item lsl 3) lor ev_arrive);
       observe_heap ()
     done
   else
@@ -836,7 +1062,7 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
             if not dead.(rid) then begin
               Event_heap.add events
                 (clock +. (float_of_int item *. period))
-                (Inject ((item * n_rids) + rid));
+                ((((item * n_rids) + rid) lsl 3) lor ev_inject);
               observe_heap ()
             end
           done)
@@ -846,9 +1072,14 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
     let item = iidx / n_rids and rid = iidx mod n_rids in
     { item; rep = { Replica.task = rid / copies; copy = rid mod copies } }
   in
-  let handle now = function
-    | Inject iidx -> ready_push proc_of.(iidx mod n_rids) iidx
-    | Arrive item ->
+  let handle ev =
+    let now = tnow.(0) in
+    match ev land 7 with
+    | 0 (* ev_inject *) ->
+        let iidx = ev asr 3 in
+        ready_push proc_of.(iidx mod n_rids) iidx
+    | 1 (* ev_arrive *) ->
+        let item = ev asr 3 in
         arrived := !arrived + 1;
         if shed then begin
           (* Load shedding decides at the arrival instant: admit or
@@ -865,15 +1096,16 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
         end
         else begin
           let before = !next_admit in
-          dispatch_source now;
+          dispatch_source ();
           if !next_admit = before && obs then Obs.incr "sim.queue.blocked"
         end
-    | Finish iidx ->
+    | 2 (* ev_finish *) ->
+        let iidx = ev asr 3 in
         let rid = iidx mod n_rids and item = iidx / n_rids in
         let u = proc_of.(rid) in
         finishes.(iidx) <- now;
         running.(u) <- false;
-        makespan := Float.max !makespan now;
+        if now > makespan.(0) then makespan.(0) <- now;
         if open_mode && Bytes.get opened iidx = '\001' then
           occ.(rid) <- occ.(rid) - 1;
         for k = p.p_cons_off.(rid) to p.p_cons_off.(rid + 1) - 1 do
@@ -894,39 +1126,41 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
               else dl_push dst_iidx p.p_cons_pos.(k)
           end
           else begin
-            let seq = !next_seq in
-            next_seq := seq + 1;
-            pend_push u
-              {
-                pm_src = iidx;
-                pm_dst = dst_iidx;
-                pm_dst_rid = dst_rid;
-                pm_dp = dp;
-                pm_dur = p.p_cons_dur.(k);
-                pm_pos = p.p_cons_pos.(k);
-                pm_dst_alive = dst_alive;
-                pm_seq = seq;
-                pm_attempt = 1;
-              }
+            pm_ensure ();
+            let mi = !pm_len in
+            pm_len := mi + 1;
+            st.rs_pm_src.(mi) <- iidx;
+            st.rs_pm_dst.(mi) <- dst_iidx;
+            st.rs_pm_dst_rid.(mi) <- dst_rid;
+            st.rs_pm_dp.(mi) <- dp;
+            st.rs_pm_dur.(mi) <- p.p_cons_dur.(k);
+            st.rs_pm_pos.(mi) <- p.p_cons_pos.(k);
+            st.rs_pm_alive.(mi) <- dst_alive;
+            st.rs_pm_attempt.(mi) <- 1;
+            pend_push u mi
           end
         done
-    | Arrival (msg, started) ->
-        makespan := Float.max !makespan now;
-        log_push
-          {
-            msg_src = decode msg.pm_src;
-            msg_dst = decode msg.pm_dst;
-            msg_start = started;
-            msg_finish = now;
-          };
-        if msg.pm_dst_alive then satisfy msg.pm_dst msg.pm_pos
-    | Port_free -> makespan := Float.max !makespan now
-    | Exec_failed iidx ->
+    | 3 (* ev_arrival *) ->
+        let mi = ev asr 3 in
+        if now > makespan.(0) then makespan.(0) <- now;
+        if record_messages then
+          log_push
+            {
+              msg_src = decode st.rs_pm_src.(mi);
+              msg_dst = decode st.rs_pm_dst.(mi);
+              msg_start = st.rs_pm_commit.(mi);
+              msg_finish = now;
+            };
+        if st.rs_pm_alive.(mi) then
+          satisfy st.rs_pm_dst.(mi) st.rs_pm_pos.(mi)
+    | 4 (* ev_port_free *) -> if now > makespan.(0) then makespan.(0) <- now
+    | 5 (* ev_exec_failed *) ->
         (* The attempt timed out: the processor was busy for the whole
            attempt and only now learns it produced nothing. *)
+        let iidx = ev asr 3 in
         let u = proc_of.(iidx mod n_rids) in
         running.(u) <- false;
-        makespan := Float.max !makespan now;
+        if now > makespan.(0) then makespan.(0) <- now;
         incr f_exec;
         if obs then Obs.incr "sim.faults.transient";
         if attempts.(iidx) <= retry.Faults.Backoff.max_retries then begin
@@ -937,7 +1171,8 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
             Obs.incr "sim.retries";
             Obs.observe "sim.retry_backoff_time" d
           end;
-          Event_heap.add events (now +. d) (Inject iidx);
+          ev_key.(0) <- now +. d;
+          Event_heap.add_unboxed events ev_key ((iidx lsl 3) lor ev_inject);
           observe_heap ()
         end
         else begin
@@ -947,61 +1182,71 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
           exhausted_on.(u) <- exhausted_on.(u) + 1;
           if obs then Obs.incr "sim.faults.exhausted"
         end
-    | Comm_failed msg ->
-        makespan := Float.max !makespan now;
+    | 6 (* ev_comm_failed *) ->
+        let mi = ev asr 3 in
+        if now > makespan.(0) then makespan.(0) <- now;
         incr f_comm;
         if obs then Obs.incr "sim.faults.transient";
-        if msg.pm_attempt <= retry.Faults.Backoff.max_retries then begin
-          let d = Faults.Backoff.delay retry ~attempt:msg.pm_attempt in
+        let attempt = st.rs_pm_attempt.(mi) in
+        if attempt <= retry.Faults.Backoff.max_retries then begin
+          let d = Faults.Backoff.delay retry ~attempt in
           incr f_retries;
           f_backoff := !f_backoff +. d;
           if obs then begin
             Obs.incr "sim.retries";
             Obs.observe "sim.retry_backoff_time" d
           end;
-          Event_heap.add events (now +. d)
-            (Requeue { msg with pm_attempt = msg.pm_attempt + 1 });
+          (* The backed-off attempt keeps its handle (and with it the
+             legacy pm_seq tie-break); only the attempt count moves. *)
+          st.rs_pm_attempt.(mi) <- attempt + 1;
+          ev_key.(0) <- now +. d;
+          Event_heap.add_unboxed events ev_key ((mi lsl 3) lor ev_requeue);
           observe_heap ()
         end
         else begin
           (* Exhaustion is charged to the sender's port — it did all the
              (re)work — mirroring exec attribution to the executor. *)
           incr f_exhausted;
-          let sp = proc_of.(msg.pm_src mod n_rids) in
+          let sp = proc_of.(st.rs_pm_src.(mi) mod n_rids) in
           exhausted_on.(sp) <- exhausted_on.(sp) + 1;
           if obs then Obs.incr "sim.faults.exhausted"
         end
-    | Requeue msg ->
-        makespan := Float.max !makespan now;
-        pend_push proc_of.(msg.pm_src mod n_rids) msg
+    | _ (* ev_requeue *) ->
+        let mi = ev asr 3 in
+        if now > makespan.(0) then makespan.(0) <- now;
+        pend_push proc_of.(st.rs_pm_src.(mi) mod n_rids) mi
+  in
+  (* The pop protocol reads the heap's exposed arrays directly: the key
+     peek lands in the [tnow] slot and the value pop is an immediate, so
+     an iteration of the loop below allocates nothing. *)
+  (* Drain simultaneous events before dispatching decisions.  Hoisted
+     out of [loop] so the closure is allocated once per run, not once
+     per iteration. *)
+  let rec drain () =
+    if events.Event_heap.len > 0 && events.Event_heap.keys.(0) <= tnow.(0)
+    then begin
+      let ev' = Event_heap.unsafe_pop events in
+      if obs then Obs.incr "sim.events_popped";
+      handle ev';
+      drain ()
+    end
   in
   let rec loop () =
-    match Event_heap.pop_min events with
-    | None -> ()
-    | Some (now, ev) ->
-        if obs then Obs.incr "sim.events_popped";
-        handle now ev;
-        (* Drain simultaneous events before dispatching decisions. *)
-        let rec drain () =
-          match Event_heap.min_key events with
-          | Some k when k <= now ->
-              (match Event_heap.pop_min events with
-              | Some (_, ev') ->
-                  if obs then Obs.incr "sim.events_popped";
-                  handle now ev'
-              | None -> ());
-              drain ()
-          | _ -> ()
-        in
-        drain ();
-        (* When room frees, in-pipeline data beats new source admissions:
-           deferred local hand-offs first, then transfers, then the
-           backlog — that priority order is the backpressure. *)
-        if open_mode then dispatch_local now;
-        dispatch_msgs now;
-        if open_mode && not shed then dispatch_source now;
-        dispatch_procs now;
-        loop ()
+    if events.Event_heap.len > 0 then begin
+      tnow.(0) <- events.Event_heap.keys.(0);
+      let ev = Event_heap.unsafe_pop events in
+      if obs then Obs.incr "sim.events_popped";
+      handle ev;
+      drain ();
+      (* When room frees, in-pipeline data beats new source admissions:
+         deferred local hand-offs first, then transfers, then the
+         backlog — that priority order is the backpressure. *)
+      if open_mode then dispatch_local ();
+      dispatch_msgs ();
+      if open_mode && not shed then dispatch_source ();
+      dispatch_procs ();
+      loop ()
+    end
   in
   loop ();
   let get arr item (id : Replica.id) =
@@ -1051,7 +1296,7 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
       if i < 0 then acc
       else
         collect (i - 1)
-          (match !log.(i) with Some m -> m :: acc | None -> acc)
+          (match st.rs_log.(i) with Some m -> m :: acc | None -> acc)
     in
     collect (!log_len - 1) []
   in
@@ -1060,7 +1305,7 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
     finish_time = get finishes;
     item_latency;
     period;
-    makespan = !makespan;
+    makespan = makespan.(0);
     messages;
     arrivals;
     injections;
@@ -1083,7 +1328,20 @@ let run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
          });
   }
 
-let simulate ~(config : Run.config) p =
+let simulate ?state ~(config : Run.config) p =
+  let reused = Option.is_some state in
+  let st =
+    match state with
+    | Some (st : Run_state.t) ->
+        if
+          st.rs_rids <> p.p_rids || st.rs_procs <> p.p_procs
+          || st.rs_total_preds <> p.p_total_preds
+        then
+          invalid_arg
+            "Engine.simulate: run state was created for a different program";
+        st
+    | None -> Run_state.create p
+  in
   let snapshot = config.Run.snapshot in
   let failed = config.Run.failed and timed_failures = config.Run.timed_failures in
   let n_items, period, traffic =
@@ -1106,13 +1364,19 @@ let simulate ~(config : Run.config) p =
   in
   let go () =
     let snapshot = Option.value snapshot ~default:boot in
-    run_compiled_impl ~snapshot ~n_items ~period ~failed ~timed_failures
-      ~traffic ~metrics:config.Run.metrics ~faults:config.Run.faults p
+    run_compiled_impl ~state:st ~snapshot ~n_items ~period ~failed
+      ~timed_failures ~traffic ~metrics:config.Run.metrics
+      ~record_messages:config.Run.record_messages ~faults:config.Run.faults p
   in
   if not config.Run.metrics then go ()
   else
     Obs.with_span "sim.engine.run" (fun () ->
         Obs.incr "sim.runs";
+        if reused then Obs.incr "sim.arena.reuses";
+        Obs.touch "sim.arena.creates";
+        Obs.touch "sim.arena.reuses";
+        Obs.touch "sim.cache.hits";
+        Obs.touch "sim.cache.misses";
         Obs.touch "sim.events_popped";
         Obs.touch "sim.compiles";
         Obs.touch "sim.drops";
@@ -1146,6 +1410,7 @@ let run_compiled ?snapshot ?(n_items = 1) ?period ?(failed = [])
         failed;
         timed_failures;
         metrics = true;
+        record_messages = true;
         faults = Faults.none;
       }
     p
@@ -1153,14 +1418,44 @@ let run_compiled ?snapshot ?(n_items = 1) ?period ?(failed = [])
 let run ?snapshot ?n_items ?period ?failed ?timed_failures m =
   run_compiled ?snapshot ?n_items ?period ?failed ?timed_failures (compile m)
 
-let latency_compiled ?failed p =
-  let r = run_compiled ?failed ~n_items:1 p in
+(* The crash-draw hot path: single item, no message log, optionally an
+   arena.  Identical to [run_compiled ~n_items:1] in every recorded
+   value except [result.messages] (which this caller never reads). *)
+let latency_compiled ?state ?(failed = []) p =
+  let r =
+    simulate ?state
+      ~config:
+        {
+          Run.traffic = Run.Closed { n_items = 1; period = None };
+          snapshot = None;
+          failed;
+          timed_failures = [];
+          metrics = true;
+          record_messages = false;
+          faults = Faults.none;
+        }
+      p
+  in
   r.item_latency.(0)
 
 let latency ?failed m = latency_compiled ?failed (compile m)
 
 let sojourns r =
   Array.to_list r.item_latency |> List.filter_map Fun.id
+
+let sojourns_into r buf =
+  let n = Array.length r.item_latency in
+  if Array.length buf < n then
+    invalid_arg "Engine.sojourns_into: buffer shorter than item_latency";
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    match r.item_latency.(i) with
+    | Some l ->
+        buf.(!k) <- l;
+        incr k
+    | None -> ()
+  done;
+  !k
 
 let sustained_throughput r =
   (* Absolute exit-availability instants of the items that completed. *)

@@ -192,6 +192,13 @@ module Run : sig
         (** per-run metrics gate: [false] skips every [sim.*] counter,
             histogram and span of this run even when {!Obs.enabled} —
             for probe runs that must not pollute a profile *)
+    record_messages : bool;
+        (** [false] skips the per-transfer message log entirely:
+            {!result.messages} comes back [[]] and the run allocates no
+            per-message records.  Every other field of the result is
+            bit-identical to a [true] run — the gate exists for draw
+            loops (crash sampling, epochs) that never read the log.
+            The builders default to [true]. *)
     faults : Faults.t;
         (** transient faults, retry policy and gray failures applied to
             the run.  {!Faults.none} (the builders' default) takes a
@@ -230,11 +237,48 @@ module Run : sig
   val with_faults : Faults.t -> config -> config
   (** [{ config with faults }] — attach a fault scenario to any
       config. *)
+
+  val without_messages : config -> config
+  (** [{ config with record_messages = false }] — turn the message log
+      off for a draw loop. *)
 end
 
-val simulate : config:Run.config -> program -> result
+(** The reusable run-state arena: every per-run array slab the engine
+    needs (instance tables, port state, ready/pending heaps, the event
+    queue, the message log), allocated once per program and reused
+    across runs.  A draw loop — crash sampling, resumed epochs, traffic
+    sweeps — creates one arena and passes it to every {!simulate} call,
+    reducing per-draw allocation to the handful of words of the result
+    record itself. *)
+module Run_state : sig
+  type t
+
+  val create : program -> t
+  (** An arena sized for [program]'s processor and replica counts.  The
+      per-item slabs start at single-item capacity and grow on demand
+      (geometrically, so a sweep over increasing [n_items] settles).
+      Counted under [sim.arena.creates]. *)
+
+  val reset : t -> unit
+  (** Return the arena to its post-{!create} condition, releasing the
+      references the previous run retained.  Calling it between draws
+      is {e optional}: {!simulate} re-initializes every slab range it
+      uses, so a reused arena is bit-identical to a fresh one either
+      way. *)
+end
+
+val simulate : ?state:Run_state.t -> config:Run.config -> program -> result
 (** Play one scenario against a compiled program.  A program holds no
     per-run state, so it may be reused across any number of calls.
+
+    [?state] supplies a reusable {!Run_state} arena; omitted, a private
+    one is created for the run.  Results are bit-identical with and
+    without an arena, and at any reuse count.  {b Validity}: the
+    result's [start_time] / [finish_time] closures read the arena's
+    slabs, so they are valid only until the next run on (or [reset] of)
+    the same arena; [item_latency] and every other field are plain
+    values and stay valid forever.  Arenas are single-threaded — give
+    each domain its own.  Reuses are counted under [sim.arena.reuses].
 
     Closed traffic reproduces the legacy engine bit-identically.  Open
     traffic materializes the arrival process ({!Arrival.times}), admits
@@ -246,8 +290,9 @@ val simulate : config:Run.config -> program -> result
     [sim.queue.blocked], [sim.drops] and the [sim.queue.occupancy]
     histogram.
     @raise Invalid_argument as {!run}; additionally if an open config
-    has [n_items < 1], [queue_bound < 1], or an arrival process that
-    needs randomness with [rng = None]. *)
+    has [n_items < 1], [queue_bound < 1], an arrival process that
+    needs randomness with [rng = None], or [?state] was created for a
+    program of a different shape. *)
 
 val run_compiled :
   ?snapshot:snapshot ->
@@ -291,13 +336,25 @@ val run :
 val latency : ?failed:Platform.proc list -> Mapping.t -> float option
 (** Single-item latency: [run ~n_items:1] and the first {!result.item_latency}. *)
 
-val latency_compiled : ?failed:Platform.proc list -> program -> float option
-(** {!latency} against a compiled program. *)
+val latency_compiled :
+  ?state:Run_state.t -> ?failed:Platform.proc list -> program -> float option
+(** {!latency} against a compiled program — the crash-draw hot path.
+    Skips the message log (this caller never reads it) and accepts an
+    arena, so a sampling loop replays with zero per-draw slab
+    allocation; the returned latency is identical to {!latency}'s. *)
 
 val sojourns : result -> float list
 (** The delivered items' sojourn latencies in item order — the sample
     the percentile summaries ({!Stats} in the experiment layer) are
     computed over.  Shed, stalled and defeated items are absent. *)
+
+val sojourns_into : result -> float array -> int
+(** Allocation-free {!sojourns}: write the delivered sojourns into a
+    caller-owned buffer (at least [Array.length item_latency] long) and
+    return how many were written — the prefix length the quantile
+    helpers ([Stats.quantiles_slice]) consume.  A sweep allocates the
+    buffer once and reuses it across runs.
+    @raise Invalid_argument when the buffer is too short. *)
 
 val sustained_throughput : result -> float option
 (** [(n - 1) / (t_last - t_first)] over the items that completed, using

@@ -1,34 +1,60 @@
-(* Array-backed binary heap ordered by (key, insertion sequence number). *)
-
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Structure-of-arrays binary heap ordered by (key, insertion sequence
+   number).  Keys live in a [float array] so they are stored unboxed and
+   [add]/[unsafe_pop] allocate nothing per element — the engine's event
+   loop runs allocation-free over this heap. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; len = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; len = 0; next_seq = 0 }
 let is_empty h = h.len = 0
 let size h = h.len
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* Resetting [next_seq] is load-bearing: equal-key ties are served in
+   insertion order, so a reused heap must renumber from 0 to replay the
+   exact event order a fresh heap would. *)
+let clear h =
+  h.len <- 0;
+  h.next_seq <- 0
 
-let grow h entry =
-  let cap = Array.length h.data in
-  if h.len = cap then begin
-    let data = Array.make (max 16 (2 * cap)) entry in
-    Array.blit h.data 0 data 0 h.len;
-    h.data <- data
-  end
+let less h i j =
+  h.keys.(i) < h.keys.(j) || (h.keys.(i) = h.keys.(j) && h.seqs.(i) < h.seqs.(j))
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let s = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- s;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
+(* The value array is filled with the element being inserted — the heap
+   is polymorphic and has no other witness of ['a]. *)
+let grow h value =
+  let cap = max 16 (2 * Array.length h.keys) in
+  let keys = Array.make cap 0.0 in
+  let seqs = Array.make cap 0 in
+  let vals = Array.make cap value in
+  Array.blit h.keys 0 keys 0 h.len;
+  Array.blit h.seqs 0 seqs 0 h.len;
+  Array.blit h.vals 0 vals 0 h.len;
+  h.keys <- keys;
+  h.seqs <- seqs;
+  h.vals <- vals
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less h.data.(i) h.data.(parent) then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
+    if less h i parent then begin
+      swap h i parent;
       sift_up h parent
     end
   end
@@ -36,33 +62,58 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
-  if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+  if l < h.len && less h l !smallest then smallest := l;
+  if r < h.len && less h r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
+    swap h i !smallest;
     sift_down h !smallest
   end
 
 let add h key value =
-  let entry = { key; seq = h.next_seq; value } in
+  if h.len = Array.length h.keys then grow h value;
+  let i = h.len in
+  h.keys.(i) <- key;
+  h.seqs.(i) <- h.next_seq;
+  h.vals.(i) <- value;
   h.next_seq <- h.next_seq + 1;
-  grow h entry;
-  h.data.(h.len) <- entry;
-  h.len <- h.len + 1;
-  sift_up h (h.len - 1)
+  h.len <- i + 1;
+  sift_up h i
+
+(* The key arrives through a caller-owned one-slot float array instead
+   of a [float] parameter: without flambda a float argument is boxed at
+   every call, while the slot is just a pointer and its read below is an
+   unboxed load.  This is the engine's zero-allocation scheduling path;
+   the body must not delegate to [add] (the inner call would box). *)
+let add_unboxed h slot value =
+  if h.len = Array.length h.keys then grow h value;
+  let i = h.len in
+  h.keys.(i) <- slot.(0);
+  h.seqs.(i) <- h.next_seq;
+  h.vals.(i) <- value;
+  h.next_seq <- h.next_seq + 1;
+  h.len <- i + 1;
+  sift_up h i
+
+let remove_min h =
+  let last = h.len - 1 in
+  h.len <- last;
+  if last > 0 then begin
+    h.keys.(0) <- h.keys.(last);
+    h.seqs.(0) <- h.seqs.(last);
+    h.vals.(0) <- h.vals.(last);
+    sift_down h 0
+  end
+
+let unsafe_pop h =
+  let v = h.vals.(0) in
+  remove_min h;
+  v
 
 let pop_min h =
   if h.len = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
-      sift_down h 0
-    end;
-    Some (top.key, top.value)
+    let key = h.keys.(0) in
+    Some (key, unsafe_pop h)
   end
 
-let min_key h = if h.len = 0 then None else Some h.data.(0).key
+let min_key h = if h.len = 0 then None else Some h.keys.(0)

@@ -209,3 +209,10 @@ let exact_crash_latency_stats ~crashes ~throughput m =
     degraded_mean = Reliability.expected_latency t ~throughput model;
     evaluations = 0;
   }
+
+(* The shared plan cache.  Hosted here rather than in [Program_cache]
+   because this module depends on [Crash] (for the stats record types),
+   which depends on [Program_cache] — the cache instance living there
+   would close a module cycle. *)
+let plans : plan Program_cache.t = Program_cache.create ~capacity:64 compile
+let cached_plan m = Program_cache.find plans m

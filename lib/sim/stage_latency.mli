@@ -80,3 +80,13 @@ val exact_crash_latency_stats :
     processors.  Consumes no randomness and replays nothing
     ([evaluations = 0]).
     @raise Invalid_argument if [crashes] is outside [0, m]. *)
+
+val plans : plan Program_cache.t
+(** The global stage-latency plan cache (capacity 64), used by the
+    figure harness ([Fig_common]).  Lives here rather than in
+    {!Program_cache} because this module depends on [Crash], which
+    depends on [Program_cache]. *)
+
+val cached_plan : Mapping.t -> plan
+(** [Program_cache.find plans m] — {!compile} through the shared cache:
+    repeated lookups on the same mapping content pay the compile once. *)

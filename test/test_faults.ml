@@ -425,6 +425,7 @@ let identity_tests =
             failed = [];
             timed_failures = [ (1, 55.0); (4, 130.0) ];
             metrics = true;
+            record_messages = true;
             faults;
           }
         in
@@ -456,6 +457,7 @@ let identity_tests =
                   failed = [];
                   timed_failures = [ crash ];
                   metrics = true;
+                  record_messages = true;
                   faults;
                 }
               prog

@@ -361,6 +361,7 @@ let prop_exact_siblings_agree =
           let engine =
             Crash.estimate ~source:(Crash.Of_mapping m)
               ~method_:(Crash.Exact { crashes = c; max_evaluations = None })
+              ()
           in
           let stage =
             Stage_latency.exact_crash_latency_stats ~crashes:c
@@ -404,6 +405,7 @@ let prop_mc_converges_to_exact =
               let e =
                 Crash.estimate ~source:(Crash.Of_program program)
                   ~method_:(Crash.Sampled { crashes = c; draws = runs; rng })
+                  ()
               in
               let est = e.Crash.est_p_defeat in
               let sigma =

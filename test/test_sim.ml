@@ -476,7 +476,8 @@ let stage_latency_tests =
 (* Crash sampling                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let estimate_on m method_ = Crash.estimate ~source:(Crash.Of_mapping m) ~method_
+let estimate_on m method_ =
+  Crash.estimate ~source:(Crash.Of_mapping m) ~method_ ()
 
 let crash_tests =
   [
@@ -677,6 +678,29 @@ let result_fingerprint m (r : Engine.result) =
   Buffer.add_string buf (Printf.sprintf "P%h;M%h" r.Engine.period r.Engine.makespan);
   Buffer.contents buf
 
+(* The pinned-digest serialization (messages, latencies, period,
+   makespan) — shared by the legacy-engine guard and the arena-reuse
+   guard so both pin the exact same bytes. *)
+let digest_of_result (r : Engine.result) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (msg : Engine.message) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%d.%d->%d:%d.%d@%h..%h;" msg.Engine.msg_src.item
+           msg.Engine.msg_src.rep.Replica.task msg.Engine.msg_src.rep.Replica.copy
+           msg.Engine.msg_dst.item msg.Engine.msg_dst.rep.Replica.task
+           msg.Engine.msg_dst.rep.Replica.copy msg.Engine.msg_start
+           msg.Engine.msg_finish))
+    r.Engine.messages;
+  Array.iter
+    (fun l ->
+      Buffer.add_string buf
+        (match l with None -> "lost;" | Some l -> Printf.sprintf "%h;" l))
+    r.Engine.item_latency;
+  Buffer.add_string buf
+    (Printf.sprintf "P%h;M%h" r.Engine.period r.Engine.makespan);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let compiled_tests =
   [
     case "run_compiled ≡ run on random draws and epochs (QCheck)" (fun () ->
@@ -730,27 +754,6 @@ let compiled_tests =
         (* Byte-identity guard: this digest was recorded with the legacy
            list-based engine before the compile/run split.  Any change to
            event order, tie-breaks or float expressions breaks it. *)
-        let digest_of_result (r : Engine.result) =
-          let buf = Buffer.create 4096 in
-          List.iter
-            (fun (msg : Engine.message) ->
-              Buffer.add_string buf
-                (Printf.sprintf "%d:%d.%d->%d:%d.%d@%h..%h;"
-                   msg.Engine.msg_src.item msg.Engine.msg_src.rep.Replica.task
-                   msg.Engine.msg_src.rep.Replica.copy msg.Engine.msg_dst.item
-                   msg.Engine.msg_dst.rep.Replica.task
-                   msg.Engine.msg_dst.rep.Replica.copy msg.Engine.msg_start
-                   msg.Engine.msg_finish))
-            r.Engine.messages;
-          Array.iter
-            (fun l ->
-              Buffer.add_string buf
-                (match l with None -> "lost;" | Some l -> Printf.sprintf "%h;" l))
-            r.Engine.item_latency;
-          Buffer.add_string buf
-            (Printf.sprintf "P%h;M%h" r.Engine.period r.Engine.makespan);
-          Digest.to_hex (Digest.string (Buffer.contents buf))
-        in
         let rng = Rng.create ~seed:2009 in
         let inst = Spec.generate Spec.default ~rng ~granularity:1.0 () in
         let throughput = Paper_workload.throughput ~eps:1 in
@@ -821,12 +824,209 @@ let compiled_tests =
           Crash.Sampled { crashes = 2; draws = 24; rng = Rng.create ~seed }
         in
         let plain =
-          Crash.estimate ~source:(Crash.Of_mapping m) ~method_:(method_ 17)
+          Crash.estimate ~source:(Crash.Of_mapping m) ~method_:(method_ 17) ()
         in
         let compiled =
-          Crash.estimate ~source:(Crash.Of_program prog) ~method_:(method_ 17)
+          Crash.estimate ~source:(Crash.Of_program prog) ~method_:(method_ 17) ()
         in
         check_true "same estimate" (plain = compiled));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The run-state arena, the program cache and the parallel estimator.  *)
+
+let estimate_fingerprint (e : Crash.estimate) =
+  (* String form so NaN p_defeat (zero draws) still compares equal. *)
+  Printf.sprintf "%d;%d;%d;%d;%h;%s;%s" e.Crash.est_crashes e.Crash.est_draws
+    e.Crash.est_evaluations e.Crash.est_defeated e.Crash.est_p_defeat
+    (match e.Crash.est_mean with None -> "-" | Some v -> Printf.sprintf "%h" v)
+    (String.concat "," (List.map string_of_int e.Crash.est_failed))
+
+let chain_mapping exec =
+  let dag = Classic.chain ~n:2 ~exec ~volume:1.0 in
+  let m = Mapping.create ~dag ~platform:(Fixtures.uniform 2) ~eps:0 in
+  place m 0 0 0 [];
+  place m 1 0 1 [ (0, [ id 0 0 ]) ];
+  m
+
+let arena_cache_tests =
+  [
+    case "parallel estimate is bit-identical at -j1/-j2/-j4 (QCheck)" (fun () ->
+        let prop seed =
+          let inst = Fixtures.paper_instance ~seed () in
+          let throughput = Paper_workload.throughput ~eps:1 in
+          let m =
+            Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf
+              (Types.problem ~dag:inst.Paper_workload.dag
+                 ~platform:inst.Paper_workload.plat ~eps:1 ~throughput)
+          in
+          let prog = Engine.compile m in
+          let crashes = 1 + (seed mod 3) and draws = seed mod 40 in
+          let est jobs =
+            estimate_fingerprint
+              (Crash.estimate ~jobs ~source:(Crash.Of_program prog)
+                 ~method_:
+                   (Crash.Sampled
+                      { crashes; draws; rng = Rng.create ~seed:(seed + 1) })
+                 ())
+          in
+          let sequential = est 1 in
+          sequential = est 2 && sequential = est 4
+        in
+        QCheck.Test.check_exn
+          (QCheck.Test.make ~count:6 ~name:"estimate-jobs-identity"
+             QCheck.(int_range 0 10_000)
+             prop));
+    case "arena reuse and reset reproduce the pinned digest" (fun () ->
+        (* The exact workload of the pinned message-log digest above, run
+           through an arena that a different (open-traffic) scenario has
+           already dirtied: reused-and-reset and reused-without-reset must
+           both reproduce the legacy engine's bytes. *)
+        let rng = Rng.create ~seed:2009 in
+        let inst = Spec.generate Spec.default ~rng ~granularity:1.0 () in
+        let throughput = Paper_workload.throughput ~eps:1 in
+        let m =
+          Fixtures.must_schedule ~mode:Scheduler.Best_effort `Rltf
+            (Types.problem ~dag:inst.Paper_workload.dag
+               ~platform:inst.Paper_workload.plat ~eps:1 ~throughput)
+        in
+        let prog = Engine.compile m in
+        let pinned =
+          {
+            Engine.Run.traffic = Engine.Run.Closed { n_items = 8; period = None };
+            snapshot = None;
+            failed = [];
+            timed_failures = [ (1, 55.0); (4, 130.0) ];
+            metrics = true;
+            record_messages = true;
+            faults = Faults.none;
+          }
+        in
+        let state = Engine.Run_state.create prog in
+        let dirty () =
+          ignore
+            (Engine.simulate ~state
+               ~config:
+                 (Engine.Run.open_ ~n_items:3
+                    (Arrival.Trace [ 0.0; 0.5; 40.0 ]))
+               prog)
+        in
+        dirty ();
+        let reused = Engine.simulate ~state ~config:pinned prog in
+        Alcotest.(check string)
+          "dirty arena, no reset" "86751422180444b1ec5c84c1e9506b12"
+          (digest_of_result reused);
+        dirty ();
+        Engine.Run_state.reset state;
+        let reset_run = Engine.simulate ~state ~config:pinned prog in
+        Alcotest.(check string)
+          "dirty arena, explicit reset" "86751422180444b1ec5c84c1e9506b12"
+          (digest_of_result reset_run));
+    case "an arena is rejected by a program of another shape" (fun () ->
+        let state = Engine.Run_state.create (Engine.compile (lanes ())) in
+        let other = Engine.compile (chain_mapping 1.0) in
+        Alcotest.check_raises "shape mismatch"
+          (Invalid_argument
+             "Engine.simulate: run state was created for a different program")
+          (fun () ->
+            ignore
+              (Engine.simulate ~state
+                 ~config:(Engine.Run.closed ~n_items:1 ())
+                 other)));
+    case "without_messages drops only the log" (fun () ->
+        (* The cross-processor chain actually transfers (lanes are
+           co-located and log nothing). *)
+        let m = chain_mapping 1.0 in
+        let prog = Engine.compile m in
+        let with_log =
+          Engine.simulate ~config:(Engine.Run.closed ~n_items:3 ()) prog
+        in
+        let without =
+          Engine.simulate
+            ~config:(Engine.Run.without_messages (Engine.Run.closed ~n_items:3 ()))
+            prog
+        in
+        check_true "log suppressed" (without.Engine.messages = []);
+        check_true "log was non-empty" (with_log.Engine.messages <> []);
+        Alcotest.(check string)
+          "everything else identical"
+          (result_fingerprint m { with_log with Engine.messages = [] })
+          (result_fingerprint m without));
+    case "cache evicts LRU and counts hits and misses" (fun () ->
+        let builds = ref 0 in
+        let cache =
+          Program_cache.create ~capacity:2 (fun m ->
+              incr builds;
+              Engine.compile m)
+        in
+        let m1 = chain_mapping 1.0
+        and m2 = chain_mapping 2.0
+        and m3 = chain_mapping 3.0 in
+        ignore (Program_cache.find cache m1);
+        ignore (Program_cache.find cache m2);
+        ignore (Program_cache.find cache m1);
+        check_int "hit skipped the build" 2 !builds;
+        ignore (Program_cache.find cache m3);
+        check_int "bounded" 2 (Program_cache.length cache);
+        check_true "m1 (recently used) survives" (Program_cache.mem cache m1);
+        check_true "m2 (LRU) evicted" (not (Program_cache.mem cache m2));
+        ignore (Program_cache.find cache m2);
+        check_int "hits" 1 (Program_cache.hits cache);
+        check_int "misses" 4 (Program_cache.misses cache);
+        check_int "builds = misses" 4 !builds;
+        Program_cache.clear cache;
+        check_int "cleared" 0 (Program_cache.length cache);
+        check_int "counters survive clear" 1 (Program_cache.hits cache));
+    case "digest keys content, not identity" (fun () ->
+        let m = chain_mapping 1.0 in
+        let twin = chain_mapping 1.0 in
+        check_true "equal content, equal digest"
+          (Program_cache.digest m = Program_cache.digest twin);
+        check_true "different exec, different digest"
+          (Program_cache.digest m <> Program_cache.digest (chain_mapping 2.0));
+        (* Mutating a placement must change the key — the self-correcting
+           property that lets mutable mappings share one global cache.
+           (Digests accept incomplete mappings, so grow one in place.) *)
+        let dag = Classic.chain ~n:2 ~exec:1.0 ~volume:1.0 in
+        let partial = Mapping.create ~dag ~platform:(Fixtures.uniform 2) ~eps:0 in
+        place partial 0 0 0 [];
+        let d_before = Program_cache.digest partial in
+        place partial 1 0 1 [ (0, [ id 0 0 ]) ];
+        check_true "mutation changes the digest"
+          (d_before <> Program_cache.digest partial);
+        let cache = Program_cache.create ~capacity:4 Engine.compile in
+        ignore (Program_cache.find cache twin);
+        check_true "structural twin hits" (Program_cache.mem cache (chain_mapping 1.0));
+        Alcotest.check_raises "capacity < 1" (Invalid_argument "")
+          (fun () ->
+            try ignore (Program_cache.create ~capacity:0 Engine.compile)
+            with Invalid_argument _ -> raise (Invalid_argument "")));
+    case "sojourns_into matches sojourns" (fun () ->
+        let prog = Engine.compile (lanes ()) in
+        let r =
+          Engine.simulate
+            ~config:
+              (Engine.Run.open_ ~n_items:4
+                 (Arrival.Trace [ 0.0; 1.0; 2.0; 3.0 ]))
+            prog
+        in
+        let as_list = Engine.sojourns r in
+        let buf = Array.make 4 nan in
+        let delivered = Engine.sojourns_into r buf in
+        check_int "same count" (List.length as_list) delivered;
+        let sorted_list = List.sort compare as_list in
+        let sorted_buf =
+          List.sort compare (Array.to_list (Array.sub buf 0 delivered))
+        in
+        check_true "same sojourns" (sorted_list = sorted_buf);
+        let q_list = Stats.quantiles as_list in
+        let q_slice = Stats.quantiles_slice buf ~len:delivered in
+        check_float "same p50" q_list.Stats.p50 q_slice.Stats.p50;
+        check_float "same p99" q_list.Stats.p99 q_slice.Stats.p99;
+        Alcotest.check_raises "short buffer"
+          (Invalid_argument
+             "Engine.sojourns_into: buffer shorter than item_latency")
+          (fun () -> ignore (Engine.sojourns_into r (Array.make 3 0.0))));
   ]
 
 let () =
@@ -841,4 +1041,5 @@ let () =
       ("stage-latency", stage_latency_tests);
       ("crash", crash_tests);
       ("compiled-program", compiled_tests);
+      ("arena-and-cache", arena_cache_tests);
     ]
